@@ -1,0 +1,31 @@
+//! End-to-end application benches: one full MCMC sweep of a small
+//! stereo problem per sampler kind — the simulator-side analogue of the
+//! paper's Table II rows.
+
+use bench::{annealing_schedule, SamplerKind};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vision::StereoModel;
+
+fn bench_stereo_sweep(c: &mut Criterion) {
+    let ds = scenes::StereoSpec {
+        width: 48,
+        height: 36,
+        num_disparities: 10,
+        num_layers: 2,
+        noise_sigma: 2.0,
+    }
+    .generate(3);
+    let model = StereoModel::new(&ds.left, &ds.right, 10, 0.3, 0.3).expect("valid model");
+    let mut group = c.benchmark_group("stereo_sweep_48x36_10l");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements((48 * 36 * 10) as u64));
+    for kind in [SamplerKind::Software, SamplerKind::NewRsu, SamplerKind::PreviousRsu] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, kind| {
+            b.iter(|| black_box(kind.run(&model, annealing_schedule(), 1, 7)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stereo_sweep);
+criterion_main!(benches);

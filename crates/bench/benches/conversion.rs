@@ -1,0 +1,49 @@
+//! Ablation bench for the §IV-B3 design choice: LUT-based vs
+//! comparison-based energy-to-λ conversion — lookup speed and, more
+//! importantly, the temperature-update cost that stalls the previous
+//! design's pipeline.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rsu::{ComparisonConverter, EnergyToLambda, LutConverter};
+
+fn bench_conversion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("energy_to_lambda");
+    let lut = LutConverter::new(8, 8, true, true, 7.0);
+    let cmp = ComparisonConverter::new(8, 8, true, 7.0);
+    group.bench_function("lookup/lut", |b| {
+        let mut e = 0u16;
+        b.iter(|| {
+            e = (e + 1) & 0xFF;
+            black_box(lut.multiplier_of(e))
+        })
+    });
+    group.bench_function("lookup/comparison", |b| {
+        let mut e = 0u16;
+        b.iter(|| {
+            e = (e + 1) & 0xFF;
+            black_box(cmp.multiplier_of(e))
+        })
+    });
+    group.bench_function("temp_update/lut_rebuild", |b| {
+        let mut lut = LutConverter::new(8, 8, true, true, 7.0);
+        let mut t = 1.0;
+        b.iter(|| {
+            t = if t > 50.0 { 1.0 } else { t * 1.01 };
+            lut.set_temperature(t);
+            black_box(lut.multiplier_of(10))
+        })
+    });
+    group.bench_function("temp_update/comparison_boundaries", |b| {
+        let mut cmp = ComparisonConverter::new(8, 8, true, 7.0);
+        let mut t = 1.0;
+        b.iter(|| {
+            t = if t > 50.0 { 1.0 } else { t * 1.01 };
+            cmp.set_temperature(t);
+            black_box(cmp.multiplier_of(10))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_conversion);
+criterion_main!(benches);

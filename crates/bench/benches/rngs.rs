@@ -1,0 +1,23 @@
+//! Microbenchmarks of the RNG substrate: the software generators the
+//! paper's Table IV costs in silicon, measured here in per-draw time.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rand::{RngCore, SeedableRng};
+use sampling::{Lfsr, Mt19937, SplitMix64, Xoshiro256pp};
+
+fn bench_rngs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rng_next_u64");
+    group.throughput(Throughput::Elements(1));
+    let mut mt = Mt19937::seed_from_u64(1);
+    group.bench_function("mt19937", |b| b.iter(|| black_box(mt.next_u64())));
+    let mut lfsr = Lfsr::new_19bit(1);
+    group.bench_function("lfsr19", |b| b.iter(|| black_box(lfsr.next_u64())));
+    let mut sm = SplitMix64::new(1);
+    group.bench_function("splitmix64", |b| b.iter(|| black_box(sm.next_u64())));
+    let mut xo = Xoshiro256pp::seed_from_u64(1);
+    group.bench_function("xoshiro256pp", |b| b.iter(|| black_box(xo.next_u64())));
+    group.finish();
+}
+
+criterion_group!(benches, bench_rngs);
+criterion_main!(benches);

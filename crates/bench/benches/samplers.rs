@@ -1,0 +1,57 @@
+//! Microbenchmarks of the per-site Gibbs kernels at the paper's
+//! application label counts (5 = segmentation, 49 = motion, 64 = the
+//! RSU-G maximum): software float vs the two RSU-G designs, plus the
+//! table-driven software samplers of the pure-CMOS alternatives.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mrf::SiteSampler;
+use rand::SeedableRng;
+use rsu::RsuG;
+use sampling::{AliasTable, CdfTable, Xoshiro256pp};
+
+fn energies(labels: usize) -> Vec<f64> {
+    (0..labels).map(|i| (i as f64 * 37.0) % 97.0).collect()
+}
+
+fn bench_site_samplers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("site_sample");
+    for labels in [5usize, 49, 64] {
+        let es = energies(labels);
+        group.throughput(Throughput::Elements(labels as u64));
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
+
+        let mut sw = mrf::SoftwareGibbs::new();
+        group.bench_with_input(BenchmarkId::new("software", labels), &es, |b, es| {
+            b.iter(|| black_box(sw.sample_label(es, 1.0, 0, &mut rng)))
+        });
+
+        let mut new_rsu = RsuG::new_design();
+        new_rsu.begin_iteration(1.0);
+        group.bench_with_input(BenchmarkId::new("new_rsug", labels), &es, |b, es| {
+            b.iter(|| black_box(new_rsu.sample_label(es, 1.0, 0, &mut rng)))
+        });
+
+        let mut prev_rsu = RsuG::previous_design();
+        prev_rsu.begin_iteration(1.0);
+        group.bench_with_input(BenchmarkId::new("prev_rsug", labels), &es, |b, es| {
+            b.iter(|| black_box(prev_rsu.sample_label(es, 1.0, 0, &mut rng)))
+        });
+
+        let weights: Vec<f64> = es.iter().map(|&e| (-e / 40.0f64).exp()).collect();
+        let alias = AliasTable::new(&weights).expect("valid weights");
+        group.bench_with_input(BenchmarkId::new("alias_table", labels), &(), |b, _| {
+            b.iter(|| black_box(alias.sample(&mut rng)))
+        });
+
+        let int_weights: Vec<u64> =
+            weights.iter().map(|w| (w * 1000.0) as u64 + 1).collect();
+        let cdf = CdfTable::from_weights(&int_weights).expect("valid weights");
+        group.bench_with_input(BenchmarkId::new("cdf_table", labels), &(), |b, _| {
+            b.iter(|| black_box(cdf.sample(&mut rng)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_site_samplers);
+criterion_main!(benches);

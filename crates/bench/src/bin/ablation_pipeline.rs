@@ -1,0 +1,87 @@
+//! Pipeline ablation (§IV-B2/B3): what the FIFO decoupling and the
+//! double-buffered comparison conversion buy at the cycle level, from
+//! the cycle-accurate simulator.
+//!
+//! Sweeps label count and annealing-update frequency and reports total
+//! cycles per MCMC iteration for the previous design (LUT rewrite
+//! stalls) versus the new design (stall-free), plus the latency cost the
+//! new design pays for decoupling.
+
+use bench::{table, write_csv};
+use rsu::{CycleAccuratePipeline, DesignKind, RsuConfig};
+
+fn main() {
+    println!("Pipeline ablation — previous vs new design, cycle-accurate\n");
+    let pixels: u64 = 320 * 320;
+    println!("per-variable latency (cycles):");
+    let mut rows = Vec::new();
+    for labels in [5u32, 10, 49, 64] {
+        let prev =
+            CycleAccuratePipeline::new(DesignKind::Previous, RsuConfig::previous_design(), labels);
+        let new = CycleAccuratePipeline::new(DesignKind::New, RsuConfig::new_design(), labels);
+        rows.push(vec![
+            format!("{labels}"),
+            format!("{}", prev.run(1, 0).first_latency),
+            format!("{}", new.run(1, 0).first_latency),
+        ]);
+    }
+    println!("{}", table::render(&["labels", "previous", "new (FIFO-decoupled)"], &rows));
+
+    println!("full annealed run, 320x320 pixels, one temperature update per iteration:");
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for (labels, iterations) in [(10u32, 100u64), (49, 100), (64, 100)] {
+        let prev =
+            CycleAccuratePipeline::new(DesignKind::Previous, RsuConfig::previous_design(), labels);
+        let new = CycleAccuratePipeline::new(DesignKind::New, RsuConfig::new_design(), labels);
+        // Variables = pixels · iterations; the previous design stalls
+        // once per iteration for its LUT rewrite.
+        let prev_report = prev.run(pixels * iterations, iterations);
+        let new_report = new.run(pixels * iterations, 0);
+        let overhead =
+            100.0 * prev_report.stall_cycles as f64 / prev_report.total_cycles as f64;
+        rows.push(vec![
+            format!("{labels}"),
+            format!("{}", prev_report.total_cycles),
+            format!("{}", prev_report.stall_cycles),
+            format!("{overhead:.3}"),
+            format!("{}", new_report.total_cycles),
+        ]);
+        csv.push(format!(
+            "{labels},{},{},{}",
+            prev_report.total_cycles, prev_report.stall_cycles, new_report.total_cycles
+        ));
+    }
+    println!(
+        "{}",
+        table::render(
+            &["labels", "prev cycles", "prev stalls", "stall %", "new cycles"],
+            &rows
+        )
+    );
+    println!(
+        "the stall overhead is small at image scale (the paper updates once per\n\
+         iteration) but the new design removes it entirely while keeping the same\n\
+         steady-state throughput — and the elimination matters when temperature\n\
+         updates are frequent:"
+    );
+    let labels = 10u32;
+    let mut rows = Vec::new();
+    for updates_per_1000_vars in [0u64, 1, 10, 100] {
+        let vars = 100_000u64;
+        let updates = vars * updates_per_1000_vars / 1000;
+        let prev =
+            CycleAccuratePipeline::new(DesignKind::Previous, RsuConfig::previous_design(), labels);
+        let report = prev.run(vars, updates);
+        rows.push(vec![
+            format!("{updates_per_1000_vars}/1000 vars"),
+            format!("{}", report.total_cycles),
+            format!("{:.1}", 100.0 * report.stall_cycles as f64 / report.total_cycles as f64),
+        ]);
+    }
+    println!(
+        "{}",
+        table::render(&["update rate", "prev total cycles", "stall %"], &rows)
+    );
+    write_csv("ablation_pipeline", "labels,prev_cycles,prev_stalls,new_cycles", &csv);
+}

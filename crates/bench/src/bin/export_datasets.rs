@@ -1,0 +1,64 @@
+//! Exports the synthetic evaluation suites as standard image files
+//! (PGM views/frames, PFM float ground truths) so external tools —
+//! including implementations working with the real Middlebury data —
+//! can consume them. Drops everything under `artifacts/datasets/`.
+
+use bench::{flow_suite, stereo_suite};
+use vision::image::labels_to_image;
+use vision::GrayImage;
+
+fn main() {
+    let dir = bench::artifacts_dir().join("datasets");
+    std::fs::create_dir_all(&dir).expect("can create dataset directory");
+
+    for (name, ds) in stereo_suite() {
+        ds.left.save_pgm(dir.join(format!("stereo_{name}_left.pgm"))).expect("write");
+        ds.right.save_pgm(dir.join(format!("stereo_{name}_right.pgm"))).expect("write");
+        labels_to_image(&ds.ground_truth)
+            .save_pgm(dir.join(format!("stereo_{name}_disparity_vis.pgm")))
+            .expect("write");
+        // Float disparity + occlusion as PFM (the Middlebury convention:
+        // disparities in pixels, occluded marked 0 in the mask file).
+        let grid = ds.ground_truth.grid();
+        let disp = GrayImage::from_fn(grid.width(), grid.height(), |x, y| {
+            ds.ground_truth.get(grid.index(x, y)) as f32
+        });
+        let file = std::fs::File::create(dir.join(format!("stereo_{name}_disparity.pfm")))
+            .expect("create");
+        disp.write_pfm(std::io::BufWriter::new(file)).expect("write pfm");
+        let occl = GrayImage::from_fn(grid.width(), grid.height(), |x, y| {
+            if ds.occlusion[grid.index(x, y)] {
+                0.0
+            } else {
+                255.0
+            }
+        });
+        occl.save_pgm(dir.join(format!("stereo_{name}_nonocc.pgm"))).expect("write");
+        println!("stereo_{name}: {}x{}, {} labels", grid.width(), grid.height(), ds.num_disparities);
+    }
+
+    for (name, ds) in flow_suite() {
+        ds.frame1.save_pgm(dir.join(format!("flow_{name}_frame1.pgm"))).expect("write");
+        ds.frame2.save_pgm(dir.join(format!("flow_{name}_frame2.pgm"))).expect("write");
+        let (w, h) = (ds.frame1.width(), ds.frame1.height());
+        for (axis, idx) in [("u", 0usize), ("v", 1usize)] {
+            let img = GrayImage::from_fn(w, h, |x, y| {
+                let f = ds.ground_truth[y * w + x];
+                (if idx == 0 { f.0 } else { f.1 }) as f32
+            });
+            let file = std::fs::File::create(dir.join(format!("flow_{name}_{axis}.pfm")))
+                .expect("create");
+            img.write_pfm(std::io::BufWriter::new(file)).expect("write pfm");
+        }
+        println!("flow_{name}: {w}x{h}, window {}", ds.window);
+    }
+
+    for (i, ds) in scenes::segmentation_suite(3001, 30).into_iter().enumerate() {
+        ds.image.save_pgm(dir.join(format!("seg_{i:02}_image.pgm"))).expect("write");
+        labels_to_image(&ds.ground_truth)
+            .save_pgm(dir.join(format!("seg_{i:02}_truth.pgm")))
+            .expect("write");
+    }
+    println!("seg_00..seg_29: 30 images with ground-truth partitions");
+    println!("\nwrote everything under {}", dir.display());
+}

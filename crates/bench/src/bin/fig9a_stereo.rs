@@ -1,0 +1,32 @@
+//! Figure 9a: stereo BP across the three datasets, software vs the full
+//! new RSU-G design (Energy 8 b, λ 4 b, Time 5 b, Truncation 0.5).
+
+use bench::{run_stereo, stereo_suite, table, write_csv, SamplerKind, STEREO_ITERATIONS};
+
+fn main() {
+    println!("Fig. 9a — stereo BP, software vs new RSU-G (8/4/5 bits, truncation 0.5)\n");
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for (name, ds) in stereo_suite() {
+        let sw = run_stereo(&ds, &SamplerKind::Software, STEREO_ITERATIONS, 11);
+        let hw = run_stereo(&ds, &SamplerKind::NewRsu, STEREO_ITERATIONS, 11);
+        rows.push(vec![
+            name.to_owned(),
+            format!("{:.1}", sw.bp),
+            format!("{:.1}", hw.bp),
+            format!("{:+.1}", hw.bp - sw.bp),
+            format!("{:.2}", sw.rms),
+            format!("{:.2}", hw.rms),
+        ]);
+        csv.push(format!("{name},{:.3},{:.3},{:.4},{:.4}", sw.bp, hw.bp, sw.rms, hw.rms));
+    }
+    println!(
+        "{}",
+        table::render(
+            &["dataset", "software BP%", "new-RSUG BP%", "ΔBP", "sw RMS", "rsu RMS"],
+            &rows
+        )
+    );
+    println!("paper shape: differences of only a few BP points (3 / 0.1 / 0.5 in the paper)");
+    write_csv("fig9a_stereo", "dataset,software_bp,rsug_bp,software_rms,rsug_rms", &csv);
+}

@@ -1,0 +1,14 @@
+//! Calibration probe (not a paper figure): spot-checks the harness's
+//! weight/schedule choices on one dataset before a full experiment run.
+//! Edit freely — the per-figure binaries are the stable artefacts.
+
+use bench::{run_stereo, SamplerKind, STEREO_ITERATIONS};
+
+fn main() {
+    for (name, ds) in bench::stereo_suite() {
+        for kind in [SamplerKind::Software, SamplerKind::NewRsu, SamplerKind::PreviousRsu] {
+            let out = run_stereo(&ds, &kind, STEREO_ITERATIONS, 11);
+            println!("{name:>7} {:>10}: BP {:5.1} %  RMS {:6.3}", kind.name(), out.bp, out.rms);
+        }
+    }
+}

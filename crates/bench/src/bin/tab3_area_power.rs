@@ -1,0 +1,49 @@
+//! Table III: the new RSU-G's area and power by component, plus the
+//! headline comparisons against the previous design and the
+//! comparison-vs-LUT conversion claim of §IV-B3.
+
+use bench::{table, write_csv};
+use uarch::{components, designs};
+
+fn main() {
+    println!("Tab. III — new RSU-G area and power consumption (modelled)\n");
+    let t3 = designs::table3_new_rsu();
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for row in &t3.rows {
+        rows.push(vec![
+            row.name.clone(),
+            format!("{:.0}", row.cost.area_um2),
+            format!("{:.2}", row.cost.power_mw),
+        ]);
+        csv.push(format!("{},{:.1},{:.3}", row.name, row.cost.area_um2, row.cost.power_mw));
+    }
+    let total = t3.total();
+    rows.push(vec![
+        "RSU Total".to_owned(),
+        format!("{:.0}", total.area_um2),
+        format!("{:.2}", total.power_mw),
+    ]);
+    csv.push(format!("RSU Total,{:.1},{:.3}", total.area_um2, total.power_mw));
+    println!("{}", table::render(&["Component", "Area(um^2)", "Power(mW)"], &rows));
+
+    let prev = designs::previous_rsu_total();
+    println!(
+        "previous RSU-G total: {:.0} um^2, {:.2} mW  (paper: 0.0029 mm^2, 3.91 mW)",
+        prev.area_um2, prev.power_mw
+    );
+    println!(
+        "new vs previous: {:.2}x power, {:.2}x area  (paper: 1.27x power, equivalent area)",
+        total.power_mw / prev.power_mw,
+        total.area_um2 / prev.area_um2
+    );
+    let lut = components::conversion_lut();
+    let cmp = components::conversion_comparison();
+    println!(
+        "energy-to-λ conversion: comparison is {:.2}x area, {:.2}x power of the LUT\n\
+         (paper: 0.46x / 0.22x), storage 32 vs 1024 bits",
+        cmp.area_um2 / lut.area_um2,
+        cmp.power_mw / lut.power_mw
+    );
+    write_csv("tab3_area_power", "component,area_um2,power_mw", &csv);
+}

@@ -1,0 +1,23 @@
+//! Table IV: area comparison of RSU-G sharing variants against Intel
+//! DRNG (AES stage), a 19-bit LFSR sampler, and mt19937 sharing
+//! variants.
+
+use bench::{table, write_csv};
+use uarch::designs;
+
+fn main() {
+    println!("Tab. IV — area comparison with alternative designs (modelled)\n");
+    let t4 = designs::table4();
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for row in &t4.rows {
+        rows.push(vec![row.name.clone(), format!("{:.0}", row.cost.area_um2)]);
+        csv.push(format!("{},{:.1}", row.name, row.cost.area_um2));
+    }
+    println!("{}", table::render(&["Design", "Area(um^2)"], &rows));
+    println!(
+        "paper values: 2903 / 2303 / 1867 / 3721 / 2186 / 19269 / 6507 / 2336 um^2\n\
+         shape to hold: RSU-G ~ LFSR << mt19937_noshare; sharing shrinks both columns"
+    );
+    write_csv("tab4_rng_area", "design,area_um2", &csv);
+}

@@ -1,0 +1,427 @@
+//! Experiment harness: shared machinery for the per-figure/per-table
+//! binaries that regenerate the paper's evaluation.
+//!
+//! Each binary in `src/bin/` reproduces one table or figure (see
+//! `DESIGN.md` for the index) and prints the same rows/series the paper
+//! reports, plus CSV/PGM artifacts under `artifacts/`.
+//!
+//! The central pieces:
+//!
+//! * [`SamplerKind`] — the samplers under comparison (software float,
+//!   previous RSU-G, new RSU-G, or any custom [`RsuConfig`]), with a
+//!   uniform [`run_stereo`]/[`run_motion`]/[`run_segmentation`] driver
+//!   per application;
+//! * [`StereoOutcome`] etc. — per-run quality summaries (BP, RMS, EPE,
+//!   VoI, ...);
+//! * [`table`] — plain-text table formatting;
+//! * [`artifacts_dir`]/[`write_csv`] — artifact output.
+
+use mrf::{LabelField, MrfModel, Schedule, SiteSampler, SoftwareGibbs};
+use rand::SeedableRng;
+use rsu::{RsuConfig, RsuG};
+use sampling::Xoshiro256pp;
+use scenes::{FlowDataset, SegmentationDataset, StereoDataset};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use vision::metrics::{
+    bad_pixel_percentage, endpoint_error, rms_error, variation_of_information,
+};
+use vision::{MotionModel, SegmentModel, StereoModel};
+
+/// Stereo energy weights used throughout the experiments (best-effort
+/// tuned once, like the paper's "best-effort optimization for MCMC
+/// algorithm parameters ... applied throughout the evaluation").
+pub const STEREO_DATA_WEIGHT: f64 = 0.30;
+/// Stereo smoothness weight.
+pub const STEREO_SMOOTH_WEIGHT: f64 = 0.3;
+/// Motion energy weights (squared distances are larger, so smaller
+/// weights).
+pub const MOTION_DATA_WEIGHT: f64 = 0.004;
+/// Motion smoothness weight.
+pub const MOTION_SMOOTH_WEIGHT: f64 = 1.2;
+/// Segmentation energy weights.
+pub const SEGMENT_DATA_WEIGHT: f64 = 0.004;
+/// Segmentation smoothness weight.
+pub const SEGMENT_SMOOTH_WEIGHT: f64 = 2.5;
+
+/// The annealing schedule used by the stereo and motion experiments.
+pub fn annealing_schedule() -> Schedule {
+    Schedule::geometric(40.0, 0.96, 0.4)
+}
+
+/// The (milder) schedule used by segmentation, which the paper runs for
+/// only 30 iterations.
+pub fn segmentation_schedule() -> Schedule {
+    Schedule::geometric(4.0, 0.9, 0.3)
+}
+
+/// Default iteration budget for stereo/motion runs.
+pub const STEREO_ITERATIONS: usize = 220;
+/// Default iteration budget for segmentation runs (paper: 30).
+pub const SEGMENT_ITERATIONS: usize = 30;
+
+/// Which per-site sampler an experiment runs.
+#[derive(Debug, Clone)]
+pub enum SamplerKind {
+    /// IEEE floating-point Gibbs (the quality reference).
+    Software,
+    /// The previous RSU-G design (Wang et al. 2016).
+    PreviousRsu,
+    /// The paper's new RSU-G design.
+    NewRsu,
+    /// An arbitrary RSU-G design point.
+    Custom(RsuConfig),
+}
+
+impl SamplerKind {
+    /// Display name used in printed tables.
+    pub fn name(&self) -> String {
+        match self {
+            SamplerKind::Software => "software".to_owned(),
+            SamplerKind::PreviousRsu => "prev-RSUG".to_owned(),
+            SamplerKind::NewRsu => "new-RSUG".to_owned(),
+            SamplerKind::Custom(_) => "custom-RSUG".to_owned(),
+        }
+    }
+
+    /// Runs the configured sampler over an arbitrary model with the
+    /// given schedule/budget/seed and returns the final field.
+    pub fn run<M: MrfModel>(
+        &self,
+        model: &M,
+        schedule: Schedule,
+        iterations: usize,
+        seed: u64,
+    ) -> LabelField {
+        self.dispatch(model, |model, s| run_model(model, s, schedule, iterations, seed))
+    }
+
+    fn dispatch<M, F, T>(&self, model: &M, f: F) -> T
+    where
+        M: MrfModel,
+        F: FnOnce(&M, &mut dyn ErasedSampler) -> T,
+    {
+        match self {
+            SamplerKind::Software => f(model, &mut Erased(SoftwareGibbs::new())),
+            SamplerKind::PreviousRsu => f(model, &mut Erased(RsuG::previous_design())),
+            SamplerKind::NewRsu => f(model, &mut Erased(RsuG::new_design())),
+            SamplerKind::Custom(cfg) => f(model, &mut Erased(RsuG::with_config(*cfg))),
+        }
+    }
+}
+
+/// Object-safe shim over [`SiteSampler`] (whose sampling method is
+/// generic in the RNG) fixed to the harness RNG type.
+pub trait ErasedSampler {
+    /// See [`SiteSampler::begin_iteration`].
+    fn begin_iteration(&mut self, temperature: f64);
+    /// See [`SiteSampler::sample_label`].
+    fn sample_label(
+        &mut self,
+        energies: &[f64],
+        temperature: f64,
+        current: mrf::Label,
+        rng: &mut Xoshiro256pp,
+    ) -> mrf::Label;
+}
+
+struct Erased<S: SiteSampler>(S);
+
+impl<S: SiteSampler> ErasedSampler for Erased<S> {
+    fn begin_iteration(&mut self, temperature: f64) {
+        self.0.begin_iteration(temperature);
+    }
+
+    fn sample_label(
+        &mut self,
+        energies: &[f64],
+        temperature: f64,
+        current: mrf::Label,
+        rng: &mut Xoshiro256pp,
+    ) -> mrf::Label {
+        self.0.sample_label(energies, temperature, current, rng)
+    }
+}
+
+/// Outcome of one stereo run.
+#[derive(Debug, Clone)]
+pub struct StereoOutcome {
+    /// Bad-pixel percentage (threshold 1, occlusions counted bad).
+    pub bp: f64,
+    /// RMS disparity error over visible pixels.
+    pub rms: f64,
+    /// The final disparity field.
+    pub field: LabelField,
+}
+
+/// Drives a model with an erased sampler: the same raster-scan MCMC loop
+/// as [`mrf::SweepSolver`], monomorphised once for the harness RNG.
+pub fn run_model<M: MrfModel>(
+    model: &M,
+    sampler: &mut dyn ErasedSampler,
+    schedule: Schedule,
+    iterations: usize,
+    seed: u64,
+) -> LabelField {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let mut field = LabelField::random(model.grid(), model.num_labels(), &mut rng);
+    let grid = model.grid();
+    let mut energies = Vec::with_capacity(model.num_labels());
+    for iter in 0..iterations {
+        let temperature = schedule.temperature(iter);
+        sampler.begin_iteration(temperature);
+        for site in grid.sites() {
+            model.local_energies(site, &field, &mut energies);
+            let current = field.get(site);
+            let new = sampler.sample_label(&energies, temperature, current, &mut rng);
+            if new != current {
+                field.set(site, new);
+            }
+        }
+    }
+    field
+}
+
+/// Runs one stereo dataset with the given sampler and returns BP/RMS.
+pub fn run_stereo(
+    ds: &StereoDataset,
+    sampler: &SamplerKind,
+    iterations: usize,
+    seed: u64,
+) -> StereoOutcome {
+    let model = StereoModel::new(
+        &ds.left,
+        &ds.right,
+        ds.num_disparities,
+        STEREO_DATA_WEIGHT,
+        STEREO_SMOOTH_WEIGHT,
+    )
+    .expect("generated datasets are consistent");
+    let field = sampler.dispatch(&model, |model, s| {
+        run_model(model, s, annealing_schedule(), iterations, seed)
+    });
+    let bp = bad_pixel_percentage(&field, &ds.ground_truth, Some(&ds.occlusion), 1.0);
+    let rms = rms_error(&field, &ds.ground_truth, Some(&ds.occlusion));
+    StereoOutcome { bp, rms, field }
+}
+
+/// Outcome of one motion-estimation run.
+#[derive(Debug, Clone)]
+pub struct MotionOutcome {
+    /// Average endpoint error.
+    pub epe: f64,
+    /// The recovered flow field.
+    pub flow: Vec<(isize, isize)>,
+}
+
+/// Runs one flow dataset with the given sampler and returns the EPE.
+pub fn run_motion(
+    ds: &FlowDataset,
+    sampler: &SamplerKind,
+    iterations: usize,
+    seed: u64,
+) -> MotionOutcome {
+    let model = MotionModel::new(
+        &ds.frame1,
+        &ds.frame2,
+        ds.window,
+        MOTION_DATA_WEIGHT,
+        MOTION_SMOOTH_WEIGHT,
+    )
+    .expect("generated datasets are consistent");
+    let field = sampler.dispatch(&model, |model, s| {
+        run_model(model, s, annealing_schedule(), iterations, seed)
+    });
+    let flow: Vec<(isize, isize)> =
+        (0..field.grid().len()).map(|site| model.label_to_flow(field.get(site))).collect();
+    let epe = endpoint_error(&flow, &ds.ground_truth);
+    MotionOutcome { epe, flow }
+}
+
+/// Outcome of one segmentation run.
+#[derive(Debug, Clone)]
+pub struct SegmentationOutcome {
+    /// Variation of Information against the generating partition.
+    pub voi: f64,
+    /// The recovered segmentation.
+    pub field: LabelField,
+}
+
+/// Runs one segmentation dataset at `num_segments` with the given
+/// sampler and returns the VoI against the generating partition.
+pub fn run_segmentation(
+    ds: &SegmentationDataset,
+    num_segments: usize,
+    sampler: &SamplerKind,
+    iterations: usize,
+    seed: u64,
+) -> SegmentationOutcome {
+    let model = SegmentModel::new(
+        &ds.image,
+        num_segments,
+        SEGMENT_DATA_WEIGHT,
+        SEGMENT_SMOOTH_WEIGHT,
+    )
+    .expect("generated datasets are consistent");
+    let field = sampler.dispatch(&model, |model, s| {
+        run_model(model, s, segmentation_schedule(), iterations, seed)
+    });
+    let voi = variation_of_information(&field, &ds.ground_truth);
+    SegmentationOutcome { voi, field }
+}
+
+/// The three named stereo datasets of the evaluation, with their seeds.
+pub fn stereo_suite() -> Vec<(&'static str, StereoDataset)> {
+    vec![
+        ("teddy", scenes::stereo_teddy_like(1001)),
+        ("poster", scenes::stereo_poster_like(1002)),
+        ("art", scenes::stereo_art_like(1003)),
+    ]
+}
+
+/// The three named flow datasets of the evaluation.
+pub fn flow_suite() -> Vec<(&'static str, FlowDataset)> {
+    vec![
+        ("Venus", scenes::flow_venus_like(2001)),
+        ("RubberWhale", scenes::flow_rubberwhale_like(2002)),
+        ("Dimetrodon", scenes::flow_dimetrodon_like(2003)),
+    ]
+}
+
+/// Directory for experiment artifacts (`artifacts/` at the workspace
+/// root), created on first use.
+pub fn artifacts_dir() -> PathBuf {
+    let dir = workspace_root().join("artifacts");
+    std::fs::create_dir_all(&dir).expect("can create artifacts directory");
+    dir
+}
+
+fn workspace_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR of this crate is <root>/crates/bench.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crate lives two levels under the workspace root")
+        .to_path_buf()
+}
+
+/// Writes rows of comma-separated values (header first) under
+/// `artifacts/<name>.csv`.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) {
+    let path = artifacts_dir().join(format!("{name}.csv"));
+    let mut f = std::fs::File::create(&path).expect("can create csv");
+    writeln!(f, "{header}").expect("csv write");
+    for row in rows {
+        writeln!(f, "{row}").expect("csv write");
+    }
+    println!("wrote {}", path.display());
+}
+
+/// Plain-text table formatting helpers.
+pub mod table {
+    /// Renders an aligned table: `header` then `rows`, each a vector of
+    /// cells; the first column is left-aligned, the rest right-aligned.
+    pub fn render(header: &[&str], rows: &[Vec<String>]) -> String {
+        let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+        for row in rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i >= widths.len() {
+                    widths.push(cell.len());
+                } else {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i == 0 {
+                    line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+                } else {
+                    line.push_str(&format!("  {:>width$}", cell, width = widths[i]));
+                }
+            }
+            line
+        };
+        let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+        out.push_str(&fmt_row(&header_cells, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrf::SweepSolver;
+
+    #[test]
+    fn table_render_aligns_columns() {
+        let s = table::render(
+            &["name", "bp"],
+            &[
+                vec!["teddy".into(), "27.0".into()],
+                vec!["a".into(), "113.25".into()],
+            ],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[2].ends_with("27.0"));
+    }
+
+    #[test]
+    fn stereo_suite_is_deterministic() {
+        let a = stereo_suite();
+        let b = stereo_suite();
+        assert_eq!(a[0].1.left, b[0].1.left);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn small_software_stereo_run_produces_sane_bp() {
+        // A miniature stereo problem: software Gibbs should beat chance
+        // comfortably even with a tiny budget.
+        let ds = scenes::StereoSpec {
+            width: 40,
+            height: 30,
+            num_disparities: 8,
+            num_layers: 2,
+            noise_sigma: 1.0,
+        }
+        .generate(5);
+        let out = run_stereo(&ds, &SamplerKind::Software, 60, 1);
+        assert!(out.bp < 60.0, "bp {}", out.bp);
+        assert!(out.rms.is_finite());
+    }
+
+    #[test]
+    fn erased_samplers_agree_with_sweep_solver_for_software() {
+        // run_model must implement the same loop as SweepSolver (raster
+        // scan): identical seeds → identical fields for the software
+        // kernel.
+        let model = mrf::TabularMrf::checkerboard(6, 6, 2, 4.0, mrf::DistanceFn::Binary, 0.3);
+        let schedule = Schedule::geometric(3.0, 0.9, 0.1);
+        let via_erased = {
+            let mut erased = Erased(SoftwareGibbs::new());
+            run_model(&model, &mut erased, schedule, 30, 9)
+        };
+        let via_solver = {
+            let mut rng = Xoshiro256pp::seed_from_u64(9);
+            let mut field = LabelField::random(model.grid(), 2, &mut rng);
+            SweepSolver::new(&model)
+                .schedule(schedule)
+                .iterations(30)
+                .run(&mut field, &mut SoftwareGibbs::new(), &mut rng);
+            field
+        };
+        assert_eq!(via_erased, via_solver);
+    }
+}

@@ -1,0 +1,149 @@
+//! Label-distance functions for doubleton (pairwise) energies.
+
+use serde::{Deserialize, Serialize};
+
+/// The three label-distance functions the new RSU-G supports in its energy
+/// calculation stage (§IV-B1 of the paper):
+///
+/// * [`Squared`](DistanceFn::Squared) — motion estimation (Konrad &
+///   Dubois); the only function the previous RSU-G supported.
+/// * [`Absolute`](DistanceFn::Absolute) — stereo vision (Barnard;
+///   Scharstein & Szeliski).
+/// * [`Binary`](DistanceFn::Binary) — Potts model for image segmentation
+///   (Szirányi et al.).
+///
+/// # Example
+///
+/// ```
+/// use mrf::DistanceFn;
+///
+/// assert_eq!(DistanceFn::Squared.eval(2, 5), 9.0);
+/// assert_eq!(DistanceFn::Absolute.eval(2, 5), 3.0);
+/// assert_eq!(DistanceFn::Binary.eval(2, 5), 1.0);
+/// assert_eq!(DistanceFn::Binary.eval(4, 4), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DistanceFn {
+    /// `(a − b)²`.
+    Squared,
+    /// `|a − b|`.
+    Absolute,
+    /// `0` if `a == b`, else `1` (Potts).
+    Binary,
+}
+
+impl DistanceFn {
+    /// Evaluates the distance between two integer labels.
+    #[inline]
+    pub fn eval(self, a: u16, b: u16) -> f64 {
+        let d = (a as i32 - b as i32).unsigned_abs() as f64;
+        match self {
+            DistanceFn::Squared => d * d,
+            DistanceFn::Absolute => d,
+            DistanceFn::Binary => {
+                if d == 0.0 {
+                    0.0
+                } else {
+                    1.0
+                }
+            }
+        }
+    }
+
+    /// Evaluates the distance on real-valued quantities (used for
+    /// singleton data terms such as intensity differences).
+    #[inline]
+    pub fn eval_f64(self, a: f64, b: f64) -> f64 {
+        let d = (a - b).abs();
+        match self {
+            DistanceFn::Squared => d * d,
+            DistanceFn::Absolute => d,
+            DistanceFn::Binary => {
+                if d == 0.0 {
+                    0.0
+                } else {
+                    1.0
+                }
+            }
+        }
+    }
+
+    /// All supported distance functions, in the order the paper introduces
+    /// them.
+    pub const ALL: [DistanceFn; 3] =
+        [DistanceFn::Squared, DistanceFn::Absolute, DistanceFn::Binary];
+}
+
+impl std::fmt::Display for DistanceFn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            DistanceFn::Squared => "squared",
+            DistanceFn::Absolute => "absolute",
+            DistanceFn::Binary => "binary",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances_are_symmetric() {
+        for d in DistanceFn::ALL {
+            for a in 0..10u16 {
+                for b in 0..10u16 {
+                    assert_eq!(d.eval(a, b), d.eval(b, a), "{d} not symmetric at ({a},{b})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distances_are_zero_iff_equal() {
+        for d in DistanceFn::ALL {
+            for a in 0..10u16 {
+                assert_eq!(d.eval(a, a), 0.0);
+                assert!(d.eval(a, a + 1) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn squared_dominates_absolute_beyond_one() {
+        for delta in 2..20u16 {
+            assert!(DistanceFn::Squared.eval(0, delta) > DistanceFn::Absolute.eval(0, delta));
+        }
+        // At distance one they agree, and binary matches too.
+        assert_eq!(DistanceFn::Squared.eval(3, 4), 1.0);
+        assert_eq!(DistanceFn::Absolute.eval(3, 4), 1.0);
+        assert_eq!(DistanceFn::Binary.eval(3, 4), 1.0);
+    }
+
+    #[test]
+    fn f64_variant_agrees_with_integer_variant() {
+        for d in DistanceFn::ALL {
+            for a in 0..8u16 {
+                for b in 0..8u16 {
+                    assert_eq!(d.eval(a, b), d.eval_f64(a as f64, b as f64));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DistanceFn::Squared.to_string(), "squared");
+        assert_eq!(DistanceFn::Absolute.to_string(), "absolute");
+        assert_eq!(DistanceFn::Binary.to_string(), "binary");
+    }
+
+    #[test]
+    fn no_overflow_on_extreme_labels() {
+        // u16::MAX difference squared exceeds u32; the f64 path must not
+        // wrap.
+        let d = DistanceFn::Squared.eval(0, u16::MAX);
+        assert_eq!(d, (u16::MAX as f64) * (u16::MAX as f64));
+    }
+}

@@ -1,0 +1,186 @@
+//! Metropolis–Hastings site sampler — the paper's §IV-D direction of
+//! "extending the samplers to support more than Gibbs sampling".
+//!
+//! Where the Gibbs kernel evaluates all `M` label energies per variable
+//! (costing the RSU-G `M` cycles), a Metropolis kernel proposes a single
+//! alternative label and accepts it with probability
+//! `min(1, e^{−ΔE/T})` — one energy difference and one acceptance draw
+//! per variable. On an RSU-style substrate the acceptance draw maps to a
+//! two-way first-to-fire race between rates `e^{−E_new/T}` and
+//! `e^{−E_cur/T}`, so the same RET hardware supports it with a 2-label
+//! evaluation. Both kernels share the Boltzmann stationary distribution;
+//! Metropolis trades per-sweep mixing speed for a factor-`M/2` cheaper
+//! sweep.
+
+use crate::model::Label;
+use crate::solver::SiteSampler;
+use rand::Rng;
+
+/// Metropolis–Hastings kernel with a uniform label proposal.
+///
+/// # Example
+///
+/// ```
+/// use mrf::{MetropolisSampler, SiteSampler};
+/// use rand::SeedableRng;
+/// use sampling::Xoshiro256pp;
+///
+/// let mut mh = MetropolisSampler::new();
+/// let mut rng = Xoshiro256pp::seed_from_u64(1);
+/// // Huge uphill move at low temperature: always rejected.
+/// let l = mh.sample_label(&[0.0, 1000.0], 0.1, 0, &mut rng);
+/// assert_eq!(l, 0);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MetropolisSampler {
+    proposals: u64,
+    accepts: u64,
+}
+
+impl MetropolisSampler {
+    /// Creates the kernel.
+    pub fn new() -> Self {
+        MetropolisSampler::default()
+    }
+
+    /// Fraction of proposals accepted so far (a mixing diagnostic).
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.proposals == 0 {
+            0.0
+        } else {
+            self.accepts as f64 / self.proposals as f64
+        }
+    }
+}
+
+impl SiteSampler for MetropolisSampler {
+    fn sample_label<R: Rng + ?Sized>(
+        &mut self,
+        energies: &[f64],
+        temperature: f64,
+        current: Label,
+        rng: &mut R,
+    ) -> Label {
+        debug_assert!(!energies.is_empty());
+        debug_assert!(temperature > 0.0);
+        let k = energies.len();
+        if k == 1 {
+            return 0;
+        }
+        // Uniform proposal over the other labels (symmetric, so the
+        // Hastings correction is 1).
+        let mut proposal = rng.gen_range(0..k - 1) as Label;
+        if proposal >= current {
+            proposal += 1;
+        }
+        self.proposals += 1;
+        let delta = energies[proposal as usize] - energies[current as usize];
+        let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature).exp();
+        if accept {
+            self.accepts += 1;
+            proposal
+        } else {
+            current
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::energy::DistanceFn;
+    use crate::field::LabelField;
+    use crate::model::{MrfModel, TabularMrf};
+    use crate::solver::{total_energy, SweepSolver};
+    use crate::Schedule;
+    use rand::SeedableRng;
+    use sampling::{stats, Xoshiro256pp};
+
+    #[test]
+    fn stationary_distribution_is_boltzmann() {
+        // A single variable with 3 labels: the chain's occupancy must
+        // match exp(−E/T) / Z.
+        let energies = [0.0f64, 1.0, 2.0];
+        let t = 1.0;
+        let mut mh = MetropolisSampler::new();
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        let mut state: Label = 0;
+        let mut counts = [0u64; 3];
+        let burn = 1000;
+        let n = 600_000;
+        for i in 0..(burn + n) {
+            state = mh.sample_label(&energies, t, state, &mut rng);
+            if i >= burn {
+                counts[state as usize] += 1;
+            }
+        }
+        let ws: Vec<f64> = energies.iter().map(|e| (-e / t).exp()).collect();
+        let z: f64 = ws.iter().sum();
+        let probs: Vec<f64> = ws.iter().map(|w| w / z).collect();
+        for (i, (&c, &p)) in counts.iter().zip(&probs).enumerate() {
+            let got = c as f64 / n as f64;
+            // MCMC samples are correlated, so allow a loose band rather
+            // than a χ² test at i.i.d. sensitivity.
+            assert!((got - p).abs() < 0.01, "label {i}: {got} vs {p}");
+        }
+        let _ = stats::discrete_entropy(&counts);
+    }
+
+    #[test]
+    fn downhill_moves_always_accepted() {
+        let mut mh = MetropolisSampler::new();
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        for _ in 0..500 {
+            let l = mh.sample_label(&[10.0, 0.0], 0.5, 0, &mut rng);
+            assert_eq!(l, 1, "moving to the lower-energy label is certain");
+        }
+        assert_eq!(mh.acceptance_rate(), 1.0);
+    }
+
+    #[test]
+    fn acceptance_rate_falls_with_temperature() {
+        let energies = [0.0f64, 3.0, 6.0, 9.0];
+        let rate_at = |t: f64| {
+            let mut mh = MetropolisSampler::new();
+            let mut rng = Xoshiro256pp::seed_from_u64(7);
+            let mut state: Label = 0;
+            for _ in 0..20_000 {
+                state = mh.sample_label(&energies, t, state, &mut rng);
+            }
+            mh.acceptance_rate()
+        };
+        let hot = rate_at(50.0);
+        let cold = rate_at(0.5);
+        assert!(hot > 0.9, "hot chain accepts nearly everything: {hot}");
+        assert!(cold < 0.3, "cold chain rejects uphill moves: {cold}");
+    }
+
+    #[test]
+    fn annealed_metropolis_solves_checkerboard() {
+        let model = TabularMrf::checkerboard(8, 8, 3, 6.0, DistanceFn::Binary, 0.3);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let mut field = LabelField::random(model.grid(), 3, &mut rng);
+        let mut mh = MetropolisSampler::new();
+        // Metropolis mixes slower per sweep: give it a larger budget.
+        SweepSolver::new(&model)
+            .schedule(Schedule::geometric(3.0, 0.97, 0.05))
+            .iterations(400)
+            .run(&mut field, &mut mh, &mut rng);
+        let truth = TabularMrf::checkerboard_truth(8, 8, 3);
+        assert!(
+            field.disagreement(&truth) < 0.08,
+            "disagreement {}",
+            field.disagreement(&truth)
+        );
+        let e = total_energy(&model, &field);
+        assert!(e < 30.0, "energy {e}");
+    }
+
+    #[test]
+    fn single_label_is_a_fixed_point() {
+        let mut mh = MetropolisSampler::new();
+        let mut rng = Xoshiro256pp::seed_from_u64(0);
+        assert_eq!(mh.sample_label(&[5.0], 1.0, 0, &mut rng), 0);
+        assert_eq!(mh.acceptance_rate(), 0.0, "no proposal is made");
+    }
+}

@@ -1,0 +1,254 @@
+//! The MRF model abstraction.
+
+use crate::energy::DistanceFn;
+use crate::field::LabelField;
+use crate::grid::Grid;
+
+/// Integer label type. The RSU-G interface uses 6-bit unsigned labels
+/// (up to 64); applications in this workspace stay within that range but
+/// the substrate supports the full `u16` space.
+pub type Label = u16;
+
+/// A first-order MRF model over a 2-D grid: a singleton (data) energy per
+/// site/label and a pairwise (smoothness) energy per neighbouring pair.
+///
+/// The total energy of a labelling is
+///
+/// ```text
+/// E(X) = Σ_s singleton(s, x_s) + Σ_{(s,t) ∈ cliques} pairwise(s, t, x_s, x_t)
+/// ```
+///
+/// and the local (conditional) energy the Gibbs sampler needs for site `s`
+/// and candidate label `l` is Eq. 1 of the paper:
+///
+/// ```text
+/// E = E_singleton + Σ E_neighborhood
+/// ```
+///
+/// Implementors only describe the energy landscape; every sampler
+/// (software float, previous RSU-G, new RSU-G) consumes the same model.
+pub trait MrfModel {
+    /// The lattice the model is defined on.
+    fn grid(&self) -> Grid;
+
+    /// Number of labels each site may take (`M` in the paper, ≤ 64 for
+    /// the RSU-G's native interface).
+    fn num_labels(&self) -> usize;
+
+    /// Data term for assigning `label` at `site`.
+    fn singleton(&self, site: usize, label: Label) -> f64;
+
+    /// Smoothness term between `site` with `label` and its neighbour
+    /// `neighbor` currently holding `neighbor_label`.
+    fn pairwise(&self, site: usize, neighbor: usize, label: Label, neighbor_label: Label)
+        -> f64;
+
+    /// Computes the local conditional energies of every candidate label at
+    /// `site` given the current field, appending into `out` (cleared
+    /// first). This is the quantity stage 2 of the RSU-G pipeline
+    /// computes.
+    fn local_energies(&self, site: usize, field: &LabelField, out: &mut Vec<f64>) {
+        out.clear();
+        let grid = self.grid();
+        for label in 0..self.num_labels() as Label {
+            let mut e = self.singleton(site, label);
+            for n in grid.neighbors(site) {
+                e += self.pairwise(site, n, label, field.get(n));
+            }
+            out.push(e);
+        }
+    }
+}
+
+/// A concrete MRF with an explicit per-site singleton table and a
+/// homogeneous pairwise term `weight · distance(l, l')`.
+///
+/// Used directly by tests and synthetic experiments; the vision crate
+/// builds its application models on the same trait instead.
+///
+/// # Example
+///
+/// ```
+/// use mrf::{DistanceFn, MrfModel, TabularMrf};
+///
+/// let model = TabularMrf::checkerboard(4, 4, 2, 1.0, DistanceFn::Binary, 0.5);
+/// assert_eq!(model.num_labels(), 2);
+/// // Site 0 of a checkerboard prefers label 0.
+/// assert!(model.singleton(0, 0) < model.singleton(0, 1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TabularMrf {
+    grid: Grid,
+    num_labels: usize,
+    /// `singleton[site * num_labels + label]`.
+    singleton: Vec<f64>,
+    distance: DistanceFn,
+    pairwise_weight: f64,
+}
+
+impl TabularMrf {
+    /// Builds a model from an explicit singleton table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table length is not `grid.len() * num_labels`, if
+    /// `num_labels` is zero, or if the pairwise weight is negative or not
+    /// finite.
+    pub fn new(
+        grid: Grid,
+        num_labels: usize,
+        singleton: Vec<f64>,
+        distance: DistanceFn,
+        pairwise_weight: f64,
+    ) -> Self {
+        assert!(num_labels > 0, "need at least one label");
+        assert_eq!(
+            singleton.len(),
+            grid.len() * num_labels,
+            "singleton table must have grid.len() * num_labels entries"
+        );
+        assert!(
+            pairwise_weight >= 0.0 && pairwise_weight.is_finite(),
+            "pairwise weight must be non-negative and finite"
+        );
+        TabularMrf { grid, num_labels, singleton, distance, pairwise_weight }
+    }
+
+    /// A synthetic problem whose ground truth is a checkerboard of
+    /// `block`-sized tiles cycling through the labels: each site's
+    /// singleton is 0 for its true label and `contrast` otherwise.
+    ///
+    /// Handy for tests: the global optimum is the checkerboard itself
+    /// whenever `contrast` outweighs the boundary smoothing cost.
+    pub fn checkerboard(
+        width: usize,
+        height: usize,
+        num_labels: usize,
+        contrast: f64,
+        distance: DistanceFn,
+        pairwise_weight: f64,
+    ) -> Self {
+        let grid = Grid::new(width, height);
+        let block = 2usize;
+        let mut singleton = vec![0.0; grid.len() * num_labels];
+        for site in grid.sites() {
+            let (x, y) = grid.coords(site);
+            let true_label = ((x / block + y / block) % num_labels) as Label;
+            for label in 0..num_labels as Label {
+                if label != true_label {
+                    singleton[site * num_labels + label as usize] = contrast;
+                }
+            }
+        }
+        TabularMrf::new(grid, num_labels, singleton, distance, pairwise_weight)
+    }
+
+    /// The ground-truth checkerboard labelling matching
+    /// [`checkerboard`](Self::checkerboard).
+    pub fn checkerboard_truth(width: usize, height: usize, num_labels: usize) -> LabelField {
+        let grid = Grid::new(width, height);
+        let block = 2usize;
+        let labels = grid
+            .sites()
+            .map(|site| {
+                let (x, y) = grid.coords(site);
+                ((x / block + y / block) % num_labels) as Label
+            })
+            .collect();
+        LabelField::from_labels(grid, num_labels, labels)
+    }
+
+    /// The distance function used for the pairwise term.
+    pub fn distance(&self) -> DistanceFn {
+        self.distance
+    }
+
+    /// The pairwise weight.
+    pub fn pairwise_weight(&self) -> f64 {
+        self.pairwise_weight
+    }
+}
+
+impl MrfModel for TabularMrf {
+    fn grid(&self) -> Grid {
+        self.grid
+    }
+
+    fn num_labels(&self) -> usize {
+        self.num_labels
+    }
+
+    fn singleton(&self, site: usize, label: Label) -> f64 {
+        self.singleton[site * self.num_labels + label as usize]
+    }
+
+    fn pairwise(
+        &self,
+        _site: usize,
+        _neighbor: usize,
+        label: Label,
+        neighbor_label: Label,
+    ) -> f64 {
+        self.pairwise_weight * self.distance.eval(label, neighbor_label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_energies_combine_singleton_and_pairwise() {
+        // 2x1 grid, 2 labels, Potts weight 0.5.
+        let grid = Grid::new(2, 1);
+        let model = TabularMrf::new(
+            grid,
+            2,
+            vec![
+                0.0, 1.0, // site 0: prefers label 0
+                2.0, 0.0, // site 1: prefers label 1
+            ],
+            DistanceFn::Binary,
+            0.5,
+        );
+        let field = LabelField::from_labels(grid, 2, vec![0, 1]);
+        let mut out = Vec::new();
+        model.local_energies(0, &field, &mut out);
+        // Label 0: singleton 0 + potts(0,1)*0.5 = 0.5.
+        // Label 1: singleton 1 + potts(1,1)*0.5 = 1.0.
+        assert_eq!(out, vec![0.5, 1.0]);
+        model.local_energies(1, &field, &mut out);
+        assert_eq!(out, vec![2.0, 0.5]);
+    }
+
+    #[test]
+    fn checkerboard_truth_is_minimum_energy_for_strong_contrast() {
+        let model = TabularMrf::checkerboard(8, 8, 3, 10.0, DistanceFn::Binary, 0.1);
+        let truth = TabularMrf::checkerboard_truth(8, 8, 3);
+        let scrambled = LabelField::constant(model.grid(), 3, 0);
+        let e_truth = crate::solver::total_energy(&model, &truth);
+        let e_flat = crate::solver::total_energy(&model, &scrambled);
+        assert!(e_truth < e_flat, "{e_truth} !< {e_flat}");
+    }
+
+    #[test]
+    #[should_panic(expected = "singleton table")]
+    fn rejects_wrong_table_size() {
+        TabularMrf::new(Grid::new(2, 2), 2, vec![0.0; 7], DistanceFn::Binary, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pairwise weight")]
+    fn rejects_negative_weight() {
+        TabularMrf::new(Grid::new(1, 1), 1, vec![0.0], DistanceFn::Binary, -1.0);
+    }
+
+    #[test]
+    fn local_energies_reuses_buffer() {
+        let model = TabularMrf::checkerboard(4, 4, 2, 1.0, DistanceFn::Binary, 0.5);
+        let field = LabelField::constant(model.grid(), 2, 0);
+        let mut out = vec![99.0; 17];
+        model.local_energies(5, &field, &mut out);
+        assert_eq!(out.len(), 2);
+    }
+}

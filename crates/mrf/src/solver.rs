@@ -1,0 +1,477 @@
+//! The MCMC sweep driver and the software Gibbs kernel.
+//!
+//! The solver is the outer double loop of Fig. 1 in the paper; the
+//! per-site kernel (the paper's "inner loop" that the RSU-G replaces) is
+//! abstracted behind [`SiteSampler`], so the software float
+//! implementation, the previous RSU-G and the new RSU-G all run the exact
+//! same application code.
+
+use crate::annealing::Schedule;
+use crate::field::LabelField;
+use crate::model::{Label, MrfModel};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use sampling::Categorical;
+use serde::{Deserialize, Serialize};
+
+/// A per-site Gibbs kernel: given the local conditional energies of every
+/// candidate label and the current temperature, choose the new label.
+///
+/// Implementations include [`SoftwareGibbs`] (IEEE floating point, the
+/// paper's quality reference), [`IcmSampler`] (greedy argmin baseline) and
+/// the RSU-G functional simulators in the `rsu` crate.
+pub trait SiteSampler {
+    /// Called once at the start of each solver iteration with the
+    /// iteration's temperature. Hardware models use this hook to account
+    /// for LUT/boundary-register updates.
+    fn begin_iteration(&mut self, _temperature: f64) {}
+
+    /// Draws the new label for a site.
+    ///
+    /// `energies[l]` is the local conditional energy of label `l`
+    /// (Eq. 1); `temperature` is the current annealing temperature;
+    /// `current` is the site's present label (used by samplers that keep
+    /// the state when no candidate fires).
+    fn sample_label<R: Rng + ?Sized>(
+        &mut self,
+        energies: &[f64],
+        temperature: f64,
+        current: Label,
+        rng: &mut R,
+    ) -> Label;
+}
+
+/// IEEE-floating-point Gibbs kernel: `p_l ∝ exp(−E_l / T)` sampled by
+/// cumulative-sum inversion. This is the "software-only" implementation
+/// the paper treats as the quality gold standard ("commodity processors
+/// or GPUs with IEEE floating point, which theoretically generate the
+/// highest result quality").
+///
+/// # Example
+///
+/// ```
+/// use mrf::{SiteSampler, SoftwareGibbs};
+/// use rand::SeedableRng;
+/// use sampling::Xoshiro256pp;
+///
+/// let mut gibbs = SoftwareGibbs::new();
+/// let mut rng = Xoshiro256pp::seed_from_u64(1);
+/// let label = gibbs.sample_label(&[0.0, 10.0, 10.0], 0.5, 0, &mut rng);
+/// assert_eq!(label, 0, "overwhelmingly likely at T = 0.5");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SoftwareGibbs {
+    weights: Vec<f64>,
+}
+
+impl SoftwareGibbs {
+    /// Creates the kernel.
+    pub fn new() -> Self {
+        SoftwareGibbs { weights: Vec::new() }
+    }
+}
+
+impl SiteSampler for SoftwareGibbs {
+    fn sample_label<R: Rng + ?Sized>(
+        &mut self,
+        energies: &[f64],
+        temperature: f64,
+        current: Label,
+        rng: &mut R,
+    ) -> Label {
+        debug_assert!(!energies.is_empty());
+        debug_assert!(temperature > 0.0);
+        // Subtract the minimum energy before exponentiating. This is pure
+        // numerical hygiene for floats (it cancels in the normalisation)
+        // but it is also exactly the "decay rate scaling" trick the paper
+        // introduces for the fixed-point hardware (Eq. 4).
+        let e_min = energies.iter().cloned().fold(f64::INFINITY, f64::min);
+        self.weights.clear();
+        self.weights.extend(energies.iter().map(|&e| (-(e - e_min) / temperature).exp()));
+        match Categorical::new(&self.weights) {
+            Ok(cat) => cat.sample(rng) as Label,
+            // All weights underflowed to zero (pathological temperature);
+            // keep the current label to preserve forward progress.
+            Err(_) => current,
+        }
+    }
+}
+
+/// Greedy argmin kernel (Iterated Conditional Modes): always picks the
+/// lowest-energy label. Converges fast to a local optimum; used as a
+/// deterministic baseline in tests and ablation benches.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IcmSampler;
+
+impl IcmSampler {
+    /// Creates the kernel.
+    pub fn new() -> Self {
+        IcmSampler
+    }
+}
+
+impl SiteSampler for IcmSampler {
+    fn sample_label<R: Rng + ?Sized>(
+        &mut self,
+        energies: &[f64],
+        _temperature: f64,
+        current: Label,
+        _rng: &mut R,
+    ) -> Label {
+        let mut best = current;
+        let mut best_e = f64::INFINITY;
+        for (l, &e) in energies.iter().enumerate() {
+            if e < best_e {
+                best_e = e;
+                best = l as Label;
+            }
+        }
+        best
+    }
+}
+
+/// Site visit order within one iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScanOrder {
+    /// Row-major order, the order the RSU-G pipeline streams pixels in.
+    Raster,
+    /// All even-parity sites then all odd-parity sites; with a 4-
+    /// neighbourhood the sites within each phase are conditionally
+    /// independent (usable for parallel sweeps).
+    Checkerboard,
+    /// A fresh uniform random permutation each iteration.
+    RandomPermutation,
+}
+
+/// Outcome of a [`SweepSolver`] run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolveReport {
+    /// Total field energy after each completed iteration.
+    pub energy_history: Vec<f64>,
+    /// Temperature used in the final iteration.
+    pub final_temperature: f64,
+    /// Iterations actually executed (may be fewer than requested when
+    /// early stopping triggers).
+    pub iterations_run: usize,
+    /// Total number of site updates that changed a label.
+    pub labels_changed: u64,
+}
+
+impl SolveReport {
+    /// Final energy, or `NaN` if no iterations ran.
+    pub fn final_energy(&self) -> f64 {
+        self.energy_history.last().copied().unwrap_or(f64::NAN)
+    }
+}
+
+/// Total energy of a labelling under a model: all singletons plus each
+/// pairwise clique counted once.
+pub fn total_energy<M: MrfModel>(model: &M, field: &LabelField) -> f64 {
+    let grid = model.grid();
+    let mut e = 0.0;
+    for site in grid.sites() {
+        let label = field.get(site);
+        e += model.singleton(site, label);
+        for n in grid.neighbors(site) {
+            if n > site {
+                e += model.pairwise(site, n, label, field.get(n));
+            }
+        }
+    }
+    e
+}
+
+/// Builder-style MCMC solver: configures schedule, iteration budget, scan
+/// order and optional convergence-based early stopping, then runs sweeps
+/// over a [`LabelField`] with any [`SiteSampler`].
+#[derive(Debug, Clone)]
+pub struct SweepSolver<'m, M> {
+    model: &'m M,
+    schedule: Schedule,
+    iterations: usize,
+    scan: ScanOrder,
+    early_stop: Option<(usize, f64)>,
+}
+
+impl<'m, M: MrfModel> SweepSolver<'m, M> {
+    /// Creates a solver with defaults: constant temperature 1.0, 100
+    /// iterations, raster scan, no early stopping.
+    pub fn new(model: &'m M) -> Self {
+        SweepSolver {
+            model,
+            schedule: Schedule::constant(1.0),
+            iterations: 100,
+            scan: ScanOrder::Raster,
+            early_stop: None,
+        }
+    }
+
+    /// Sets the temperature schedule.
+    pub fn schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Sets the iteration budget.
+    pub fn iterations(mut self, iterations: usize) -> Self {
+        self.iterations = iterations;
+        self
+    }
+
+    /// Sets the site visit order.
+    pub fn scan_order(mut self, scan: ScanOrder) -> Self {
+        self.scan = scan;
+        self
+    }
+
+    /// Stops early once the relative energy change across a trailing
+    /// `window` of iterations falls below `tolerance`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero or `tolerance` is negative.
+    pub fn stop_when_converged(mut self, window: usize, tolerance: f64) -> Self {
+        assert!(window > 0, "window must be non-zero");
+        assert!(tolerance >= 0.0, "tolerance must be non-negative");
+        self.early_stop = Some((window, tolerance));
+        self
+    }
+
+    /// Runs the solver, mutating `field` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the field's grid or label count disagree with the model.
+    pub fn run<S, R>(&self, field: &mut LabelField, sampler: &mut S, rng: &mut R) -> SolveReport
+    where
+        S: SiteSampler,
+        R: Rng + ?Sized,
+    {
+        assert_eq!(field.grid(), self.model.grid(), "field grid mismatch");
+        assert_eq!(field.num_labels(), self.model.num_labels(), "label count mismatch");
+        let grid = self.model.grid();
+        let mut order: Vec<usize> = grid.sites().collect();
+        if self.scan == ScanOrder::Checkerboard {
+            order.sort_by_key(|&s| {
+                let (x, y) = grid.coords(s);
+                (x + y) % 2
+            });
+        }
+        let mut energies = Vec::with_capacity(self.model.num_labels());
+        let mut report = SolveReport {
+            energy_history: Vec::with_capacity(self.iterations),
+            final_temperature: self.schedule.temperature(0),
+            iterations_run: 0,
+            labels_changed: 0,
+        };
+        for iter in 0..self.iterations {
+            let temperature = self.schedule.temperature(iter);
+            sampler.begin_iteration(temperature);
+            if self.scan == ScanOrder::RandomPermutation {
+                order.shuffle(rng);
+            }
+            for &site in &order {
+                self.model.local_energies(site, field, &mut energies);
+                let current = field.get(site);
+                let new = sampler.sample_label(&energies, temperature, current, rng);
+                if new != current {
+                    report.labels_changed += 1;
+                    field.set(site, new);
+                }
+            }
+            report.energy_history.push(total_energy(self.model, field));
+            report.final_temperature = temperature;
+            report.iterations_run = iter + 1;
+            if let Some((window, tol)) = self.early_stop {
+                if has_converged(&report.energy_history, window, tol) {
+                    break;
+                }
+            }
+        }
+        report
+    }
+}
+
+/// Whether the trailing `window` of an energy history has a relative
+/// spread below `tolerance`.
+fn has_converged(history: &[f64], window: usize, tolerance: f64) -> bool {
+    if history.len() < window + 1 {
+        return false;
+    }
+    let tail = &history[history.len() - window - 1..];
+    let lo = tail.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = tail.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let scale = hi.abs().max(lo.abs()).max(1e-12);
+    (hi - lo) / scale <= tolerance
+}
+
+/// Convenience wrapper: runs [`SweepSolver`] with the given schedule and
+/// iteration budget on a fresh copy of the configuration.
+pub fn solve<M, S, R>(
+    model: &M,
+    field: &mut LabelField,
+    sampler: &mut S,
+    schedule: Schedule,
+    iterations: usize,
+    rng: &mut R,
+) -> SolveReport
+where
+    M: MrfModel,
+    S: SiteSampler,
+    R: Rng + ?Sized,
+{
+    SweepSolver::new(model).schedule(schedule).iterations(iterations).run(field, sampler, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::energy::DistanceFn;
+    use crate::model::TabularMrf;
+    use rand::SeedableRng;
+    use sampling::Xoshiro256pp;
+
+    fn test_model() -> TabularMrf {
+        TabularMrf::checkerboard(8, 8, 3, 4.0, DistanceFn::Binary, 0.3)
+    }
+
+    #[test]
+    fn icm_recovers_checkerboard_from_random_start() {
+        let model = test_model();
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        let mut field = LabelField::random(model.grid(), 3, &mut rng);
+        let mut icm = IcmSampler::new();
+        solve(&model, &mut field, &mut icm, Schedule::constant(1.0), 10, &mut rng);
+        let truth = TabularMrf::checkerboard_truth(8, 8, 3);
+        assert_eq!(field.disagreement(&truth), 0.0, "ICM should reach the strong optimum");
+    }
+
+    #[test]
+    fn gibbs_with_annealing_recovers_checkerboard() {
+        let model = test_model();
+        let mut rng = Xoshiro256pp::seed_from_u64(11);
+        let mut field = LabelField::random(model.grid(), 3, &mut rng);
+        let mut gibbs = SoftwareGibbs::new();
+        let report = SweepSolver::new(&model)
+            .schedule(Schedule::geometric(3.0, 0.9, 0.05))
+            .iterations(120)
+            .run(&mut field, &mut gibbs, &mut rng);
+        let truth = TabularMrf::checkerboard_truth(8, 8, 3);
+        assert!(
+            field.disagreement(&truth) < 0.05,
+            "disagreement {} too high",
+            field.disagreement(&truth)
+        );
+        // Energy should have dropped substantially.
+        assert!(report.final_energy() < report.energy_history[0]);
+    }
+
+    #[test]
+    fn energy_history_is_roughly_decreasing_under_annealing() {
+        let model = test_model();
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let mut field = LabelField::random(model.grid(), 3, &mut rng);
+        let mut gibbs = SoftwareGibbs::new();
+        let report = SweepSolver::new(&model)
+            .schedule(Schedule::geometric(3.0, 0.85, 0.05))
+            .iterations(80)
+            .run(&mut field, &mut gibbs, &mut rng);
+        let first = report.energy_history[0];
+        let last = report.final_energy();
+        assert!(last < 0.5 * first, "energy did not anneal down: {first} -> {last}");
+    }
+
+    #[test]
+    fn early_stopping_truncates_iterations() {
+        let model = test_model();
+        let mut rng = Xoshiro256pp::seed_from_u64(9);
+        let mut field = LabelField::random(model.grid(), 3, &mut rng);
+        let mut icm = IcmSampler::new();
+        let report = SweepSolver::new(&model)
+            .iterations(500)
+            .stop_when_converged(3, 0.0)
+            .run(&mut field, &mut icm, &mut rng);
+        assert!(report.iterations_run < 500, "ICM should converge and stop early");
+    }
+
+    #[test]
+    fn scan_orders_all_reach_low_energy() {
+        let model = test_model();
+        for scan in [ScanOrder::Raster, ScanOrder::Checkerboard, ScanOrder::RandomPermutation] {
+            let mut rng = Xoshiro256pp::seed_from_u64(21);
+            let mut field = LabelField::random(model.grid(), 3, &mut rng);
+            let mut gibbs = SoftwareGibbs::new();
+            let report = SweepSolver::new(&model)
+                .schedule(Schedule::geometric(3.0, 0.88, 0.05))
+                .iterations(100)
+                .scan_order(scan)
+                .run(&mut field, &mut gibbs, &mut rng);
+            let truth = TabularMrf::checkerboard_truth(8, 8, 3);
+            assert!(
+                field.disagreement(&truth) < 0.10,
+                "{scan:?}: disagreement {}",
+                field.disagreement(&truth)
+            );
+            assert!(report.iterations_run == 100);
+        }
+    }
+
+    #[test]
+    fn software_gibbs_matches_boltzmann_distribution() {
+        // Single site, two labels, no neighbours: the stationary law is
+        // the Boltzmann distribution over the energies directly.
+        let energies = [0.0, 1.0];
+        let t = 1.0;
+        let mut gibbs = SoftwareGibbs::new();
+        let mut rng = Xoshiro256pp::seed_from_u64(77);
+        let n = 200_000;
+        let mut count0 = 0u64;
+        for _ in 0..n {
+            if gibbs.sample_label(&energies, t, 0, &mut rng) == 0 {
+                count0 += 1;
+            }
+        }
+        let p0 = count0 as f64 / n as f64;
+        let expect = 1.0 / (1.0 + (-1.0f64).exp());
+        assert!((p0 - expect).abs() < 0.005, "{p0} vs {expect}");
+    }
+
+    #[test]
+    fn gibbs_keeps_current_label_when_all_weights_underflow() {
+        let mut gibbs = SoftwareGibbs::new();
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        // Energies are equal and astronomically large relative to T after
+        // scaling they are all zero... construct a genuine underflow: a
+        // label set where e - e_min overflows exp to 0 for all but one is
+        // impossible (the min is always weight 1), so drive the impossible
+        // branch with NaN-free infinite energies instead.
+        let label = gibbs.sample_label(&[f64::INFINITY, f64::INFINITY], 1.0, 1, &mut rng);
+        assert_eq!(label, 1);
+    }
+
+    #[test]
+    fn total_energy_matches_manual_computation() {
+        let grid = crate::grid::Grid::new(2, 1);
+        let model = TabularMrf::new(
+            grid,
+            2,
+            vec![1.0, 0.0, 0.0, 2.0],
+            DistanceFn::Absolute,
+            3.0,
+        );
+        let field = LabelField::from_labels(grid, 2, vec![0, 1]);
+        // singleton(0, 0) = 1.0; singleton(1, 1) = 2.0; pair |0-1| * 3 = 3.
+        assert_eq!(total_energy(&model, &field), 6.0);
+    }
+
+    #[test]
+    fn labels_changed_is_zero_for_fixed_point() {
+        // Start at the optimum with ICM: nothing should change.
+        let model = test_model();
+        let mut field = TabularMrf::checkerboard_truth(8, 8, 3);
+        let mut icm = IcmSampler::new();
+        let mut rng = Xoshiro256pp::seed_from_u64(0);
+        let report = solve(&model, &mut field, &mut icm, Schedule::constant(1.0), 5, &mut rng);
+        assert_eq!(report.labels_changed, 0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests for the MRF substrate.
+
+use mrf::{
+    total_energy, DistanceFn, Grid, IcmSampler, LabelField, MrfModel, Schedule, SoftwareGibbs,
+    SweepSolver, TabularMrf,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use sampling::Xoshiro256pp;
+
+fn arb_model() -> impl Strategy<Value = TabularMrf> {
+    (2usize..8, 2usize..8, 2usize..5, 0.5f64..8.0, 0.0f64..2.0, 0usize..3).prop_map(
+        |(w, h, labels, contrast, weight, dist_idx)| {
+            TabularMrf::checkerboard(w, h, labels, contrast, DistanceFn::ALL[dist_idx], weight)
+        },
+    )
+}
+
+proptest! {
+    /// Local conditional energies are consistent with total energy:
+    /// E_total(field with x_s = l) − E_total(field with x_s = l') equals
+    /// the difference in local energies for every site and label pair.
+    #[test]
+    fn local_energies_match_total_energy_differences(
+        model in arb_model(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let mut field = LabelField::random(model.grid(), model.num_labels(), &mut rng);
+        let mut energies = Vec::new();
+        let site = (seed as usize) % model.grid().len();
+        model.local_energies(site, &field, &mut energies);
+        let mut totals = Vec::new();
+        for l in 0..model.num_labels() as u16 {
+            field.set(site, l);
+            totals.push(total_energy(&model, &field));
+        }
+        for a in 0..energies.len() {
+            for b in 0..energies.len() {
+                let d_local = energies[a] - energies[b];
+                let d_total = totals[a] - totals[b];
+                prop_assert!(
+                    (d_local - d_total).abs() < 1e-9,
+                    "site {}: local Δ {} vs total Δ {}", site, d_local, d_total
+                );
+            }
+        }
+    }
+
+    /// ICM never increases the total energy.
+    #[test]
+    fn icm_is_monotone_nonincreasing(model in arb_model(), seed in any::<u64>()) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let mut field = LabelField::random(model.grid(), model.num_labels(), &mut rng);
+        let mut icm = IcmSampler::new();
+        let mut prev = total_energy(&model, &field);
+        for _ in 0..5 {
+            let report = SweepSolver::new(&model)
+                .iterations(1)
+                .run(&mut field, &mut icm, &mut rng);
+            let now = report.final_energy();
+            prop_assert!(now <= prev + 1e-9, "ICM increased energy {prev} -> {now}");
+            prev = now;
+        }
+    }
+
+    /// The Gibbs kernel always returns an in-range label.
+    #[test]
+    fn gibbs_labels_in_range(
+        energies in proptest::collection::vec(0.0f64..100.0, 1..64),
+        t in 0.01f64..10.0,
+        seed in any::<u64>(),
+    ) {
+        let mut gibbs = SoftwareGibbs::new();
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        use mrf::SiteSampler;
+        let l = gibbs.sample_label(&energies, t, 0, &mut rng);
+        prop_assert!((l as usize) < energies.len());
+    }
+
+    /// Gibbs sampling is invariant to adding a constant to all energies
+    /// (the scaling identity of Eq. 4): identical RNG streams produce
+    /// identical label sequences.
+    #[test]
+    fn gibbs_is_shift_invariant(
+        energies in proptest::collection::vec(0.0f64..50.0, 2..32),
+        shift in -100.0f64..100.0,
+        t in 0.05f64..5.0,
+        seed in any::<u64>(),
+    ) {
+        use mrf::SiteSampler;
+        let shifted: Vec<f64> = energies.iter().map(|e| e + shift).collect();
+        let mut g1 = SoftwareGibbs::new();
+        let mut g2 = SoftwareGibbs::new();
+        let mut r1 = Xoshiro256pp::seed_from_u64(seed);
+        let mut r2 = Xoshiro256pp::seed_from_u64(seed);
+        for _ in 0..16 {
+            let a = g1.sample_label(&energies, t, 0, &mut r1);
+            let b = g2.sample_label(&shifted, t, 0, &mut r2);
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Total energy is non-negative for non-negative singleton tables and
+    /// zero for the all-zero model.
+    #[test]
+    fn total_energy_of_zero_model_is_zero(
+        w in 1usize..6, h in 1usize..6, labels in 1usize..4,
+    ) {
+        let grid = Grid::new(w, h);
+        let model = TabularMrf::new(
+            grid, labels, vec![0.0; grid.len() * labels], DistanceFn::Binary, 0.0,
+        );
+        let field = LabelField::constant(grid, labels, 0);
+        prop_assert_eq!(total_energy(&model, &field), 0.0);
+    }
+
+    /// Annealed Gibbs ends at an energy no worse than a small factor of
+    /// the ICM optimum on checkerboard problems (sanity of the whole
+    /// solver loop).
+    #[test]
+    fn annealed_gibbs_is_competitive_with_icm(seed in any::<u64>()) {
+        let model = TabularMrf::checkerboard(6, 6, 2, 5.0, DistanceFn::Binary, 0.2);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let mut f_icm = LabelField::random(model.grid(), 2, &mut rng);
+        let mut f_gibbs = f_icm.clone();
+        let mut icm = IcmSampler::new();
+        let mut gibbs = SoftwareGibbs::new();
+        SweepSolver::new(&model).iterations(20).run(&mut f_icm, &mut icm, &mut rng);
+        SweepSolver::new(&model)
+            .schedule(Schedule::geometric(3.0, 0.85, 0.05))
+            .iterations(80)
+            .run(&mut f_gibbs, &mut gibbs, &mut rng);
+        let e_icm = total_energy(&model, &f_icm);
+        let e_gibbs = total_energy(&model, &f_gibbs);
+        prop_assert!(e_gibbs <= e_icm * 1.5 + 5.0, "gibbs {e_gibbs} vs icm {e_icm}");
+    }
+
+    /// Temperature schedules are monotone non-increasing.
+    #[test]
+    fn schedules_are_monotone(
+        t0 in 0.1f64..10.0,
+        alpha in 0.5f64..1.0,
+        rate in 0.0f64..1.0,
+    ) {
+        let floor = 0.01;
+        for s in [Schedule::geometric(t0, alpha, floor), Schedule::linear(t0, rate, floor)] {
+            let mut prev = f64::INFINITY;
+            for k in 0..100 {
+                let t = s.temperature(k);
+                prop_assert!(t <= prev + 1e-12);
+                prop_assert!(t >= floor);
+                prev = t;
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Error types for the device simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when constructing a device model with invalid parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeviceError {
+    /// Time precision must be between 1 and 16 bits.
+    InvalidTimeBits {
+        /// The requested number of time bits.
+        time_bits: u32,
+    },
+    /// Truncation must lie strictly between 0 and 1.
+    InvalidTruncation {
+        /// The requested truncated probability mass.
+        truncation: f64,
+    },
+    /// A physical rate or concentration must be positive and finite.
+    InvalidRate {
+        /// The offending value.
+        value: f64,
+    },
+    /// Spectral parameters of a chromophore were out of range.
+    InvalidSpectrum {
+        /// Human-readable description of the violated constraint.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::InvalidTimeBits { time_bits } => {
+                write!(f, "time precision must be 1..=16 bits, got {time_bits}")
+            }
+            DeviceError::InvalidTruncation { truncation } => {
+                write!(f, "truncation must be in (0, 1), got {truncation}")
+            }
+            DeviceError::InvalidRate { value } => {
+                write!(f, "rate/concentration must be positive and finite, got {value}")
+            }
+            DeviceError::InvalidSpectrum { reason } => {
+                write!(f, "invalid chromophore spectrum: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_and_are_std_errors() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<DeviceError>();
+        assert!(!DeviceError::InvalidTimeBits { time_bits: 0 }.to_string().is_empty());
+        assert!(!DeviceError::InvalidTruncation { truncation: 2.0 }.to_string().is_empty());
+    }
+}

@@ -1,0 +1,68 @@
+#![warn(missing_docs)]
+
+//! Molecular-optical device substrate: a behavioural simulator of the
+//! Resonance-Energy-Transfer (RET) circuits the RSU-G samples with.
+//!
+//! The physical stack (paper §II-B): chromophore pairs exchange energy by
+//! non-radiative dipole–dipole coupling; a *RET network* is an ensemble of
+//! chromophores assembled by DNA self-assembly; a *RET circuit* integrates
+//! RET networks with an on-chip light source (quantum-dot LED), a
+//! waveguide and single-photon avalanche detectors (SPADs). When the
+//! QDLED illuminates a network, the time to the first observed
+//! fluorescence photon (TTF) is exponentially distributed with a decay
+//! rate set by the light intensity, the molecular concentration, and the
+//! chromophore species.
+//!
+//! The simulator reproduces the behaviours the paper's design decisions
+//! hinge on:
+//!
+//! * exponential TTF with `λ ∝ intensity × concentration`
+//!   ([`RetNetwork`]);
+//! * finite detection windows and *distribution truncation*
+//!   ([`RetCalibration`]);
+//! * excitation *bleed-through*: a truncated sample can still fire later
+//!   and corrupt a subsequent evaluation — the reason the new design needs
+//!   8 network replicas at `Truncation = 0.5`
+//!   ([`replicas_for_interference`]);
+//! * SPAD dark counts ([`Spad`]), which the paper argues are negligible at
+//!   RSU-G rates;
+//! * the shift-register time capture that turns photon arrival into a
+//!   binned integer sample ([`ShiftRegisterTimer`]);
+//! * the full new-design RET circuit: four concentrations on one
+//!   waveguide, eight replica rows, a QDLED counter and a 32-to-1 SPAD
+//!   mux ([`RetCircuit`]).
+//!
+//! # Example
+//!
+//! ```
+//! use ret_device::{RetCalibration, RetCircuit};
+//! use rand::SeedableRng;
+//! use sampling::Xoshiro256pp;
+//!
+//! let cal = RetCalibration::new(5, 0.5).expect("valid calibration");
+//! let mut circuit = RetCircuit::new_paper_design(cal);
+//! let mut rng = Xoshiro256pp::seed_from_u64(1);
+//! // Sample with the 8x concentration row (lambda code 3 = 8·λ0).
+//! let sample = circuit.sample(3, &mut rng);
+//! if let Some(bin) = sample {
+//!     assert!(bin >= 1 && bin <= cal.t_max_bins());
+//! }
+//! ```
+
+pub mod bleaching;
+pub mod chromophore;
+pub mod circuit;
+pub mod error;
+pub mod network;
+pub mod shared;
+pub mod spad;
+pub mod timing;
+
+pub use bleaching::BleachingModel;
+pub use chromophore::{Chromophore, RetPair};
+pub use circuit::{replicas_for_interference, RetCircuit, RetCircuitBank};
+pub use error::DeviceError;
+pub use network::{sample_binned_ttf, RetCalibration, RetNetwork};
+pub use shared::{RoundRobinArbiter, SharedWaveguide};
+pub use spad::Spad;
+pub use timing::ShiftRegisterTimer;

@@ -1,0 +1,82 @@
+//! Property-based tests for the RET device simulator.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use ret_device::{
+    replicas_for_interference, sample_binned_ttf, RetCalibration, RetCircuit, ShiftRegisterTimer,
+};
+use sampling::Xoshiro256pp;
+
+proptest! {
+    /// λ0 always reproduces the requested truncation mass exactly.
+    #[test]
+    fn lambda0_inverts_truncation(bits in 1u32..=16, trunc in 0.001f64..0.999) {
+        let cal = RetCalibration::new(bits, trunc).unwrap();
+        let mass = (-cal.lambda0_per_bin() * cal.t_max_bins() as f64).exp();
+        prop_assert!((mass - trunc).abs() < 1e-9);
+    }
+
+    /// Binned TTF samples are always in `1..=t_max` when observed.
+    #[test]
+    fn binned_samples_in_range(
+        rate in 0.001f64..10.0,
+        bits in 1u32..=10,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let t_max = 1u32 << bits;
+        for _ in 0..100 {
+            if let Some(b) = sample_binned_ttf(rate, t_max, &mut rng) {
+                prop_assert!((1..=t_max).contains(&b));
+            }
+        }
+    }
+
+    /// The replica law is monotone in truncation and bounded below by 1,
+    /// and always meets its residual target.
+    #[test]
+    fn replica_law_meets_target(trunc in 0.01f64..0.95, target in 0.001f64..0.1) {
+        let k = replicas_for_interference(trunc, target);
+        prop_assert!(k >= 1);
+        // Residual after k windows is truncation^k <= target (or k = 1 and
+        // even a single window already meets it).
+        prop_assert!(trunc.powi(k as i32) <= target + 1e-12);
+        // One fewer replica would miss the target (when k > 1).
+        if k > 1 {
+            prop_assert!(trunc.powi((k - 1) as i32) > target);
+        }
+    }
+
+    /// The shift-register timer's bin mapping is monotone in arrival time
+    /// and consistent with its window.
+    #[test]
+    fn timer_binning_is_monotone(bits in 3u32..=10, t in 0.0f64..10.0) {
+        let timer = ShiftRegisterTimer::new(1.0, 8, bits).unwrap();
+        match timer.bin_of_ns(t) {
+            Some(b) => {
+                prop_assert!(t <= timer.window_ns() + 1e-12);
+                if let Some(b2) = timer.bin_of_ns(t * 0.5) {
+                    prop_assert!(b2 <= b);
+                }
+            }
+            None => prop_assert!(t > timer.window_ns()),
+        }
+    }
+
+    /// Circuit samples never exceed the window for any valid calibration.
+    #[test]
+    fn circuit_bins_in_window(
+        bits in 2u32..=8,
+        trunc in 0.05f64..0.9,
+        seed in any::<u64>(),
+    ) {
+        let cal = RetCalibration::new(bits, trunc).unwrap();
+        let mut circuit = RetCircuit::new_paper_design(cal);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        for i in 0..200u32 {
+            if let Some(b) = circuit.sample((i % 4) as u8, &mut rng) {
+                prop_assert!((1..=cal.t_max_bins()).contains(&b));
+            }
+        }
+    }
+}

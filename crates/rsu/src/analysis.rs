@@ -1,0 +1,282 @@
+//! Closed-form analysis of the discretised first-to-fire race.
+//!
+//! The Fig. 7 experiment measures, by Monte Carlo, how far the realised
+//! win-probability ratios drift from the intended λ ratios under time
+//! binning and truncation. This module computes those probabilities
+//! *exactly*: a label with multiplier `m` lands in bin `b` with the
+//! geometric-tail probability
+//!
+//! ```text
+//! p(b) = e^{−mλ0(b−1)} − e^{−mλ0 b}        b = 1..B,  B = 2^time_bits
+//! ```
+//!
+//! and is censored with probability `e^{−mλ0 B}` (rounded into bin `B`
+//! under the clamp convention). The winner is the earliest bin, ties
+//! broken uniformly. For each bin the exact expectation of `1/(1+K)` —
+//! `K` the number of rival labels tying there — is evaluated by dynamic
+//! programming over the tie-count distribution, giving machine-precision
+//! win probabilities for up to the full 64-label complement.
+//!
+//! The test suite pins the Monte Carlo sampler against these closed
+//! forms, turning Fig. 7 from a plot into a verified identity.
+
+use crate::config::RsuConfig;
+
+/// Per-label bin distribution under a calibration.
+#[derive(Debug, Clone)]
+struct BinLaw {
+    /// `p[b-1]` = probability of firing in bin `b`.
+    p: Vec<f64>,
+    /// Probability of firing beyond the window.
+    censored: f64,
+}
+
+fn bin_law(multiplier: u16, lambda0: f64, bins: u32, clamp: bool) -> BinLaw {
+    assert!(multiplier > 0, "inactive labels have no bin law");
+    let rate = multiplier as f64 * lambda0;
+    let mut p = Vec::with_capacity(bins as usize);
+    for b in 1..=bins {
+        let lo = (-(rate) * (b as f64 - 1.0)).exp();
+        let hi = (-(rate) * b as f64).exp();
+        p.push(lo - hi);
+    }
+    let censored = (-(rate) * bins as f64).exp();
+    if clamp {
+        *p.last_mut().expect("bins >= 1") += censored;
+        BinLaw { p, censored: 0.0 }
+    } else {
+        BinLaw { p, censored }
+    }
+}
+
+/// Exact win probabilities of a discretised first-to-fire race over the
+/// given λ multipliers (0 = cut off), under the configuration's time
+/// bits and truncation.
+///
+/// With `clamp_to_t_max` set, censored samples land in the final bin
+/// (the §III-C3 convention); otherwise fully censored races produce no
+/// winner and the returned probabilities sum to less than one by exactly
+/// the all-censored probability.
+///
+/// # Panics
+///
+/// Panics if `multipliers` is empty or has no active label.
+///
+/// # Example
+///
+/// ```
+/// use rsu::{analysis, RsuConfig};
+///
+/// let cfg = RsuConfig::new_design();
+/// let p = analysis::win_probabilities(&cfg, &[8, 4], true);
+/// // At the paper's design point the realised ratio is close to the
+/// // intended 2:1.
+/// let ratio = p[0] / p[1];
+/// assert!((ratio - 2.0).abs() < 0.1, "ratio {ratio}");
+/// ```
+pub fn win_probabilities(cfg: &RsuConfig, multipliers: &[u16], clamp_to_t_max: bool) -> Vec<f64> {
+    assert!(!multipliers.is_empty(), "need at least one label");
+    assert!(multipliers.iter().any(|&m| m > 0), "need at least one active label");
+    let bins = cfg.t_max_bins();
+    let lambda0 = cfg.lambda0_per_bin();
+    let laws: Vec<Option<BinLaw>> = multipliers
+        .iter()
+        .map(|&m| (m > 0).then(|| bin_law(m, lambda0, bins, clamp_to_t_max)))
+        .collect();
+    // Survival beyond bin b (including censoring) per label.
+    // survival[i][b] = P(T_i lands after bin b) for b = 0..=bins.
+    let survival: Vec<Option<Vec<f64>>> = laws
+        .iter()
+        .map(|law| {
+            law.as_ref().map(|law| {
+                let mut s = Vec::with_capacity(bins as usize + 1);
+                let mut rest: f64 = law.p.iter().sum::<f64>() + law.censored;
+                s.push(rest);
+                for &pb in &law.p {
+                    rest -= pb;
+                    s.push(rest.max(0.0));
+                }
+                s
+            })
+        })
+        .collect();
+    let n = multipliers.len();
+    let mut wins = vec![0.0f64; n];
+    for b in 1..=bins as usize {
+        for i in 0..n {
+            let Some(law_i) = &laws[i] else { continue };
+            let p_i = law_i.p[b - 1];
+            if p_i <= 0.0 {
+                continue;
+            }
+            // Rivals: each either ties at b (prob t_j), survives past b
+            // (prob s_j), or fired earlier (race already lost — excluded
+            // by conditioning on "i is at the minimum").
+            // E[1/(1+K)] over rivals that have NOT fired before b:
+            // condition: every rival j must have T_j >= b (tie) or > b
+            // (survive); rivals that fired earlier eliminate the term.
+            // P(no rival fired before b AND tie-set = S) factorises, so
+            // DP over the polynomial in the tie counts:
+            // contribution = p_i(b) · Σ_k P(K = k | no rival earlier) ·
+            //                P(no rival earlier) / (1 + k)
+            // Build the distribution of K directly: each rival
+            // contributes (survive: s_j(b)) + (tie: t_j(b)) mass, and
+            // anything else kills the term.
+            let mut dist = vec![1.0f64]; // P(K = k) unnormalised
+            for (j, law_j) in laws.iter().enumerate() {
+                if j == i {
+                    continue;
+                }
+                let (tie, survive) = match (law_j, &survival[j]) {
+                    (Some(law), Some(s)) => (law.p[b - 1], s[b]),
+                    _ => (0.0, 1.0), // cut-off rivals never fire
+                };
+                let mut next = vec![0.0f64; dist.len() + 1];
+                for (k, &mass) in dist.iter().enumerate() {
+                    next[k] += mass * survive;
+                    next[k + 1] += mass * tie;
+                }
+                dist = next;
+            }
+            let mut contribution = 0.0;
+            for (k, &mass) in dist.iter().enumerate() {
+                contribution += mass / (k as f64 + 1.0);
+            }
+            wins[i] += p_i * contribution;
+        }
+    }
+    wins
+}
+
+/// The relative error between the realised win ratio of a two-label race
+/// and the intended multiplier ratio — the quantity plotted in Fig. 7,
+/// computed exactly.
+///
+/// # Panics
+///
+/// Panics if either multiplier is zero.
+pub fn ratio_relative_error(cfg: &RsuConfig, m_hi: u16, m_lo: u16) -> f64 {
+    assert!(m_hi > 0 && m_lo > 0, "both labels must be active");
+    let p = win_probabilities(cfg, &[m_hi, m_lo], true);
+    let intended = m_hi as f64 / m_lo as f64;
+    let actual = p[0] / p[1];
+    (actual - intended).abs() / intended
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::RsuG;
+    use mrf::SiteSampler;
+    use rand::SeedableRng;
+    use sampling::Xoshiro256pp;
+
+    fn cfg(time_bits: u32, truncation: f64) -> RsuConfig {
+        RsuConfig::builder().time_bits(time_bits).truncation(truncation).build().unwrap()
+    }
+
+    #[test]
+    fn probabilities_sum_to_one_under_clamp() {
+        let c = cfg(5, 0.5);
+        for ms in [vec![8u16, 4], vec![8, 8, 8], vec![1, 2, 4, 8], vec![8, 0, 2]] {
+            let p = win_probabilities(&c, &ms, true);
+            let total: f64 = p.iter().sum();
+            assert!((total - 1.0).abs() < 1e-12, "{ms:?}: total {total}");
+        }
+    }
+
+    #[test]
+    fn censored_mass_is_exactly_the_all_censored_probability() {
+        let c = cfg(5, 0.5);
+        let ms = [2u16, 1];
+        let p = win_probabilities(&c, &ms, false);
+        let total: f64 = p.iter().sum();
+        // P(all censored) = trunc^(2+1) at multipliers 2 and 1.
+        let expected_loss = 0.5f64.powi(3);
+        assert!((1.0 - total - expected_loss).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_multipliers_split_evenly() {
+        let c = cfg(4, 0.3);
+        let p = win_probabilities(&c, &[4, 4, 4], true);
+        for &pi in &p {
+            assert!((pi - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cut_off_labels_never_win() {
+        let c = cfg(5, 0.5);
+        let p = win_probabilities(&c, &[8, 0, 1], true);
+        assert_eq!(p[1], 0.0);
+        assert!(p[0] > p[2]);
+    }
+
+    #[test]
+    fn fine_bins_recover_the_continuous_law() {
+        // With 16 time bits the discretisation is negligible and the
+        // win probabilities converge to λ_i / Σλ.
+        let c = cfg(16, 0.5);
+        let p = win_probabilities(&c, &[8, 4, 2, 1], true);
+        let total = 15.0;
+        for (i, &m) in [8u16, 4, 2, 1].iter().enumerate() {
+            let ideal = m as f64 / total;
+            assert!((p[i] - ideal).abs() < 2e-3, "label {i}: {} vs {ideal}", p[i]);
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_monte_carlo() {
+        // The pivotal test: the RSU-G's empirical race frequencies match
+        // the analytic law at several design points.
+        for (bits, trunc) in [(5u32, 0.5f64), (3, 0.2), (5, 0.9), (4, 0.05)] {
+            let c = cfg(bits, trunc);
+            let analytic = win_probabilities(&c, &[8, 2], true);
+            let mut unit = RsuG::with_config(c);
+            unit.begin_iteration(1.0);
+            let mut rng = Xoshiro256pp::seed_from_u64(1234);
+            let mut wins = [0u64; 2];
+            let n = 150_000;
+            for _ in 0..n {
+                let r = unit.race(&[8, 2], true, &mut rng);
+                wins[r.winner.unwrap()] += 1;
+            }
+            for i in 0..2 {
+                let emp = wins[i] as f64 / n as f64;
+                let sd = (analytic[i] * (1.0 - analytic[i]) / n as f64).sqrt();
+                assert!(
+                    (emp - analytic[i]).abs() < 5.0 * sd + 1e-4,
+                    "bits {bits} trunc {trunc} label {i}: empirical {emp} vs analytic {}",
+                    analytic[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn analytic_fig7_reproduces_the_u_curve() {
+        let err = |trunc: f64| ratio_relative_error(&cfg(5, trunc), 8, 1);
+        let low = err(0.01);
+        let mid = err(0.3);
+        let high = err(0.9);
+        assert!(low > 3.0 * mid, "left arm: {low} vs {mid}");
+        assert!(high > 10.0 * mid, "right arm: {high} vs {mid}");
+        // Ratio 1 is immune to truncation (symmetry).
+        assert!(ratio_relative_error(&cfg(5, 0.9), 8, 8) < 1e-12);
+    }
+
+    #[test]
+    fn more_time_bits_reduce_the_error_at_fixed_truncation() {
+        let e3 = ratio_relative_error(&cfg(3, 0.1), 8, 1);
+        let e5 = ratio_relative_error(&cfg(5, 0.1), 8, 1);
+        let e8 = ratio_relative_error(&cfg(8, 0.1), 8, 1);
+        assert!(e3 > e5 && e5 > e8, "{e3} > {e5} > {e8} expected");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one active label")]
+    fn rejects_all_cutoff_input() {
+        win_probabilities(&cfg(5, 0.5), &[0, 0], true);
+    }
+}

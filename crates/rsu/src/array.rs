@@ -1,0 +1,260 @@
+//! Multi-unit RSU-G arrays: the functional model of the paper's
+//! discrete accelerator (§II-C), which gangs 336 units behind a shared
+//! memory system.
+//!
+//! Parallel Gibbs sampling requires that concurrently updated variables
+//! be conditionally independent; on a 4-connected lattice the standard
+//! decomposition is the checkerboard: all even-parity sites form one
+//! phase, all odd-parity sites the other, and within a phase every site
+//! may be assigned to a different RSU-G. [`RsuArray`] executes such
+//! sweeps, distributes sites round-robin over its units, accounts the
+//! cycles each unit spends, and — because the functional samplers are
+//! stateless between evaluations on the ideal photon path — produces
+//! *exactly* the same chain as a single unit consuming the same random
+//! stream, which the tests verify.
+
+use crate::config::RsuConfig;
+use crate::pipeline::PipelineModel;
+use crate::sampler::{RsuG, RsuStats};
+use mrf::{LabelField, MrfModel, SiteSampler};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Report of one array sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArraySweepReport {
+    /// Sites updated.
+    pub sites: u64,
+    /// Cycles on the critical path (the busiest unit per phase, summed
+    /// over phases), assuming one label evaluation per unit per cycle.
+    pub critical_path_cycles: u64,
+    /// Aggregate unit-cycles of useful work.
+    pub busy_unit_cycles: u64,
+}
+
+impl ArraySweepReport {
+    /// Parallel efficiency: useful work over capacity on the critical
+    /// path.
+    pub fn efficiency(&self, units: u32) -> f64 {
+        if self.critical_path_cycles == 0 {
+            return 0.0;
+        }
+        self.busy_unit_cycles as f64 / (self.critical_path_cycles as f64 * units as f64)
+    }
+}
+
+/// A gang of identical RSU-G units executing checkerboard sweeps.
+#[derive(Debug, Clone)]
+pub struct RsuArray {
+    units: Vec<RsuG>,
+    model_labels: usize,
+}
+
+impl RsuArray {
+    /// Creates an array of `count` units with the given design point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn new(config: RsuConfig, count: u32) -> Self {
+        assert!(count > 0, "need at least one unit");
+        RsuArray {
+            units: (0..count).map(|_| RsuG::with_config(config)).collect(),
+            model_labels: 0,
+        }
+    }
+
+    /// Number of units.
+    pub fn len(&self) -> u32 {
+        self.units.len() as u32
+    }
+
+    /// Whether the array has no units (never true).
+    pub fn is_empty(&self) -> bool {
+        self.units.is_empty()
+    }
+
+    /// Aggregated statistics across the units.
+    pub fn combined_stats(&self) -> RsuStats {
+        let mut total = RsuStats::default();
+        for u in &self.units {
+            let s = u.stats();
+            total.variable_evaluations += s.variable_evaluations;
+            total.label_evaluations += s.label_evaluations;
+            total.cutoff_labels += s.cutoff_labels;
+            total.censored_samples += s.censored_samples;
+            total.ties_broken += s.ties_broken;
+            total.all_censored_fallbacks += s.all_censored_fallbacks;
+            total.all_cutoff_keeps += s.all_cutoff_keeps;
+            total.stall_cycles += s.stall_cycles;
+            total.temperature_updates += s.temperature_updates;
+        }
+        total
+    }
+
+    /// Runs one checkerboard sweep at the given temperature: the even
+    /// phase then the odd phase, sites within a phase distributed
+    /// round-robin over the units in raster order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the field and model disagree, or the model's label
+    /// count exceeds the units' maximum.
+    pub fn sweep<M, R>(
+        &mut self,
+        model: &M,
+        field: &mut LabelField,
+        temperature: f64,
+        rng: &mut R,
+    ) -> ArraySweepReport
+    where
+        M: MrfModel,
+        R: Rng + ?Sized,
+    {
+        assert_eq!(field.grid(), model.grid(), "field grid mismatch");
+        assert_eq!(field.num_labels(), model.num_labels(), "label count mismatch");
+        self.model_labels = model.num_labels();
+        let grid = model.grid();
+        for unit in &mut self.units {
+            unit.begin_iteration(temperature);
+        }
+        let mut energies = Vec::with_capacity(model.num_labels());
+        let mut report = ArraySweepReport {
+            sites: 0,
+            critical_path_cycles: 0,
+            busy_unit_cycles: 0,
+        };
+        for parity in 0..2usize {
+            let mut phase_sites = 0u64;
+            let mut next_unit = 0usize;
+            for site in grid.sites() {
+                let (x, y) = grid.coords(site);
+                if (x + y) % 2 != parity {
+                    continue;
+                }
+                model.local_energies(site, field, &mut energies);
+                let current = field.get(site);
+                let new = self.units[next_unit]
+                    .sample_label(&energies, temperature, current, rng);
+                next_unit = (next_unit + 1) % self.units.len();
+                if new != current {
+                    field.set(site, new);
+                }
+                phase_sites += 1;
+            }
+            // Critical path: the busiest unit handles ceil(phase/units)
+            // sites, each costing M cycles.
+            let per_unit = phase_sites.div_ceil(self.units.len() as u64);
+            report.critical_path_cycles += per_unit * model.num_labels() as u64;
+            report.busy_unit_cycles += phase_sites * model.num_labels() as u64;
+            report.sites += phase_sites;
+        }
+        report
+    }
+
+    /// The per-unit pipeline model for the most recent sweep's label
+    /// count (`None` before any sweep).
+    pub fn pipeline_model(&self) -> Option<PipelineModel> {
+        (self.model_labels > 0).then(|| {
+            PipelineModel::new(crate::pipeline::DesignKind::New, *self.units[0].config())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrf::{DistanceFn, TabularMrf};
+    use rand::SeedableRng;
+    use sampling::Xoshiro256pp;
+
+    fn model() -> TabularMrf {
+        TabularMrf::checkerboard(8, 8, 3, 6.0, DistanceFn::Binary, 0.3)
+    }
+
+    #[test]
+    fn any_unit_count_produces_the_identical_chain() {
+        // On the ideal photon path the units are stateless between
+        // evaluations, so distributing sites over 1, 3 or 16 units with
+        // the same random stream must give bit-identical fields.
+        let m = model();
+        let run = |units: u32| {
+            let mut rng = Xoshiro256pp::seed_from_u64(9);
+            let mut field = LabelField::random(m.grid(), 3, &mut rng);
+            let mut array = RsuArray::new(RsuConfig::new_design(), units);
+            for _ in 0..20 {
+                array.sweep(&m, &mut field, 1.5, &mut rng);
+            }
+            field
+        };
+        let f1 = run(1);
+        let f3 = run(3);
+        let f16 = run(16);
+        assert_eq!(f1, f3);
+        assert_eq!(f1, f16);
+    }
+
+    #[test]
+    fn array_converges_on_checkerboard_problem() {
+        let m = model();
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        let mut field = LabelField::random(m.grid(), 3, &mut rng);
+        let mut array = RsuArray::new(RsuConfig::new_design(), 8);
+        for i in 0..120 {
+            let t = (3.0f64 * 0.93f64.powi(i)).max(0.1);
+            array.sweep(&m, &mut field, t, &mut rng);
+        }
+        let truth = TabularMrf::checkerboard_truth(8, 8, 3);
+        assert!(
+            field.disagreement(&truth) < 0.1,
+            "disagreement {}",
+            field.disagreement(&truth)
+        );
+    }
+
+    #[test]
+    fn critical_path_shrinks_with_units() {
+        let m = model();
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let mut field = LabelField::random(m.grid(), 3, &mut rng);
+        let mut small = RsuArray::new(RsuConfig::new_design(), 1);
+        let mut big = RsuArray::new(RsuConfig::new_design(), 8);
+        let r1 = small.sweep(&m, &mut field, 1.0, &mut rng);
+        let r8 = big.sweep(&m, &mut field, 1.0, &mut rng);
+        assert_eq!(r1.sites, 64);
+        assert_eq!(r1.critical_path_cycles, 64 * 3, "one unit does all the work");
+        assert_eq!(r8.critical_path_cycles, 2 * 4 * 3, "32 sites/phase over 8 units");
+        assert!(r8.efficiency(8) > 0.99, "perfect divisibility → full efficiency");
+    }
+
+    #[test]
+    fn efficiency_degrades_with_remainders() {
+        // 5 units over 32-site phases: ceil(32/5) = 7 → efficiency 32/35.
+        let m = model();
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
+        let mut field = LabelField::random(m.grid(), 3, &mut rng);
+        let mut array = RsuArray::new(RsuConfig::new_design(), 5);
+        let r = array.sweep(&m, &mut field, 1.0, &mut rng);
+        assert!((r.efficiency(5) - 32.0 / 35.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn combined_stats_cover_all_sites() {
+        let m = model();
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let mut field = LabelField::random(m.grid(), 3, &mut rng);
+        let mut array = RsuArray::new(RsuConfig::new_design(), 4);
+        for _ in 0..10 {
+            array.sweep(&m, &mut field, 1.0, &mut rng);
+        }
+        let stats = array.combined_stats();
+        assert_eq!(stats.variable_evaluations, 64 * 10);
+        assert_eq!(stats.stall_cycles, 0, "new design never stalls");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one unit")]
+    fn zero_units_rejected() {
+        RsuArray::new(RsuConfig::new_design(), 0);
+    }
+}

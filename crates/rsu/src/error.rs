@@ -1,0 +1,106 @@
+//! Error types for RSU-G configuration.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when an [`RsuConfig`](crate::RsuConfig) is inconsistent.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// Energy precision must be 1..=16 bits.
+    EnergyBits {
+        /// Requested bits.
+        bits: u32,
+    },
+    /// Lambda precision must be 1..=8 bits.
+    LambdaBits {
+        /// Requested bits.
+        bits: u32,
+    },
+    /// Time precision must be 1..=16 bits.
+    TimeBits {
+        /// Requested bits.
+        bits: u32,
+    },
+    /// Truncation must be strictly between 0 and 1.
+    Truncation {
+        /// Requested truncation.
+        value: f64,
+    },
+    /// Maximum label count must be 2..=65536.
+    MaxLabels {
+        /// Requested maximum.
+        value: usize,
+    },
+    /// The energy LSB must be positive and finite.
+    EnergyLsb {
+        /// Requested LSB.
+        value: f64,
+    },
+    /// Comparison-based conversion requires the 2^n lambda approximation
+    /// (only a handful of boundary registers exist in hardware).
+    ComparisonNeedsPow2,
+    /// The RET-circuit photon path models the new design's concentration
+    /// rows (1x/2x/4x/8x) and therefore requires 2^n lambdas with at most
+    /// 4 unique values (`lambda_bits <= 4`).
+    DeviceNeedsPow2,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::EnergyBits { bits } => {
+                write!(f, "energy precision must be 1..=16 bits, got {bits}")
+            }
+            ConfigError::LambdaBits { bits } => {
+                write!(f, "lambda precision must be 1..=8 bits, got {bits}")
+            }
+            ConfigError::TimeBits { bits } => {
+                write!(f, "time precision must be 1..=16 bits, got {bits}")
+            }
+            ConfigError::Truncation { value } => {
+                write!(f, "truncation must be in (0, 1), got {value}")
+            }
+            ConfigError::MaxLabels { value } => {
+                write!(f, "maximum label count must be 2..=65536, got {value}")
+            }
+            ConfigError::EnergyLsb { value } => {
+                write!(f, "energy LSB must be positive and finite, got {value}")
+            }
+            ConfigError::ComparisonNeedsPow2 => {
+                write!(f, "comparison-based conversion requires the 2^n lambda approximation")
+            }
+            ConfigError::DeviceNeedsPow2 => {
+                write!(
+                    f,
+                    "the RET-circuit photon path requires 2^n lambdas with lambda_bits <= 4"
+                )
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_std_errors_with_messages() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<ConfigError>();
+        let variants = [
+            ConfigError::EnergyBits { bits: 0 },
+            ConfigError::LambdaBits { bits: 9 },
+            ConfigError::TimeBits { bits: 0 },
+            ConfigError::Truncation { value: 1.0 },
+            ConfigError::MaxLabels { value: 1 },
+            ConfigError::EnergyLsb { value: 0.0 },
+            ConfigError::ComparisonNeedsPow2,
+            ConfigError::DeviceNeedsPow2,
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

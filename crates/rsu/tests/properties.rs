@@ -1,0 +1,169 @@
+//! Property-based tests for the RSU-G functional simulator.
+
+use mrf::SiteSampler;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rsu::{
+    ComparisonConverter, Conversion, EnergyFifo, EnergyQuantizer, EnergyToLambda, LutConverter,
+    RsuConfig, RsuG,
+};
+use sampling::Xoshiro256pp;
+
+proptest! {
+    /// Quantisation never exceeds half an LSB of error inside the range
+    /// and is monotone.
+    #[test]
+    fn quantizer_is_monotone_and_bounded(
+        bits in 1u32..=16,
+        lsb in 0.01f64..10.0,
+        a in 0.0f64..1000.0,
+        b in 0.0f64..1000.0,
+    ) {
+        let q = EnergyQuantizer::new(bits, lsb);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(q.quantize(lo) <= q.quantize(hi));
+        let ceiling = q.max_code() as f64 * lsb;
+        if a <= ceiling {
+            prop_assert!((q.dequantize(q.quantize(a)) - a).abs() <= lsb / 2.0 + 1e-9);
+        }
+    }
+
+    /// LUT and comparison converters agree everywhere, for every
+    /// power-of-two scale, cut-off setting and temperature.
+    #[test]
+    fn lut_and_comparison_agree(
+        scale_log in 1u32..=7,
+        cutoff in any::<bool>(),
+        t_code in 0.05f64..500.0,
+    ) {
+        let scale = 1u32 << scale_log;
+        let lut = LutConverter::new(8, scale, true, cutoff, t_code);
+        let cmp = ComparisonConverter::new(8, scale, cutoff, t_code);
+        for e in 0..=255u16 {
+            prop_assert_eq!(lut.multiplier_of(e), cmp.multiplier_of(e), "e={}", e);
+        }
+    }
+
+    /// The multiplier is monotone non-increasing in energy and the zero
+    /// code always maps to the maximum.
+    #[test]
+    fn multipliers_monotone(
+        scale_log in 1u32..=7,
+        pow2 in any::<bool>(),
+        cutoff in any::<bool>(),
+        t_code in 0.05f64..500.0,
+    ) {
+        let scale = 1u32 << scale_log;
+        let lut = LutConverter::new(8, scale, pow2, cutoff, t_code);
+        prop_assert_eq!(lut.multiplier_of(0) as u32, scale);
+        let mut prev = u16::MAX;
+        for e in 0..=255u16 {
+            let m = lut.multiplier_of(e);
+            prop_assert!(m <= prev);
+            prev = m;
+        }
+    }
+
+    /// Decay-rate scaling leaves the multiplier *ratios* of a label set
+    /// unchanged when the unscaled values are representable — the
+    /// invariant of Eq. 4 — and the scaled best label always sits at the
+    /// maximum.
+    #[test]
+    fn scaling_pins_best_label(
+        energies in proptest::collection::vec(0.0f64..255.0, 1..16),
+        t in 0.1f64..100.0,
+    ) {
+        let mut unit = RsuG::new_design();
+        let ms = unit.lambda_multipliers(&energies, t).to_vec();
+        let best = energies
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        prop_assert_eq!(ms[best], 8, "best label must map to λmax, got {:?}", ms);
+    }
+
+    /// The FIFO's streamed scaling equals batch scaling for any energy
+    /// sequence.
+    #[test]
+    fn fifo_stream_equals_batch(
+        energies in proptest::collection::vec(0u16..=255, 1..64),
+    ) {
+        let mut fifo = EnergyFifo::new(energies.len());
+        for &e in &energies {
+            fifo.push(e);
+        }
+        fifo.rotate();
+        let mut streamed = Vec::new();
+        while let Some(s) = fifo.pop_scaled() {
+            streamed.push(s);
+        }
+        let mut batch = Vec::new();
+        EnergyFifo::scale_batch(&energies, &mut batch);
+        prop_assert_eq!(streamed, batch);
+    }
+
+    /// The unit always returns an in-range label, under any design point
+    /// the builder accepts.
+    #[test]
+    fn sampled_labels_in_range(
+        energies in proptest::collection::vec(0.0f64..300.0, 1..32),
+        t in 0.05f64..100.0,
+        lambda_bits in 1u32..=8,
+        scaling in any::<bool>(),
+        cutoff in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let cfg = RsuConfig::builder()
+            .lambda_bits(lambda_bits)
+            .decay_rate_scaling(scaling)
+            .probability_cutoff(cutoff)
+            .pow2_lambda(false)
+            .conversion(Conversion::Lut)
+            .build()
+            .unwrap();
+        let mut unit = RsuG::with_config(cfg);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let current = (seed as usize % energies.len()) as u16;
+        let l = unit.sample_label(&energies, t, current, &mut rng);
+        prop_assert!((l as usize) < energies.len());
+    }
+
+    /// Race winners always point at a non-zero multiplier.
+    #[test]
+    fn race_winner_has_nonzero_multiplier(
+        multipliers in proptest::collection::vec(0u16..=8, 1..32),
+        seed in any::<u64>(),
+    ) {
+        let mut unit = RsuG::new_design();
+        // Snap to powers of two as the config requires.
+        let ms: Vec<u16> = multipliers
+            .iter()
+            .map(|&m| if m == 0 { 0 } else { 1u16 << (15 - m.leading_zeros()).min(3) })
+            .collect();
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        unit.begin_iteration(1.0);
+        let r = unit.race(&ms, false, &mut rng);
+        if let Some(w) = r.winner {
+            prop_assert!(ms[w] > 0, "winner {} had zero rate in {:?}", w, ms);
+        }
+    }
+
+    /// Pipeline-model invariants: latency ≥ steady-state cost, the new
+    /// design is never slower in throughput, never stalls on annealing.
+    #[test]
+    fn pipeline_invariants(labels in 1u32..=64) {
+        use rsu::{DesignKind, PipelineModel};
+        let prev = PipelineModel::previous();
+        let new = PipelineModel::new_design();
+        prop_assert!(prev.variable_latency_cycles(labels) >= labels as u64);
+        prop_assert!(new.variable_latency_cycles(labels) >= labels as u64);
+        prop_assert_eq!(
+            prev.steady_state_cycles_per_variable(labels),
+            new.steady_state_cycles_per_variable(labels)
+        );
+        prop_assert_eq!(new.temperature_update_stall_cycles(), 0);
+        prop_assert_eq!(new.kind(), DesignKind::New);
+    }
+}

@@ -1,0 +1,209 @@
+//! End-to-end quality tests: the paper's headline claims reproduced on
+//! synthetic MRF problems small enough for CI.
+//!
+//! These tests run the identical application code with three site
+//! samplers — software float Gibbs, the previous RSU-G and the new
+//! RSU-G — exactly like the paper's methodology (§III-A), and check the
+//! *ordering* of result quality the paper reports: new ≈ software,
+//! previous far worse under annealing.
+
+use mrf::{
+    total_energy, DistanceFn, LabelField, MrfModel, Schedule, SiteSampler, SoftwareGibbs,
+    SweepSolver, TabularMrf,
+};
+use rand::SeedableRng;
+use rsu::{RsuConfig, RsuG};
+use sampling::Xoshiro256pp;
+
+/// A strong-contrast checkerboard with a non-trivial energy floor: the
+/// minimum local energy is strictly positive everywhere, which is the
+/// condition under which the previous design's un-scaled λ conversion
+/// collapses (all labels round to λ0) during late annealing.
+fn offset_checkerboard(labels: usize, offset: f64) -> TabularMrf {
+    let base = TabularMrf::checkerboard(10, 10, labels, 30.0, DistanceFn::Binary, 2.0);
+    // Rebuild with a constant singleton offset so E_min > 0: same optimum,
+    // same Boltzmann distribution, but hostile to un-scaled fixed-point.
+    let grid = base.grid();
+    let mut table = Vec::with_capacity(grid.len() * labels);
+    for site in grid.sites() {
+        for l in 0..labels as u16 {
+            table.push(base.singleton(site, l) + offset);
+        }
+    }
+    TabularMrf::new(grid, labels, table, DistanceFn::Binary, 2.0)
+}
+
+fn run_with<S: SiteSampler>(
+    model: &TabularMrf,
+    sampler: &mut S,
+    seed: u64,
+    iterations: usize,
+) -> (LabelField, f64) {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let mut field =
+        LabelField::random(model.grid(), model.num_labels(), &mut rng);
+    SweepSolver::new(model)
+        .schedule(Schedule::geometric(40.0, 0.93, 0.5))
+        .iterations(iterations)
+        .run(&mut field, sampler, &mut rng);
+    let e = total_energy(model, &field);
+    (field, e)
+}
+
+fn error_rate(field: &LabelField, truth: &LabelField) -> f64 {
+    field.disagreement(truth)
+}
+
+#[test]
+fn new_design_matches_software_quality_previous_fails() {
+    let labels = 4;
+    let model = offset_checkerboard(labels, 60.0);
+    let truth = TabularMrf::checkerboard_truth(10, 10, labels);
+    let iterations = 120;
+
+    let mut err_sw = 0.0;
+    let mut err_new = 0.0;
+    let mut err_prev = 0.0;
+    let seeds = [11u64, 22, 33];
+    for &seed in &seeds {
+        let (f_sw, _) = run_with(&model, &mut SoftwareGibbs::new(), seed, iterations);
+        let (f_new, _) = run_with(&model, &mut RsuG::new_design(), seed, iterations);
+        let (f_prev, _) = run_with(&model, &mut RsuG::previous_design(), seed, iterations);
+        err_sw += error_rate(&f_sw, &truth);
+        err_new += error_rate(&f_new, &truth);
+        err_prev += error_rate(&f_prev, &truth);
+    }
+    let n = seeds.len() as f64;
+    let (err_sw, err_new, err_prev) = (err_sw / n, err_new / n, err_prev / n);
+
+    // Software and new RSU-G both solve the problem.
+    assert!(err_sw < 0.05, "software error {err_sw}");
+    assert!(err_new < 0.10, "new RSU-G error {err_new}");
+    assert!((err_new - err_sw).abs() < 0.08, "new design must track software quality");
+    // The previous design mislabels the bulk of the field (paper: BP > 90%
+    // on stereo; here the floor depends on label count, but it must be
+    // dramatically worse).
+    assert!(
+        err_prev > 0.5,
+        "previous design error {err_prev} should collapse toward random"
+    );
+}
+
+#[test]
+fn decay_rate_scaling_is_the_decisive_fix() {
+    // Ablation of §III-C2: scaled-but-no-cutoff must land between the
+    // previous design and the full new design on a many-label problem
+    // (the λ0-floor noise needs enough labels to bite), and cutoff
+    // without scaling must freeze the random initial field.
+    // Offset 200: large enough that exp(−E_min/T0)·S < 1 already at the
+    // initial temperature, the regime where the paper observes cut-off
+    // without scaling discarding every label from the start.
+    let labels = 8;
+    let model = offset_checkerboard(labels, 200.0);
+    let truth = TabularMrf::checkerboard_truth(10, 10, labels);
+    let iterations = 120;
+
+    let scaled_only = RsuConfig::builder()
+        .decay_rate_scaling(true)
+        .probability_cutoff(false)
+        .pow2_lambda(false)
+        .conversion(rsu::Conversion::Lut)
+        .truncation(0.5)
+        .build()
+        .unwrap();
+    let cutoff_only = RsuConfig::builder()
+        .decay_rate_scaling(false)
+        .probability_cutoff(true)
+        .pow2_lambda(false)
+        .conversion(rsu::Conversion::Lut)
+        .truncation(0.5)
+        .build()
+        .unwrap();
+
+    let seeds = [7u64, 17, 27];
+    let mut e_prev = 0.0;
+    let mut e_scaled = 0.0;
+    let mut e_full = 0.0;
+    let mut frozen = 0.0;
+    for &seed in &seeds {
+        let (f_prev, _) = run_with(&model, &mut RsuG::previous_design(), seed, iterations);
+        let (f_scaled, _) =
+            run_with(&model, &mut RsuG::with_config(scaled_only), seed, iterations);
+        let (f_full, _) = run_with(&model, &mut RsuG::new_design(), seed, iterations);
+        e_prev += error_rate(&f_prev, &truth);
+        e_scaled += error_rate(&f_scaled, &truth);
+        e_full += error_rate(&f_full, &truth);
+
+        // Cut-off without scaling: once annealing cools, every label is
+        // cut off and the field freezes near its random start.
+        let mut cutoff_unit = RsuG::with_config(cutoff_only);
+        let (f_cut, _) = run_with(&model, &mut cutoff_unit, seed, iterations);
+        frozen += error_rate(&f_cut, &truth);
+        assert!(
+            cutoff_unit.stats().all_cutoff_keeps > 0,
+            "cut-off without scaling must hit the all-cutoff path"
+        );
+    }
+    let n = seeds.len() as f64;
+    let (e_prev, e_scaled, e_full, frozen) = (e_prev / n, e_scaled / n, e_full / n, frozen / n);
+
+    assert!(e_scaled < e_prev - 0.2, "scaling alone must improve markedly: {e_scaled} vs {e_prev}");
+    assert!(e_full <= e_scaled + 0.02, "full techniques at least as good: {e_full} vs {e_scaled}");
+    assert!(frozen > 0.5, "cut-off without scaling stays near random: {frozen}");
+}
+
+#[test]
+fn pow2_approximation_does_not_hurt_quality() {
+    // Fig. 5a: the 2^n line tracks the non-2^n line.
+    let labels = 4;
+    let model = offset_checkerboard(labels, 60.0);
+    let truth = TabularMrf::checkerboard_truth(10, 10, labels);
+    let non_pow2 = RsuConfig::builder()
+        .pow2_lambda(false)
+        .conversion(rsu::Conversion::Lut)
+        .build()
+        .unwrap();
+    let mut e_pow2 = 0.0;
+    let mut e_plain = 0.0;
+    for seed in [3u64, 13, 23] {
+        let (f_a, _) = run_with(&model, &mut RsuG::new_design(), seed, 120);
+        let (f_b, _) = run_with(&model, &mut RsuG::with_config(non_pow2), seed, 120);
+        e_pow2 += error_rate(&f_a, &truth);
+        e_plain += error_rate(&f_b, &truth);
+    }
+    assert!((e_pow2 - e_plain).abs() / 3.0 < 0.08, "pow2 {e_pow2} vs plain {e_plain}");
+}
+
+#[test]
+fn stationary_distribution_matches_boltzmann_at_fixed_temperature() {
+    // Single free site between fixed neighbours: run long Gibbs chains
+    // and compare the empirical label distribution of the new RSU-G to
+    // the exact Boltzmann law. This is the distribution-level version of
+    // the quality claim.
+    let energies = [0.0f64, 2.0, 4.0];
+    let t = 2.0;
+    let probs: Vec<f64> = {
+        let ws: Vec<f64> = energies.iter().map(|e| (-e / t).exp()).collect();
+        let z: f64 = ws.iter().sum();
+        ws.iter().map(|w| w / z).collect()
+    };
+    let mut unit = RsuG::new_design();
+    let mut rng = Xoshiro256pp::seed_from_u64(5);
+    let mut counts = vec![0u64; 3];
+    let n = 150_000;
+    for _ in 0..n {
+        let l = unit.sample_label(&energies, t, 0, &mut rng);
+        counts[l as usize] += 1;
+    }
+    for (i, (&c, &p)) in counts.iter().zip(&probs).enumerate() {
+        let got = c as f64 / n as f64;
+        // 4-bit λ with 2^n truncation quantises the ratios; allow a
+        // generous but meaningful band.
+        assert!(
+            (got - p).abs() < 0.08,
+            "label {i}: empirical {got} vs Boltzmann {p}"
+        );
+    }
+    // Ordering must be strict.
+    assert!(counts[0] > counts[1] && counts[1] > counts[2], "{counts:?}");
+}

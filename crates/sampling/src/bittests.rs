@@ -1,0 +1,196 @@
+//! Bitstream randomness tests (NIST SP 800-22 / FIPS 140 style).
+//!
+//! Table IV of the paper contrasts the RSU-G's true randomness against
+//! pseudo-RNGs and notes the 19-bit LFSR's caveat: "the result quality
+//! for other benchmarks and applications remains to be evaluated given
+//! the relatively short period of LFSR. Moreover, pseudo-RNG cannot
+//! provide security guarantees." This battery quantifies those
+//! distinctions on the software generators.
+
+use crate::stats::{chi_square_survival, regularized_gamma_p};
+use rand::RngCore;
+
+/// Extracts `n` bits (LSB-first per word) from a generator.
+pub fn collect_bits<R: RngCore + ?Sized>(rng: &mut R, n: usize) -> Vec<bool> {
+    let mut bits = Vec::with_capacity(n);
+    'outer: loop {
+        let w = rng.next_u64();
+        for i in 0..64 {
+            if bits.len() == n {
+                break 'outer;
+            }
+            bits.push((w >> i) & 1 == 1);
+        }
+    }
+    bits
+}
+
+/// Complementary error function via the regularised incomplete gamma
+/// function: `erfc(x) = 1 − P(1/2, x²)` for `x ≥ 0` (reflected for
+/// negative `x`).
+pub fn erfc(x: f64) -> f64 {
+    if x < 0.0 {
+        2.0 - erfc(-x)
+    } else {
+        1.0 - regularized_gamma_p(0.5, x * x)
+    }
+}
+
+/// NIST frequency (monobit) test: p-value for the hypothesis that ones
+/// and zeros are equally likely.
+///
+/// # Panics
+///
+/// Panics if `bits` is empty.
+pub fn monobit_pvalue(bits: &[bool]) -> f64 {
+    assert!(!bits.is_empty(), "empty bitstream");
+    let n = bits.len() as f64;
+    let s: i64 = bits.iter().map(|&b| if b { 1i64 } else { -1 }).sum();
+    let s_obs = (s as f64).abs() / n.sqrt();
+    erfc(s_obs / std::f64::consts::SQRT_2)
+}
+
+/// NIST runs test: p-value for the count of maximal same-bit runs being
+/// consistent with randomness. Returns 0 when the monobit precondition
+/// (|π − 1/2| small) already fails.
+///
+/// # Panics
+///
+/// Panics if `bits` is empty.
+pub fn runs_pvalue(bits: &[bool]) -> f64 {
+    assert!(!bits.is_empty(), "empty bitstream");
+    let n = bits.len() as f64;
+    let pi = bits.iter().filter(|&&b| b).count() as f64 / n;
+    if (pi - 0.5).abs() >= 2.0 / n.sqrt() {
+        return 0.0;
+    }
+    let runs = 1 + bits.windows(2).filter(|w| w[0] != w[1]).count();
+    let expected = 2.0 * n * pi * (1.0 - pi);
+    let denom = 2.0 * (2.0 * n).sqrt() * pi * (1.0 - pi);
+    erfc(((runs as f64) - expected).abs() / denom)
+}
+
+/// Block-frequency test: χ² p-value over the ones-proportion of
+/// `blocks` equal blocks.
+///
+/// # Panics
+///
+/// Panics if there are fewer bits than blocks or `blocks` is zero.
+pub fn block_frequency_pvalue(bits: &[bool], blocks: usize) -> f64 {
+    assert!(blocks > 0, "need at least one block");
+    let m = bits.len() / blocks;
+    assert!(m > 0, "fewer bits than blocks");
+    let mut chi = 0.0;
+    for b in 0..blocks {
+        let ones = bits[b * m..(b + 1) * m].iter().filter(|&&x| x).count() as f64;
+        let pi = ones / m as f64;
+        chi += (pi - 0.5) * (pi - 0.5);
+    }
+    chi *= 4.0 * m as f64;
+    chi_square_survival(chi, blocks as f64)
+}
+
+/// FIPS 140-2 poker test statistic over 4-bit nibbles; returns the χ²
+/// p-value (15 degrees of freedom).
+///
+/// # Panics
+///
+/// Panics if there are fewer than 16 nibbles.
+pub fn poker_pvalue(bits: &[bool]) -> f64 {
+    let nibbles = bits.len() / 4;
+    assert!(nibbles >= 16, "need at least 64 bits");
+    let mut counts = [0u64; 16];
+    for i in 0..nibbles {
+        let mut v = 0usize;
+        for j in 0..4 {
+            v = (v << 1) | usize::from(bits[i * 4 + j]);
+        }
+        counts[v] += 1;
+    }
+    let k = nibbles as f64;
+    let sum_sq: f64 = counts.iter().map(|&c| (c as f64) * (c as f64)).sum();
+    let x = (16.0 / k) * sum_sq - k;
+    chi_square_survival(x, 15.0)
+}
+
+/// Runs the whole battery; returns `(name, p_value)` pairs.
+pub fn battery<R: RngCore + ?Sized>(rng: &mut R, n_bits: usize) -> Vec<(&'static str, f64)> {
+    let bits = collect_bits(rng, n_bits);
+    vec![
+        ("monobit", monobit_pvalue(&bits)),
+        ("runs", runs_pvalue(&bits)),
+        ("block_frequency", block_frequency_pvalue(&bits, 64)),
+        ("poker", poker_pvalue(&bits)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{Lfsr, Mt19937, SplitMix64, Xoshiro256pp};
+    use rand::SeedableRng;
+
+    #[test]
+    fn erfc_matches_known_values() {
+        assert!((erfc(0.0) - 1.0).abs() < 1e-12);
+        assert!((erfc(1.0) - 0.157_299_207).abs() < 1e-6);
+        assert!((erfc(-1.0) - 1.842_700_79).abs() < 1e-6);
+        assert!(erfc(5.0) < 1e-10);
+    }
+
+    #[test]
+    fn constant_and_alternating_streams_fail() {
+        let ones = vec![true; 4096];
+        assert!(monobit_pvalue(&ones) < 1e-6);
+        let alternating: Vec<bool> = (0..4096).map(|i| i % 2 == 0).collect();
+        // Perfectly balanced, so monobit passes...
+        assert!(monobit_pvalue(&alternating) > 0.9);
+        // ...but the runs test destroys it.
+        assert!(runs_pvalue(&alternating) < 1e-6);
+        // And poker flags the two-value nibble histogram.
+        assert!(poker_pvalue(&alternating) < 1e-6);
+    }
+
+    #[test]
+    fn good_generators_pass_the_battery() {
+        macro_rules! check {
+            ($t:ty, $name:literal) => {{
+                let mut rng = <$t>::seed_from_u64(0xABCD);
+                for (test, p) in battery(&mut rng, 1 << 16) {
+                    assert!(p > 1e-4, concat!($name, ": {} p-value {}"), test, p);
+                }
+            }};
+        }
+        check!(Mt19937, "mt19937");
+        check!(Xoshiro256pp, "xoshiro");
+        check!(SplitMix64, "splitmix");
+    }
+
+    #[test]
+    fn lfsr_bits_pass_short_battery_despite_short_period() {
+        // Within one period a maximal LFSR is remarkably balanced — the
+        // paper's observation that it matches RSU-G quality on the
+        // selected benchmarks.
+        let mut rng = Lfsr::new_19bit(0x1357);
+        for (test, p) in battery(&mut rng, 1 << 14) {
+            assert!(p > 1e-5, "lfsr: {test} p-value {p}");
+        }
+    }
+
+    #[test]
+    fn biased_stream_fails_block_frequency() {
+        // Bits from a biased source: 1 with probability 0.6.
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
+        let bits: Vec<bool> = (0..32_768).map(|_| rng.next_f64() < 0.6).collect();
+        assert!(monobit_pvalue(&bits) < 1e-6);
+        assert!(block_frequency_pvalue(&bits, 64) < 1e-6);
+    }
+
+    #[test]
+    fn collect_bits_returns_exactly_n() {
+        let mut rng = SplitMix64::new(1);
+        assert_eq!(collect_bits(&mut rng, 1000).len(), 1000);
+        assert_eq!(collect_bits(&mut rng, 64).len(), 64);
+        assert_eq!(collect_bits(&mut rng, 65).len(), 65);
+    }
+}

@@ -1,0 +1,386 @@
+//! Discrete (categorical) distribution samplers.
+
+use crate::error::DistributionError;
+use rand::Rng;
+
+/// A categorical distribution over `0..k` sampled by cumulative-sum
+/// inversion over floating-point weights.
+///
+/// This is the "software-only" Gibbs inner loop the paper benchmarks
+/// against: compute `p_i ∝ exp(−E_i / T)` for every label, then invert the
+/// running sum with one uniform draw.
+///
+/// # Example
+///
+/// ```
+/// use sampling::{Categorical, Xoshiro256pp};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), sampling::DistributionError> {
+/// let cat = Categorical::new(&[1.0, 2.0, 3.0, 1.0])?;
+/// let mut rng = Xoshiro256pp::seed_from_u64(1);
+/// let label = cat.sample(&mut rng);
+/// assert!(label < 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Categorical {
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+impl Categorical {
+    /// Builds a categorical distribution from non-negative weights
+    /// (they need not sum to one).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `weights` is empty, contains a negative or
+    /// non-finite value, or sums to zero.
+    pub fn new(weights: &[f64]) -> Result<Self, DistributionError> {
+        if weights.is_empty() {
+            return Err(DistributionError::EmptyWeights);
+        }
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut total = 0.0;
+        for (index, &w) in weights.iter().enumerate() {
+            if !(w >= 0.0) || !w.is_finite() {
+                return Err(DistributionError::InvalidWeight { index, value: w });
+            }
+            total += w;
+            cumulative.push(total);
+        }
+        if total <= 0.0 {
+            return Err(DistributionError::ZeroTotalWeight);
+        }
+        Ok(Categorical { cumulative, total })
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the distribution has no outcomes (never true for a
+    /// successfully constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Probability of outcome `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn probability(&self, i: usize) -> f64 {
+        let prev = if i == 0 { 0.0 } else { self.cumulative[i - 1] };
+        (self.cumulative[i] - prev) / self.total
+    }
+
+    /// Draws one outcome index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u = rng.gen::<f64>() * self.total;
+        // partition_point returns the first index whose cumulative weight
+        // exceeds u; zero-weight outcomes are skipped because their
+        // cumulative value equals their predecessor's.
+        let idx = self.cumulative.partition_point(|&c| c <= u);
+        idx.min(self.cumulative.len() - 1)
+    }
+}
+
+/// Integer cumulative-weight lookup table: the discrete sampler a pure-CMOS
+/// design pairs with a uniform RNG.
+///
+/// Table IV of the paper: RNG-based alternatives "require a LUT to store
+/// the target cumulative distribution function (e.g., store {1,3,6,7} for
+/// the discrete probability distribution {1,2,3,1})". Sampling draws a
+/// uniform integer in `[0, total)` and binary-searches the table.
+///
+/// # Example
+///
+/// ```
+/// use sampling::{CdfTable, Xoshiro256pp};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), sampling::DistributionError> {
+/// let table = CdfTable::from_weights(&[1, 2, 3, 1])?;
+/// assert_eq!(table.cumulative(), &[1, 3, 6, 7]);
+/// let mut rng = Xoshiro256pp::seed_from_u64(1);
+/// assert!(table.sample(&mut rng) < 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CdfTable {
+    cumulative: Vec<u64>,
+}
+
+impl CdfTable {
+    /// Builds the table from integer weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `weights` is empty or all zero.
+    pub fn from_weights(weights: &[u64]) -> Result<Self, DistributionError> {
+        if weights.is_empty() {
+            return Err(DistributionError::EmptyWeights);
+        }
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut total = 0u64;
+        for &w in weights {
+            total = total
+                .checked_add(w)
+                .expect("cumulative weight overflow; use smaller weights");
+            cumulative.push(total);
+        }
+        if total == 0 {
+            return Err(DistributionError::ZeroTotalWeight);
+        }
+        Ok(CdfTable { cumulative })
+    }
+
+    /// The stored cumulative weights (the LUT contents).
+    pub fn cumulative(&self) -> &[u64] {
+        &self.cumulative
+    }
+
+    /// Total weight (the RNG range required).
+    pub fn total(&self) -> u64 {
+        *self.cumulative.last().expect("table is non-empty")
+    }
+
+    /// Number of outcomes, i.e. LUT entries.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the table has no entries (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Storage the LUT needs in bits, assuming fixed-width entries wide
+    /// enough for the total. Used by the `uarch` area model.
+    pub fn storage_bits(&self) -> u64 {
+        let width = 64 - self.total().leading_zeros() as u64;
+        width.max(1) * self.cumulative.len() as u64
+    }
+
+    /// Draws one outcome index using a uniform integer draw.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u = rng.gen_range(0..self.total());
+        self.lookup(u)
+    }
+
+    /// Maps a uniform integer `u` in `[0, total)` to its outcome — the
+    /// pure combinational-logic part of the hardware design, exposed so
+    /// tests can drive it exhaustively.
+    pub fn lookup(&self, u: u64) -> usize {
+        debug_assert!(u < self.total());
+        self.cumulative.partition_point(|&c| c <= u)
+    }
+}
+
+/// Walker's alias method: O(k) construction, O(1) sampling.
+///
+/// Used as an independent cross-check of [`Categorical`] and as the
+/// strongest software baseline for the sampling microbenchmarks.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Builds an alias table from non-negative weights.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Categorical::new`].
+    pub fn new(weights: &[f64]) -> Result<Self, DistributionError> {
+        if weights.is_empty() {
+            return Err(DistributionError::EmptyWeights);
+        }
+        let k = weights.len();
+        let mut total = 0.0;
+        for (index, &w) in weights.iter().enumerate() {
+            if !(w >= 0.0) || !w.is_finite() {
+                return Err(DistributionError::InvalidWeight { index, value: w });
+            }
+            total += w;
+        }
+        if total <= 0.0 {
+            return Err(DistributionError::ZeroTotalWeight);
+        }
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * k as f64 / total).collect();
+        let mut alias = vec![0usize; k];
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s] = l;
+            prob[l] = (prob[l] + prob[s]) - 1.0;
+            if prob[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Remaining entries are numerically 1.
+        for i in small.into_iter().chain(large) {
+            prob[i] = 1.0;
+        }
+        Ok(AliasTable { prob, alias })
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table has no outcomes (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one outcome index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256pp;
+    use crate::stats;
+    use rand::SeedableRng;
+
+    fn empirical(counts: &[u64]) -> Vec<f64> {
+        let total: u64 = counts.iter().sum();
+        counts.iter().map(|&c| c as f64 / total as f64).collect()
+    }
+
+    #[test]
+    fn categorical_rejects_bad_inputs() {
+        assert_eq!(Categorical::new(&[]), Err(DistributionError::EmptyWeights));
+        assert_eq!(Categorical::new(&[0.0, 0.0]), Err(DistributionError::ZeroTotalWeight));
+        assert!(matches!(
+            Categorical::new(&[1.0, -2.0]),
+            Err(DistributionError::InvalidWeight { index: 1, .. })
+        ));
+        assert!(Categorical::new(&[1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn categorical_probabilities_normalise() {
+        let cat = Categorical::new(&[1.0, 2.0, 3.0, 1.0]).unwrap();
+        let sum: f64 = (0..cat.len()).map(|i| cat.probability(i)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((cat.probability(2) - 3.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn categorical_empirical_matches_weights() {
+        let weights = [1.0, 2.0, 3.0, 1.0];
+        let cat = Categorical::new(&weights).unwrap();
+        let mut rng = Xoshiro256pp::seed_from_u64(17);
+        let mut counts = [0u64; 4];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[cat.sample(&mut rng)] += 1;
+        }
+        let expected: Vec<f64> = weights.iter().map(|w| w / 7.0).collect();
+        let p = stats::chi_square_pvalue_uniformish(&counts, &expected);
+        assert!(p > 1e-4, "chi-square p-value {p} too small");
+    }
+
+    #[test]
+    fn categorical_skips_zero_weight_outcomes() {
+        let cat = Categorical::new(&[0.0, 1.0, 0.0, 1.0, 0.0]).unwrap();
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let s = cat.sample(&mut rng);
+            assert!(s == 1 || s == 3, "drew zero-weight outcome {s}");
+        }
+    }
+
+    #[test]
+    fn cdf_table_matches_paper_example() {
+        let table = CdfTable::from_weights(&[1, 2, 3, 1]).unwrap();
+        assert_eq!(table.cumulative(), &[1, 3, 6, 7]);
+        assert_eq!(table.total(), 7);
+        // Exhaustive lookup check over the whole RNG range.
+        let expected = [0, 1, 1, 2, 2, 2, 3];
+        for (u, &e) in expected.iter().enumerate() {
+            assert_eq!(table.lookup(u as u64), e);
+        }
+    }
+
+    #[test]
+    fn cdf_table_storage_bits() {
+        let table = CdfTable::from_weights(&[1, 2, 3, 1]).unwrap();
+        // Total 7 needs 3 bits; 4 entries → 12 bits.
+        assert_eq!(table.storage_bits(), 12);
+    }
+
+    #[test]
+    fn cdf_table_rejects_degenerate_inputs() {
+        assert!(CdfTable::from_weights(&[]).is_err());
+        assert!(CdfTable::from_weights(&[0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn cdf_table_handles_zero_weight_entries() {
+        let table = CdfTable::from_weights(&[0, 5, 0, 5]).unwrap();
+        let mut rng = Xoshiro256pp::seed_from_u64(6);
+        for _ in 0..5_000 {
+            let s = table.sample(&mut rng);
+            assert!(s == 1 || s == 3);
+        }
+    }
+
+    #[test]
+    fn alias_table_agrees_with_categorical() {
+        let weights = [0.5, 3.0, 1.5, 0.0, 2.0];
+        let alias = AliasTable::new(&weights).unwrap();
+        let mut rng = Xoshiro256pp::seed_from_u64(23);
+        let mut counts = [0u64; 5];
+        let n = 300_000;
+        for _ in 0..n {
+            counts[alias.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[3], 0, "zero-weight outcome drawn");
+        let total: f64 = weights.iter().sum();
+        let freqs = empirical(&counts);
+        for (i, &w) in weights.iter().enumerate() {
+            let expect = w / total;
+            assert!(
+                (freqs[i] - expect).abs() < 0.01,
+                "outcome {i}: {} vs {expect}",
+                freqs[i]
+            );
+        }
+    }
+
+    #[test]
+    fn alias_table_single_outcome() {
+        let alias = AliasTable::new(&[42.0]).unwrap();
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(alias.sample(&mut rng), 0);
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Exponential distribution samplers.
+
+use crate::error::DistributionError;
+use rand::Rng;
+
+/// An exponential distribution `p(t) = λ e^{−λt}` parameterised by its
+/// decay rate `λ` (Eq. 3 of the paper).
+///
+/// Sampling uses exact inverse-CDF transformation,
+/// `t = −ln(1 − u) / λ` with `u ~ U[0, 1)`, which is the idealised
+/// behaviour of an ensemble-excited RET network's time to fluorescence.
+///
+/// # Example
+///
+/// ```
+/// use sampling::{Exponential, Xoshiro256pp};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), sampling::DistributionError> {
+/// let exp = Exponential::new(2.0)?;
+/// let mut rng = Xoshiro256pp::seed_from_u64(1);
+/// let t = exp.sample(&mut rng);
+/// assert!(t >= 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with decay rate `rate`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistributionError::NonPositiveRate`] if `rate` is not
+    /// strictly positive and finite.
+    pub fn new(rate: f64) -> Result<Self, DistributionError> {
+        if !(rate > 0.0) || !rate.is_finite() {
+            return Err(DistributionError::NonPositiveRate { value: rate });
+        }
+        Ok(Exponential { rate })
+    }
+
+    /// The decay rate `λ`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The mean `1/λ`.
+    pub fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen::<f64>();
+        // 1 − u is in (0, 1], so the log is finite and non-positive.
+        -(1.0 - u).ln() / self.rate
+    }
+
+    /// Cumulative distribution function `P(T ≤ t)`.
+    pub fn cdf(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-self.rate * t).exp()
+        }
+    }
+
+    /// Survival function `P(T > t) = e^{−λt}`.
+    ///
+    /// This is exactly the paper's *Truncation* quantity when evaluated at
+    /// the detection bound: `Truncation = exp(−λ0 · t_max)`.
+    pub fn survival(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            1.0
+        } else {
+            (-self.rate * t).exp()
+        }
+    }
+
+    /// Quantile function (inverse CDF).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `p` is outside `[0, 1)`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        debug_assert!((0.0..1.0).contains(&p));
+        -(1.0 - p).ln() / self.rate
+    }
+}
+
+/// An exponential distribution truncated at an upper bound `t_max`:
+/// samples beyond the bound are reported as [`None`] ("rounded up to
+/// infinity" in the paper's terms) or clamped to the bound, depending on
+/// which sampling method is used.
+///
+/// This models the RSU-G's finite detection window: "RSU-G has a maximum
+/// TTF it can detect and rounds up to infinity for any TTF beyond this
+/// bound" (§III-C).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TruncatedExponential {
+    inner: Exponential,
+    t_max: f64,
+}
+
+impl TruncatedExponential {
+    /// Creates a truncated exponential with decay rate `rate` and
+    /// detection bound `t_max`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistributionError::NonPositiveRate`] for an invalid rate
+    /// and [`DistributionError::InvalidBound`] for an invalid bound.
+    pub fn new(rate: f64, t_max: f64) -> Result<Self, DistributionError> {
+        let inner = Exponential::new(rate)?;
+        if !(t_max > 0.0) || !t_max.is_finite() {
+            return Err(DistributionError::InvalidBound { value: t_max });
+        }
+        Ok(TruncatedExponential { inner, t_max })
+    }
+
+    /// The decay rate `λ`.
+    pub fn rate(&self) -> f64 {
+        self.inner.rate()
+    }
+
+    /// The detection bound `t_max`.
+    pub fn t_max(&self) -> f64 {
+        self.t_max
+    }
+
+    /// The truncated probability mass `P(T > t_max) = e^{−λ t_max}`.
+    pub fn truncated_mass(&self) -> f64 {
+        self.inner.survival(self.t_max)
+    }
+
+    /// Draws a sample; returns [`None`] if it fell beyond the bound
+    /// (the "no photon observed" outcome).
+    pub fn sample_or_censor<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<f64> {
+        let t = self.inner.sample(rng);
+        (t <= self.t_max).then_some(t)
+    }
+
+    /// Draws a sample, clamping values beyond the bound to `t_max`
+    /// (the "numerically rounded to t_max" convention of §III-C3).
+    pub fn sample_clamped<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.inner.sample(rng).min(self.t_max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256pp;
+    use crate::stats;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_rates() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(Exponential::new(bad).is_err(), "rate {bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn sample_mean_matches_inverse_rate() {
+        let mut rng = Xoshiro256pp::seed_from_u64(11);
+        for rate in [0.25, 1.0, 4.0, 32.0] {
+            let exp = Exponential::new(rate).unwrap();
+            let n = 200_000;
+            let mean = (0..n).map(|_| exp.sample(&mut rng)).sum::<f64>() / n as f64;
+            let expected = 1.0 / rate;
+            // SD of the mean is (1/rate)/sqrt(n).
+            let tol = 5.0 * expected / (n as f64).sqrt();
+            assert!((mean - expected).abs() < tol, "rate {rate}: mean {mean} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn cdf_and_quantile_are_inverses() {
+        let exp = Exponential::new(3.0).unwrap();
+        for p in [0.01, 0.1, 0.5, 0.9, 0.99] {
+            let t = exp.quantile(p);
+            assert!((exp.cdf(t) - p).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn survival_plus_cdf_is_one() {
+        let exp = Exponential::new(0.7).unwrap();
+        for t in [0.0, 0.5, 1.0, 5.0, 50.0] {
+            assert!((exp.cdf(t) + exp.survival(t) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empirical_distribution_passes_ks_test() {
+        let exp = Exponential::new(1.5).unwrap();
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        let samples: Vec<f64> = (0..20_000).map(|_| exp.sample(&mut rng)).collect();
+        let d = stats::ks_statistic(&samples, |t| exp.cdf(t));
+        // Critical value at alpha = 0.001 is ~1.95/sqrt(n).
+        let critical = 1.95 / (samples.len() as f64).sqrt();
+        assert!(d < critical, "KS statistic {d} exceeds {critical}");
+    }
+
+    #[test]
+    fn truncation_mass_matches_paper_formula() {
+        // Truncation = exp(−λ0 · t_max); with λ0 = −ln(0.5)/32 and
+        // t_max = 32 (the paper's chosen point) the mass is exactly 0.5.
+        let t_max = 32.0;
+        let lambda0 = -(0.5f64.ln()) / t_max;
+        let trunc = TruncatedExponential::new(lambda0, t_max).unwrap();
+        assert!((trunc.truncated_mass() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn censoring_rate_matches_truncated_mass() {
+        let trunc = TruncatedExponential::new(0.05, 20.0).unwrap();
+        let mut rng = Xoshiro256pp::seed_from_u64(8);
+        let n = 100_000;
+        let censored = (0..n).filter(|_| trunc.sample_or_censor(&mut rng).is_none()).count();
+        let observed = censored as f64 / n as f64;
+        let expected = trunc.truncated_mass();
+        let sd = (expected * (1.0 - expected) / n as f64).sqrt();
+        assert!((observed - expected).abs() < 5.0 * sd);
+    }
+
+    #[test]
+    fn clamped_samples_never_exceed_bound() {
+        let trunc = TruncatedExponential::new(0.01, 4.0).unwrap();
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        for _ in 0..10_000 {
+            assert!(trunc.sample_clamped(&mut rng) <= 4.0);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_bounds() {
+        for bad in [0.0, -3.0, f64::NAN, f64::INFINITY] {
+            assert!(TruncatedExponential::new(1.0, bad).is_err());
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Distribution samplers.
+//!
+//! * [`Exponential`] / [`TruncatedExponential`] — the distribution family
+//!   the RET networks realise physically (Eq. 3 of the paper,
+//!   `p(t) = λ e^{−λt}`), sampled exactly by CDF inversion.
+//! * [`Categorical`] — floating-point categorical sampling by cumulative
+//!   sum, the "software-only" inner loop the paper benchmarks against.
+//! * [`CdfTable`] — the integer cumulative-weight lookup table a pure-CMOS
+//!   sampling unit would use (Table IV discussion: "generating
+//!   parameterized distributions requires a LUT to store the target
+//!   cumulative distribution function, e.g. store {1,3,6,7} for the
+//!   discrete probability distribution {1,2,3,1}").
+//! * [`AliasTable`] — Walker's alias method, an O(1) software alternative
+//!   used as an extra baseline and to cross-validate the other samplers.
+
+mod categorical;
+mod exponential;
+mod phase_type;
+
+pub use categorical::{AliasTable, Categorical, CdfTable};
+pub use exponential::{Exponential, TruncatedExponential};
+pub use phase_type::{Hyperexponential, Hypoexponential, PhaseType};

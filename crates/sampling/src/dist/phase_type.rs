@@ -1,0 +1,316 @@
+//! Phase-type distributions — the paper's stated future work
+//! ("exploring sampling from phase-type distributions", §IV-D).
+//!
+//! A phase-type (PH) distribution is the absorption time of a
+//! continuous-time Markov chain: a strict generalisation of the
+//! exponential a RET network realises physically. Chains of RET
+//! transfers naturally realise *hypoexponential* (series) stages and
+//! mixtures of networks realise *hyperexponential* (parallel) stages,
+//! so PH sampling maps directly onto multi-stage RET circuits. This
+//! module provides:
+//!
+//! * [`Hypoexponential`] — a series of exponential stages (Erlang when
+//!   the rates are equal);
+//! * [`Hyperexponential`] — a probabilistic mixture of exponentials;
+//! * [`PhaseType`] — a general absorbing-chain representation sampled by
+//!   simulating the chain.
+
+use crate::dist::{Categorical, Exponential};
+use crate::error::DistributionError;
+use rand::Rng;
+
+/// A sum of independent exponential stages with the given rates
+/// (Erlang-k when all rates are equal).
+///
+/// # Example
+///
+/// ```
+/// use sampling::{Hypoexponential, Xoshiro256pp};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), sampling::DistributionError> {
+/// let erlang3 = Hypoexponential::new(&[2.0, 2.0, 2.0])?;
+/// assert_eq!(erlang3.mean(), 1.5);
+/// let mut rng = Xoshiro256pp::seed_from_u64(1);
+/// assert!(erlang3.sample(&mut rng) > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hypoexponential {
+    stages: Vec<Exponential>,
+}
+
+impl Hypoexponential {
+    /// Creates the distribution from per-stage rates.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `rates` is empty or any rate is invalid.
+    pub fn new(rates: &[f64]) -> Result<Self, DistributionError> {
+        if rates.is_empty() {
+            return Err(DistributionError::EmptyWeights);
+        }
+        let stages = rates.iter().map(|&r| Exponential::new(r)).collect::<Result<_, _>>()?;
+        Ok(Hypoexponential { stages })
+    }
+
+    /// Number of stages.
+    pub fn stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Mean `Σ 1/λ_i`.
+    pub fn mean(&self) -> f64 {
+        self.stages.iter().map(Exponential::mean).sum()
+    }
+
+    /// Variance `Σ 1/λ_i²`.
+    pub fn variance(&self) -> f64 {
+        self.stages.iter().map(|s| s.mean() * s.mean()).sum()
+    }
+
+    /// Draws one sample (sum of the stage draws).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.stages.iter().map(|s| s.sample(rng)).sum()
+    }
+}
+
+/// A mixture of exponentials: stage `i` is chosen with probability
+/// `w_i / Σw`, then sampled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hyperexponential {
+    mixing: Categorical,
+    components: Vec<Exponential>,
+}
+
+impl Hyperexponential {
+    /// Creates the mixture from (weight, rate) pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the list is empty, the weights are invalid,
+    /// or any rate is invalid.
+    pub fn new(components: &[(f64, f64)]) -> Result<Self, DistributionError> {
+        if components.is_empty() {
+            return Err(DistributionError::EmptyWeights);
+        }
+        let weights: Vec<f64> = components.iter().map(|&(w, _)| w).collect();
+        let mixing = Categorical::new(&weights)?;
+        let comps = components
+            .iter()
+            .map(|&(_, r)| Exponential::new(r))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Hyperexponential { mixing, components: comps })
+    }
+
+    /// Number of mixture components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether the mixture has no components (never true).
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Mean `Σ p_i / λ_i`.
+    pub fn mean(&self) -> f64 {
+        (0..self.components.len())
+            .map(|i| self.mixing.probability(i) * self.components[i].mean())
+            .sum()
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let i = self.mixing.sample(rng);
+        self.components[i].sample(rng)
+    }
+
+    /// Exact CDF `Σ p_i (1 − e^{−λ_i t})`.
+    pub fn cdf(&self, t: f64) -> f64 {
+        (0..self.components.len())
+            .map(|i| self.mixing.probability(i) * self.components[i].cdf(t))
+            .sum()
+    }
+}
+
+/// A general phase-type distribution: an absorbing continuous-time
+/// Markov chain over `n` transient phases. Sampling simulates the chain
+/// phase by phase, which is exactly how a multi-stage RET topology would
+/// realise it physically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseType {
+    /// Initial-phase distribution.
+    initial: Categorical,
+    /// Per-phase total exit rate.
+    exit_rate: Vec<f64>,
+    /// Per-phase transition distribution over `n + 1` targets; target
+    /// `n` is absorption.
+    transitions: Vec<Categorical>,
+}
+
+impl PhaseType {
+    /// Builds a phase-type distribution.
+    ///
+    /// `initial` are the starting-phase weights; `rates[i]` is phase
+    /// `i`'s total exit rate; `jump[i]` holds `n + 1` weights for where
+    /// phase `i` exits to (the last entry being absorption).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on empty/invalid inputs, or if absorption is
+    /// unreachable because every absorption weight is zero.
+    pub fn new(
+        initial: &[f64],
+        rates: &[f64],
+        jump: &[Vec<f64>],
+    ) -> Result<Self, DistributionError> {
+        let n = rates.len();
+        if n == 0 || initial.len() != n || jump.len() != n {
+            return Err(DistributionError::EmptyWeights);
+        }
+        for (index, &r) in rates.iter().enumerate() {
+            if !(r > 0.0) || !r.is_finite() {
+                return Err(DistributionError::InvalidWeight { index, value: r });
+            }
+        }
+        let init = Categorical::new(initial)?;
+        let mut transitions = Vec::with_capacity(n);
+        for row in jump {
+            if row.len() != n + 1 {
+                return Err(DistributionError::EmptyWeights);
+            }
+            transitions.push(Categorical::new(row)?);
+        }
+        if jump.iter().all(|row| row[n] == 0.0) {
+            return Err(DistributionError::ZeroTotalWeight);
+        }
+        Ok(PhaseType { initial: init, exit_rate: rates.to_vec(), transitions })
+    }
+
+    /// Number of transient phases.
+    pub fn phases(&self) -> usize {
+        self.exit_rate.len()
+    }
+
+    /// Draws one absorption time by simulating the chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chain fails to absorb within 10⁶ jumps (indicating
+    /// a (numerically) absorbing transient cycle).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let n = self.phases();
+        let mut phase = self.initial.sample(rng);
+        let mut t = 0.0;
+        for _ in 0..1_000_000 {
+            t += Exponential::new(self.exit_rate[phase])
+                .expect("validated rate")
+                .sample(rng);
+            let next = self.transitions[phase].sample(rng);
+            if next == n {
+                return t;
+            }
+            phase = next;
+        }
+        panic!("phase-type chain failed to absorb; check the transition weights");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256pp;
+    use crate::stats;
+    use rand::SeedableRng;
+
+    #[test]
+    fn erlang_moments_match_theory() {
+        let erlang = Hypoexponential::new(&[3.0; 4]).unwrap();
+        assert!((erlang.mean() - 4.0 / 3.0).abs() < 1e-12);
+        assert!((erlang.variance() - 4.0 / 9.0).abs() < 1e-12);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let xs: Vec<f64> = (0..100_000).map(|_| erlang.sample(&mut rng)).collect();
+        let (mean, var) = stats::mean_variance(&xs);
+        assert!((mean - erlang.mean()).abs() < 0.02);
+        assert!((var - erlang.variance()).abs() < 0.02);
+    }
+
+    #[test]
+    fn erlang_cdf_via_ks() {
+        // Erlang-2 CDF: 1 − e^{−λt}(1 + λt).
+        let lam = 2.0;
+        let erlang = Hypoexponential::new(&[lam, lam]).unwrap();
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let xs: Vec<f64> = (0..20_000).map(|_| erlang.sample(&mut rng)).collect();
+        let d = stats::ks_statistic(&xs, |t| {
+            if t <= 0.0 {
+                0.0
+            } else {
+                1.0 - (-lam * t).exp() * (1.0 + lam * t)
+            }
+        });
+        assert!(d < 1.95 / (xs.len() as f64).sqrt(), "KS {d}");
+    }
+
+    #[test]
+    fn hyperexponential_matches_its_cdf() {
+        let hyper = Hyperexponential::new(&[(0.3, 5.0), (0.7, 0.5)]).unwrap();
+        assert!((hyper.mean() - (0.3 / 5.0 + 0.7 / 0.5)).abs() < 1e-12);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let xs: Vec<f64> = (0..20_000).map(|_| hyper.sample(&mut rng)).collect();
+        let d = stats::ks_statistic(&xs, |t| hyper.cdf(t));
+        assert!(d < 1.95 / (xs.len() as f64).sqrt(), "KS {d}");
+    }
+
+    #[test]
+    fn hyperexponential_is_overdispersed_hypo_underdispersed() {
+        // Relative to an exponential with the same mean, mixtures have
+        // CV > 1 and series have CV < 1 — the classic PH dichotomy.
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
+        let hyper = Hyperexponential::new(&[(0.5, 4.0), (0.5, 0.4)]).unwrap();
+        let hypo = Hypoexponential::new(&[2.0, 2.0, 2.0]).unwrap();
+        let cv = |xs: &[f64]| {
+            let (m, v) = stats::mean_variance(xs);
+            v.sqrt() / m
+        };
+        let hx: Vec<f64> = (0..50_000).map(|_| hyper.sample(&mut rng)).collect();
+        let lx: Vec<f64> = (0..50_000).map(|_| hypo.sample(&mut rng)).collect();
+        assert!(cv(&hx) > 1.1, "hyperexponential CV {}", cv(&hx));
+        assert!(cv(&lx) < 0.9, "hypoexponential CV {}", cv(&lx));
+    }
+
+    #[test]
+    fn general_phase_type_reduces_to_erlang() {
+        // 2 phases in series, rates λ, absorb from phase 1: Erlang-2.
+        let ph = PhaseType::new(
+            &[1.0, 0.0],
+            &[3.0, 3.0],
+            &[vec![0.0, 1.0, 0.0], vec![0.0, 0.0, 1.0]],
+        )
+        .unwrap();
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        let xs: Vec<f64> = (0..30_000).map(|_| ph.sample(&mut rng)).collect();
+        let erlang = Hypoexponential::new(&[3.0, 3.0]).unwrap();
+        let (mean, var) = stats::mean_variance(&xs);
+        assert!((mean - erlang.mean()).abs() < 0.02);
+        assert!((var - erlang.variance()).abs() < 0.02);
+    }
+
+    #[test]
+    fn construction_rejects_bad_inputs() {
+        assert!(Hypoexponential::new(&[]).is_err());
+        assert!(Hypoexponential::new(&[1.0, 0.0]).is_err());
+        assert!(Hyperexponential::new(&[]).is_err());
+        assert!(Hyperexponential::new(&[(1.0, -1.0)]).is_err());
+        assert!(PhaseType::new(&[], &[], &[]).is_err());
+        // Unreachable absorption.
+        assert!(PhaseType::new(
+            &[1.0],
+            &[1.0],
+            &[vec![1.0, 0.0]],
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,110 @@
+//! Error types for the sampling crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when constructing or using a distribution sampler with
+/// invalid parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistributionError {
+    /// A rate/weight parameter was not strictly positive and finite.
+    NonPositiveRate {
+        /// The offending value.
+        value: f64,
+    },
+    /// A weight vector was empty.
+    EmptyWeights,
+    /// All weights were zero, so no outcome can ever be drawn.
+    ZeroTotalWeight,
+    /// A weight was negative or not finite.
+    InvalidWeight {
+        /// Index of the offending weight.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A truncation bound was not strictly positive and finite.
+    InvalidBound {
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for DistributionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistributionError::NonPositiveRate { value } => {
+                write!(f, "rate must be positive and finite, got {value}")
+            }
+            DistributionError::EmptyWeights => write!(f, "weight vector is empty"),
+            DistributionError::ZeroTotalWeight => {
+                write!(f, "all weights are zero; no outcome can be drawn")
+            }
+            DistributionError::InvalidWeight { index, value } => {
+                write!(f, "weight at index {index} is invalid: {value}")
+            }
+            DistributionError::InvalidBound { value } => {
+                write!(f, "truncation bound must be positive and finite, got {value}")
+            }
+        }
+    }
+}
+
+impl Error for DistributionError {}
+
+/// Error raised when constructing a random-number generator with invalid
+/// parameters (for example, a zero LFSR state, which is an absorbing state).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RngError {
+    /// The LFSR state must be non-zero.
+    ZeroLfsrState,
+    /// The requested LFSR width is outside the supported range.
+    UnsupportedLfsrWidth {
+        /// The requested register width in bits.
+        width: u32,
+    },
+}
+
+impl fmt::Display for RngError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RngError::ZeroLfsrState => {
+                write!(f, "LFSR state must be non-zero (zero is an absorbing state)")
+            }
+            RngError::UnsupportedLfsrWidth { width } => {
+                write!(f, "unsupported LFSR width {width}; supported widths are 3..=32")
+            }
+        }
+    }
+}
+
+impl Error for RngError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let msgs = [
+            DistributionError::NonPositiveRate { value: -1.0 }.to_string(),
+            DistributionError::EmptyWeights.to_string(),
+            DistributionError::ZeroTotalWeight.to_string(),
+            DistributionError::InvalidWeight { index: 3, value: f64::NAN }.to_string(),
+            DistributionError::InvalidBound { value: 0.0 }.to_string(),
+            RngError::ZeroLfsrState.to_string(),
+            RngError::UnsupportedLfsrWidth { width: 99 }.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(!m.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<DistributionError>();
+        assert_err::<RngError>();
+    }
+}

@@ -1,0 +1,156 @@
+//! Competing-exponentials ("first-to-fire") primitives.
+//!
+//! The RSU-G's sampling principle (§II-C of the paper): draw one
+//! exponential time-to-fluorescence per label, each with its own decay
+//! rate `λ_i`, and choose the label whose sample fires first. By the
+//! classical property of competing exponentials,
+//!
+//! ```text
+//! P(label i wins) = λ_i / Σ_j λ_j
+//! ```
+//!
+//! so a race over rates `λ_i ∝ exp(−E_i / T)` is exactly a Gibbs draw.
+//! This module provides the idealised (continuous-time, untruncated)
+//! mechanism; the `rsu` crate layers the hardware's quantisation, time
+//! binning and truncation on top of it.
+
+use crate::dist::Exponential;
+use crate::error::DistributionError;
+use rand::Rng;
+
+/// Result of a first-to-fire race.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RaceOutcome {
+    /// Index of the winning label.
+    pub winner: usize,
+    /// The winning (minimum) firing time.
+    pub time: f64,
+}
+
+/// Runs one first-to-fire race over the given decay rates.
+///
+/// Rates equal to zero are allowed and treated as "never fires" (the
+/// probability cut-off case); at least one rate must be positive.
+///
+/// # Errors
+///
+/// Returns an error if `rates` is empty, contains a negative or non-finite
+/// value, or contains no positive rate.
+///
+/// # Example
+///
+/// ```
+/// use sampling::{first_to_fire, Xoshiro256pp};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), sampling::DistributionError> {
+/// let mut rng = Xoshiro256pp::seed_from_u64(3);
+/// let outcome = first_to_fire::race(&[8.0, 1.0, 0.0], &mut rng)?;
+/// assert_ne!(outcome.winner, 2, "zero-rate labels never win");
+/// # Ok(())
+/// # }
+/// ```
+pub fn race<R: Rng + ?Sized>(rates: &[f64], rng: &mut R) -> Result<RaceOutcome, DistributionError> {
+    validate_rates(rates)?;
+    let mut best: Option<RaceOutcome> = None;
+    for (i, &rate) in rates.iter().enumerate() {
+        if rate == 0.0 {
+            continue;
+        }
+        let t = Exponential::new(rate).expect("validated positive").sample(rng);
+        if best.map_or(true, |b| t < b.time) {
+            best = Some(RaceOutcome { winner: i, time: t });
+        }
+    }
+    Ok(best.expect("at least one positive rate"))
+}
+
+/// Theoretical winning probabilities `λ_i / Σ λ_j` for a race.
+///
+/// # Errors
+///
+/// Same conditions as [`race`].
+pub fn winner_probabilities(rates: &[f64]) -> Result<Vec<f64>, DistributionError> {
+    validate_rates(rates)?;
+    let total: f64 = rates.iter().sum();
+    Ok(rates.iter().map(|&r| r / total).collect())
+}
+
+fn validate_rates(rates: &[f64]) -> Result<(), DistributionError> {
+    if rates.is_empty() {
+        return Err(DistributionError::EmptyWeights);
+    }
+    for (index, &r) in rates.iter().enumerate() {
+        if !(r >= 0.0) || !r.is_finite() {
+            return Err(DistributionError::InvalidWeight { index, value: r });
+        }
+    }
+    if rates.iter().all(|&r| r == 0.0) {
+        return Err(DistributionError::ZeroTotalWeight);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256pp;
+    use crate::stats;
+    use rand::SeedableRng;
+
+    #[test]
+    fn race_rejects_bad_inputs() {
+        let mut rng = Xoshiro256pp::seed_from_u64(0);
+        assert!(race(&[], &mut rng).is_err());
+        assert!(race(&[0.0, 0.0], &mut rng).is_err());
+        assert!(race(&[1.0, -1.0], &mut rng).is_err());
+        assert!(race(&[1.0, f64::NAN], &mut rng).is_err());
+    }
+
+    #[test]
+    fn winner_frequency_matches_rate_ratio() {
+        // This is the core correctness property the RSU-G relies on:
+        // P(i) / P(j) = λ_i / λ_j (§III-C2).
+        let rates = [8.0, 4.0, 2.0, 1.0];
+        let mut rng = Xoshiro256pp::seed_from_u64(99);
+        let mut counts = [0u64; 4];
+        let n = 400_000;
+        for _ in 0..n {
+            counts[race(&rates, &mut rng).unwrap().winner] += 1;
+        }
+        let expected = winner_probabilities(&rates).unwrap();
+        let p = stats::chi_square_pvalue_uniformish(&counts, &expected);
+        assert!(p > 1e-4, "chi-square p-value {p}");
+        // Pairwise ratio check, the exact form the paper states.
+        let ratio = counts[0] as f64 / counts[3] as f64;
+        assert!((ratio - 8.0).abs() < 0.3, "ratio {ratio} should be ~8");
+    }
+
+    #[test]
+    fn zero_rate_labels_never_win() {
+        let mut rng = Xoshiro256pp::seed_from_u64(13);
+        for _ in 0..5_000 {
+            let o = race(&[0.0, 1.0, 0.0, 2.0], &mut rng).unwrap();
+            assert!(o.winner == 1 || o.winner == 3);
+        }
+    }
+
+    #[test]
+    fn winning_time_is_exponential_with_summed_rate() {
+        // min of independent Exp(λ_i) is Exp(Σ λ_i).
+        let rates = [1.0, 2.0, 3.0];
+        let total = 6.0;
+        let mut rng = Xoshiro256pp::seed_from_u64(21);
+        let samples: Vec<f64> =
+            (0..20_000).map(|_| race(&rates, &mut rng).unwrap().time).collect();
+        let d = stats::ks_statistic(&samples, |t| 1.0 - (-total * t).exp());
+        assert!(d < 1.95 / (samples.len() as f64).sqrt(), "KS statistic {d}");
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let p = winner_probabilities(&[0.3, 0.0, 0.7, 1.0]).unwrap();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(p[1], 0.0);
+    }
+}

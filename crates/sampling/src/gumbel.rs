@@ -1,0 +1,170 @@
+//! Gumbel-max sampling and its equivalence to first-to-fire.
+//!
+//! The RSU-G's race over exponential clocks is mathematically the
+//! Gumbel-max trick in disguise: for rates `λ_i`, the label minimising
+//! `T_i ~ Exp(λ_i)` is distributed identically to the label maximising
+//! `ln λ_i + G_i` with standard Gumbel noise `G_i` (because
+//! `−ln T_i = ln λ_i − ln E_i` with `E_i ~ Exp(1)`, and `−ln E` is
+//! standard Gumbel). This module provides the software Gumbel-max
+//! sampler and the test suite proves the equivalence empirically — a
+//! useful cross-validation of the whole first-to-fire path.
+
+use crate::error::DistributionError;
+use rand::Rng;
+
+/// Draws one standard Gumbel variate `G = −ln(−ln U)`.
+pub fn sample_gumbel<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    -(-u.ln()).ln()
+}
+
+/// Samples a categorical distribution given *log*-weights by the
+/// Gumbel-max trick: `argmax_i (log w_i + G_i)`.
+///
+/// Entries of `-inf` are allowed (zero-probability outcomes) as long as
+/// at least one weight is finite.
+///
+/// # Errors
+///
+/// Returns an error if `log_weights` is empty, contains NaN or `+inf`,
+/// or has no finite entry.
+///
+/// # Example
+///
+/// ```
+/// use sampling::{gumbel, Xoshiro256pp};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), sampling::DistributionError> {
+/// let mut rng = Xoshiro256pp::seed_from_u64(5);
+/// let pick = gumbel::gumbel_argmax(&[0.0, f64::NEG_INFINITY], &mut rng)?;
+/// assert_eq!(pick, 0, "zero-probability outcomes never win");
+/// # Ok(())
+/// # }
+/// ```
+pub fn gumbel_argmax<R: Rng + ?Sized>(
+    log_weights: &[f64],
+    rng: &mut R,
+) -> Result<usize, DistributionError> {
+    if log_weights.is_empty() {
+        return Err(DistributionError::EmptyWeights);
+    }
+    for (index, &w) in log_weights.iter().enumerate() {
+        if w.is_nan() || w == f64::INFINITY {
+            return Err(DistributionError::InvalidWeight { index, value: w });
+        }
+    }
+    if log_weights.iter().all(|&w| w == f64::NEG_INFINITY) {
+        return Err(DistributionError::ZeroTotalWeight);
+    }
+    let mut best = 0usize;
+    let mut best_v = f64::NEG_INFINITY;
+    for (i, &lw) in log_weights.iter().enumerate() {
+        if lw == f64::NEG_INFINITY {
+            continue;
+        }
+        let v = lw + sample_gumbel(rng);
+        if v > best_v {
+            best_v = v;
+            best = i;
+        }
+    }
+    Ok(best)
+}
+
+/// A Gibbs kernel using Gumbel-max over `−E_i / T`: behaviourally
+/// identical in law to both the cumulative-sum software kernel and the
+/// idealised first-to-fire race. Used as an independent reference in
+/// tests and benches.
+pub fn gumbel_gibbs<R: Rng + ?Sized>(
+    energies: &[f64],
+    temperature: f64,
+    rng: &mut R,
+) -> Result<usize, DistributionError> {
+    if !(temperature > 0.0) {
+        return Err(DistributionError::NonPositiveRate { value: temperature });
+    }
+    let log_w: Vec<f64> = energies.iter().map(|&e| -e / temperature).collect();
+    gumbel_argmax(&log_w, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::first_to_fire;
+    use crate::rng::Xoshiro256pp;
+    use crate::stats;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gumbel_variates_have_correct_moments() {
+        // Mean = Euler–Mascheroni γ ≈ 0.5772; variance = π²/6.
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let xs: Vec<f64> = (0..200_000).map(|_| sample_gumbel(&mut rng)).collect();
+        let (mean, var) = stats::mean_variance(&xs);
+        assert!((mean - 0.577_215_66).abs() < 0.01, "mean {mean}");
+        assert!((var - std::f64::consts::PI.powi(2) / 6.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn gumbel_argmax_matches_softmax_probabilities() {
+        let log_w = [0.0f64, (2.0f64).ln(), (4.0f64).ln()];
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let mut counts = [0u64; 3];
+        let n = 210_000;
+        for _ in 0..n {
+            counts[gumbel_argmax(&log_w, &mut rng).unwrap()] += 1;
+        }
+        let probs = [1.0 / 7.0, 2.0 / 7.0, 4.0 / 7.0];
+        let p = stats::chi_square_pvalue_uniformish(&counts, &probs);
+        assert!(p > 1e-4, "p-value {p}, counts {counts:?}");
+    }
+
+    #[test]
+    fn gumbel_max_equals_first_to_fire_in_law() {
+        // The core identity: argmin Exp(λ_i) =_d argmax (ln λ_i + G_i).
+        let rates = [8.0, 4.0, 2.0, 1.0];
+        let log_rates: Vec<f64> = rates.iter().map(|r: &f64| r.ln()).collect();
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let n = 200_000;
+        let mut race_counts = [0u64; 4];
+        let mut gumbel_counts = [0u64; 4];
+        for _ in 0..n {
+            race_counts[first_to_fire::race(&rates, &mut rng).unwrap().winner] += 1;
+            gumbel_counts[gumbel_argmax(&log_rates, &mut rng).unwrap()] += 1;
+        }
+        // Both must match the theoretical λ_i / Σλ law.
+        let probs = first_to_fire::winner_probabilities(&rates).unwrap();
+        let p_race = stats::chi_square_pvalue_uniformish(&race_counts, &probs);
+        let p_gum = stats::chi_square_pvalue_uniformish(&gumbel_counts, &probs);
+        assert!(p_race > 1e-4, "race p {p_race}");
+        assert!(p_gum > 1e-4, "gumbel p {p_gum}");
+    }
+
+    #[test]
+    fn gumbel_gibbs_matches_boltzmann() {
+        let energies = [0.0, 1.0, 2.0];
+        let t = 1.0;
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
+        let mut counts = [0u64; 3];
+        let n = 150_000;
+        for _ in 0..n {
+            counts[gumbel_gibbs(&energies, t, &mut rng).unwrap()] += 1;
+        }
+        let ws: Vec<f64> = energies.iter().map(|e| (-e / t).exp()).collect();
+        let z: f64 = ws.iter().sum();
+        let probs: Vec<f64> = ws.iter().map(|w| w / z).collect();
+        let p = stats::chi_square_pvalue_uniformish(&counts, &probs);
+        assert!(p > 1e-4, "p-value {p}");
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        let mut rng = Xoshiro256pp::seed_from_u64(0);
+        assert!(gumbel_argmax(&[], &mut rng).is_err());
+        assert!(gumbel_argmax(&[f64::NAN], &mut rng).is_err());
+        assert!(gumbel_argmax(&[f64::INFINITY], &mut rng).is_err());
+        assert!(gumbel_argmax(&[f64::NEG_INFINITY; 3], &mut rng).is_err());
+        assert!(gumbel_gibbs(&[1.0], 0.0, &mut rng).is_err());
+    }
+}

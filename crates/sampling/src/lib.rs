@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! Random-number and distribution-sampling substrate for the RSU-G
+//! reproduction.
+//!
+//! The paper compares the RSU-G against software samplers (C++ `<random>`,
+//! MATLAB) and against pure-CMOS random-number generators (a 19-bit LFSR,
+//! the mt19937 Mersenne Twister, and Intel's DRNG). This crate provides all
+//! of those building blocks from scratch:
+//!
+//! * [`rng`] — deterministic generators: [`Mt19937`], [`Lfsr`],
+//!   [`SplitMix64`], [`Xoshiro256pp`]. All implement [`rand::RngCore`] and
+//!   [`rand::SeedableRng`] so they compose with the wider `rand` API.
+//! * [`dist`] — distribution samplers: exact inverse-CDF
+//!   [`Exponential`], [`TruncatedExponential`], table-driven
+//!   [`Categorical`], the integer cumulative-weight [`CdfTable`] used by the
+//!   paper's pure-CMOS alternative designs, and an O(1) [`AliasTable`].
+//! * [`first_to_fire`] — competing-exponentials primitives: the mathematical
+//!   mechanism the RSU-G exploits ("the label that produces the shortest
+//!   time-to-fluorescence is chosen").
+//! * [`stats`] — statistical test kit (χ² goodness of fit,
+//!   Kolmogorov–Smirnov, entropy-rate and serial-correlation estimators)
+//!   used throughout the test suites to check that samplers realise the
+//!   distributions they claim.
+//!
+//! # Example
+//!
+//! ```
+//! use sampling::{Mt19937, first_to_fire};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = Mt19937::seed_from_u64(7);
+//! // Three competing exponential "labels"; rates are proportional to the
+//! // probability of each label winning the race.
+//! let rates = [4.0, 2.0, 1.0];
+//! let outcome = first_to_fire::race(&rates, &mut rng).expect("positive rates");
+//! assert!(outcome.winner < 3);
+//! ```
+
+pub mod bittests;
+pub mod dist;
+pub mod error;
+pub mod first_to_fire;
+pub mod gumbel;
+pub mod rng;
+pub mod stats;
+
+pub use dist::{
+    AliasTable, Categorical, CdfTable, Exponential, Hyperexponential, Hypoexponential,
+    PhaseType, TruncatedExponential,
+};
+pub use error::{DistributionError, RngError};
+pub use first_to_fire::{race, winner_probabilities, RaceOutcome};
+pub use rng::{Lfsr, Mt19937, SplitMix64, Xoshiro256pp};

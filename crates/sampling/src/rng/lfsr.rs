@@ -1,0 +1,252 @@
+//! Linear-feedback shift registers.
+//!
+//! Table IV of the paper uses a 19-bit LFSR as its most aggressive
+//! pseudo-RNG baseline ("the 19-bit LFSR design is the most aggressive
+//! herein... result quality as good as mt19937 and RSU-G for the selected
+//! benchmarks"). This module implements Galois LFSRs for widths 3..=32 with
+//! maximal-length feedback polynomials, so the 19-bit baseline can be
+//! exercised by the quality experiments and costed by the `uarch` crate.
+
+use crate::error::RngError;
+use rand::{Error, RngCore, SeedableRng};
+
+/// Maximal-length Galois feedback masks (taps) for register widths 3..=32.
+///
+/// Entry `i` holds the mask for width `i + 3`. Taps are from the standard
+/// Xilinx/maximal-LFSR tables; each polynomial is primitive, giving period
+/// `2^width − 1`.
+const TAPS: [u32; 30] = [
+    0b110,                  // 3: x^3 + x^2 + 1
+    0b1100,                 // 4: x^4 + x^3 + 1
+    0b1_0100,               // 5: x^5 + x^3 + 1
+    0b11_0000,              // 6: x^6 + x^5 + 1
+    0b110_0000,             // 7: x^7 + x^6 + 1
+    0b1011_1000,            // 8: x^8 + x^6 + x^5 + x^4 + 1
+    0b1_0000_1000,          // 9: x^9 + x^5 + 1
+    0b10_0100_0000,         // 10: x^10 + x^7 + 1
+    0b101_0000_0000,        // 11: x^11 + x^9 + 1
+    0b1110_0000_1000,       // 12
+    0b1_1100_1000_0000,     // 13
+    0b11_1000_0000_0010,    // 14
+    0b110_0000_0000_0000,   // 15: x^15 + x^14 + 1
+    0b1101_0000_0000_1000,  // 16
+    0b1_0010_0000_0000_0000, // 17: x^17 + x^14 + 1
+    0b10_0000_0100_0000_0000, // 18: x^18 + x^11 + 1
+    0b111_0010_0000_0000_0000, // 19: x^19 + x^18 + x^17 + x^14 + 1
+    0b1001_0000_0000_0000_0000, // 20: x^20 + x^17 + 1
+    0b1_0100_0000_0000_0000_0000, // 21: x^21 + x^19 + 1
+    0b11_0000_0000_0000_0000_0000, // 22: x^22 + x^21 + 1
+    0b100_0010_0000_0000_0000_0000, // 23: x^23 + x^18 + 1
+    0b1110_0001_0000_0000_0000_0000, // 24
+    0b1_0010_0000_0000_0000_0000_0000, // 25: x^25 + x^22 + 1
+    0b10_0000_0000_0000_0000_0010_0011, // 26
+    0b100_0000_0000_0000_0000_0001_0011, // 27
+    0b1001_0000_0000_0000_0000_0000_0000, // 28: x^28 + x^25 + 1
+    0b1_0100_0000_0000_0000_0000_0000_0000, // 29: x^29 + x^27 + 1
+    0b10_0000_0000_0000_0000_0000_0010_1001, // 30: x^30 + x^6 + x^4 + x + 1
+    0b100_1000_0000_0000_0000_0000_0000_0000, // 31: x^31 + x^28 + 1
+    0b1000_0000_0010_0000_0000_0000_0000_0011, // 32
+];
+
+/// A Galois linear-feedback shift register with a maximal-length
+/// polynomial.
+///
+/// The default (and the paper's baseline) is the 19-bit register, period
+/// `2^19 − 1 = 524287`.
+///
+/// # Example
+///
+/// ```
+/// use sampling::Lfsr;
+///
+/// let mut lfsr = Lfsr::new_19bit(1);
+/// let first = lfsr.step();
+/// assert_ne!(first, 0, "zero is an absorbing state and never produced");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lfsr {
+    state: u32,
+    mask: u32,
+    width: u32,
+}
+
+impl Lfsr {
+    /// Creates an LFSR of the given `width` (3..=32 bits).
+    ///
+    /// The seed is reduced modulo the state space and forced non-zero
+    /// (state 0 is absorbing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RngError::UnsupportedLfsrWidth`] if `width` is outside
+    /// 3..=32.
+    pub fn with_width(width: u32, seed: u32) -> Result<Self, RngError> {
+        if !(3..=32).contains(&width) {
+            return Err(RngError::UnsupportedLfsrWidth { width });
+        }
+        let mask = TAPS[(width - 3) as usize];
+        let state_mask = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
+        let mut state = seed & state_mask;
+        if state == 0 {
+            state = 1;
+        }
+        Ok(Lfsr { state, mask, width })
+    }
+
+    /// Creates the paper's 19-bit baseline LFSR.
+    ///
+    /// # Panics
+    ///
+    /// Never panics; 19 is always a supported width.
+    pub fn new_19bit(seed: u32) -> Self {
+        Lfsr::with_width(19, seed).expect("19 is a supported width")
+    }
+
+    /// Register width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Current register contents (never zero).
+    pub fn state(&self) -> u32 {
+        self.state
+    }
+
+    /// Advances the register one step and returns the new state.
+    pub fn step(&mut self) -> u32 {
+        let lsb = self.state & 1;
+        self.state >>= 1;
+        if lsb != 0 {
+            self.state ^= self.mask;
+        }
+        self.state
+    }
+
+    /// Produces `bits` (1..=32) pseudo-random bits by stepping the register
+    /// once per bit, taking the LSB each step, as a serial hardware LFSR
+    /// would.
+    pub fn next_bits(&mut self, bits: u32) -> u32 {
+        debug_assert!((1..=32).contains(&bits));
+        let mut out = 0u32;
+        for _ in 0..bits {
+            out = (out << 1) | (self.state & 1);
+            self.step();
+        }
+        out
+    }
+}
+
+impl Default for Lfsr {
+    fn default() -> Self {
+        Lfsr::new_19bit(0x2_5A5A)
+    }
+}
+
+impl RngCore for Lfsr {
+    fn next_u32(&mut self) -> u32 {
+        self.next_bits(32)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let hi = self.next_u32() as u64;
+        let lo = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        super::mt19937::rand_fill_bytes_via_u32(self, dest);
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl SeedableRng for Lfsr {
+    type Seed = [u8; 4];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        Lfsr::new_19bit(u32::from_le_bytes(seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_unsupported_widths() {
+        assert!(Lfsr::with_width(2, 1).is_err());
+        assert!(Lfsr::with_width(33, 1).is_err());
+        for w in 3..=32 {
+            assert!(Lfsr::with_width(w, 1).is_ok(), "width {w} should be supported");
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_coerced_to_nonzero() {
+        let lfsr = Lfsr::new_19bit(0);
+        assert_ne!(lfsr.state(), 0);
+    }
+
+    #[test]
+    fn never_reaches_zero_state() {
+        let mut lfsr = Lfsr::new_19bit(123);
+        for _ in 0..100_000 {
+            assert_ne!(lfsr.step(), 0);
+        }
+    }
+
+    #[test]
+    fn small_widths_have_maximal_period() {
+        // Exhaustively verify the period 2^w − 1 for every width up to 16;
+        // this confirms the tap polynomials are primitive.
+        for width in 3..=16u32 {
+            let mut lfsr = Lfsr::with_width(width, 1).unwrap();
+            let start = lfsr.state();
+            let expected = (1u64 << width) - 1;
+            let mut period = 0u64;
+            loop {
+                lfsr.step();
+                period += 1;
+                if lfsr.state() == start {
+                    break;
+                }
+                assert!(period <= expected, "width {width}: period exceeds maximal");
+            }
+            assert_eq!(period, expected, "width {width}: period not maximal");
+        }
+    }
+
+    #[test]
+    fn nineteen_bit_visits_many_distinct_states() {
+        let mut lfsr = Lfsr::new_19bit(77);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..50_000 {
+            seen.insert(lfsr.step());
+        }
+        assert_eq!(seen.len(), 50_000, "no repeats expected within period");
+    }
+
+    #[test]
+    fn bits_extraction_is_msb_first() {
+        let mut a = Lfsr::new_19bit(5);
+        let mut b = a.clone();
+        let word = a.next_bits(8);
+        let mut rebuilt = 0u32;
+        for _ in 0..8 {
+            rebuilt = (rebuilt << 1) | (b.state() & 1);
+            b.step();
+        }
+        assert_eq!(word, rebuilt);
+    }
+
+    #[test]
+    fn width32_steps_do_not_panic() {
+        let mut lfsr = Lfsr::with_width(32, 0xDEAD_BEEF).unwrap();
+        for _ in 0..1000 {
+            lfsr.step();
+        }
+    }
+}

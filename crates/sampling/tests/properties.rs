@@ -1,0 +1,151 @@
+//! Property-based tests for the sampling substrate.
+
+use proptest::prelude::*;
+use rand::{RngCore, SeedableRng};
+use sampling::{
+    first_to_fire, AliasTable, Categorical, CdfTable, Exponential, Lfsr, Mt19937, SplitMix64,
+    TruncatedExponential, Xoshiro256pp,
+};
+
+proptest! {
+    /// The exponential quantile function is the exact inverse of the CDF
+    /// for every valid rate and probability.
+    #[test]
+    fn exponential_quantile_inverts_cdf(
+        rate in 1e-6f64..1e6,
+        p in 0.0f64..0.999_999,
+    ) {
+        let exp = Exponential::new(rate).unwrap();
+        let t = exp.quantile(p);
+        prop_assert!((exp.cdf(t) - p).abs() < 1e-9);
+    }
+
+    /// Survival and CDF always partition unit mass.
+    #[test]
+    fn exponential_survival_complements_cdf(rate in 1e-6f64..1e6, t in 0.0f64..1e3) {
+        let exp = Exponential::new(rate).unwrap();
+        prop_assert!((exp.cdf(t) + exp.survival(t) - 1.0).abs() < 1e-12);
+    }
+
+    /// Truncated mass is monotone decreasing in the bound and in the rate.
+    #[test]
+    fn truncated_mass_is_monotone(rate in 1e-3f64..1e3, t_max in 1e-3f64..1e3) {
+        let a = TruncatedExponential::new(rate, t_max).unwrap();
+        let b = TruncatedExponential::new(rate, t_max * 2.0).unwrap();
+        let c = TruncatedExponential::new(rate * 2.0, t_max).unwrap();
+        prop_assert!(b.truncated_mass() <= a.truncated_mass());
+        prop_assert!(c.truncated_mass() <= a.truncated_mass());
+    }
+
+    /// Categorical probabilities are a proper distribution for any valid
+    /// weight vector.
+    #[test]
+    fn categorical_probabilities_form_distribution(
+        weights in proptest::collection::vec(0.0f64..100.0, 1..32),
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let cat = Categorical::new(&weights).unwrap();
+        let sum: f64 = (0..cat.len()).map(|i| cat.probability(i)).sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        for i in 0..cat.len() {
+            prop_assert!(cat.probability(i) >= 0.0);
+        }
+    }
+
+    /// Every sample drawn from a categorical has non-zero weight.
+    #[test]
+    fn categorical_never_draws_zero_weight(
+        weights in proptest::collection::vec(0u8..5, 2..16),
+        seed in any::<u64>(),
+    ) {
+        let w: Vec<f64> = weights.iter().map(|&x| x as f64).collect();
+        prop_assume!(w.iter().sum::<f64>() > 0.0);
+        let cat = Categorical::new(&w).unwrap();
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        for _ in 0..64 {
+            let s = cat.sample(&mut rng);
+            prop_assert!(w[s] > 0.0, "drew zero-weight outcome {}", s);
+        }
+    }
+
+    /// The CDF-table lookup agrees with a direct linear scan for every
+    /// uniform input in range.
+    #[test]
+    fn cdf_table_lookup_matches_linear_scan(
+        weights in proptest::collection::vec(0u64..7, 1..20),
+    ) {
+        prop_assume!(weights.iter().sum::<u64>() > 0);
+        let table = CdfTable::from_weights(&weights).unwrap();
+        for u in 0..table.total() {
+            // Linear reference: first index whose cumulative exceeds u.
+            let mut acc = 0u64;
+            let mut expect = 0usize;
+            for (i, &w) in weights.iter().enumerate() {
+                acc += w;
+                if u < acc {
+                    expect = i;
+                    break;
+                }
+            }
+            prop_assert_eq!(table.lookup(u), expect);
+        }
+    }
+
+    /// Alias table and categorical assign identical support.
+    #[test]
+    fn alias_table_support_matches_weights(
+        weights in proptest::collection::vec(0u8..4, 2..12),
+        seed in any::<u64>(),
+    ) {
+        let w: Vec<f64> = weights.iter().map(|&x| x as f64).collect();
+        prop_assume!(w.iter().sum::<f64>() > 0.0);
+        let alias = AliasTable::new(&w).unwrap();
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        for _ in 0..128 {
+            let s = alias.sample(&mut rng);
+            prop_assert!(w[s] > 0.0);
+        }
+    }
+
+    /// First-to-fire winner probabilities are normalised and proportional
+    /// to the rates.
+    #[test]
+    fn winner_probabilities_proportional_to_rates(
+        rates in proptest::collection::vec(0.0f64..50.0, 1..16),
+    ) {
+        prop_assume!(rates.iter().any(|&r| r > 0.0));
+        let p = first_to_fire::winner_probabilities(&rates).unwrap();
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let total: f64 = rates.iter().sum();
+        for (pi, ri) in p.iter().zip(&rates) {
+            prop_assert!((pi - ri / total).abs() < 1e-12);
+        }
+    }
+
+    /// LFSR streams never contain the zero state regardless of width/seed.
+    #[test]
+    fn lfsr_never_zero(width in 3u32..=32, seed in any::<u32>()) {
+        let mut lfsr = Lfsr::with_width(width, seed).unwrap();
+        for _ in 0..256 {
+            prop_assert_ne!(lfsr.step(), 0);
+        }
+    }
+
+    /// All generators are reproducible from the same seed.
+    #[test]
+    fn generators_reproducible(seed in any::<u64>()) {
+        macro_rules! check {
+            ($t:ty) => {{
+                let mut a = <$t>::seed_from_u64(seed);
+                let mut b = <$t>::seed_from_u64(seed);
+                for _ in 0..16 {
+                    prop_assert_eq!(a.next_u64(), b.next_u64());
+                }
+            }};
+        }
+        check!(Mt19937);
+        check!(Lfsr);
+        check!(SplitMix64);
+        check!(Xoshiro256pp);
+    }
+}

@@ -1,0 +1,197 @@
+//! Optical-flow frame-pair generation with exact dense ground truth.
+
+use crate::texture::{add_gaussian_noise, ValueNoise};
+use mrf::Grid;
+use rand::{Rng, SeedableRng};
+use sampling::Xoshiro256pp;
+use vision::GrayImage;
+
+/// Parameters for a synthetic flow scene.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowSpec {
+    /// Frame width in pixels.
+    pub width: usize,
+    /// Frame height in pixels.
+    pub height: usize,
+    /// MRF search-window side `N` (odd); motions stay within
+    /// `±N/2` so the ground truth is representable ("we make the common
+    /// assumption that motion is relatively small compared to whole
+    /// images", §III-D2).
+    pub window: usize,
+    /// Number of independently moving patches over the background.
+    pub num_patches: usize,
+    /// Sensor noise standard deviation per frame.
+    pub noise_sigma: f32,
+}
+
+/// A generated flow dataset: two frames and the dense ground-truth flow
+/// defined on frame 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowDataset {
+    /// Frame at time t.
+    pub frame1: GrayImage,
+    /// Frame at time t+1.
+    pub frame2: GrayImage,
+    /// Ground-truth motion `(dx, dy)` per frame-1 pixel, row-major.
+    pub ground_truth: Vec<(isize, isize)>,
+    /// Search-window side `N`.
+    pub window: usize,
+}
+
+impl FlowSpec {
+    /// Generates a dataset deterministically from a seed.
+    ///
+    /// Frame 1 is textured; a background global motion and
+    /// `num_patches` rectangles with independent integer motions within
+    /// the window are forward-rendered into frame 2 (patches composite
+    /// over the background; later patches are closer and win overlaps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is even, smaller than 3, or larger than the
+    /// frame.
+    pub fn generate(&self, seed: u64) -> FlowDataset {
+        assert!(self.window >= 3 && self.window % 2 == 1, "window must be odd and >= 3");
+        assert!(
+            self.window <= self.width && self.window <= self.height,
+            "window must fit the frame"
+        );
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let grid = Grid::new(self.width, self.height);
+        let half = (self.window / 2) as isize;
+
+        // Per-pixel motion: background plus patch overrides.
+        let bg = (rng.gen_range(-1..=1isize), rng.gen_range(-1..=1isize));
+        let mut flow = vec![bg; grid.len()];
+        // Patch id per pixel for depth ordering (later = closer).
+        let mut depth = vec![0usize; grid.len()];
+        for p in 0..self.num_patches {
+            let motion = loop {
+                let m = (rng.gen_range(-half..=half), rng.gen_range(-half..=half));
+                if m != bg {
+                    break m;
+                }
+            };
+            let w = rng.gen_range(self.width / 6..=self.width / 2);
+            let h = rng.gen_range(self.height / 6..=self.height / 2);
+            let x0 = rng.gen_range(0..self.width.saturating_sub(w).max(1));
+            let y0 = rng.gen_range(0..self.height.saturating_sub(h).max(1));
+            for y in y0..(y0 + h).min(self.height) {
+                for x in x0..(x0 + w).min(self.width) {
+                    flow[grid.index(x, y)] = motion;
+                    depth[grid.index(x, y)] = p + 1;
+                }
+            }
+        }
+
+        // Frame 1: per-object texture patches (like the stereo scenes).
+        let noise = ValueNoise::new(6.0, 3, &mut rng);
+        let mut frame1 = GrayImage::filled(self.width, self.height, 0.0);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let id = depth[grid.index(x, y)] as f64;
+                let v = noise.sample(x as f64 + id * 307.0, y as f64 + id * 131.0);
+                frame1.set(x, y, 30.0 + 200.0 * v as f32);
+            }
+        }
+
+        // Forward-render frame 2: closest (deepest id) writer wins.
+        let mut frame2 = GrayImage::filled(self.width, self.height, -1.0);
+        let mut winner = vec![-1i64; grid.len()];
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let s = grid.index(x, y);
+                let (dx, dy) = flow[s];
+                let tx = x as isize + dx;
+                let ty = y as isize + dy;
+                if tx < 0 || ty < 0 || tx >= self.width as isize || ty >= self.height as isize {
+                    continue;
+                }
+                let t = grid.index(tx as usize, ty as usize);
+                if depth[s] as i64 > winner[t] {
+                    winner[t] = depth[s] as i64;
+                    frame2.set(tx as usize, ty as usize, frame1.get(x, y));
+                }
+            }
+        }
+        // Dis-occlusion holes get fresh texture.
+        for y in 0..self.height {
+            for x in 0..self.width {
+                if frame2.get(x, y) < 0.0 {
+                    let v = noise.sample(x as f64 + 9000.0, y as f64 + 9000.0);
+                    frame2.set(x, y, 30.0 + 200.0 * v as f32);
+                }
+            }
+        }
+
+        add_gaussian_noise(&mut frame1, self.noise_sigma, &mut rng);
+        add_gaussian_noise(&mut frame2, self.noise_sigma, &mut rng);
+        FlowDataset { frame1, frame2, ground_truth: flow, window: self.window }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> FlowSpec {
+        FlowSpec { width: 48, height: 36, window: 7, num_patches: 3, noise_sigma: 0.0 }
+    }
+
+    #[test]
+    fn ground_truth_motions_fit_the_window() {
+        let ds = spec().generate(3);
+        let half = (ds.window / 2) as isize;
+        assert!(ds
+            .ground_truth
+            .iter()
+            .all(|&(dx, dy)| dx.abs() <= half && dy.abs() <= half));
+    }
+
+    #[test]
+    fn frame2_matches_frame1_under_true_flow_for_most_pixels() {
+        let ds = spec().generate(4);
+        let grid = Grid::new(48, 36);
+        let mut matches = 0usize;
+        let mut total = 0usize;
+        for y in 0..36 {
+            for x in 0..48 {
+                let (dx, dy) = ds.ground_truth[grid.index(x, y)];
+                let tx = x as isize + dx;
+                let ty = y as isize + dy;
+                if tx < 0 || ty < 0 || tx >= 48 || ty >= 36 {
+                    continue;
+                }
+                total += 1;
+                if (ds.frame2.get(tx as usize, ty as usize) - ds.frame1.get(x, y)).abs() < 1e-6 {
+                    matches += 1;
+                }
+            }
+        }
+        let frac = matches as f64 / total as f64;
+        assert!(frac > 0.8, "only {frac} of pixels match under true flow");
+    }
+
+    #[test]
+    fn multiple_distinct_motions_exist() {
+        let ds = spec().generate(5);
+        let distinct: std::collections::HashSet<(isize, isize)> =
+            ds.ground_truth.iter().copied().collect();
+        assert!(distinct.len() >= 2, "need moving objects, got {distinct:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be odd")]
+    fn rejects_even_window() {
+        FlowSpec { width: 32, height: 32, window: 6, num_patches: 1, noise_sigma: 0.0 }
+            .generate(0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = spec().generate(11);
+        let b = spec().generate(11);
+        assert_eq!(a.frame2, b.frame2);
+        assert_eq!(a.ground_truth, b.ground_truth);
+    }
+}

@@ -1,0 +1,183 @@
+#![warn(missing_docs)]
+
+//! Synthetic dataset generators with exact dense ground truth.
+//!
+//! Stand-ins for the paper's evaluation data (Middlebury Stereo,
+//! Middlebury Flow, BSD300), which cannot be redistributed here. Each
+//! generator builds a procedurally textured scene and *derives* the
+//! second view / second frame / region map from it, so the ground truth
+//! is exact by construction — including occlusion masks for stereo. The
+//! layer structure (few fronto-parallel surfaces at distinct depths,
+//! moving patches, blobby regions) mirrors what makes the original
+//! benchmarks hard for MRF solvers: texture ambiguity, discontinuities
+//! and occlusion.
+//!
+//! Named constructors reproduce the paper's dataset shapes:
+//!
+//! * [`stereo_teddy_like`] (56 disparity labels), [`stereo_poster_like`]
+//!   (30), [`stereo_art_like`] (28) — §III-A;
+//! * [`flow_venus_like`], [`flow_rubberwhale_like`],
+//!   [`flow_dimetrodon_like`] — 7×7 = 49 labels, §III-D2;
+//! * [`segmentation_suite`] — 30 images with 2–8 region ground truths,
+//!   §III-D3.
+//!
+//! # Example
+//!
+//! ```
+//! use scenes::stereo_teddy_like;
+//!
+//! let ds = stereo_teddy_like(42);
+//! assert_eq!(ds.num_disparities, 56);
+//! assert_eq!(ds.left.width(), ds.right.width());
+//! let occluded = ds.occlusion.iter().filter(|&&o| o).count();
+//! assert!(occluded > 0, "occlusion exists near depth discontinuities");
+//! ```
+
+pub mod flow_gen;
+pub mod seg_gen;
+pub mod stereo_gen;
+pub mod texture;
+
+pub use flow_gen::{FlowDataset, FlowSpec};
+pub use seg_gen::{SegmentationDataset, SegmentationSpec};
+pub use stereo_gen::{StereoDataset, StereoSpec};
+pub use texture::ValueNoise;
+
+/// Default image width for the named datasets: small enough for MCMC in
+/// CI, large enough for meaningful statistics.
+pub const DEFAULT_WIDTH: usize = 96;
+/// Default image height for the named datasets.
+pub const DEFAULT_HEIGHT: usize = 72;
+
+/// A teddy-like stereo pair: 56 disparity labels, several large
+/// foreground objects (the paper's highest-label stereo set). Wider than
+/// the other scenes so the 55-pixel maximum disparity leaves enough
+/// in-frame correspondence.
+pub fn stereo_teddy_like(seed: u64) -> StereoDataset {
+    StereoSpec {
+        width: 160,
+        height: DEFAULT_HEIGHT,
+        num_disparities: 56,
+        num_layers: 5,
+        noise_sigma: 2.0,
+    }
+    .generate(seed)
+}
+
+/// A poster-like stereo pair: 30 disparity labels, fewer, flatter
+/// surfaces.
+pub fn stereo_poster_like(seed: u64) -> StereoDataset {
+    StereoSpec {
+        width: DEFAULT_WIDTH,
+        height: DEFAULT_HEIGHT,
+        num_disparities: 30,
+        num_layers: 3,
+        noise_sigma: 2.0,
+    }
+    .generate(seed)
+}
+
+/// An art-like stereo pair: 28 disparity labels, many small objects.
+pub fn stereo_art_like(seed: u64) -> StereoDataset {
+    StereoSpec {
+        width: DEFAULT_WIDTH,
+        height: DEFAULT_HEIGHT,
+        num_disparities: 28,
+        num_layers: 7,
+        noise_sigma: 2.0,
+    }
+    .generate(seed)
+}
+
+/// A Venus-like flow pair: large planar regions in slow translation.
+pub fn flow_venus_like(seed: u64) -> FlowDataset {
+    FlowSpec {
+        width: DEFAULT_WIDTH,
+        height: DEFAULT_HEIGHT,
+        window: 7,
+        num_patches: 3,
+        noise_sigma: 2.0,
+    }
+    .generate(seed)
+}
+
+/// A RubberWhale-like flow pair: several independently moving objects.
+pub fn flow_rubberwhale_like(seed: u64) -> FlowDataset {
+    FlowSpec {
+        width: DEFAULT_WIDTH,
+        height: DEFAULT_HEIGHT,
+        window: 7,
+        num_patches: 6,
+        noise_sigma: 2.0,
+    }
+    .generate(seed)
+}
+
+/// A Dimetrodon-like flow pair: few objects, larger motions within the
+/// window.
+pub fn flow_dimetrodon_like(seed: u64) -> FlowDataset {
+    FlowSpec {
+        width: DEFAULT_WIDTH,
+        height: DEFAULT_HEIGHT,
+        window: 7,
+        num_patches: 2,
+        noise_sigma: 2.0,
+    }
+    .generate(seed)
+}
+
+/// The 30-image segmentation suite standing in for the paper's random
+/// BSD300 selection, with region counts cycling over the useful range.
+pub fn segmentation_suite(seed: u64, count: usize) -> Vec<SegmentationDataset> {
+    (0..count)
+        .map(|i| {
+            SegmentationSpec {
+                width: DEFAULT_WIDTH,
+                height: DEFAULT_HEIGHT,
+                num_regions: 3 + (i % 6), // 3..=8 generating regions
+                noise_sigma: 8.0,
+                contrast: 140.0,
+            }
+            .generate(seed.wrapping_add(i as u64 * 0x9E37_79B9))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_stereo_datasets_have_paper_label_counts() {
+        assert_eq!(stereo_teddy_like(1).num_disparities, 56);
+        assert_eq!(stereo_poster_like(1).num_disparities, 30);
+        assert_eq!(stereo_art_like(1).num_disparities, 28);
+    }
+
+    #[test]
+    fn named_flow_datasets_use_49_labels() {
+        for ds in [flow_venus_like(2), flow_rubberwhale_like(2), flow_dimetrodon_like(2)] {
+            assert_eq!(ds.window, 7);
+            assert_eq!(ds.window * ds.window, 49);
+        }
+    }
+
+    #[test]
+    fn segmentation_suite_has_requested_size_and_varied_regions() {
+        let suite = segmentation_suite(7, 30);
+        assert_eq!(suite.len(), 30);
+        let region_counts: std::collections::HashSet<usize> =
+            suite.iter().map(|d| d.num_regions).collect();
+        assert!(region_counts.len() >= 4, "region counts should vary: {region_counts:?}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = stereo_teddy_like(9);
+        let b = stereo_teddy_like(9);
+        let c = stereo_teddy_like(10);
+        assert_eq!(a.left, b.left);
+        assert_eq!(a.ground_truth, b.ground_truth);
+        assert_ne!(a.left, c.left);
+    }
+}

@@ -1,0 +1,174 @@
+//! Segmentation-image generation with region ground truth.
+
+use crate::texture::{add_gaussian_noise, ValueNoise};
+use mrf::{Grid, Label, LabelField};
+use rand::{Rng, SeedableRng};
+use sampling::Xoshiro256pp;
+use vision::GrayImage;
+
+/// Parameters for a synthetic segmentation image.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentationSpec {
+    /// Image width in pixels.
+    pub width: usize,
+    /// Image height in pixels.
+    pub height: usize,
+    /// Number of generating regions (the ground-truth partition size).
+    pub num_regions: usize,
+    /// Sensor noise standard deviation.
+    pub noise_sigma: f32,
+    /// Intensity spread between the darkest and brightest region means.
+    pub contrast: f32,
+}
+
+/// A generated segmentation dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentationDataset {
+    /// The image to segment.
+    pub image: GrayImage,
+    /// Ground-truth region labels.
+    pub ground_truth: LabelField,
+    /// Number of generating regions.
+    pub num_regions: usize,
+}
+
+impl SegmentationSpec {
+    /// Generates a dataset deterministically from a seed.
+    ///
+    /// Regions are noise-warped Voronoi cells of random seed points
+    /// (blobby, irregular boundaries like natural-image segments); each
+    /// region receives a distinct mean intensity spread across
+    /// `contrast`, plus weak texture and sensor noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_regions` is not in `2..=64`.
+    pub fn generate(&self, seed: u64) -> SegmentationDataset {
+        assert!(
+            (2..=64).contains(&self.num_regions),
+            "num_regions must be in 2..=64"
+        );
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let grid = Grid::new(self.width, self.height);
+        // Random seed points.
+        let sites: Vec<(f64, f64)> = (0..self.num_regions)
+            .map(|_| {
+                (rng.gen_range(0.0..self.width as f64), rng.gen_range(0.0..self.height as f64))
+            })
+            .collect();
+        // Region means: evenly spaced then shuffled, so adjacent regions
+        // are usually separable.
+        let mut means: Vec<f32> = (0..self.num_regions)
+            .map(|i| {
+                128.0 - self.contrast / 2.0
+                    + self.contrast * i as f32 / (self.num_regions - 1).max(1) as f32
+            })
+            .collect();
+        for i in (1..means.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            means.swap(i, j);
+        }
+        // Warp field makes the Voronoi boundaries wavy.
+        let warp = ValueNoise::new(12.0, 2, &mut rng);
+        let texture = ValueNoise::new(5.0, 2, &mut rng);
+        let mut labels = Vec::with_capacity(grid.len());
+        let mut image = GrayImage::filled(self.width, self.height, 0.0);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let wx = x as f64 + 10.0 * (warp.sample(x as f64, y as f64) - 0.5);
+                let wy = y as f64 + 10.0 * (warp.sample(x as f64 + 777.0, y as f64 + 777.0) - 0.5);
+                let mut best = 0usize;
+                let mut best_d = f64::INFINITY;
+                for (i, &(sx, sy)) in sites.iter().enumerate() {
+                    let d = (wx - sx) * (wx - sx) + (wy - sy) * (wy - sy);
+                    if d < best_d {
+                        best_d = d;
+                        best = i;
+                    }
+                }
+                labels.push(best as Label);
+                let tex = (texture.sample(x as f64, y as f64) as f32 - 0.5) * 12.0;
+                image.set(x, y, (means[best] + tex).clamp(0.0, 255.0));
+            }
+        }
+        add_gaussian_noise(&mut image, self.noise_sigma, &mut rng);
+        let ground_truth = LabelField::from_labels(grid, self.num_regions, labels);
+        SegmentationDataset { image, ground_truth, num_regions: self.num_regions }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> SegmentationSpec {
+        SegmentationSpec {
+            width: 48,
+            height: 48,
+            num_regions: 4,
+            noise_sigma: 5.0,
+            contrast: 150.0,
+        }
+    }
+
+    #[test]
+    fn all_regions_are_present() {
+        let ds = spec().generate(1);
+        let hist = ds.ground_truth.histogram();
+        assert!(hist.iter().all(|&c| c > 0), "empty region: {hist:?}");
+    }
+
+    #[test]
+    fn regions_are_contiguousish_blobs() {
+        // Most pixels should share a label with at least 2 of their
+        // neighbours: blobby regions, not salt-and-pepper.
+        let ds = spec().generate(2);
+        let grid = ds.ground_truth.grid();
+        let mut coherent = 0usize;
+        for site in grid.sites() {
+            let l = ds.ground_truth.get(site);
+            let same =
+                grid.neighbors(site).filter(|&n| ds.ground_truth.get(n) == l).count();
+            if same >= 2 {
+                coherent += 1;
+            }
+        }
+        let frac = coherent as f64 / grid.len() as f64;
+        assert!(frac > 0.9, "regions too fragmented: {frac}");
+    }
+
+    #[test]
+    fn region_intensities_are_separable() {
+        let ds = spec().generate(3);
+        let grid = ds.ground_truth.grid();
+        // Per-region mean intensities should spread across the range.
+        let mut sums = vec![0.0f64; ds.num_regions];
+        let mut counts = vec![0u64; ds.num_regions];
+        for site in grid.sites() {
+            let (x, y) = grid.coords(site);
+            let r = ds.ground_truth.get(site) as usize;
+            sums[r] += ds.image.get(x, y) as f64;
+            counts[r] += 1;
+        }
+        let mut means: Vec<f64> =
+            sums.iter().zip(&counts).map(|(s, &c)| s / c as f64).collect();
+        means.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for pair in means.windows(2) {
+            assert!(pair[1] - pair[0] > 15.0, "means too close: {means:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "num_regions")]
+    fn rejects_single_region() {
+        SegmentationSpec { num_regions: 1, ..spec() }.generate(0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = spec().generate(8);
+        let b = spec().generate(8);
+        assert_eq!(a.image, b.image);
+        assert_eq!(a.ground_truth, b.ground_truth);
+    }
+}

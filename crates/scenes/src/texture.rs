@@ -1,0 +1,203 @@
+//! Procedural value-noise textures.
+//!
+//! Stereo and flow matching need locally distinctive intensity patterns,
+//! otherwise the data term is ambiguous everywhere (the aperture
+//! problem). Multi-octave value noise provides smooth but distinctive
+//! texture, like the cloth/print surfaces of the Middlebury scenes.
+
+use rand::Rng;
+use vision::GrayImage;
+
+/// A multi-octave 2-D value-noise field.
+///
+/// Each octave places uniform random values on a coarse lattice and
+/// interpolates them smoothly; octaves at doubling frequency and halving
+/// amplitude are summed.
+///
+/// # Example
+///
+/// ```
+/// use scenes::ValueNoise;
+/// use rand::SeedableRng;
+/// use sampling::Xoshiro256pp;
+///
+/// let mut rng = Xoshiro256pp::seed_from_u64(3);
+/// let noise = ValueNoise::new(8.0, 4, &mut rng);
+/// let img = noise.render(32, 32, 0.0, 255.0);
+/// let (lo, hi) = img.min_max();
+/// assert!(hi > lo, "texture must vary");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ValueNoise {
+    /// Lattice values per octave, each a (side, values) grid.
+    octaves: Vec<(usize, Vec<f32>)>,
+    base_period: f64,
+}
+
+impl ValueNoise {
+    /// Lattice side length per octave; large enough that the noise never
+    /// visibly tiles at the dataset sizes used here.
+    const LATTICE: usize = 64;
+
+    /// Creates a noise field with the given base feature size (pixels per
+    /// lattice cell at octave 0) and number of octaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base_period` is not positive or `octaves` is zero.
+    pub fn new<R: Rng + ?Sized>(base_period: f64, octaves: usize, rng: &mut R) -> Self {
+        assert!(base_period > 0.0, "base period must be positive");
+        assert!(octaves > 0, "need at least one octave");
+        let octaves = (0..octaves)
+            .map(|_| {
+                let side = Self::LATTICE;
+                let values = (0..side * side).map(|_| rng.gen::<f32>()).collect();
+                (side, values)
+            })
+            .collect();
+        ValueNoise { octaves, base_period }
+    }
+
+    fn lattice_value(values: &[f32], side: usize, ix: i64, iy: i64) -> f32 {
+        let x = (ix.rem_euclid(side as i64)) as usize;
+        let y = (iy.rem_euclid(side as i64)) as usize;
+        values[y * side + x]
+    }
+
+    /// Smoothstep-interpolated noise in `[0, 1]` at continuous
+    /// coordinates.
+    pub fn sample(&self, x: f64, y: f64) -> f64 {
+        let mut sum = 0.0;
+        let mut amp = 1.0;
+        let mut norm = 0.0;
+        let mut period = self.base_period;
+        for (side, values) in &self.octaves {
+            let fx = x / period;
+            let fy = y / period;
+            let ix = fx.floor() as i64;
+            let iy = fy.floor() as i64;
+            let tx = fx - ix as f64;
+            let ty = fy - iy as f64;
+            // Smoothstep weights.
+            let sx = tx * tx * (3.0 - 2.0 * tx);
+            let sy = ty * ty * (3.0 - 2.0 * ty);
+            let v00 = Self::lattice_value(values, *side, ix, iy) as f64;
+            let v10 = Self::lattice_value(values, *side, ix + 1, iy) as f64;
+            let v01 = Self::lattice_value(values, *side, ix, iy + 1) as f64;
+            let v11 = Self::lattice_value(values, *side, ix + 1, iy + 1) as f64;
+            let top = v00 + (v10 - v00) * sx;
+            let bot = v01 + (v11 - v01) * sx;
+            sum += (top + (bot - top) * sy) * amp;
+            norm += amp;
+            amp *= 0.5;
+            period /= 2.0;
+        }
+        sum / norm
+    }
+
+    /// Renders a `width × height` image with samples linearly mapped
+    /// from noise `[0, 1]` to `[lo, hi]`.
+    pub fn render(&self, width: usize, height: usize, lo: f32, hi: f32) -> GrayImage {
+        GrayImage::from_fn(width, height, |x, y| {
+            lo + (hi - lo) * self.sample(x as f64, y as f64) as f32
+        })
+    }
+
+    /// Renders with an offset into the noise field — used to give each
+    /// scene layer its own texture region.
+    pub fn render_offset(
+        &self,
+        width: usize,
+        height: usize,
+        ox: f64,
+        oy: f64,
+        lo: f32,
+        hi: f32,
+    ) -> GrayImage {
+        GrayImage::from_fn(width, height, |x, y| {
+            lo + (hi - lo) * self.sample(x as f64 + ox, y as f64 + oy) as f32
+        })
+    }
+}
+
+/// Adds i.i.d. Gaussian sensor noise (Box–Muller) to an image in place.
+pub fn add_gaussian_noise<R: Rng + ?Sized>(image: &mut GrayImage, sigma: f32, rng: &mut R) {
+    if sigma <= 0.0 {
+        return;
+    }
+    for y in 0..image.height() {
+        for x in 0..image.width() {
+            let u1: f64 = rng.gen::<f64>().max(1e-12);
+            let u2: f64 = rng.gen();
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            let v = image.get(x, y) + sigma * z as f32;
+            image.set(x, y, v.clamp(0.0, 255.0));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sampling::Xoshiro256pp;
+
+    #[test]
+    fn noise_is_smooth_at_small_scales() {
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let noise = ValueNoise::new(16.0, 1, &mut rng);
+        // Adjacent samples differ by much less than the full range.
+        let a = noise.sample(10.0, 10.0);
+        let b = noise.sample(10.5, 10.0);
+        assert!((a - b).abs() < 0.2, "noise too rough: {a} vs {b}");
+    }
+
+    #[test]
+    fn noise_varies_at_large_scales() {
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let noise = ValueNoise::new(8.0, 3, &mut rng);
+        let samples: Vec<f64> =
+            (0..200).map(|i| noise.sample(i as f64 * 5.0, i as f64 * 3.0)).collect();
+        let (mean, var) = sampling::stats::mean_variance(&samples);
+        assert!(mean > 0.2 && mean < 0.8, "mean {mean}");
+        assert!(var > 0.005, "variance {var} too small for texture");
+    }
+
+    #[test]
+    fn render_respects_output_range() {
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let noise = ValueNoise::new(6.0, 3, &mut rng);
+        let img = noise.render(40, 30, 50.0, 200.0);
+        let (lo, hi) = img.min_max();
+        assert!(lo >= 50.0 && hi <= 200.0);
+        assert!(hi - lo > 30.0, "texture should use a good part of the range");
+    }
+
+    #[test]
+    fn offset_renders_differ() {
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
+        let noise = ValueNoise::new(6.0, 2, &mut rng);
+        let a = noise.render_offset(16, 16, 0.0, 0.0, 0.0, 255.0);
+        let b = noise.render_offset(16, 16, 500.0, 700.0, 0.0, 255.0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn gaussian_noise_perturbs_with_expected_magnitude() {
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        let mut img = GrayImage::filled(64, 64, 128.0);
+        add_gaussian_noise(&mut img, 5.0, &mut rng);
+        let diffs: Vec<f64> = img.as_slice().iter().map(|&v| (v - 128.0) as f64).collect();
+        let (mean, var) = sampling::stats::mean_variance(&diffs);
+        assert!(mean.abs() < 0.5, "bias {mean}");
+        assert!((var.sqrt() - 5.0).abs() < 0.5, "sigma {}", var.sqrt());
+    }
+
+    #[test]
+    fn zero_sigma_noise_is_identity() {
+        let mut rng = Xoshiro256pp::seed_from_u64(6);
+        let mut img = GrayImage::filled(8, 8, 99.0);
+        add_gaussian_noise(&mut img, 0.0, &mut rng);
+        assert!(img.as_slice().iter().all(|&v| v == 99.0));
+    }
+}

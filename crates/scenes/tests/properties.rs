@@ -1,0 +1,88 @@
+//! Property-based tests for the synthetic dataset generators.
+
+use mrf::Grid;
+use proptest::prelude::*;
+use scenes::{FlowSpec, SegmentationSpec, StereoSpec};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every generated stereo pair satisfies the rendering identity on
+    /// non-occluded pixels: right(x − d, y) == left(x, y) (zero noise).
+    #[test]
+    fn stereo_rendering_identity(
+        seed in any::<u64>(),
+        disp_pow in 3u32..6,
+        layers in 1usize..6,
+    ) {
+        let num_disparities = 1usize << disp_pow;
+        let spec = StereoSpec {
+            width: 64,
+            height: 32,
+            num_disparities,
+            num_layers: layers,
+            noise_sigma: 0.0,
+        };
+        let ds = spec.generate(seed);
+        let grid = Grid::new(64, 32);
+        for y in 0..32 {
+            for x in 0..64 {
+                let site = grid.index(x, y);
+                let d = ds.ground_truth.get(site) as usize;
+                prop_assert!(d < num_disparities);
+                if !ds.occlusion[site] {
+                    prop_assert!(x >= d, "visible pixel maps in frame");
+                    prop_assert_eq!(ds.right.get(x - d, y), ds.left.get(x, y));
+                }
+            }
+        }
+    }
+
+    /// Flow ground truth always fits the label window and frame 2 is
+    /// fully painted.
+    #[test]
+    fn flow_invariants(seed in any::<u64>(), patches in 1usize..6) {
+        let spec = FlowSpec {
+            width: 48,
+            height: 32,
+            window: 7,
+            num_patches: patches,
+            noise_sigma: 0.0,
+        };
+        let ds = spec.generate(seed);
+        prop_assert!(ds.ground_truth.iter().all(|&(dx, dy)| dx.abs() <= 3 && dy.abs() <= 3));
+        prop_assert!(ds.frame2.as_slice().iter().all(|&v| (0.0..=255.0).contains(&v)));
+    }
+
+    /// Segmentation ground truth uses every region and the image stays
+    /// in the valid sample range.
+    #[test]
+    fn segmentation_invariants(seed in any::<u64>(), regions in 2usize..9) {
+        let spec = SegmentationSpec {
+            width: 48,
+            height: 32,
+            num_regions: regions,
+            noise_sigma: 6.0,
+            contrast: 140.0,
+        };
+        let ds = spec.generate(seed);
+        let hist = ds.ground_truth.histogram();
+        prop_assert_eq!(hist.len(), regions);
+        prop_assert!(ds.image.as_slice().iter().all(|&v| (0.0..=255.0).contains(&v)));
+    }
+
+    /// Generation is a pure function of the seed for all three families.
+    #[test]
+    fn generators_deterministic(seed in any::<u64>()) {
+        let s = StereoSpec {
+            width: 32, height: 24, num_disparities: 8, num_layers: 2, noise_sigma: 1.0,
+        };
+        prop_assert_eq!(s.generate(seed), s.generate(seed));
+        let f = FlowSpec { width: 32, height: 24, window: 5, num_patches: 2, noise_sigma: 1.0 };
+        prop_assert_eq!(f.generate(seed), f.generate(seed));
+        let g = SegmentationSpec {
+            width: 32, height: 24, num_regions: 3, noise_sigma: 4.0, contrast: 120.0,
+        };
+        prop_assert_eq!(g.generate(seed), g.generate(seed));
+    }
+}

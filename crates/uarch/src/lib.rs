@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! Analytical area, power and performance models for RSU-G design
+//! points and their pure-CMOS alternatives.
+//!
+//! The paper's hardware evaluation rests on three artefacts we cannot
+//! rerun (CACTI 5.3, a 15 nm Verilog synthesis flow, and first-principles
+//! device estimates for QDLED/RET/SPAD). This crate replaces them with a
+//! component-level model **calibrated to the published figures** and
+//! implements the paper's composition/sharing arithmetic exactly, so the
+//! derived tables can be regenerated and the design trade-offs explored:
+//!
+//! * [`components`] — the component library (QDLED, SPAD, RET network,
+//!   waveguide, mux, SRAM macro, comparators/registers, energy
+//!   calculation, selection logic) with per-item area/power;
+//! * [`designs`] — Table III (new RSU-G area/power by component, the
+//!   1.27× power / ~1× area claim, the 0.46×/0.22× comparison-vs-LUT
+//!   conversion claim) and Table IV (RSU-G sharing variants vs Intel
+//!   DRNG, 19-bit LFSR, and mt19937 sharing variants);
+//! * [`perf`] — Table II (stereo execution times and speedups for
+//!   GPU-float, GPU-int8 and the RSU-augmented GPU across SD/HD and
+//!   10/64 labels) plus the discrete-accelerator bandwidth model of
+//!   §II-C.
+//!
+//! # Example
+//!
+//! ```
+//! use uarch::designs;
+//!
+//! let t3 = designs::table3_new_rsu();
+//! assert!((t3.total().area_um2 - 2903.0).abs() < 1.0);
+//! let prev = designs::previous_rsu_total();
+//! let ratio = t3.total().power_mw / prev.power_mw;
+//! assert!((ratio - 1.27).abs() < 0.03, "the 1.27x power claim");
+//! ```
+
+pub mod accel;
+pub mod components;
+pub mod designs;
+pub mod explore;
+pub mod model;
+pub mod perf;
+
+pub use accel::{simulate, sizing_sweep, AcceleratorReport, AcceleratorSpec};
+pub use model::AreaPower;

@@ -1,0 +1,99 @@
+//! Property-based tests for the cost and performance models.
+
+use proptest::prelude::*;
+use uarch::accel::{simulate, AcceleratorSpec};
+use uarch::designs;
+use uarch::explore;
+use uarch::perf::{self, GpuPrecision, StereoWorkload};
+use uarch::AreaPower;
+
+proptest! {
+    /// Area/power arithmetic is associative-ish and never negative.
+    #[test]
+    fn area_power_algebra(
+        a in 0.0f64..1e5, pa in 0.0f64..1e2,
+        b in 0.0f64..1e5, pb in 0.0f64..1e2,
+        k in 0.0f64..16.0,
+    ) {
+        let x = AreaPower::new(a, pa);
+        let y = AreaPower::new(b, pb);
+        let sum = x + y;
+        prop_assert!((sum.area_um2 - (a + b)).abs() < 1e-9);
+        let scaled = x * k;
+        prop_assert!(scaled.area_um2 >= 0.0 && scaled.power_mw >= 0.0);
+        let total: AreaPower = [x, y, scaled].into_iter().sum();
+        prop_assert!((total.area_um2 - (a + b + a * k)).abs() < 1e-6);
+    }
+
+    /// RSU-G sharing is monotone non-increasing in the share factor and
+    /// bounded by the no-share and fully-amortised extremes.
+    #[test]
+    fn sharing_monotone(share in 1u32..512) {
+        let shared = designs::rsug_shared(share).area_um2;
+        let noshare = designs::rsug_shared(1).area_um2;
+        let amortised = designs::rsug_shared(share + 1).area_um2;
+        prop_assert!(shared <= noshare + 1e-9);
+        prop_assert!(amortised <= shared + 1e-9);
+        prop_assert!(shared >= designs::rsug_optimistic().area_um2);
+    }
+
+    /// mt19937 sharing interpolates between its extremes.
+    #[test]
+    fn mt_sharing_bounds(share in 1u32..1024) {
+        let a = designs::mt19937_design(share).area_um2;
+        prop_assert!(a <= designs::mt19937_design(1).area_um2 + 1e-9);
+        prop_assert!(a >= designs::mt19937_design(100_000).area_um2 - 1e-9);
+    }
+
+    /// GPU time grows with pixels, labels and iterations; the RSU wins
+    /// at every shape in the supported range.
+    #[test]
+    fn perf_model_monotonicity(
+        w in 64u64..2048, h in 64u64..1200, labels in 2u32..64, iters in 1u64..200,
+    ) {
+        let wl = StereoWorkload { width: w, height: h, labels, iterations: iters };
+        let bigger = StereoWorkload { width: w + 64, height: h, labels, iterations: iters };
+        let more_labels =
+            StereoWorkload { width: w, height: h, labels: labels + 1, iterations: iters };
+        let t = perf::gpu_time_s(wl, GpuPrecision::Float);
+        prop_assert!(t > 0.0);
+        prop_assert!(perf::gpu_time_s(bigger, GpuPrecision::Float) > t);
+        prop_assert!(perf::gpu_time_s(more_labels, GpuPrecision::Float) > t);
+        prop_assert!(perf::gpu_time_s(wl, GpuPrecision::Int8) < t);
+        prop_assert!(perf::speedup(wl, GpuPrecision::Float) > 1.0);
+    }
+
+    /// The accelerator simulation never beats its closed-form bound and
+    /// utilisations stay in [0, 1].
+    #[test]
+    fn accelerator_sim_respects_bound(
+        labels in 2u32..64, iters in 1u64..30, units_log in 4u32..10,
+    ) {
+        let spec = AcceleratorSpec {
+            units: 1 << units_log,
+            ..AcceleratorSpec::paper()
+        };
+        let r = simulate(spec, 320, 320, labels, iters);
+        let w = StereoWorkload { width: 320, height: 320, labels, iterations: iters };
+        let bound = perf::discrete_accelerator_time_s(
+            w, spec.units, spec.bandwidth_bytes_per_s, spec.bytes_per_update,
+        );
+        prop_assert!(r.time_s >= bound - 1e-12);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&r.compute_utilisation));
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&r.memory_utilisation));
+    }
+
+    /// Design-point costs grow with both knobs and errors are finite and
+    /// non-negative everywhere on the supported grid.
+    #[test]
+    fn explore_points_are_sane(bits in 3u32..=8, trunc_idx in 0usize..5) {
+        let trunc = [0.01, 0.1, 0.3, 0.5, 0.9][trunc_idx];
+        let p = explore::evaluate(bits, trunc);
+        prop_assert!(p.sampling_cost.area_um2 > 0.0);
+        prop_assert!(p.worst_ratio_error.is_finite() && p.worst_ratio_error >= 0.0);
+        if bits < 8 {
+            let finer = explore::evaluate(bits + 1, trunc);
+            prop_assert!(finer.sampling_cost.area_um2 > p.sampling_cost.area_um2);
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Error types for the vision crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when constructing a vision model or parsing an image.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VisionError {
+    /// Two images that must share dimensions do not.
+    DimensionMismatch {
+        /// First image dimensions.
+        a: (usize, usize),
+        /// Second image dimensions.
+        b: (usize, usize),
+    },
+    /// A parameter (label count, window, weight) is out of range.
+    InvalidParameter {
+        /// Which parameter.
+        name: &'static str,
+        /// Human-readable constraint.
+        reason: &'static str,
+    },
+    /// A PGM/PPM stream could not be parsed.
+    BadImageFormat {
+        /// What went wrong.
+        reason: String,
+    },
+    /// An I/O error while reading or writing an image.
+    Io(String),
+}
+
+impl fmt::Display for VisionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VisionError::DimensionMismatch { a, b } => {
+                write!(f, "image dimensions differ: {}x{} vs {}x{}", a.0, a.1, b.0, b.1)
+            }
+            VisionError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter {name}: {reason}")
+            }
+            VisionError::BadImageFormat { reason } => write!(f, "bad image format: {reason}"),
+            VisionError::Io(msg) => write!(f, "image i/o failed: {msg}"),
+        }
+    }
+}
+
+impl Error for VisionError {}
+
+impl From<std::io::Error> for VisionError {
+    fn from(e: std::io::Error) -> Self {
+        VisionError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<VisionError>();
+        let e = VisionError::DimensionMismatch { a: (2, 3), b: (4, 5) };
+        assert!(e.to_string().contains("2x3"));
+    }
+}

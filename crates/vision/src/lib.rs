@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+
+//! Computer-vision MRF applications and result-quality metrics.
+//!
+//! The paper evaluates RSU-G precision through three applications "which
+//! are good representations of computer vision and can all be solved
+//! using MCMC with an MRF model" (§III-A):
+//!
+//! * [`stereo`] — stereo vision: first-order MRF over scalar disparities,
+//!   **absolute** distance (Barnard-style), the paper's running example
+//!   and its highest-precision-demand workload;
+//! * [`motion`] — motion estimation (optical flow): 2-D label window of
+//!   `N × N` motion vectors, **squared** distance (Konrad & Dubois);
+//! * [`segment`] — image segmentation: `K`-way Potts model with a
+//!   Gaussian intensity data term (**binary** distance).
+//!
+//! Result quality uses the community-standard metrics the paper quotes:
+//! bad-pixel percentage and RMS for stereo ([`metrics::stereo`]),
+//! endpoint error for flow ([`metrics::flow`]), and the BISIP quartet —
+//! Variation of Information, Probabilistic Rand Index, Global
+//! Consistency Error, Boundary Displacement Error — for segmentation
+//! ([`metrics::segmentation`]).
+//!
+//! All three applications implement [`mrf::MrfModel`], so they run
+//! unmodified on the software Gibbs kernel or either RSU-G design.
+//!
+//! # Example
+//!
+//! ```
+//! use vision::image::GrayImage;
+//! use vision::stereo::StereoModel;
+//! use mrf::MrfModel;
+//!
+//! let left = GrayImage::from_fn(16, 8, |x, y| (x * 10 + y) as f32);
+//! let right = left.shifted_left(2);
+//! let model = StereoModel::new(&left, &right, 4, 1.0, 4.0)?;
+//! assert_eq!(model.num_labels(), 4);
+//! # Ok::<(), vision::VisionError>(())
+//! ```
+
+pub mod ctf;
+pub mod error;
+pub mod image;
+pub mod metrics;
+pub mod motion;
+pub mod pyramid;
+pub mod segment;
+pub mod stereo;
+
+pub use ctf::{warp_by_flow, CoarseToFine};
+pub use error::VisionError;
+pub use image::GrayImage;
+pub use motion::MotionModel;
+pub use segment::SegmentModel;
+pub use stereo::StereoModel;

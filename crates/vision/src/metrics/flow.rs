@@ -1,0 +1,72 @@
+//! Motion-estimation quality: average endpoint error (EPE), the
+//! Middlebury flow metric the paper uses (§III-D2).
+
+/// Average endpoint error between two dense flow fields:
+/// `mean ‖v_result − v_truth‖₂`.
+///
+/// # Panics
+///
+/// Panics if the fields differ in length or are empty.
+///
+/// # Example
+///
+/// ```
+/// use vision::metrics::endpoint_error;
+///
+/// let truth = vec![(1isize, 0isize), (0, 1)];
+/// let result = vec![(1isize, 0isize), (3, 5)];
+/// // Errors: 0 and 5 → mean 2.5.
+/// assert_eq!(endpoint_error(&result, &truth), 2.5);
+/// ```
+pub fn endpoint_error(result: &[(isize, isize)], truth: &[(isize, isize)]) -> f64 {
+    assert_eq!(result.len(), truth.len(), "flow field length mismatch");
+    assert!(!result.is_empty(), "empty flow field");
+    let sum: f64 = result
+        .iter()
+        .zip(truth)
+        .map(|(&(rx, ry), &(tx, ty))| {
+            let dx = (rx - tx) as f64;
+            let dy = (ry - ty) as f64;
+            (dx * dx + dy * dy).sqrt()
+        })
+        .sum();
+    sum / result.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_for_identical_fields() {
+        let f = vec![(1isize, 2isize); 10];
+        assert_eq!(endpoint_error(&f, &f), 0.0);
+    }
+
+    #[test]
+    fn matches_manual_computation() {
+        let truth = vec![(0isize, 0isize), (0, 0), (0, 0), (0, 0)];
+        let result = vec![(3isize, 4isize), (0, 0), (0, 1), (1, 0)];
+        // Errors: 5, 0, 1, 1 → mean 1.75.
+        assert_eq!(endpoint_error(&result, &truth), 1.75);
+    }
+
+    #[test]
+    fn symmetric_in_arguments() {
+        let a = vec![(1isize, 1isize), (2, -3)];
+        let b = vec![(0isize, 0isize), (-1, 2)];
+        assert_eq!(endpoint_error(&a, &b), endpoint_error(&b, &a));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_mismatched_lengths() {
+        endpoint_error(&[(0, 0)], &[(0, 0), (1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn rejects_empty() {
+        endpoint_error(&[], &[]);
+    }
+}

@@ -1,0 +1,19 @@
+//! Result-quality metrics.
+//!
+//! One submodule per application, matching the paper's choices: bad-pixel
+//! percentage and RMS for stereo (Middlebury convention, §III-A),
+//! endpoint error for motion (§III-D2), and the BISIP quartet for
+//! segmentation (§III-D3).
+
+pub mod flow;
+pub mod segmentation;
+pub mod stereo;
+
+pub use flow::endpoint_error;
+pub use segmentation::{
+    boundary_displacement_error, global_consistency_error, probabilistic_rand_index,
+    variation_of_information, ContingencyTable,
+};
+pub use stereo::{
+    bad_pixel_percentage, bad_pixels_by_region, compute_regions, rms_error, StereoRegions,
+};

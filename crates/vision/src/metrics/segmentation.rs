@@ -1,0 +1,418 @@
+//! Segmentation quality: the four BISIP metrics the paper evaluates with
+//! (§III-D3) — Variation of Information (VoI), Probabilistic Rand Index
+//! (PRI), Global Consistency Error (GCE) and Boundary Displacement Error
+//! (BDE).
+
+use mrf::LabelField;
+use std::collections::VecDeque;
+
+/// Joint label-occurrence counts between two segmentations of the same
+/// grid: the sufficient statistic for VoI, PRI and GCE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContingencyTable {
+    /// `counts[a * k_b + b]` = number of pixels labelled `a` in A and `b`
+    /// in B.
+    counts: Vec<u64>,
+    k_a: usize,
+    k_b: usize,
+    total: u64,
+}
+
+impl ContingencyTable {
+    /// Builds the table from two segmentations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fields have different grids.
+    pub fn new(a: &LabelField, b: &LabelField) -> Self {
+        assert_eq!(a.grid(), b.grid(), "grid mismatch");
+        let k_a = a.num_labels();
+        let k_b = b.num_labels();
+        let mut counts = vec![0u64; k_a * k_b];
+        for site in 0..a.grid().len() {
+            counts[a.get(site) as usize * k_b + b.get(site) as usize] += 1;
+        }
+        ContingencyTable { counts, k_a, k_b, total: a.grid().len() as u64 }
+    }
+
+    /// Marginal counts of segmentation A.
+    pub fn marginal_a(&self) -> Vec<u64> {
+        let mut m = vec![0u64; self.k_a];
+        for a in 0..self.k_a {
+            for b in 0..self.k_b {
+                m[a] += self.counts[a * self.k_b + b];
+            }
+        }
+        m
+    }
+
+    /// Marginal counts of segmentation B.
+    pub fn marginal_b(&self) -> Vec<u64> {
+        let mut m = vec![0u64; self.k_b];
+        for a in 0..self.k_a {
+            for b in 0..self.k_b {
+                m[b] += self.counts[a * self.k_b + b];
+            }
+        }
+        m
+    }
+
+    /// Total pixel count.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Joint count for cell `(a, b)`.
+    pub fn count(&self, a: usize, b: usize) -> u64 {
+        self.counts[a * self.k_b + b]
+    }
+
+    fn entropy(marginal: &[u64], total: u64) -> f64 {
+        marginal
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / total as f64;
+                -p * p.log2()
+            })
+            .sum()
+    }
+
+    /// Mutual information `I(A; B)` in bits.
+    pub fn mutual_information(&self) -> f64 {
+        let ma = self.marginal_a();
+        let mb = self.marginal_b();
+        let n = self.total as f64;
+        let mut mi = 0.0;
+        for a in 0..self.k_a {
+            for b in 0..self.k_b {
+                let c = self.counts[a * self.k_b + b];
+                if c > 0 {
+                    let p = c as f64 / n;
+                    let pa = ma[a] as f64 / n;
+                    let pb = mb[b] as f64 / n;
+                    mi += p * (p / (pa * pb)).log2();
+                }
+            }
+        }
+        mi
+    }
+
+    /// Entropy of segmentation A in bits.
+    pub fn entropy_a(&self) -> f64 {
+        Self::entropy(&self.marginal_a(), self.total)
+    }
+
+    /// Entropy of segmentation B in bits.
+    pub fn entropy_b(&self) -> f64 {
+        Self::entropy(&self.marginal_b(), self.total)
+    }
+}
+
+/// Variation of Information `VoI = H(A) + H(B) − 2 I(A; B)` in bits;
+/// `VoI ∈ [0, ∞)`, lower is better, 0 iff the segmentations are
+/// identical up to relabelling.
+///
+/// # Panics
+///
+/// Panics if the fields have different grids.
+///
+/// # Example
+///
+/// ```
+/// use mrf::{Grid, LabelField};
+/// use vision::metrics::variation_of_information;
+///
+/// let grid = Grid::new(4, 1);
+/// let a = LabelField::from_labels(grid, 2, vec![0, 0, 1, 1]);
+/// let b = LabelField::from_labels(grid, 2, vec![1, 1, 0, 0]); // same partition
+/// assert!(variation_of_information(&a, &b) < 1e-12);
+/// ```
+pub fn variation_of_information(a: &LabelField, b: &LabelField) -> f64 {
+    let t = ContingencyTable::new(a, b);
+    (t.entropy_a() + t.entropy_b() - 2.0 * t.mutual_information()).max(0.0)
+}
+
+/// Probabilistic Rand Index against a single ground truth (reduces to
+/// the Rand Index): the probability that a random pixel pair is treated
+/// consistently (together in both or apart in both); in `[0, 1]`, higher
+/// is better.
+///
+/// # Panics
+///
+/// Panics if the fields have different grids or fewer than two pixels.
+pub fn probabilistic_rand_index(a: &LabelField, b: &LabelField) -> f64 {
+    let t = ContingencyTable::new(a, b);
+    let n = t.total();
+    assert!(n >= 2, "need at least two pixels");
+    let c2 = |x: u64| -> f64 { (x as f64) * (x as f64 - 1.0) / 2.0 };
+    let pairs = c2(n);
+    let sum_cells: f64 = (0..t.k_a)
+        .flat_map(|ia| (0..t.k_b).map(move |ib| (ia, ib)))
+        .map(|(ia, ib)| c2(t.count(ia, ib)))
+        .sum();
+    let sum_a: f64 = t.marginal_a().iter().map(|&x| c2(x)).sum();
+    let sum_b: f64 = t.marginal_b().iter().map(|&x| c2(x)).sum();
+    // Agreements = pairs together in both + pairs apart in both.
+    (pairs + 2.0 * sum_cells - sum_a - sum_b) / pairs
+}
+
+/// Global Consistency Error (Martin et al.): a region-based error that
+/// forgives refinement in one direction; in `[0, 1]`, lower is better.
+///
+/// # Panics
+///
+/// Panics if the fields have different grids.
+pub fn global_consistency_error(a: &LabelField, b: &LabelField) -> f64 {
+    let t = ContingencyTable::new(a, b);
+    let n = t.total() as f64;
+    let ma = t.marginal_a();
+    let mb = t.marginal_b();
+    // Local refinement errors in each direction, summed per pixel:
+    // E(A→B) = Σ_ij n_ij · (|A_i| − n_ij) / |A_i|.
+    let mut e_ab = 0.0;
+    let mut e_ba = 0.0;
+    for ia in 0..ma.len() {
+        for ib in 0..mb.len() {
+            let nij = t.count(ia, ib) as f64;
+            if nij > 0.0 {
+                e_ab += nij * (ma[ia] as f64 - nij) / ma[ia] as f64;
+                e_ba += nij * (mb[ib] as f64 - nij) / mb[ib] as f64;
+            }
+        }
+    }
+    (e_ab.min(e_ba)) / n
+}
+
+/// Extracts boundary pixels: sites whose label differs from the right or
+/// down neighbour.
+fn boundary_mask(field: &LabelField) -> Vec<bool> {
+    let grid = field.grid();
+    let (w, h) = (grid.width(), grid.height());
+    let mut mask = vec![false; grid.len()];
+    for y in 0..h {
+        for x in 0..w {
+            let s = grid.index(x, y);
+            let l = field.get(s);
+            if x + 1 < w && field.get(grid.index(x + 1, y)) != l {
+                mask[s] = true;
+                mask[grid.index(x + 1, y)] = true;
+            }
+            if y + 1 < h && field.get(grid.index(x, y + 1)) != l {
+                mask[s] = true;
+                mask[grid.index(x, y + 1)] = true;
+            }
+        }
+    }
+    mask
+}
+
+/// Multi-source BFS distance (in 4-connected steps) from every site to
+/// the nearest `true` in `sources`; `f64::INFINITY` when there are none.
+fn distance_to(sources: &[bool], grid: mrf::Grid) -> Vec<f64> {
+    let mut dist = vec![f64::INFINITY; grid.len()];
+    let mut queue = VecDeque::new();
+    for (i, &s) in sources.iter().enumerate() {
+        if s {
+            dist[i] = 0.0;
+            queue.push_back(i);
+        }
+    }
+    while let Some(site) = queue.pop_front() {
+        for n in grid.neighbors(site) {
+            if dist[n].is_infinite() {
+                dist[n] = dist[site] + 1.0;
+                queue.push_back(n);
+            }
+        }
+    }
+    dist
+}
+
+/// Boundary Displacement Error: the symmetric average, over the boundary
+/// pixels of each segmentation, of the distance to the closest boundary
+/// pixel of the other; in pixels, lower is better. Returns 0 when
+/// neither segmentation has boundaries (both constant), and the grid
+/// diameter when exactly one of them is boundary-free.
+///
+/// # Panics
+///
+/// Panics if the fields have different grids.
+pub fn boundary_displacement_error(a: &LabelField, b: &LabelField) -> f64 {
+    assert_eq!(a.grid(), b.grid(), "grid mismatch");
+    let grid = a.grid();
+    let ba = boundary_mask(a);
+    let bb = boundary_mask(b);
+    let has_a = ba.iter().any(|&x| x);
+    let has_b = bb.iter().any(|&x| x);
+    match (has_a, has_b) {
+        (false, false) => return 0.0,
+        (false, true) | (true, false) => {
+            return (grid.width() + grid.height()) as f64;
+        }
+        (true, true) => {}
+    }
+    let da = distance_to(&ba, grid);
+    let db = distance_to(&bb, grid);
+    let mean_from = |mask: &[bool], dist: &[f64]| -> f64 {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for (i, &m) in mask.iter().enumerate() {
+            if m {
+                sum += dist[i];
+                count += 1;
+            }
+        }
+        sum / count as f64
+    };
+    // Boundary pixels of A measured against B's boundary map, and vice
+    // versa.
+    (mean_from(&ba, &db) + mean_from(&bb, &da)) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrf::{Grid, LabelField};
+
+    fn halves(grid: Grid, split_at: usize) -> LabelField {
+        let labels = grid
+            .sites()
+            .map(|s| {
+                let (x, _) = grid.coords(s);
+                u16::from(x >= split_at)
+            })
+            .collect();
+        LabelField::from_labels(grid, 2, labels)
+    }
+
+    #[test]
+    fn voi_is_zero_for_identical_partitions_even_relabelled() {
+        let grid = Grid::new(8, 8);
+        let a = halves(grid, 4);
+        // Swap the labels: same partition.
+        let swapped = LabelField::from_labels(
+            grid,
+            2,
+            a.as_slice().iter().map(|&l| 1 - l).collect(),
+        );
+        assert!(variation_of_information(&a, &a) < 1e-12);
+        assert!(variation_of_information(&a, &swapped) < 1e-12);
+        assert!(probabilistic_rand_index(&a, &swapped) > 0.999_999);
+        assert!(global_consistency_error(&a, &swapped) < 1e-12);
+    }
+
+    #[test]
+    fn voi_of_independent_partitions_is_high() {
+        let grid = Grid::new(8, 8);
+        let vertical = halves(grid, 4);
+        let horizontal = LabelField::from_labels(
+            grid,
+            2,
+            grid.sites().map(|s| u16::from(grid.coords(s).1 >= 4)).collect(),
+        );
+        // Two orthogonal half-splits: VoI = 2·H(1/2) − 2·0 = 2 bits.
+        let voi = variation_of_information(&vertical, &horizontal);
+        assert!((voi - 2.0).abs() < 1e-9, "voi {voi}");
+    }
+
+    #[test]
+    fn voi_increases_with_disagreement() {
+        let grid = Grid::new(10, 10);
+        let truth = halves(grid, 5);
+        let close = halves(grid, 6);
+        let far = halves(grid, 9);
+        let v_close = variation_of_information(&close, &truth);
+        let v_far = variation_of_information(&far, &truth);
+        assert!(v_close < v_far, "{v_close} !< {v_far}");
+    }
+
+    #[test]
+    fn pri_matches_hand_computed_rand_index() {
+        let grid = Grid::new(4, 1);
+        let a = LabelField::from_labels(grid, 2, vec![0, 0, 1, 1]);
+        let b = LabelField::from_labels(grid, 2, vec![0, 1, 1, 1]);
+        // Pairs (6 total): together-in-both {(2,3)} = 1;
+        // apart-in-both {(0,2),(0,3),(1,2)... } — enumerate:
+        // a: together {01,23}; b: together {12,13,23}.
+        // agreements: pairs where membership matches:
+        // 01: a together, b apart → no. 02: apart/apart → yes.
+        // 03: apart/apart → yes. 12: apart/together → no.
+        // 13: apart/together → no. 23: together/together → yes.
+        // RI = 3/6 = 0.5.
+        assert!((probabilistic_rand_index(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gce_forgives_pure_refinement() {
+        // B refines A (splits one of A's regions): GCE must be 0.
+        let grid = Grid::new(8, 4);
+        let a = halves(grid, 4);
+        let b = LabelField::from_labels(
+            grid,
+            3,
+            grid.sites()
+                .map(|s| {
+                    let (x, _) = grid.coords(s);
+                    if x < 4 {
+                        0u16
+                    } else if x < 6 {
+                        1
+                    } else {
+                        2
+                    }
+                })
+                .collect(),
+        );
+        assert!(global_consistency_error(&a, &b) < 1e-12);
+        // But VoI does penalise refinement.
+        assert!(variation_of_information(&a, &b) > 0.1);
+    }
+
+    #[test]
+    fn bde_zero_for_identical_and_grows_with_shift() {
+        let grid = Grid::new(16, 8);
+        let a = halves(grid, 8);
+        assert_eq!(boundary_displacement_error(&a, &a), 0.0);
+        let shifted2 = halves(grid, 10);
+        let shifted4 = halves(grid, 12);
+        let d2 = boundary_displacement_error(&a, &shifted2);
+        let d4 = boundary_displacement_error(&a, &shifted4);
+        // Boundaries are two pixels thick (both sides of the split are
+        // marked), so a 2-column shift averages to 1.5 px displacement.
+        assert!((d2 - 1.5).abs() < 0.25, "shift-2 BDE {d2}");
+        assert!(d4 > d2, "{d4} !> {d2}");
+    }
+
+    #[test]
+    fn bde_handles_boundary_free_fields() {
+        let grid = Grid::new(6, 6);
+        let flat = LabelField::constant(grid, 2, 0);
+        let split = halves(grid, 3);
+        assert_eq!(boundary_displacement_error(&flat, &flat), 0.0);
+        assert_eq!(boundary_displacement_error(&flat, &split), 12.0);
+    }
+
+    #[test]
+    fn contingency_marginals_sum_to_total() {
+        let grid = Grid::new(5, 5);
+        let a = halves(grid, 2);
+        let b = halves(grid, 3);
+        let t = ContingencyTable::new(&a, &b);
+        assert_eq!(t.marginal_a().iter().sum::<u64>(), 25);
+        assert_eq!(t.marginal_b().iter().sum::<u64>(), 25);
+        assert_eq!(t.total(), 25);
+    }
+
+    #[test]
+    fn mutual_information_bounded_by_entropies() {
+        let grid = Grid::new(9, 9);
+        let a = halves(grid, 4);
+        let b = halves(grid, 6);
+        let t = ContingencyTable::new(&a, &b);
+        let mi = t.mutual_information();
+        assert!(mi >= 0.0);
+        assert!(mi <= t.entropy_a() + 1e-12);
+        assert!(mi <= t.entropy_b() + 1e-12);
+    }
+}

@@ -1,0 +1,325 @@
+//! Stereo quality metrics: bad-pixel percentage (BP) and RMS disparity
+//! error, per the Middlebury evaluation the paper uses (§III-A), plus
+//! the subregion decomposition the paper mentions ("more detailed
+//! evaluations can distinguish the disparity map for subregions such as
+//! *occluded* and *textureless*").
+
+use crate::image::GrayImage;
+use mrf::LabelField;
+
+/// Bad-pixel percentage: the fraction (in percent) of pixels whose
+/// computed disparity differs from ground truth by more than
+/// `threshold` (the paper sets 1, "as in previous work").
+///
+/// `occluded` marks pixels with no valid correspondence; following the
+/// paper's pessimistic convention ("we conservatively consider all
+/// software and RSU-G results in those areas as mislabeled"), occluded
+/// pixels count as bad unconditionally. Pass `None` when the dataset has
+/// no occlusion mask.
+///
+/// # Panics
+///
+/// Panics if the fields (or mask) have mismatched grids.
+///
+/// # Example
+///
+/// ```
+/// use mrf::{Grid, LabelField};
+/// use vision::metrics::bad_pixel_percentage;
+///
+/// let grid = Grid::new(2, 2);
+/// let truth = LabelField::from_labels(grid, 8, vec![3, 3, 3, 3]);
+/// let result = LabelField::from_labels(grid, 8, vec![3, 4, 7, 3]);
+/// // |4−3| = 1 is within threshold; |7−3| = 4 is bad → 25 %.
+/// assert_eq!(bad_pixel_percentage(&result, &truth, None, 1.0), 25.0);
+/// ```
+pub fn bad_pixel_percentage(
+    result: &LabelField,
+    truth: &LabelField,
+    occluded: Option<&[bool]>,
+    threshold: f64,
+) -> f64 {
+    assert_eq!(result.grid(), truth.grid(), "grid mismatch");
+    if let Some(mask) = occluded {
+        assert_eq!(mask.len(), result.grid().len(), "mask length mismatch");
+    }
+    let n = result.grid().len();
+    let mut bad = 0usize;
+    for site in 0..n {
+        let occl = occluded.map_or(false, |m| m[site]);
+        let err = (result.get(site) as f64 - truth.get(site) as f64).abs();
+        if occl || err > threshold {
+            bad += 1;
+        }
+    }
+    100.0 * bad as f64 / n as f64
+}
+
+/// Root-mean-squared disparity error over non-occluded pixels.
+///
+/// # Panics
+///
+/// Panics if the fields (or mask) have mismatched grids, or if every
+/// pixel is occluded.
+pub fn rms_error(result: &LabelField, truth: &LabelField, occluded: Option<&[bool]>) -> f64 {
+    assert_eq!(result.grid(), truth.grid(), "grid mismatch");
+    if let Some(mask) = occluded {
+        assert_eq!(mask.len(), result.grid().len(), "mask length mismatch");
+    }
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for site in 0..result.grid().len() {
+        if occluded.map_or(false, |m| m[site]) {
+            continue;
+        }
+        let d = result.get(site) as f64 - truth.get(site) as f64;
+        sum += d * d;
+        count += 1;
+    }
+    assert!(count > 0, "every pixel is occluded");
+    (sum / count as f64).sqrt()
+}
+
+/// The Middlebury-style subregion masks of a stereo dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StereoRegions {
+    /// Pixels with no valid correspondence.
+    pub occluded: Vec<bool>,
+    /// Pixels whose local intensity gradient is too weak for the data
+    /// term to disambiguate (the aperture problem).
+    pub textureless: Vec<bool>,
+    /// Pixels near a ground-truth disparity discontinuity.
+    pub discontinuity: Vec<bool>,
+}
+
+/// Computes the subregion masks from the left image and the ground
+/// truth: textureless = mean squared horizontal gradient over a 3×3
+/// window below `gradient_threshold²`; discontinuity = within
+/// `disc_radius` (Chebyshev) of a GT disparity jump > 1.
+///
+/// # Panics
+///
+/// Panics if the image, ground truth, and occlusion mask disagree in
+/// size.
+pub fn compute_regions(
+    left: &GrayImage,
+    truth: &LabelField,
+    occluded: &[bool],
+    gradient_threshold: f32,
+    disc_radius: usize,
+) -> StereoRegions {
+    let grid = truth.grid();
+    assert_eq!(grid.len(), left.len(), "image size mismatch");
+    assert_eq!(grid.len(), occluded.len(), "mask size mismatch");
+    let (w, h) = (grid.width(), grid.height());
+    let thresh_sq = gradient_threshold * gradient_threshold;
+    let mut textureless = vec![false; grid.len()];
+    for y in 0..h {
+        for x in 0..w {
+            let mut acc = 0.0f32;
+            let mut count = 0u32;
+            for dy in -1isize..=1 {
+                for dx in -1isize..=1 {
+                    let g = left.get_clamped(x as isize + dx + 1, y as isize + dy)
+                        - left.get_clamped(x as isize + dx - 1, y as isize + dy);
+                    acc += (g / 2.0) * (g / 2.0);
+                    count += 1;
+                }
+            }
+            textureless[grid.index(x, y)] = acc / count as f32 <= thresh_sq;
+        }
+    }
+    // Disparity jumps, dilated by the radius.
+    let mut jump = vec![false; grid.len()];
+    for y in 0..h {
+        for x in 0..w {
+            let s = grid.index(x, y);
+            let d = truth.get(s) as i32;
+            for n in grid.neighbors(s) {
+                if (truth.get(n) as i32 - d).abs() > 1 {
+                    jump[s] = true;
+                }
+            }
+        }
+    }
+    let mut discontinuity = vec![false; grid.len()];
+    let r = disc_radius as isize;
+    for y in 0..h {
+        for x in 0..w {
+            'scan: for dy in -r..=r {
+                for dx in -r..=r {
+                    let nx = x as isize + dx;
+                    let ny = y as isize + dy;
+                    if grid.contains(nx, ny) && jump[grid.index(nx as usize, ny as usize)] {
+                        discontinuity[grid.index(x, y)] = true;
+                        break 'scan;
+                    }
+                }
+            }
+        }
+    }
+    StereoRegions { occluded: occluded.to_vec(), textureless, discontinuity }
+}
+
+/// Per-subregion bad-pixel percentages: `(all, nonocc, textureless,
+/// discontinuity)`, matching how Middlebury tables decompose the overall
+/// score. Subregions are evaluated over their member pixels only (the
+/// occluded-always-bad convention applies to `all`).
+pub fn bad_pixels_by_region(
+    result: &LabelField,
+    truth: &LabelField,
+    regions: &StereoRegions,
+    threshold: f64,
+) -> (f64, f64, f64, f64) {
+    let grid = result.grid();
+    let all = bad_pixel_percentage(result, truth, Some(&regions.occluded), threshold);
+    let masked_bp = |mask: &dyn Fn(usize) -> bool| -> f64 {
+        let mut bad = 0usize;
+        let mut count = 0usize;
+        for s in grid.sites() {
+            if !mask(s) {
+                continue;
+            }
+            count += 1;
+            let err = (result.get(s) as f64 - truth.get(s) as f64).abs();
+            if err > threshold {
+                bad += 1;
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            100.0 * bad as f64 / count as f64
+        }
+    };
+    let nonocc = masked_bp(&|s| !regions.occluded[s]);
+    let textureless = masked_bp(&|s| regions.textureless[s] && !regions.occluded[s]);
+    let disc = masked_bp(&|s| regions.discontinuity[s] && !regions.occluded[s]);
+    (all, nonocc, textureless, disc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrf::Grid;
+
+    fn fields() -> (LabelField, LabelField) {
+        let grid = Grid::new(4, 1);
+        let truth = LabelField::from_labels(grid, 16, vec![5, 5, 5, 5]);
+        let result = LabelField::from_labels(grid, 16, vec![5, 6, 9, 5]);
+        (result, truth)
+    }
+
+    #[test]
+    fn bp_counts_only_beyond_threshold() {
+        let (result, truth) = fields();
+        assert_eq!(bad_pixel_percentage(&result, &truth, None, 1.0), 25.0);
+        assert_eq!(bad_pixel_percentage(&result, &truth, None, 0.5), 50.0);
+        assert_eq!(bad_pixel_percentage(&result, &truth, None, 10.0), 0.0);
+    }
+
+    #[test]
+    fn occluded_pixels_are_always_bad() {
+        let (result, truth) = fields();
+        let mask = vec![true, false, false, false];
+        // Pixel 0 is correct but occluded → bad; pixel 2 wrong → bad.
+        assert_eq!(bad_pixel_percentage(&result, &truth, Some(&mask), 1.0), 50.0);
+    }
+
+    #[test]
+    fn perfect_result_scores_zero() {
+        let grid = Grid::new(3, 3);
+        let f = LabelField::constant(grid, 4, 2);
+        assert_eq!(bad_pixel_percentage(&f, &f, None, 1.0), 0.0);
+        assert_eq!(rms_error(&f, &f, None), 0.0);
+    }
+
+    #[test]
+    fn rms_matches_manual_value() {
+        let (result, truth) = fields();
+        // Errors: 0, 1, 4, 0 → RMS = sqrt(17/4).
+        assert!((rms_error(&result, &truth, None) - (17.0f64 / 4.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rms_skips_occluded() {
+        let (result, truth) = fields();
+        let mask = vec![false, false, true, false];
+        // Errors over visible: 0, 1, 0 → RMS = sqrt(1/3).
+        assert!((rms_error(&result, &truth, Some(&mask)) - (1.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "every pixel is occluded")]
+    fn rms_rejects_fully_occluded() {
+        let (result, truth) = fields();
+        rms_error(&result, &truth, Some(&[true; 4]));
+    }
+
+    #[test]
+    fn textureless_mask_flags_flat_regions() {
+        // Left half flat, right half strongly textured.
+        let img = GrayImage::from_fn(16, 8, |x, _| {
+            if x < 8 {
+                100.0
+            } else {
+                ((x * 53) % 97) as f32 * 2.5
+            }
+        });
+        let grid = Grid::new(16, 8);
+        let truth = LabelField::constant(grid, 4, 1);
+        let occl = vec![false; grid.len()];
+        let regions = compute_regions(&img, &truth, &occl, 4.0, 1);
+        // Deep-flat pixels are textureless; deep-textured ones are not.
+        assert!(regions.textureless[grid.index(3, 4)]);
+        assert!(!regions.textureless[grid.index(12, 4)]);
+        // Constant truth ⇒ no discontinuity anywhere.
+        assert!(regions.discontinuity.iter().all(|&d| !d));
+    }
+
+    #[test]
+    fn discontinuity_mask_hugs_label_jumps() {
+        let grid = Grid::new(10, 4);
+        let labels = grid
+            .sites()
+            .map(|s| if grid.coords(s).0 < 5 { 0u16 } else { 6 })
+            .collect();
+        let truth = LabelField::from_labels(grid, 8, labels);
+        let img = GrayImage::filled(10, 4, 0.0);
+        let occl = vec![false; grid.len()];
+        let regions = compute_regions(&img, &truth, &occl, 1.0, 1);
+        assert!(regions.discontinuity[grid.index(4, 2)]);
+        assert!(regions.discontinuity[grid.index(5, 2)]);
+        assert!(!regions.discontinuity[grid.index(0, 2)]);
+        assert!(!regions.discontinuity[grid.index(9, 2)]);
+    }
+
+    #[test]
+    fn region_bp_decomposition_is_consistent() {
+        let grid = Grid::new(6, 1);
+        let truth = LabelField::from_labels(grid, 8, vec![2, 2, 2, 2, 2, 2]);
+        let result = LabelField::from_labels(grid, 8, vec![2, 2, 7, 2, 2, 7]);
+        let regions = StereoRegions {
+            occluded: vec![false, false, false, false, false, true],
+            textureless: vec![true, true, true, false, false, false],
+            discontinuity: vec![false; 6],
+        };
+        let (all, nonocc, tex, disc) = bad_pixels_by_region(&result, &truth, &regions, 1.0);
+        // All: pixel 2 wrong + pixel 5 occluded → 2/6.
+        assert!((all - 100.0 * 2.0 / 6.0).abs() < 1e-9);
+        // Non-occluded: 1 wrong of 5.
+        assert!((nonocc - 20.0).abs() < 1e-9);
+        // Textureless (pixels 0..=2): 1 wrong of 3.
+        assert!((tex - 100.0 / 3.0).abs() < 1e-9);
+        // No discontinuity pixels → 0 by convention.
+        assert_eq!(disc, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "grid mismatch")]
+    fn bp_rejects_mismatched_grids() {
+        let a = LabelField::constant(Grid::new(2, 2), 2, 0);
+        let b = LabelField::constant(Grid::new(2, 3), 2, 0);
+        bad_pixel_percentage(&a, &b, None, 1.0);
+    }
+}

@@ -1,0 +1,254 @@
+//! Motion estimation (optical flow) as an MRF with a 2-D label window
+//! (§III-D2 of the paper).
+//!
+//! Each pixel's label indexes a motion vector `(dx, dy)` within an
+//! `N × N` search window centred at zero (`N² = 49` labels for the
+//! paper's 7×7 window — its 49-label workload). Energies follow Konrad &
+//! Dubois:
+//!
+//! * singleton: `w_data · (I₁(x, y) − I₂(x + dx, y + dy))²`;
+//! * doubleton: `w_smooth · ‖v − v'‖²` (squared distance between motion
+//!   vectors — the only distance the previous RSU-G supported natively).
+
+use crate::error::VisionError;
+use crate::image::GrayImage;
+use mrf::{Grid, Label, MrfModel};
+
+/// A dense-motion MRF over a temporally adjacent frame pair.
+///
+/// # Example
+///
+/// ```
+/// use vision::{GrayImage, MotionModel};
+///
+/// let f1 = GrayImage::from_fn(16, 16, |x, y| ((x * 31 + y * 17) % 220) as f32);
+/// // Frame 2: everything moved by (+1, +2).
+/// let f2 = GrayImage::from_fn(16, 16, |x, y| {
+///     f1.get_clamped(x as isize - 1, y as isize - 2)
+/// });
+/// let model = MotionModel::new(&f1, &f2, 7, 1.0, 2.0)?;
+/// assert_eq!(model.window(), 7);
+/// let label = model.flow_to_label(1, 2).unwrap();
+/// assert_eq!(model.label_to_flow(label), (1, 2));
+/// # Ok::<(), vision::VisionError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MotionModel {
+    grid: Grid,
+    window: usize,
+    half: isize,
+    /// `cost[site * window² + label]`.
+    data_cost: Vec<f64>,
+    smooth_weight: f64,
+}
+
+impl MotionModel {
+    /// Builds the model for an odd `window` (labels = `window²`,
+    /// displacements `−window/2 ..= window/2` in both axes).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the frames differ in size, the window is even
+    /// or smaller than 3 or larger than the frame, or a weight is
+    /// invalid.
+    pub fn new(
+        frame1: &GrayImage,
+        frame2: &GrayImage,
+        window: usize,
+        data_weight: f64,
+        smooth_weight: f64,
+    ) -> Result<Self, VisionError> {
+        if frame1.width() != frame2.width() || frame1.height() != frame2.height() {
+            return Err(VisionError::DimensionMismatch {
+                a: (frame1.width(), frame1.height()),
+                b: (frame2.width(), frame2.height()),
+            });
+        }
+        if window < 3 || window.is_multiple_of(2) {
+            return Err(VisionError::InvalidParameter {
+                name: "window",
+                reason: "must be odd and at least 3",
+            });
+        }
+        if window > frame1.width() || window > frame1.height() {
+            return Err(VisionError::InvalidParameter {
+                name: "window",
+                reason: "must not exceed the frame dimensions",
+            });
+        }
+        for (name, w) in [("data_weight", data_weight), ("smooth_weight", smooth_weight)] {
+            if !(w >= 0.0) || !w.is_finite() {
+                return Err(VisionError::InvalidParameter {
+                    name,
+                    reason: "must be non-negative and finite",
+                });
+            }
+        }
+        let grid = Grid::new(frame1.width(), frame1.height());
+        let half = (window / 2) as isize;
+        let labels = window * window;
+        let mut data_cost = Vec::with_capacity(grid.len() * labels);
+        for y in 0..frame1.height() {
+            for x in 0..frame1.width() {
+                let i1 = frame1.get(x, y);
+                for label in 0..labels {
+                    let dx = (label % window) as isize - half;
+                    let dy = (label / window) as isize - half;
+                    let i2 = frame2.get_clamped(x as isize + dx, y as isize + dy);
+                    let diff = (i1 - i2) as f64;
+                    data_cost.push(data_weight * diff * diff);
+                }
+            }
+        }
+        Ok(MotionModel { grid, window, half, data_cost, smooth_weight })
+    }
+
+    /// Search-window side length `N`.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Decodes a label into its motion vector `(dx, dy)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is out of range.
+    pub fn label_to_flow(&self, label: Label) -> (isize, isize) {
+        let l = label as usize;
+        assert!(l < self.window * self.window, "label out of range");
+        ((l % self.window) as isize - self.half, (l / self.window) as isize - self.half)
+    }
+
+    /// Encodes a motion vector as a label, or `None` when it falls
+    /// outside the window.
+    pub fn flow_to_label(&self, dx: isize, dy: isize) -> Option<Label> {
+        if dx.abs() > self.half || dy.abs() > self.half {
+            return None;
+        }
+        let col = (dx + self.half) as usize;
+        let row = (dy + self.half) as usize;
+        Some((row * self.window + col) as Label)
+    }
+}
+
+impl MrfModel for MotionModel {
+    fn grid(&self) -> Grid {
+        self.grid
+    }
+
+    fn num_labels(&self) -> usize {
+        self.window * self.window
+    }
+
+    fn singleton(&self, site: usize, label: Label) -> f64 {
+        self.data_cost[site * self.num_labels() + label as usize]
+    }
+
+    fn pairwise(
+        &self,
+        _site: usize,
+        _neighbor: usize,
+        label: Label,
+        neighbor_label: Label,
+    ) -> f64 {
+        let (ax, ay) = self.label_to_flow(label);
+        let (bx, by) = self.label_to_flow(neighbor_label);
+        let dx = (ax - bx) as f64;
+        let dy = (ay - by) as f64;
+        self.smooth_weight * (dx * dx + dy * dy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrf::{LabelField, Schedule, SoftwareGibbs, SweepSolver};
+    use rand::SeedableRng;
+    use sampling::Xoshiro256pp;
+
+    fn textured(width: usize, height: usize) -> GrayImage {
+        GrayImage::from_fn(width, height, |x, y| {
+            ((x as f32 * 0.7).sin() * 50.0
+                + (y as f32 * 0.9).cos() * 50.0
+                + ((x * 11 + y * 23) % 37) as f32 * 2.0)
+                + 128.0
+        })
+    }
+
+    #[test]
+    fn label_flow_roundtrip_covers_whole_window() {
+        let f = textured(16, 16);
+        let model = MotionModel::new(&f, &f, 7, 1.0, 1.0).unwrap();
+        assert_eq!(model.num_labels(), 49);
+        for label in 0..49u16 {
+            let (dx, dy) = model.label_to_flow(label);
+            assert!((-3..=3).contains(&dx) && (-3..=3).contains(&dy));
+            assert_eq!(model.flow_to_label(dx, dy), Some(label));
+        }
+        assert_eq!(model.flow_to_label(4, 0), None);
+        assert_eq!(model.flow_to_label(0, -4), None);
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        let f = textured(8, 8);
+        let g = textured(9, 8);
+        assert!(MotionModel::new(&f, &g, 5, 1.0, 1.0).is_err());
+        assert!(MotionModel::new(&f, &f, 4, 1.0, 1.0).is_err(), "even window");
+        assert!(MotionModel::new(&f, &f, 1, 1.0, 1.0).is_err(), "tiny window");
+        assert!(MotionModel::new(&f, &f, 9, 1.0, 1.0).is_err(), "window > frame");
+        assert!(MotionModel::new(&f, &f, 5, f64::INFINITY, 1.0).is_err());
+    }
+
+    #[test]
+    fn pairwise_is_squared_vector_distance() {
+        let f = textured(8, 8);
+        let model = MotionModel::new(&f, &f, 5, 1.0, 2.0).unwrap();
+        let a = model.flow_to_label(1, 1).unwrap();
+        let b = model.flow_to_label(-1, 2).unwrap();
+        // ||(1,1) − (−1,2)||² = 4 + 1 = 5, times weight 2.
+        assert_eq!(model.pairwise(0, 1, a, b), 10.0);
+        assert_eq!(model.pairwise(0, 1, a, a), 0.0);
+    }
+
+    #[test]
+    fn true_translation_has_zero_data_cost() {
+        let f1 = textured(20, 20);
+        let f2 = GrayImage::from_fn(20, 20, |x, y| f1.get_clamped(x as isize - 2, y as isize + 1));
+        let model = MotionModel::new(&f1, &f2, 7, 1.0, 0.0).unwrap();
+        let label = model.flow_to_label(2, -1).unwrap();
+        // Interior pixels match exactly at the true flow.
+        for y in 4..16 {
+            for x in 4..16 {
+                let c = model.singleton(model.grid().index(x, y), label);
+                assert!(c < 1e-6, "({x},{y}): cost {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn gibbs_recovers_global_translation() {
+        let f1 = textured(24, 24);
+        let f2 = GrayImage::from_fn(24, 24, |x, y| f1.get_clamped(x as isize - 1, y as isize - 2));
+        let model = MotionModel::new(&f1, &f2, 5, 1.0, 0.5).unwrap();
+        let truth_label = model.flow_to_label(1, 2).unwrap();
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let mut field = LabelField::random(model.grid(), 25, &mut rng);
+        SweepSolver::new(&model)
+            .schedule(Schedule::geometric(40.0, 0.88, 0.5))
+            .iterations(60)
+            .run(&mut field, &mut SoftwareGibbs::new(), &mut rng);
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for y in 3..21 {
+            for x in 3..21 {
+                total += 1;
+                if field.get(model.grid().index(x, y)) == truth_label {
+                    hits += 1;
+                }
+            }
+        }
+        let frac = hits as f64 / total as f64;
+        assert!(frac > 0.85, "recovered only {frac}");
+    }
+}

@@ -1,0 +1,176 @@
+//! Image pyramids for coarse-to-fine motion estimation.
+//!
+//! §III-D2: "Larger search windows can be obtained using an image pyramid
+//! method" — the RSU-G's 64-label ceiling limits the window to 7×7 per
+//! level, so larger motions are estimated coarse-to-fine.
+
+use crate::image::GrayImage;
+
+/// Downsamples by 2× with a 2×2 box filter.
+///
+/// Odd trailing rows/columns are folded into the last output pixel via
+/// border clamping. Returns `None` when the image is already 1 pixel in
+/// either dimension.
+pub fn downsample(image: &GrayImage) -> Option<GrayImage> {
+    let (w, h) = (image.width(), image.height());
+    if w < 2 || h < 2 {
+        return None;
+    }
+    let (nw, nh) = (w.div_ceil(2), h.div_ceil(2));
+    Some(GrayImage::from_fn(nw, nh, |x, y| {
+        let sx = (2 * x) as isize;
+        let sy = (2 * y) as isize;
+        let sum = image.get_clamped(sx, sy)
+            + image.get_clamped(sx + 1, sy)
+            + image.get_clamped(sx, sy + 1)
+            + image.get_clamped(sx + 1, sy + 1);
+        sum / 4.0
+    }))
+}
+
+/// A coarse-to-fine stack of progressively halved images;
+/// `levels()[0]` is the original.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pyramid {
+    levels: Vec<GrayImage>,
+}
+
+impl Pyramid {
+    /// Builds a pyramid with at most `max_levels` levels (at least 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_levels` is zero.
+    pub fn new(image: &GrayImage, max_levels: usize) -> Self {
+        assert!(max_levels > 0, "need at least one level");
+        let mut levels = vec![image.clone()];
+        while levels.len() < max_levels {
+            match downsample(levels.last().expect("non-empty")) {
+                Some(next) => levels.push(next),
+                None => break,
+            }
+        }
+        Pyramid { levels }
+    }
+
+    /// The levels, finest first.
+    pub fn levels(&self) -> &[GrayImage] {
+        &self.levels
+    }
+
+    /// Number of levels actually built.
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Whether the pyramid has no levels (never true).
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// Effective search radius that a per-level window of `window`
+    /// (odd) covers at the finest level: `(window/2) · (2^levels − 1)`
+    /// pixels.
+    pub fn effective_radius(&self, window: usize) -> usize {
+        let half = window / 2;
+        half * ((1usize << self.levels.len()) - 1)
+    }
+
+    /// Upsamples a flow field estimated at level `from_level` to level
+    /// `from_level − 1`: coordinates and magnitudes double.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from_level` is 0 or out of range, or if the flow size
+    /// mismatches that level.
+    pub fn upsample_flow(
+        &self,
+        flow: &[(isize, isize)],
+        from_level: usize,
+    ) -> Vec<(isize, isize)> {
+        assert!(from_level > 0 && from_level < self.levels.len(), "bad level");
+        let src = &self.levels[from_level];
+        let dst = &self.levels[from_level - 1];
+        assert_eq!(flow.len(), src.width() * src.height(), "flow size mismatch");
+        let mut out = Vec::with_capacity(dst.width() * dst.height());
+        for y in 0..dst.height() {
+            for x in 0..dst.width() {
+                let sx = (x / 2).min(src.width() - 1);
+                let sy = (y / 2).min(src.height() - 1);
+                let (dx, dy) = flow[sy * src.width() + sx];
+                out.push((dx * 2, dy * 2));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn downsample_halves_dimensions() {
+        let img = GrayImage::filled(8, 6, 10.0);
+        let d = downsample(&img).unwrap();
+        assert_eq!((d.width(), d.height()), (4, 3));
+        assert!(d.as_slice().iter().all(|&v| v == 10.0));
+    }
+
+    #[test]
+    fn downsample_averages_blocks() {
+        let img = GrayImage::from_raw(2, 2, vec![0.0, 4.0, 8.0, 12.0]);
+        let d = downsample(&img).unwrap();
+        assert_eq!(d.get(0, 0), 6.0);
+    }
+
+    #[test]
+    fn downsample_handles_odd_dimensions() {
+        let img = GrayImage::from_fn(5, 3, |x, y| (x + y) as f32);
+        let d = downsample(&img).unwrap();
+        assert_eq!((d.width(), d.height()), (3, 2));
+    }
+
+    #[test]
+    fn downsample_stops_at_one_pixel() {
+        let img = GrayImage::filled(1, 5, 0.0);
+        assert!(downsample(&img).is_none());
+    }
+
+    #[test]
+    fn pyramid_builds_until_too_small() {
+        let img = GrayImage::filled(16, 16, 0.0);
+        let p = Pyramid::new(&img, 10);
+        assert_eq!(p.len(), 5, "16 → 8 → 4 → 2 → 1");
+        assert_eq!(p.levels()[4].width(), 1);
+    }
+
+    #[test]
+    fn effective_radius_grows_geometrically() {
+        let img = GrayImage::filled(32, 32, 0.0);
+        let p2 = Pyramid::new(&img, 2);
+        let p3 = Pyramid::new(&img, 3);
+        // 7×7 window: half = 3; 2 levels → 3·3 = 9; 3 levels → 3·7 = 21.
+        assert_eq!(p2.effective_radius(7), 9);
+        assert_eq!(p3.effective_radius(7), 21);
+    }
+
+    #[test]
+    fn upsample_flow_doubles_vectors_and_size() {
+        let img = GrayImage::filled(8, 8, 0.0);
+        let p = Pyramid::new(&img, 2);
+        let coarse = &p.levels()[1];
+        let flow = vec![(1isize, -1isize); coarse.width() * coarse.height()];
+        let fine = p.upsample_flow(&flow, 1);
+        assert_eq!(fine.len(), 64);
+        assert!(fine.iter().all(|&v| v == (2, -2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad level")]
+    fn upsample_from_level_zero_panics() {
+        let img = GrayImage::filled(8, 8, 0.0);
+        let p = Pyramid::new(&img, 2);
+        p.upsample_flow(&[], 0);
+    }
+}

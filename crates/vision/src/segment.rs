@@ -1,0 +1,234 @@
+//! Image segmentation as a Potts MRF (Fig. 1 / §III-D3 of the paper).
+//!
+//! Each pixel's label selects one of `K` segments; the data term is a
+//! Gaussian intensity likelihood around per-segment means (initialised
+//! with 1-D k-means, the standard practice), and the smoothness term is
+//! the **binary** (Potts) distance the new RSU-G adds for segmentation.
+
+use crate::error::VisionError;
+use crate::image::GrayImage;
+use mrf::{DistanceFn, Grid, Label, MrfModel};
+
+/// A `K`-segment Potts MRF over a grayscale image.
+///
+/// # Example
+///
+/// ```
+/// use vision::{GrayImage, SegmentModel};
+/// use mrf::MrfModel;
+///
+/// // Two clearly separated intensity populations.
+/// let img = GrayImage::from_fn(8, 8, |x, _| if x < 4 { 40.0 } else { 210.0 });
+/// let model = SegmentModel::new(&img, 2, 0.02, 3.0)?;
+/// assert_eq!(model.num_labels(), 2);
+/// let means = model.class_means();
+/// assert!((means[0] - 40.0).abs() < 1.0 && (means[1] - 210.0).abs() < 1.0);
+/// # Ok::<(), vision::VisionError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SegmentModel {
+    grid: Grid,
+    num_segments: usize,
+    class_means: Vec<f64>,
+    /// `cost[site * num_segments + k]`.
+    data_cost: Vec<f64>,
+    smooth_weight: f64,
+}
+
+impl SegmentModel {
+    /// Builds the model: runs 1-D k-means on the intensity histogram to
+    /// place `num_segments` class means, then fills the Gaussian data
+    /// costs `w_data · (I − μ_k)²`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `num_segments` is not in `2..=64` or a weight
+    /// is invalid.
+    pub fn new(
+        image: &GrayImage,
+        num_segments: usize,
+        data_weight: f64,
+        smooth_weight: f64,
+    ) -> Result<Self, VisionError> {
+        if !(2..=64).contains(&num_segments) {
+            return Err(VisionError::InvalidParameter {
+                name: "num_segments",
+                reason: "must be in 2..=64 (the RSU-G label limit)",
+            });
+        }
+        for (name, w) in [("data_weight", data_weight), ("smooth_weight", smooth_weight)] {
+            if !(w >= 0.0) || !w.is_finite() {
+                return Err(VisionError::InvalidParameter {
+                    name,
+                    reason: "must be non-negative and finite",
+                });
+            }
+        }
+        let class_means = kmeans_1d(image.as_slice(), num_segments, 25);
+        let grid = Grid::new(image.width(), image.height());
+        let mut data_cost = Vec::with_capacity(grid.len() * num_segments);
+        for &v in image.as_slice() {
+            for &mu in &class_means {
+                let d = v as f64 - mu;
+                data_cost.push(data_weight * d * d);
+            }
+        }
+        Ok(SegmentModel { grid, num_segments, class_means, data_cost, smooth_weight })
+    }
+
+    /// The k-means class means, ascending.
+    pub fn class_means(&self) -> &[f64] {
+        &self.class_means
+    }
+}
+
+impl MrfModel for SegmentModel {
+    fn grid(&self) -> Grid {
+        self.grid
+    }
+
+    fn num_labels(&self) -> usize {
+        self.num_segments
+    }
+
+    fn singleton(&self, site: usize, label: Label) -> f64 {
+        self.data_cost[site * self.num_segments + label as usize]
+    }
+
+    fn pairwise(
+        &self,
+        _site: usize,
+        _neighbor: usize,
+        label: Label,
+        neighbor_label: Label,
+    ) -> f64 {
+        self.smooth_weight * DistanceFn::Binary.eval(label, neighbor_label)
+    }
+}
+
+/// 1-D k-means over sample values; returns `k` cluster means sorted
+/// ascending. Initialisation spreads the seeds over the value range
+/// (deterministic), so results are reproducible.
+///
+/// # Panics
+///
+/// Panics if `k` is zero or `values` is empty.
+pub fn kmeans_1d(values: &[f32], k: usize, iterations: usize) -> Vec<f64> {
+    assert!(k > 0, "k must be non-zero");
+    assert!(!values.is_empty(), "values must be non-empty");
+    let lo = values.iter().cloned().fold(f32::INFINITY, f32::min) as f64;
+    let hi = values.iter().cloned().fold(f32::NEG_INFINITY, f32::max) as f64;
+    let mut means: Vec<f64> = (0..k)
+        .map(|i| lo + (hi - lo) * (i as f64 + 0.5) / k as f64)
+        .collect();
+    let mut sums = vec![0.0f64; k];
+    let mut counts = vec![0u64; k];
+    for _ in 0..iterations {
+        sums.iter_mut().for_each(|s| *s = 0.0);
+        counts.iter_mut().for_each(|c| *c = 0);
+        for &v in values {
+            let v = v as f64;
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for (i, &m) in means.iter().enumerate() {
+                let d = (v - m).abs();
+                if d < best_d {
+                    best_d = d;
+                    best = i;
+                }
+            }
+            sums[best] += v;
+            counts[best] += 1;
+        }
+        let mut changed = false;
+        for i in 0..k {
+            if counts[i] > 0 {
+                let new = sums[i] / counts[i] as f64;
+                if (new - means[i]).abs() > 1e-9 {
+                    changed = true;
+                }
+                means[i] = new;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    means.sort_by(|a, b| a.partial_cmp(b).expect("means are finite"));
+    means
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrf::{LabelField, Schedule, SoftwareGibbs, SweepSolver};
+    use rand::{Rng, SeedableRng};
+    use sampling::Xoshiro256pp;
+
+    #[test]
+    fn kmeans_finds_well_separated_clusters() {
+        let mut values = Vec::new();
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        for _ in 0..500 {
+            values.push(30.0 + rng.gen::<f32>() * 4.0);
+            values.push(120.0 + rng.gen::<f32>() * 4.0);
+            values.push(220.0 + rng.gen::<f32>() * 4.0);
+        }
+        let means = kmeans_1d(&values, 3, 50);
+        assert!((means[0] - 32.0).abs() < 3.0, "{means:?}");
+        assert!((means[1] - 122.0).abs() < 3.0, "{means:?}");
+        assert!((means[2] - 222.0).abs() < 3.0, "{means:?}");
+    }
+
+    #[test]
+    fn kmeans_handles_constant_input() {
+        let means = kmeans_1d(&[7.0; 100], 3, 10);
+        assert_eq!(means.len(), 3);
+        assert!(means.iter().all(|m| m.is_finite()));
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        let img = GrayImage::filled(4, 4, 0.0);
+        assert!(SegmentModel::new(&img, 1, 1.0, 1.0).is_err());
+        assert!(SegmentModel::new(&img, 65, 1.0, 1.0).is_err());
+        assert!(SegmentModel::new(&img, 2, -1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn data_cost_prefers_nearest_mean() {
+        let img = GrayImage::from_fn(8, 4, |x, _| if x < 4 { 50.0 } else { 200.0 });
+        let model = SegmentModel::new(&img, 2, 1.0, 0.0).unwrap();
+        let left_site = model.grid().index(1, 1);
+        let right_site = model.grid().index(6, 1);
+        assert!(model.singleton(left_site, 0) < model.singleton(left_site, 1));
+        assert!(model.singleton(right_site, 1) < model.singleton(right_site, 0));
+    }
+
+    #[test]
+    fn gibbs_segments_noisy_two_region_image() {
+        let mut rng = Xoshiro256pp::seed_from_u64(9);
+        let mut noise = Xoshiro256pp::seed_from_u64(10);
+        let img = GrayImage::from_fn(16, 16, |_, y| {
+            let base = if y < 8 { 60.0 } else { 190.0 };
+            base + (noise.gen::<f32>() - 0.5) * 30.0
+        });
+        let model = SegmentModel::new(&img, 2, 0.01, 2.0).unwrap();
+        let mut field = LabelField::random(model.grid(), 2, &mut rng);
+        SweepSolver::new(&model)
+            .schedule(Schedule::geometric(5.0, 0.9, 0.2))
+            .iterations(50)
+            .run(&mut field, &mut SoftwareGibbs::new(), &mut rng);
+        let mut hits = 0usize;
+        for y in 0..16 {
+            for x in 0..16 {
+                let expect = if y < 8 { 0 } else { 1 };
+                if field.get(model.grid().index(x, y)) == expect {
+                    hits += 1;
+                }
+            }
+        }
+        let frac = hits as f64 / 256.0;
+        assert!(frac > 0.95, "segmentation accuracy {frac}");
+    }
+}

@@ -1,0 +1,202 @@
+//! Stereo vision as a first-order MRF (§III-A of the paper).
+//!
+//! Each pixel of the left image carries a latent scalar *disparity*
+//! label `d`: pixel `(x, y)` in the left view corresponds to
+//! `(x − d, y)` in the right view. The model follows the Barnard-style
+//! formulation the paper uses:
+//!
+//! * singleton: `w_data · |L(x, y) − R(x − d, y)|` (absolute photometric
+//!   difference — the distance function the new RSU-G adds for stereo);
+//! * doubleton: `w_smooth · |d − d'|` between 4-neighbours.
+
+use crate::error::VisionError;
+use crate::image::GrayImage;
+use mrf::{DistanceFn, Grid, Label, MrfModel};
+
+/// A stereo-matching MRF over a rectified image pair.
+///
+/// # Example
+///
+/// ```
+/// use vision::{GrayImage, StereoModel};
+/// use mrf::MrfModel;
+///
+/// let left = GrayImage::from_fn(20, 6, |x, y| ((x * 13 + y * 29) % 200) as f32);
+/// let right = left.shifted_left(3);
+/// let model = StereoModel::new(&left, &right, 8, 1.0, 6.0)?;
+/// // The true disparity (3) has zero data cost away from the border.
+/// assert_eq!(model.singleton(model.grid().index(10, 3), 3), 0.0);
+/// # Ok::<(), vision::VisionError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct StereoModel {
+    grid: Grid,
+    num_disparities: usize,
+    /// Precomputed `cost[site * num_disparities + d]`.
+    data_cost: Vec<f64>,
+    smooth_weight: f64,
+}
+
+impl StereoModel {
+    /// Builds the model.
+    ///
+    /// `num_disparities` is the label count `M` (disparities
+    /// `0 ..= M − 1`); `data_weight` and `smooth_weight` are the energy
+    /// weights (the paper tunes these per application).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the images differ in size, the disparity count
+    /// is not in `2..=left.width()`, or a weight is negative/non-finite.
+    pub fn new(
+        left: &GrayImage,
+        right: &GrayImage,
+        num_disparities: usize,
+        data_weight: f64,
+        smooth_weight: f64,
+    ) -> Result<Self, VisionError> {
+        if left.width() != right.width() || left.height() != right.height() {
+            return Err(VisionError::DimensionMismatch {
+                a: (left.width(), left.height()),
+                b: (right.width(), right.height()),
+            });
+        }
+        if num_disparities < 2 || num_disparities > left.width() {
+            return Err(VisionError::InvalidParameter {
+                name: "num_disparities",
+                reason: "must be in 2..=image width",
+            });
+        }
+        for (name, w) in [("data_weight", data_weight), ("smooth_weight", smooth_weight)] {
+            if !(w >= 0.0) || !w.is_finite() {
+                return Err(VisionError::InvalidParameter {
+                    name,
+                    reason: "must be non-negative and finite",
+                });
+            }
+        }
+        let grid = Grid::new(left.width(), left.height());
+        let mut data_cost = Vec::with_capacity(grid.len() * num_disparities);
+        for y in 0..left.height() {
+            for x in 0..left.width() {
+                let l = left.get(x, y);
+                for d in 0..num_disparities {
+                    let r = right.get_clamped(x as isize - d as isize, y as isize);
+                    data_cost.push(data_weight * (l - r).abs() as f64);
+                }
+            }
+        }
+        Ok(StereoModel { grid, num_disparities, data_cost, smooth_weight })
+    }
+
+    /// The smoothness weight.
+    pub fn smooth_weight(&self) -> f64 {
+        self.smooth_weight
+    }
+}
+
+impl MrfModel for StereoModel {
+    fn grid(&self) -> Grid {
+        self.grid
+    }
+
+    fn num_labels(&self) -> usize {
+        self.num_disparities
+    }
+
+    fn singleton(&self, site: usize, label: Label) -> f64 {
+        self.data_cost[site * self.num_disparities + label as usize]
+    }
+
+    fn pairwise(
+        &self,
+        _site: usize,
+        _neighbor: usize,
+        label: Label,
+        neighbor_label: Label,
+    ) -> f64 {
+        self.smooth_weight * DistanceFn::Absolute.eval(label, neighbor_label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrf::{LabelField, Schedule, SoftwareGibbs, SweepSolver};
+    use rand::SeedableRng;
+    use sampling::Xoshiro256pp;
+
+    fn textured(width: usize, height: usize) -> GrayImage {
+        GrayImage::from_fn(width, height, |x, y| {
+            let v = (x as f32 * 0.9).sin() * 60.0
+                + (y as f32 * 1.3).cos() * 40.0
+                + ((x * 7 + y * 13) % 31) as f32 * 3.0;
+            v + 128.0
+        })
+    }
+
+    #[test]
+    fn rejects_mismatched_and_invalid_inputs() {
+        let a = GrayImage::filled(8, 8, 0.0);
+        let b = GrayImage::filled(9, 8, 0.0);
+        assert!(matches!(
+            StereoModel::new(&a, &b, 4, 1.0, 1.0),
+            Err(VisionError::DimensionMismatch { .. })
+        ));
+        assert!(StereoModel::new(&a, &a, 1, 1.0, 1.0).is_err());
+        assert!(StereoModel::new(&a, &a, 9, 1.0, 1.0).is_err());
+        assert!(StereoModel::new(&a, &a, 4, -1.0, 1.0).is_err());
+        assert!(StereoModel::new(&a, &a, 4, 1.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn true_disparity_has_lowest_data_cost() {
+        let left = textured(32, 8);
+        let right = left.shifted_left(3);
+        let model = StereoModel::new(&left, &right, 8, 1.0, 0.0).unwrap();
+        // Away from the right border (x >= max disparity), disparity 3 is
+        // a perfect match.
+        for x in 8..28 {
+            for y in 0..8 {
+                let site = model.grid().index(x, y);
+                let c3 = model.singleton(site, 3);
+                assert!(c3 < 1e-4, "cost at true disparity should be ~0, got {c3}");
+            }
+        }
+    }
+
+    #[test]
+    fn pairwise_uses_absolute_distance() {
+        let img = textured(16, 4);
+        let model = StereoModel::new(&img, &img, 8, 1.0, 2.5).unwrap();
+        assert_eq!(model.pairwise(0, 1, 2, 7), 2.5 * 5.0);
+        assert_eq!(model.pairwise(0, 1, 4, 4), 0.0);
+    }
+
+    #[test]
+    fn gibbs_recovers_constant_disparity() {
+        let left = textured(40, 12);
+        let right = left.shifted_left(4);
+        let model = StereoModel::new(&left, &right, 8, 1.0, 4.0).unwrap();
+        let mut rng = Xoshiro256pp::seed_from_u64(42);
+        let mut field = LabelField::random(model.grid(), 8, &mut rng);
+        SweepSolver::new(&model)
+            .schedule(Schedule::geometric(30.0, 0.9, 0.5))
+            .iterations(60)
+            .run(&mut field, &mut SoftwareGibbs::new(), &mut rng);
+        // Interior pixels (x >= 8 to dodge the clamped border) should be
+        // labelled 4 almost everywhere.
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for y in 0..12 {
+            for x in 8..40 {
+                total += 1;
+                if field.get(model.grid().index(x, y)) == 4 {
+                    correct += 1;
+                }
+            }
+        }
+        let frac = correct as f64 / total as f64;
+        assert!(frac > 0.9, "only {frac} of interior pixels recovered");
+    }
+}

@@ -1,0 +1,44 @@
+//! Sizing study for the discrete RSU-G accelerator of §II-C: where does
+//! the 336-unit, 336 GB/s design sit on the compute/memory boundary, and
+//! how does the sizing curve flatten at the memory wall?
+//!
+//! Run with: `cargo run --release --example accelerator_sizing`
+
+use ret_rsu::uarch::accel::{simulate, sizing_sweep, AcceleratorSpec};
+
+fn main() {
+    let spec = AcceleratorSpec::paper();
+    println!(
+        "paper accelerator: {} RSU-Gs @ {:.0} GHz, {:.0} GB/s, {} B per pixel update",
+        spec.units,
+        spec.clock_hz / 1e9,
+        spec.bandwidth_bytes_per_s / 1e9,
+        spec.bytes_per_update
+    );
+    println!(
+        "compute/memory boundary: {} labels (below = memory-bound)\n",
+        spec.compute_bound_threshold_labels()
+    );
+
+    println!("HD frame (1920x1080), 100 iterations:");
+    println!("labels   time      bound      unit util   mem util");
+    for labels in [5u32, 10, 16, 32, 49, 64] {
+        let r = simulate(spec, 1920, 1080, labels, 100);
+        println!(
+            "{labels:<6}   {:>7.3} s  {}  {:>6.1} %   {:>6.1} %",
+            r.time_s,
+            if r.memory_bound { "memory " } else { "compute" },
+            100.0 * r.compute_utilisation,
+            100.0 * r.memory_utilisation
+        );
+    }
+
+    println!("\nsizing sweep at 49 labels (compute-bound → scales until the wall):");
+    for (units, t) in sizing_sweep(spec, &[42, 84, 168, 336, 672, 1344], 1920, 1080, 49, 100) {
+        println!("  {units:>5} units: {t:.3} s");
+    }
+    println!("\nsizing sweep at 5 labels (memory-bound → flat beyond the wall):");
+    for (units, t) in sizing_sweep(spec, &[42, 84, 168, 336, 672], 1920, 1080, 5, 100) {
+        println!("  {units:>5} units: {t:.3} s");
+    }
+}

@@ -1,0 +1,61 @@
+//! Design-space exploration: sweep RSU-G λ precision and truncation on a
+//! small stereo problem while costing each point with the area/power
+//! model — the workflow the paper's §III/§IV analysis automates.
+//!
+//! Run with: `cargo run --release --example design_space`
+
+use rand::SeedableRng;
+use ret_rsu::mrf::{self, MrfModel, Schedule};
+use ret_rsu::rsu::{RsuConfig, RsuG};
+use ret_rsu::sampling::Xoshiro256pp;
+use ret_rsu::scenes::StereoSpec;
+use ret_rsu::uarch::designs;
+use ret_rsu::vision::metrics::bad_pixel_percentage;
+use ret_rsu::vision::StereoModel;
+use ret_rsu::{ret_device, vision};
+
+fn main() -> Result<(), vision::VisionError> {
+    let ds = StereoSpec {
+        width: 80,
+        height: 60,
+        num_disparities: 16,
+        num_layers: 3,
+        noise_sigma: 2.0,
+    }
+    .generate(13);
+    let model = StereoModel::new(&ds.left, &ds.right, ds.num_disparities, 0.3, 0.3)?;
+
+    println!("lambda_bits  truncation  BP%    RET rows  circuits  networks");
+    for lambda_bits in [2u32, 3, 4] {
+        for truncation in [0.1, 0.5, 0.8] {
+            let cfg = RsuConfig::builder()
+                .lambda_bits(lambda_bits)
+                .truncation(truncation)
+                .build()
+                .expect("valid design point");
+            let mut unit = RsuG::with_config(cfg);
+            let mut rng = Xoshiro256pp::seed_from_u64(3);
+            let mut field =
+                mrf::LabelField::random(model.grid(), model.num_labels(), &mut rng);
+            mrf::SweepSolver::new(&model)
+                .schedule(Schedule::geometric(40.0, 0.95, 0.4))
+                .iterations(120)
+                .run(&mut field, &mut unit, &mut rng);
+            let bp = bad_pixel_percentage(&field, &ds.ground_truth, Some(&ds.occlusion), 1.0);
+            // Replica arithmetic from the device law (§IV-B5/6).
+            let rows = ret_device::replicas_for_interference(truncation, 0.004);
+            let circuits = (cfg.t_max_bins() / 8).max(1);
+            println!(
+                "{lambda_bits:<11}  {truncation:<10}  {bp:<5.1}  {rows:<8}  {circuits:<8}  {}",
+                rows * circuits * 4
+            );
+        }
+    }
+    let total = designs::new_rsu_total();
+    println!(
+        "\nreference cost of the paper's chosen point: {:.0} um^2, {:.2} mW",
+        total.area_um2, total.power_mw
+    );
+    println!("(higher truncation buys time-precision headroom but multiplies RET networks)");
+    Ok(())
+}

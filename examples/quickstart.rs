@@ -1,0 +1,49 @@
+//! Quickstart: sample from a parameterised distribution with an RSU-G
+//! and check it against the exact Boltzmann law.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use rand::SeedableRng;
+use ret_rsu::mrf::SiteSampler;
+use ret_rsu::rsu::RsuG;
+use ret_rsu::sampling::Xoshiro256pp;
+
+fn main() {
+    // A single MRF variable with four candidate labels and these local
+    // conditional energies (Eq. 1 of the paper):
+    let energies = [0.0f64, 1.0, 2.0, 4.0];
+    let temperature = 1.5;
+
+    // Exact Boltzmann probabilities p_l ∝ exp(−E_l / T):
+    let weights: Vec<f64> = energies.iter().map(|e| (-e / temperature).exp()).collect();
+    let z: f64 = weights.iter().sum();
+
+    // The paper's new RSU-G design: 8-bit energy, 4-bit λ with decay-rate
+    // scaling + probability cut-off + 2^n approximation, 5-bit time,
+    // truncation 0.5.
+    let mut unit = RsuG::new_design();
+    let mut rng = Xoshiro256pp::seed_from_u64(42);
+    unit.begin_iteration(temperature);
+
+    let draws = 200_000;
+    let mut counts = [0u64; 4];
+    for _ in 0..draws {
+        let label = unit.sample_label(&energies, temperature, 0, &mut rng);
+        counts[label as usize] += 1;
+    }
+
+    println!("label   energy   Boltzmann   RSU-G empirical");
+    for (l, &e) in energies.iter().enumerate() {
+        println!(
+            "{l}       {e:<6}   {:<9.4}   {:.4}",
+            weights[l] / z,
+            counts[l] as f64 / draws as f64
+        );
+    }
+    let stats = unit.stats();
+    println!(
+        "\n{} variable evaluations, {} label evaluations, {} cut-off labels, {} ties broken",
+        stats.variable_evaluations, stats.label_evaluations, stats.cutoff_labels, stats.ties_broken
+    );
+    println!("(4-bit 2^n decay rates quantise the ratios; the ordering and rough mass match)");
+}

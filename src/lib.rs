@@ -1,0 +1,63 @@
+#![warn(missing_docs)]
+
+//! Facade crate for the `ret-rsu` workspace: a Rust reproduction of
+//! *Architecting a Stochastic Computing Unit with Molecular Optical
+//! Devices* (ISCA 2018).
+//!
+//! Re-exports the workspace crates under stable module names so examples
+//! and downstream users can depend on a single crate:
+//!
+//! * [`sampling`] — RNGs, distribution samplers, first-to-fire, stats.
+//! * [`mrf`] — MRF models, MCMC solver, Graph Cuts, loopy BP.
+//! * [`ret_device`] — the molecular-optical device simulator.
+//! * [`rsu`] — the RSU-G functional and pipeline simulators.
+//! * [`vision`] — stereo/motion/segmentation applications and metrics.
+//! * [`scenes`] — synthetic datasets with exact ground truth.
+//! * [`uarch`] — area/power/performance models.
+//!
+//! # Example
+//!
+//! End-to-end: generate a stereo scene, solve it with the paper's new
+//! RSU-G design, and score the result.
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use ret_rsu::prelude::*;
+//!
+//! let ds = StereoSpec {
+//!     width: 32, height: 24, num_disparities: 6, num_layers: 2, noise_sigma: 1.0,
+//! }
+//! .generate(7);
+//! let model = StereoModel::new(&ds.left, &ds.right, 6, 0.3, 0.3)?;
+//! let mut rng = Xoshiro256pp::seed_from_u64(1);
+//! let mut field = LabelField::random(model.grid(), 6, &mut rng);
+//! SweepSolver::new(&model)
+//!     .schedule(Schedule::geometric(30.0, 0.9, 0.4))
+//!     .iterations(40)
+//!     .run(&mut field, &mut RsuG::new_design(), &mut rng);
+//! let bp = bad_pixel_percentage(&field, &ds.ground_truth, Some(&ds.occlusion), 1.0);
+//! assert!(bp < 100.0);
+//! # Ok::<(), ret_rsu::vision::VisionError>(())
+//! ```
+
+pub use mrf;
+pub use ret_device;
+pub use rsu;
+pub use sampling;
+pub use scenes;
+pub use uarch;
+pub use vision;
+
+/// The most commonly used items across the workspace, importable with
+/// one line: `use ret_rsu::prelude::*;`.
+pub mod prelude {
+    pub use mrf::{
+        DistanceFn, Grid, LabelField, MrfModel, Schedule, SiteSampler, SoftwareGibbs,
+        SweepSolver,
+    };
+    pub use rsu::{RsuConfig, RsuG};
+    pub use sampling::Xoshiro256pp;
+    pub use scenes::{FlowSpec, SegmentationSpec, StereoSpec};
+    pub use vision::metrics::{bad_pixel_percentage, endpoint_error, variation_of_information};
+    pub use vision::{GrayImage, MotionModel, SegmentModel, StereoModel};
+}

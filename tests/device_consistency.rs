@@ -1,0 +1,85 @@
+//! Integration between the RSU-G functional simulator and the RET
+//! device layer: the stateful RET-circuit photon path must agree with
+//! the idealised sampler, and the replica arithmetic must be consistent
+//! across the `rsu`, `ret-device` and `uarch` crates.
+
+use rand::SeedableRng;
+use ret_rsu::mrf::SiteSampler;
+use ret_rsu::ret_device::{replicas_for_interference, RetCalibration, RetCircuit};
+use ret_rsu::rsu::{DesignKind, PhotonPath, PipelineModel, RsuConfig, RsuG};
+use ret_rsu::sampling::Xoshiro256pp;
+
+#[test]
+fn device_and_ideal_paths_produce_matching_boltzmann_statistics() {
+    let energies = [0.0f64, 1.0, 3.0];
+    let t = 1.2;
+    let run = |path: PhotonPath, seed: u64| -> Vec<f64> {
+        let cfg = RsuConfig::builder().photon_path(path).build().expect("valid");
+        let mut unit = RsuG::with_config(cfg);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let mut counts = [0u64; 3];
+        let n = 60_000;
+        for _ in 0..n {
+            counts[unit.sample_label(&energies, t, 0, &mut rng) as usize] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / n as f64).collect()
+    };
+    let ideal = run(PhotonPath::Ideal, 1);
+    let device = run(PhotonPath::RetCircuits, 2);
+    for (i, (a, b)) in ideal.iter().zip(&device).enumerate() {
+        assert!(
+            (a - b).abs() < 0.02,
+            "label {i}: ideal {a} vs device {b} — bleed-through must stay negligible"
+        );
+    }
+}
+
+#[test]
+fn replica_counts_agree_between_pipeline_model_and_device_law() {
+    for (bits, trunc) in [(5u32, 0.5f64), (5, 0.004), (6, 0.3), (8, 0.7)] {
+        let cfg = RsuConfig::builder()
+            .time_bits(bits)
+            .truncation(trunc)
+            .build()
+            .expect("valid");
+        let model = PipelineModel::new(DesignKind::New, cfg);
+        assert_eq!(
+            model.ret_network_rows(),
+            replicas_for_interference(trunc, 0.004),
+            "bits={bits} trunc={trunc}"
+        );
+        let cal = RetCalibration::new(bits, trunc).expect("valid");
+        let circuit = RetCircuit::new_paper_design(cal);
+        assert_eq!(circuit.rows(), model.ret_network_rows());
+    }
+}
+
+#[test]
+fn paper_point_mux_width_and_bank_shape() {
+    let cal = RetCalibration::paper_new_design();
+    let circuit = RetCircuit::new_paper_design(cal);
+    // Fig. 11: 8 rows × 4 concentrations behind a 32-to-1 mux, and the
+    // pipeline needs 4 such circuits for its 4-cycle window.
+    assert_eq!(circuit.mux_inputs(), 32);
+    let model = PipelineModel::new_design();
+    assert_eq!(model.ret_circuit_replicas(), 4);
+    assert_eq!(model.ret_network_rows() * 4 * model.ret_circuit_replicas(), 128);
+}
+
+#[test]
+fn interference_is_controlled_under_sustained_worst_case_load() {
+    // Hammer the lowest decay rate through the full paper-design circuit
+    // for a long stretch; the reuse-with-pending exposure must stay near
+    // the 0.4 % target that sized the replicas.
+    let cal = RetCalibration::paper_new_design();
+    let mut circuit = RetCircuit::new_paper_design(cal);
+    let mut rng = Xoshiro256pp::seed_from_u64(11);
+    for _ in 0..200_000 {
+        circuit.sample(0, &mut rng);
+    }
+    assert!(
+        circuit.interference_exposure() < 0.01,
+        "exposure {} above target band",
+        circuit.interference_exposure()
+    );
+}

@@ -1,0 +1,125 @@
+//! Cross-crate integration: synthetic scene → vision MRF model → MCMC
+//! solver → RSU-G samplers → quality metrics, exercising the whole stack
+//! the way the paper's evaluation does (at CI-friendly sizes).
+
+use rand::SeedableRng;
+use ret_rsu::mrf::{LabelField, MrfModel, Schedule, SiteSampler, SoftwareGibbs, SweepSolver};
+use ret_rsu::rsu::RsuG;
+use ret_rsu::sampling::Xoshiro256pp;
+use ret_rsu::scenes::{SegmentationSpec, StereoSpec};
+use ret_rsu::vision::metrics::{bad_pixel_percentage, variation_of_information};
+use ret_rsu::vision::{SegmentModel, StereoModel};
+
+fn solve<M: MrfModel, S: SiteSampler>(
+    model: &M,
+    sampler: &mut S,
+    schedule: Schedule,
+    iterations: usize,
+    seed: u64,
+) -> LabelField {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let mut field = LabelField::random(model.grid(), model.num_labels(), &mut rng);
+    SweepSolver::new(model).schedule(schedule).iterations(iterations).run(
+        &mut field,
+        sampler,
+        &mut rng,
+    );
+    field
+}
+
+#[test]
+fn stereo_quality_ordering_holds_end_to_end() {
+    let ds = StereoSpec {
+        width: 48,
+        height: 36,
+        num_disparities: 10,
+        num_layers: 2,
+        noise_sigma: 2.0,
+    }
+    .generate(17);
+    let model =
+        StereoModel::new(&ds.left, &ds.right, ds.num_disparities, 0.3, 0.3).expect("valid");
+    let schedule = Schedule::geometric(40.0, 0.93, 0.4);
+    let iters = 90;
+
+    let bp = |field: &LabelField| {
+        bad_pixel_percentage(field, &ds.ground_truth, Some(&ds.occlusion), 1.0)
+    };
+    let sw = bp(&solve(&model, &mut SoftwareGibbs::new(), schedule, iters, 7));
+    let new = bp(&solve(&model, &mut RsuG::new_design(), schedule, iters, 7));
+    let prev = bp(&solve(&model, &mut RsuG::previous_design(), schedule, iters, 7));
+
+    assert!(sw < 45.0, "software BP {sw}");
+    assert!((new - sw).abs() < 12.0, "new RSU-G must track software: {new} vs {sw}");
+    assert!(prev > sw + 25.0, "previous design must be far worse: {prev} vs {sw}");
+}
+
+#[test]
+fn segmentation_voi_parity_end_to_end() {
+    let ds = SegmentationSpec {
+        width: 48,
+        height: 48,
+        num_regions: 4,
+        noise_sigma: 8.0,
+        contrast: 140.0,
+    }
+    .generate(23);
+    let model = SegmentModel::new(&ds.image, 4, 0.004, 2.5).expect("valid");
+    let schedule = Schedule::geometric(4.0, 0.9, 0.3);
+
+    let sw = solve(&model, &mut SoftwareGibbs::new(), schedule, 30, 5);
+    let hw = solve(&model, &mut RsuG::new_design(), schedule, 30, 5);
+    let v_sw = variation_of_information(&sw, &ds.ground_truth);
+    let v_hw = variation_of_information(&hw, &ds.ground_truth);
+    assert!(v_sw < 1.5, "software VoI {v_sw}");
+    assert!((v_hw - v_sw).abs() < 0.4, "RSU-G VoI {v_hw} vs software {v_sw}");
+}
+
+#[test]
+fn rsu_stats_account_for_all_work() {
+    let ds = StereoSpec {
+        width: 24,
+        height: 18,
+        num_disparities: 6,
+        num_layers: 2,
+        noise_sigma: 1.0,
+    }
+    .generate(3);
+    let model = StereoModel::new(&ds.left, &ds.right, 6, 0.3, 0.3).expect("valid");
+    let mut unit = RsuG::new_design();
+    let iters = 12;
+    solve(&model, &mut unit, Schedule::geometric(10.0, 0.9, 0.5), iters, 1);
+    let stats = unit.stats();
+    let sites = (24 * 18) as u64;
+    assert_eq!(stats.variable_evaluations, sites * iters as u64);
+    // Label evaluations = active (non-cutoff) labels only; bounded by the
+    // full M per variable.
+    assert!(stats.label_evaluations <= stats.variable_evaluations * 6);
+    assert_eq!(
+        stats.label_evaluations + stats.cutoff_labels,
+        stats.variable_evaluations * 6,
+        "every candidate label is either raced or cut off"
+    );
+    // The new design never stalls for annealing.
+    assert_eq!(stats.stall_cycles, 0);
+    assert_eq!(stats.temperature_updates, iters as u64);
+}
+
+#[test]
+fn previous_design_pays_lut_rewrite_stalls_across_annealing() {
+    let ds = StereoSpec {
+        width: 24,
+        height: 18,
+        num_disparities: 6,
+        num_layers: 2,
+        noise_sigma: 1.0,
+    }
+    .generate(3);
+    let model = StereoModel::new(&ds.left, &ds.right, 6, 0.3, 0.3).expect("valid");
+    let mut unit = RsuG::previous_design();
+    let iters = 12;
+    solve(&model, &mut unit, Schedule::geometric(10.0, 0.9, 0.5), iters, 1);
+    // One 128-cycle LUT rewrite per temperature change (the geometric
+    // schedule changes T every iteration here).
+    assert_eq!(unit.stats().stall_cycles, 128 * iters as u64);
+}

@@ -1,0 +1,123 @@
+//! Codified paper facts, checked across crate boundaries. Each test
+//! names the section of the paper it pins down.
+
+use ret_rsu::rsu::{
+    ComparisonConverter, Conversion, EnergyToLambda, LutConverter, PipelineModel, RsuConfig,
+};
+use ret_rsu::uarch::{components, designs, perf};
+
+/// §II-C: "The total latency is 7+(M−1) for M possible labels", 1 GHz,
+/// one label per cycle, 4 replicated RET circuits.
+#[test]
+fn previous_design_headline_numbers() {
+    let m = PipelineModel::previous();
+    assert_eq!(m.variable_latency_cycles(5), 11);
+    assert_eq!(m.variable_latency_cycles(49), 55);
+    assert_eq!(m.ret_circuit_replicas(), 4);
+    assert_eq!(m.labels_per_cycle(), 1.0);
+    let prev = designs::previous_rsu_total();
+    assert!((prev.area_mm2() - 0.0029).abs() < 0.0001, "0.0029 mm^2 (§II-C)");
+    assert!((prev.power_mw - 3.91).abs() < 0.05, "3.91 mW (§II-C)");
+}
+
+/// §III-C2: the naive 7-bit intensity-scaled RET circuit would occupy
+/// 12 800 µm² (8× the previous circuit).
+#[test]
+fn naive_lambda_scaling_area() {
+    let prev_circuit = components::ret_circuit_previous();
+    assert!((prev_circuit.area_um2 * 8.0 - 12_800.0).abs() < 30.0);
+}
+
+/// §IV-B3: comparison-based conversion stores 32 bits vs the LUT's 1024
+/// and needs at most 4 comparisons; its area/power are 0.46×/0.22×.
+#[test]
+fn conversion_structure_claims() {
+    let lut = LutConverter::new(8, 8, true, true, 5.0);
+    let cmp = ComparisonConverter::new(8, 8, true, 5.0);
+    assert_eq!(lut.storage_bits(), 1024 * 3 / 4, "3-bit entries at scale 8");
+    assert_eq!(cmp.storage_bits(), 32);
+    assert_eq!(cmp.boundary_count(), 4);
+    let alut = components::conversion_lut();
+    let acmp = components::conversion_comparison();
+    assert!((acmp.area_um2 / alut.area_um2 - 0.46).abs() < 1e-9);
+    assert!((acmp.power_mw / alut.power_mw - 0.22).abs() < 1e-9);
+}
+
+/// §IV-B3: with an 8-bit interface the boundary update takes four
+/// cycles, which double buffering hides (0 stalls); the previous LUT
+/// rewrite stalls the pipeline.
+#[test]
+fn temperature_update_costs() {
+    let cmp = ComparisonConverter::new(8, 8, true, 5.0);
+    assert_eq!(cmp.background_update_cycles(), 4);
+    assert_eq!(cmp.update_stall_cycles(), 0);
+    let new = PipelineModel::new_design();
+    let prev = PipelineModel::previous();
+    assert_eq!(new.temperature_update_stall_cycles(), 0);
+    assert_eq!(prev.temperature_update_stall_cycles(), 128);
+}
+
+/// Abstract / §IV-C: the new design is 1.27× power at equivalent area.
+#[test]
+fn headline_cost_ratios() {
+    let new = designs::new_rsu_total();
+    let prev = designs::previous_rsu_total();
+    assert!((new.power_mw / prev.power_mw - 1.27).abs() < 0.03);
+    assert!((new.area_um2 / prev.area_um2 - 1.0).abs() < 0.01);
+}
+
+/// §IV-B6: truncation 0.5 needs 8 RET network replicas for the 99.6 %
+/// non-interference target; the previous 0.004 point needs one.
+#[test]
+fn replica_law() {
+    let new = RsuConfig::new_design();
+    let prev = RsuConfig::previous_design();
+    assert_eq!(PipelineModel::new(ret_rsu::rsu::DesignKind::New, new).ret_network_rows(), 8);
+    assert_eq!(
+        PipelineModel::new(ret_rsu::rsu::DesignKind::Previous, prev).ret_network_rows(),
+        1
+    );
+}
+
+/// Table II shape: RSU-augmented GPU wins everywhere; speedup grows
+/// with label count; int8 baselines narrow but do not close the gap.
+#[test]
+fn table2_shape() {
+    let t = perf::table2();
+    assert_eq!(t.len(), 4);
+    for c in &t {
+        assert!(c.speedup_float > 2.0);
+        assert!(c.speedup_int8 > 2.0);
+        assert!(c.speedup_int8 < c.speedup_float);
+    }
+    let sd10 = &t[0];
+    let sd64 = &t[1];
+    assert!(sd64.speedup_float > sd10.speedup_float);
+}
+
+/// Table IV shape: RSU-G ≈ LFSR area, far below unshared mt19937;
+/// 208-way sharing brings mt19937 back into range.
+#[test]
+fn table4_shape() {
+    let t = designs::table4();
+    let area = |name: &str| {
+        t.rows.iter().find(|r| r.name == name).expect("row").cost.area_um2
+    };
+    assert!(area("RSUG_noshare") < area("Intel DRNG (part)"));
+    assert!(area("mt19937_noshare") > 6.0 * area("RSUG_noshare"));
+    assert!(area("mt19937_208share") < 1.2 * area("19-bit LFSR") + 400.0);
+    assert!(area("RSUG_optimistic") < area("RSUG_4share"));
+}
+
+/// The config presets and the conversion structures agree on what the
+/// designs are.
+#[test]
+fn presets_are_internally_consistent() {
+    let new = RsuConfig::new_design();
+    assert_eq!(new.conversion(), Conversion::Comparison);
+    assert_eq!(new.lambda_scale(), 8);
+    assert_eq!(new.t_max_bins(), 32);
+    let prev = RsuConfig::previous_design();
+    assert_eq!(prev.conversion(), Conversion::Lut);
+    assert_eq!(prev.lambda_scale(), 16);
+}

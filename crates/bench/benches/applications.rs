@@ -19,10 +19,16 @@ fn bench_stereo_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("stereo_sweep_48x36_10l");
     group.sample_size(20);
     group.throughput(Throughput::Elements((48 * 36 * 10) as u64));
-    for kind in [SamplerKind::Software, SamplerKind::NewRsu, SamplerKind::PreviousRsu] {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, kind| {
-            b.iter(|| black_box(kind.run(&model, annealing_schedule(), 1, 7)))
-        });
+    for kind in [
+        SamplerKind::Software,
+        SamplerKind::NewRsu,
+        SamplerKind::PreviousRsu,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, kind| b.iter(|| black_box(kind.run(&model, annealing_schedule(), 1, 7))),
+        );
     }
     group.finish();
 }

@@ -43,8 +43,7 @@ fn bench_site_samplers(c: &mut Criterion) {
             b.iter(|| black_box(alias.sample(&mut rng)))
         });
 
-        let int_weights: Vec<u64> =
-            weights.iter().map(|w| (w * 1000.0) as u64 + 1).collect();
+        let int_weights: Vec<u64> = weights.iter().map(|w| (w * 1000.0) as u64 + 1).collect();
         let cdf = CdfTable::from_weights(&int_weights).expect("valid weights");
         group.bench_with_input(BenchmarkId::new("cdf_table", labels), &(), |b, _| {
             b.iter(|| black_box(cdf.sample(&mut rng)))

@@ -6,8 +6,7 @@
 use bench::SamplerKind;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use mrf::{
-    alpha_expansion, belief_propagation, IcmSampler, LabelField, MrfModel, Schedule,
-    SweepSolver,
+    alpha_expansion, belief_propagation, IcmSampler, LabelField, MrfModel, Schedule, SweepSolver,
 };
 use rand::SeedableRng;
 use sampling::Xoshiro256pp;
@@ -28,31 +27,23 @@ fn bench_solvers(c: &mut Criterion) {
 
     group.bench_function("mcmc_software_60it", |b| {
         b.iter(|| {
-            black_box(SamplerKind::Software.run(
-                &model,
-                Schedule::geometric(30.0, 0.9, 0.4),
-                60,
-                7,
-            ))
+            black_box(SamplerKind::Software.run(&model, Schedule::geometric(30.0, 0.9, 0.4), 60, 7))
         })
     });
     group.bench_function("mcmc_new_rsug_60it", |b| {
         b.iter(|| {
-            black_box(SamplerKind::NewRsu.run(
-                &model,
-                Schedule::geometric(30.0, 0.9, 0.4),
-                60,
-                7,
-            ))
+            black_box(SamplerKind::NewRsu.run(&model, Schedule::geometric(30.0, 0.9, 0.4), 60, 7))
         })
     });
     group.bench_function("icm_15it", |b| {
         b.iter(|| {
             let mut rng = Xoshiro256pp::seed_from_u64(7);
             let mut field = LabelField::random(model.grid(), 8, &mut rng);
-            SweepSolver::new(&model)
-                .iterations(15)
-                .run(&mut field, &mut IcmSampler::new(), &mut rng);
+            SweepSolver::new(&model).iterations(15).run(
+                &mut field,
+                &mut IcmSampler::new(),
+                &mut rng,
+            );
             black_box(field)
         })
     });

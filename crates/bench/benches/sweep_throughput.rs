@@ -1,0 +1,114 @@
+//! Sweep-engine throughput: sites/second on a 256×256, 16-label Potts
+//! model for the sequential raster [`SweepSolver`] baseline and the
+//! parallel checkerboard [`ParallelSweepSolver`] at 1/2/4/8 worker
+//! threads.
+//!
+//! Besides the usual printed report, the measurements are exported to
+//! `BENCH_sweep.json` at the workspace root (machine-readable, with the
+//! host core count — speedups are only meaningful relative to it).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mrf::{
+    DistanceFn, LabelField, MrfModel, ParallelSweepSolver, Schedule, SoftwareGibbs, SweepSolver,
+    TabularMrf,
+};
+use rand::SeedableRng;
+use sampling::Xoshiro256pp;
+use std::io::Write as _;
+use std::path::Path;
+
+const WIDTH: usize = 256;
+const HEIGHT: usize = 256;
+const LABELS: usize = 16;
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn potts_model() -> TabularMrf {
+    // Binary distance is the Potts prior: 0 for equal labels, 1 otherwise.
+    TabularMrf::checkerboard(WIDTH, HEIGHT, LABELS, 4.0, DistanceFn::Binary, 0.3)
+}
+
+fn bench_sweep_throughput(c: &mut Criterion) {
+    let model = potts_model();
+    let sites = (WIDTH * HEIGHT) as u64;
+    let mut group = c.benchmark_group("sweep_throughput");
+    group.throughput(Throughput::Elements(sites));
+    group.sample_size(10);
+
+    // Sequential raster-scan baseline: one shared random stream.
+    group.bench_function("sequential", |b| {
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
+        let mut field = LabelField::random(model.grid(), LABELS, &mut rng);
+        let mut gibbs = SoftwareGibbs::new();
+        let solver = SweepSolver::new(&model)
+            .schedule(Schedule::constant(1.5))
+            .iterations(1);
+        b.iter(|| solver.run(&mut field, &mut gibbs, &mut rng));
+    });
+
+    // Parallel checkerboard engine at each thread count. Same model,
+    // same per-site deterministic randomness — only the worker count
+    // (and therefore wall-clock) varies.
+    for threads in THREAD_COUNTS {
+        group.bench_function(format!("parallel/{threads}-threads"), |b| {
+            let mut rng = Xoshiro256pp::seed_from_u64(7);
+            let mut field = LabelField::random(model.grid(), LABELS, &mut rng);
+            let solver = ParallelSweepSolver::new(&model)
+                .schedule(Schedule::constant(1.5))
+                .iterations(1)
+                .threads(threads)
+                .seed(7);
+            let gibbs = SoftwareGibbs::new();
+            b.iter(|| solver.run(&mut field, &gibbs));
+        });
+    }
+    group.finish();
+
+    export_json(c, sites);
+}
+
+/// Writes `BENCH_sweep.json` at the workspace root from the harness's
+/// recorded medians.
+fn export_json(c: &Criterion, sites: u64) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let sequential_ns = c
+        .results
+        .iter()
+        .find(|(id, _)| id.ends_with("/sequential"))
+        .map(|&(_, ns)| ns)
+        .unwrap_or(f64::NAN);
+    let mut entries = Vec::new();
+    for (id, ns) in &c.results {
+        let config = id
+            .rsplit_once("sweep_throughput/")
+            .map(|(_, s)| s)
+            .unwrap_or(id);
+        let sites_per_sec = sites as f64 / (ns * 1e-9);
+        let speedup = sequential_ns / ns;
+        entries.push(format!(
+            "    {{\"config\": \"{config}\", \"ns_per_sweep\": {ns:.0}, \
+             \"sites_per_sec\": {sites_per_sec:.0}, \"speedup_vs_sequential\": {speedup:.3}}}"
+        ));
+    }
+    let json = format!(
+        "{{\n  \"benchmark\": \"sweep_throughput\",\n  \"grid\": [{WIDTH}, {HEIGHT}],\n  \
+         \"labels\": {LABELS},\n  \"distance\": \"potts\",\n  \"host_cores\": {cores},\n  \
+         \"note\": \"parallel results are bit-identical across thread counts; speedup beyond \
+         1x requires host_cores > 1\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    // CARGO_MANIFEST_DIR of this crate is <root>/crates/bench.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crate lives two levels under the workspace root");
+    let path = root.join("BENCH_sweep.json");
+    let mut f = std::fs::File::create(&path).expect("can create BENCH_sweep.json");
+    f.write_all(json.as_bytes())
+        .expect("can write BENCH_sweep.json");
+    println!("wrote {}", path.display());
+}
+
+criterion_group!(benches, bench_sweep_throughput);
+criterion_main!(benches);

@@ -25,7 +25,10 @@ fn main() {
             format!("{}", new.run(1, 0).first_latency),
         ]);
     }
-    println!("{}", table::render(&["labels", "previous", "new (FIFO-decoupled)"], &rows));
+    println!(
+        "{}",
+        table::render(&["labels", "previous", "new (FIFO-decoupled)"], &rows)
+    );
 
     println!("full annealed run, 320x320 pixels, one temperature update per iteration:");
     let mut rows = Vec::new();
@@ -38,8 +41,7 @@ fn main() {
         // once per iteration for its LUT rewrite.
         let prev_report = prev.run(pixels * iterations, iterations);
         let new_report = new.run(pixels * iterations, 0);
-        let overhead =
-            100.0 * prev_report.stall_cycles as f64 / prev_report.total_cycles as f64;
+        let overhead = 100.0 * prev_report.stall_cycles as f64 / prev_report.total_cycles as f64;
         rows.push(vec![
             format!("{labels}"),
             format!("{}", prev_report.total_cycles),
@@ -55,7 +57,13 @@ fn main() {
     println!(
         "{}",
         table::render(
-            &["labels", "prev cycles", "prev stalls", "stall %", "new cycles"],
+            &[
+                "labels",
+                "prev cycles",
+                "prev stalls",
+                "stall %",
+                "new cycles"
+            ],
             &rows
         )
     );
@@ -76,12 +84,19 @@ fn main() {
         rows.push(vec![
             format!("{updates_per_1000_vars}/1000 vars"),
             format!("{}", report.total_cycles),
-            format!("{:.1}", 100.0 * report.stall_cycles as f64 / report.total_cycles as f64),
+            format!(
+                "{:.1}",
+                100.0 * report.stall_cycles as f64 / report.total_cycles as f64
+            ),
         ]);
     }
     println!(
         "{}",
         table::render(&["update rate", "prev total cycles", "stall %"], &rows)
     );
-    write_csv("ablation_pipeline", "labels,prev_cycles,prev_stalls,new_cycles", &csv);
+    write_csv(
+        "ablation_pipeline",
+        "labels,prev_cycles,prev_stalls,new_cycles",
+        &csv,
+    );
 }

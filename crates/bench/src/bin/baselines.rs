@@ -6,8 +6,8 @@
 
 use bench::{annealing_schedule, run_stereo, table, write_csv, SamplerKind, STEREO_ITERATIONS};
 use mrf::{
-    alpha_expansion, belief_propagation, total_energy, IcmSampler, LabelField, MrfModel,
-    Schedule, SweepSolver,
+    alpha_expansion, belief_propagation, total_energy, IcmSampler, LabelField, MrfModel, Schedule,
+    SweepSolver,
 };
 use rand::SeedableRng;
 use sampling::Xoshiro256pp;
@@ -29,8 +29,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut csv = Vec::new();
     let mut push = |name: &str, field: &LabelField, seconds: f64| {
-        let (all, nonocc, tex, disc) =
-            bad_pixels_by_region(field, &ds.ground_truth, &regions, 1.0);
+        let (all, nonocc, tex, disc) = bad_pixels_by_region(field, &ds.ground_truth, &regions, 1.0);
         let energy = total_energy(&model, field);
         rows.push(vec![
             name.to_owned(),
@@ -41,7 +40,9 @@ fn main() {
             format!("{energy:.0}"),
             format!("{seconds:.2}"),
         ]);
-        csv.push(format!("{name},{all:.3},{nonocc:.3},{tex:.3},{disc:.3},{energy:.1}"));
+        csv.push(format!(
+            "{name},{all:.3},{nonocc:.3},{tex:.3},{disc:.3},{energy:.1}"
+        ));
     };
 
     // ICM (greedy).
@@ -69,10 +70,10 @@ fn main() {
     // MCMC software and RSU-G (reuse the shared driver so the annealing
     // protocol matches the rest of the evaluation).
     let t0 = std::time::Instant::now();
-    let sw = run_stereo(&ds, &SamplerKind::Software, STEREO_ITERATIONS, 11);
+    let sw = run_stereo(&ds, &SamplerKind::Software, STEREO_ITERATIONS, 11, 1);
     push("MCMC(float)", &sw.field, t0.elapsed().as_secs_f64());
     let t0 = std::time::Instant::now();
-    let hw = run_stereo(&ds, &SamplerKind::NewRsu, STEREO_ITERATIONS, 11);
+    let hw = run_stereo(&ds, &SamplerKind::NewRsu, STEREO_ITERATIONS, 11, 1);
     push("new-RSUG", &hw.field, t0.elapsed().as_secs_f64());
     let _ = annealing_schedule();
 

@@ -6,20 +6,28 @@
 //! frontier of (sampling area, worst λ-ratio error).
 
 use bench::{table, write_csv};
-use uarch::explore::{enumerate, evaluate, pareto_frontier};
+use uarch::explore::{enumerate_parallel, evaluate, pareto_frontier};
 
 const TIME_BITS: [u32; 5] = [3, 4, 5, 6, 7];
 const TRUNCS: [f64; 6] = [0.01, 0.1, 0.3, 0.5, 0.7, 0.9];
 
 fn main() {
+    let threads = bench::threads_from_args();
     println!("§IV-B6 — synthesis of all (Time_bits, Truncation) design points\n");
-    let points = enumerate(&TIME_BITS, &TRUNCS);
+    if threads > 1 {
+        println!("synthesising on {threads} threads (order-preserving, identical output)\n");
+    }
+    let points = enumerate_parallel(&TIME_BITS, &TRUNCS, threads);
     let frontier = pareto_frontier(&points);
     let chosen = evaluate(5, 0.5);
     let mut rows = Vec::new();
     let mut csv = Vec::new();
     for p in &frontier {
-        let star = if p.time_bits == 5 && (p.truncation - 0.5).abs() < 1e-9 { " *" } else { "" };
+        let star = if p.time_bits == 5 && (p.truncation - 0.5).abs() < 1e-9 {
+            " *"
+        } else {
+            ""
+        };
         rows.push(vec![
             format!("({}, {}){star}", p.time_bits, p.truncation),
             format!("{:.0}", p.sampling_cost.area_um2),
@@ -28,14 +36,22 @@ fn main() {
         ]);
         csv.push(format!(
             "{},{},{:.1},{:.5},{:.6}",
-            p.time_bits, p.truncation, p.sampling_cost.area_um2,
-            p.sampling_cost.power_mw, p.worst_ratio_error
+            p.time_bits,
+            p.truncation,
+            p.sampling_cost.area_um2,
+            p.sampling_cost.power_mw,
+            p.worst_ratio_error
         ));
     }
     println!(
         "{}",
         table::render(
-            &["point (bits, trunc)", "sampling µm²", "mW", "worst ratio RE"],
+            &[
+                "point (bits, trunc)",
+                "sampling µm²",
+                "mW",
+                "worst ratio RE"
+            ],
             &rows
         )
     );

@@ -41,7 +41,12 @@ fn main() {
     println!(
         "{}",
         table::render(
-            &["labels M", "entropy bits/eval", "ideal log2(M)", "Gb/s @1GHz"],
+            &[
+                "labels M",
+                "entropy bits/eval",
+                "ideal log2(M)",
+                "Gb/s @1GHz"
+            ],
             &rows
         )
     );
@@ -61,7 +66,9 @@ fn main() {
         bin_counts[b] += 1;
     }
     let h_bins = stats::discrete_entropy(&bin_counts);
-    println!("\nper-sample timing entropy at λmax: {h_bins:.2} bits/cycle → {h_bins:.2} Gb/s @1GHz");
+    println!(
+        "\nper-sample timing entropy at λmax: {h_bins:.2} bits/cycle → {h_bins:.2} Gb/s @1GHz"
+    );
     println!("(paper: 2.89 Gb/s; 13% of Intel DRNG power for ~45% of its 6.4 Gb/s rate)");
     write_csv("entropy_rate", "labels,entropy_bits_per_eval,gbps", &csv);
 }

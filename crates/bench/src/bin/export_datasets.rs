@@ -12,8 +12,12 @@ fn main() {
     std::fs::create_dir_all(&dir).expect("can create dataset directory");
 
     for (name, ds) in stereo_suite() {
-        ds.left.save_pgm(dir.join(format!("stereo_{name}_left.pgm"))).expect("write");
-        ds.right.save_pgm(dir.join(format!("stereo_{name}_right.pgm"))).expect("write");
+        ds.left
+            .save_pgm(dir.join(format!("stereo_{name}_left.pgm")))
+            .expect("write");
+        ds.right
+            .save_pgm(dir.join(format!("stereo_{name}_right.pgm")))
+            .expect("write");
         labels_to_image(&ds.ground_truth)
             .save_pgm(dir.join(format!("stereo_{name}_disparity_vis.pgm")))
             .expect("write");
@@ -25,7 +29,8 @@ fn main() {
         });
         let file = std::fs::File::create(dir.join(format!("stereo_{name}_disparity.pfm")))
             .expect("create");
-        disp.write_pfm(std::io::BufWriter::new(file)).expect("write pfm");
+        disp.write_pfm(std::io::BufWriter::new(file))
+            .expect("write pfm");
         let occl = GrayImage::from_fn(grid.width(), grid.height(), |x, y| {
             if ds.occlusion[grid.index(x, y)] {
                 0.0
@@ -33,28 +38,41 @@ fn main() {
                 255.0
             }
         });
-        occl.save_pgm(dir.join(format!("stereo_{name}_nonocc.pgm"))).expect("write");
-        println!("stereo_{name}: {}x{}, {} labels", grid.width(), grid.height(), ds.num_disparities);
+        occl.save_pgm(dir.join(format!("stereo_{name}_nonocc.pgm")))
+            .expect("write");
+        println!(
+            "stereo_{name}: {}x{}, {} labels",
+            grid.width(),
+            grid.height(),
+            ds.num_disparities
+        );
     }
 
     for (name, ds) in flow_suite() {
-        ds.frame1.save_pgm(dir.join(format!("flow_{name}_frame1.pgm"))).expect("write");
-        ds.frame2.save_pgm(dir.join(format!("flow_{name}_frame2.pgm"))).expect("write");
+        ds.frame1
+            .save_pgm(dir.join(format!("flow_{name}_frame1.pgm")))
+            .expect("write");
+        ds.frame2
+            .save_pgm(dir.join(format!("flow_{name}_frame2.pgm")))
+            .expect("write");
         let (w, h) = (ds.frame1.width(), ds.frame1.height());
         for (axis, idx) in [("u", 0usize), ("v", 1usize)] {
             let img = GrayImage::from_fn(w, h, |x, y| {
                 let f = ds.ground_truth[y * w + x];
                 (if idx == 0 { f.0 } else { f.1 }) as f32
             });
-            let file = std::fs::File::create(dir.join(format!("flow_{name}_{axis}.pfm")))
-                .expect("create");
-            img.write_pfm(std::io::BufWriter::new(file)).expect("write pfm");
+            let file =
+                std::fs::File::create(dir.join(format!("flow_{name}_{axis}.pfm"))).expect("create");
+            img.write_pfm(std::io::BufWriter::new(file))
+                .expect("write pfm");
         }
         println!("flow_{name}: {w}x{h}, window {}", ds.window);
     }
 
     for (i, ds) in scenes::segmentation_suite(3001, 30).into_iter().enumerate() {
-        ds.image.save_pgm(dir.join(format!("seg_{i:02}_image.pgm"))).expect("write");
+        ds.image
+            .save_pgm(dir.join(format!("seg_{i:02}_image.pgm")))
+            .expect("write");
         labels_to_image(&ds.ground_truth)
             .save_pgm(dir.join(format!("seg_{i:02}_truth.pgm")))
             .expect("write");

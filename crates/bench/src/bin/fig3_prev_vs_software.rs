@@ -8,17 +8,30 @@ fn main() {
     let mut rows = Vec::new();
     let mut csv = Vec::new();
     for (name, ds) in stereo_suite() {
-        let sw = run_stereo(&ds, &SamplerKind::Software, STEREO_ITERATIONS, 11);
-        let prev = run_stereo(&ds, &SamplerKind::PreviousRsu, STEREO_ITERATIONS, 11);
+        let sw = run_stereo(&ds, &SamplerKind::Software, STEREO_ITERATIONS, 11, 1);
+        let prev = run_stereo(&ds, &SamplerKind::PreviousRsu, STEREO_ITERATIONS, 11, 1);
         rows.push(vec![
             name.to_owned(),
             format!("{}", ds.num_disparities),
             format!("{:.1}", sw.bp),
             format!("{:.1}", prev.bp),
         ]);
-        csv.push(format!("{name},{},{:.3},{:.3}", ds.num_disparities, sw.bp, prev.bp));
+        csv.push(format!(
+            "{name},{},{:.3},{:.3}",
+            ds.num_disparities, sw.bp, prev.bp
+        ));
     }
-    println!("{}", table::render(&["dataset", "labels", "software BP%", "prev-RSUG BP%"], &rows));
+    println!(
+        "{}",
+        table::render(
+            &["dataset", "labels", "software BP%", "prev-RSUG BP%"],
+            &rows
+        )
+    );
     println!("paper shape: software far below previous RSU-G; previous RSU-G > 90 %");
-    write_csv("fig3_prev_vs_software", "dataset,labels,software_bp,prev_rsug_bp", &csv);
+    write_csv(
+        "fig3_prev_vs_software",
+        "dataset,labels,software_bp,prev_rsug_bp",
+        &csv,
+    );
 }

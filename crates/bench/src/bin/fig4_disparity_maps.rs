@@ -9,17 +9,24 @@ fn main() {
     println!("Fig. 4 — Software vs previous RSU-G disparity maps (teddy-like)\n");
     let ds = scenes::stereo_teddy_like(1001);
     let dir = artifacts_dir();
-    ds.left.save_pgm(dir.join("fig4a_left.pgm")).expect("write pgm");
+    ds.left
+        .save_pgm(dir.join("fig4a_left.pgm"))
+        .expect("write pgm");
     labels_to_image(&ds.ground_truth)
         .save_pgm(dir.join("fig4b_ground_truth.pgm"))
         .expect("write pgm");
-    let sw = run_stereo(&ds, &SamplerKind::Software, STEREO_ITERATIONS, 11);
-    labels_to_image(&sw.field).save_pgm(dir.join("fig4c_software.pgm")).expect("write pgm");
-    let prev = run_stereo(&ds, &SamplerKind::PreviousRsu, STEREO_ITERATIONS, 11);
+    let sw = run_stereo(&ds, &SamplerKind::Software, STEREO_ITERATIONS, 11, 1);
+    labels_to_image(&sw.field)
+        .save_pgm(dir.join("fig4c_software.pgm"))
+        .expect("write pgm");
+    let prev = run_stereo(&ds, &SamplerKind::PreviousRsu, STEREO_ITERATIONS, 11, 1);
     labels_to_image(&prev.field)
         .save_pgm(dir.join("fig4d_prev_rsug.pgm"))
         .expect("write pgm");
-    println!("software BP {:.1} %   previous RSU-G BP {:.1} %", sw.bp, prev.bp);
+    println!(
+        "software BP {:.1} %   previous RSU-G BP {:.1} %",
+        sw.bp, prev.bp
+    );
     println!(
         "wrote fig4a_left / fig4b_ground_truth / fig4c_software / fig4d_prev_rsug under {}",
         dir.display()

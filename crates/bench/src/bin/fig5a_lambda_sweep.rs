@@ -27,11 +27,15 @@ fn variant(lambda_bits: u32, scaling: bool, cutoff: bool, pow2: bool) -> Sampler
     )
 }
 
+type Variant = (&'static str, fn(u32) -> SamplerKind);
+
 fn main() {
     println!("Fig. 5a — average stereo BP vs Lambda_bits for the conversion variants\n");
     let suite = stereo_suite();
-    let variants: [(&str, fn(u32) -> SamplerKind); 4] = [
-        ("prev (floor, no scaling)", |l| variant(l, false, false, false)),
+    let variants: [Variant; 4] = [
+        ("prev (floor, no scaling)", |l| {
+            variant(l, false, false, false)
+        }),
         ("scaled", |l| variant(l, true, false, false)),
         ("scaled+cutoff", |l| variant(l, true, true, false)),
         ("scaled+cutoff+2^n", |l| variant(l, true, true, true)),
@@ -45,7 +49,7 @@ fn main() {
             let kind = make(lambda_bits);
             let mut total = 0.0;
             for (_, ds) in &suite {
-                total += run_stereo(ds, &kind, STEREO_ITERATIONS, 11).bp;
+                total += run_stereo(ds, &kind, STEREO_ITERATIONS, 11, 1).bp;
             }
             let avg = total / suite.len() as f64;
             cells.push(format!("{avg:.1}"));

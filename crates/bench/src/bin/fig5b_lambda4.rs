@@ -19,8 +19,8 @@ fn main() {
     let mut rows = Vec::new();
     let mut csv = Vec::new();
     for (name, ds) in stereo_suite() {
-        let sw = run_stereo(&ds, &SamplerKind::Software, STEREO_ITERATIONS, 11);
-        let hw = run_stereo(&ds, &rsu, STEREO_ITERATIONS, 11);
+        let sw = run_stereo(&ds, &SamplerKind::Software, STEREO_ITERATIONS, 11, 1);
+        let hw = run_stereo(&ds, &rsu, STEREO_ITERATIONS, 11, 1);
         rows.push(vec![
             name.to_owned(),
             format!("{:.1}", sw.bp),
@@ -31,7 +31,10 @@ fn main() {
     }
     println!(
         "{}",
-        table::render(&["dataset", "software BP%", "RSUG(λ=4b) BP%", "delta"], &rows)
+        table::render(
+            &["dataset", "software BP%", "RSUG(λ=4b) BP%", "delta"],
+            &rows
+        )
     );
     println!("paper shape: RSU-G within a few BP points of software on every dataset");
     write_csv("fig5b_lambda4", "dataset,software_bp,rsug_bp", &csv);

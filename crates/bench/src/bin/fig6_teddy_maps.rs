@@ -30,12 +30,19 @@ fn main() {
             .build()
             .expect("valid configuration"),
     );
-    let a = run_stereo(&ds, &scaled_only, STEREO_ITERATIONS, 11);
-    let b = run_stereo(&ds, &full, STEREO_ITERATIONS, 11);
-    labels_to_image(&a.field).save_pgm(dir.join("fig6a_scaled_only.pgm")).expect("write pgm");
-    labels_to_image(&b.field).save_pgm(dir.join("fig6b_full_techniques.pgm")).expect("write pgm");
+    let a = run_stereo(&ds, &scaled_only, STEREO_ITERATIONS, 11, 1);
+    let b = run_stereo(&ds, &full, STEREO_ITERATIONS, 11, 1);
+    labels_to_image(&a.field)
+        .save_pgm(dir.join("fig6a_scaled_only.pgm"))
+        .expect("write pgm");
+    labels_to_image(&b.field)
+        .save_pgm(dir.join("fig6b_full_techniques.pgm"))
+        .expect("write pgm");
     println!("scaled-only (7-bit λ) BP {:.1} %", a.bp);
     println!("full techniques (4-bit λ) BP {:.1} %", b.bp);
-    println!("wrote fig6a_scaled_only / fig6b_full_techniques under {}", dir.display());
+    println!(
+        "wrote fig6a_scaled_only / fig6b_full_techniques under {}",
+        dir.display()
+    );
     println!("paper shape: (a) visibly degraded (BP ~70 % regime); (b) close to software");
 }

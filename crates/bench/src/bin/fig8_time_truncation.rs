@@ -26,9 +26,13 @@ const TEMPERATURE: f64 = 2.0;
 const ITERATIONS: usize = 150;
 
 fn main() {
+    let threads = bench::threads_from_args();
     println!(
         "Fig. 8 — poster BP over Time_bits × Truncation (fixed T = {TEMPERATURE}, clamp-to-t_max)\n"
     );
+    if threads > 1 {
+        println!("running the parallel checkerboard engine on {threads} threads\n");
+    }
     let ds = scenes::stereo_poster_like(1002);
     let model = StereoModel::new(
         &ds.left,
@@ -40,7 +44,14 @@ fn main() {
     .expect("generated datasets are consistent");
     let schedule = Schedule::constant(TEMPERATURE);
 
-    let sw_field = SamplerKind::Software.run(&model, schedule, ITERATIONS, 11);
+    let run = |kind: SamplerKind| {
+        if threads > 1 {
+            kind.run_parallel(&model, schedule, ITERATIONS, 11, threads)
+        } else {
+            kind.run(&model, schedule, ITERATIONS, 11)
+        }
+    };
+    let sw_field = run(SamplerKind::Software);
     let sw_bp = bad_pixel_percentage(&sw_field, &ds.ground_truth, Some(&ds.occlusion), 1.0);
 
     let mut rows = Vec::new();
@@ -55,9 +66,13 @@ fn main() {
                 .censored_policy(CensoredPolicy::ClampToTMax)
                 .build()
                 .expect("valid sweep point");
-            let field = SamplerKind::Custom(cfg).run(&model, schedule, ITERATIONS, 11);
+            let field = run(SamplerKind::Custom(cfg));
             let bp = bad_pixel_percentage(&field, &ds.ground_truth, Some(&ds.occlusion), 1.0);
-            let marker = if bits == 5 && (trunc - 0.5).abs() < 1e-9 { "*" } else { "" };
+            let marker = if bits == 5 && (trunc - 0.5).abs() < 1e-9 {
+                "*"
+            } else {
+                ""
+            };
             cells.push(format!("{bp:.1}{marker}"));
             csv_cells.push(format!("{bp:.3}"));
         }
@@ -78,7 +93,10 @@ fn main() {
     );
     write_csv(
         "fig8_time_truncation",
-        &format!("time_bits,{}", TRUNCATIONS.map(|t| format!("trunc_{t}")).join(",")),
+        &format!(
+            "time_bits,{}",
+            TRUNCATIONS.map(|t| format!("trunc_{t}")).join(",")
+        ),
         &csv,
     );
 }

@@ -8,8 +8,8 @@ fn main() {
     let mut rows = Vec::new();
     let mut csv = Vec::new();
     for (name, ds) in stereo_suite() {
-        let sw = run_stereo(&ds, &SamplerKind::Software, STEREO_ITERATIONS, 11);
-        let hw = run_stereo(&ds, &SamplerKind::NewRsu, STEREO_ITERATIONS, 11);
+        let sw = run_stereo(&ds, &SamplerKind::Software, STEREO_ITERATIONS, 11, 1);
+        let hw = run_stereo(&ds, &SamplerKind::NewRsu, STEREO_ITERATIONS, 11, 1);
         rows.push(vec![
             name.to_owned(),
             format!("{:.1}", sw.bp),
@@ -18,15 +18,29 @@ fn main() {
             format!("{:.2}", sw.rms),
             format!("{:.2}", hw.rms),
         ]);
-        csv.push(format!("{name},{:.3},{:.3},{:.4},{:.4}", sw.bp, hw.bp, sw.rms, hw.rms));
+        csv.push(format!(
+            "{name},{:.3},{:.3},{:.4},{:.4}",
+            sw.bp, hw.bp, sw.rms, hw.rms
+        ));
     }
     println!(
         "{}",
         table::render(
-            &["dataset", "software BP%", "new-RSUG BP%", "ΔBP", "sw RMS", "rsu RMS"],
+            &[
+                "dataset",
+                "software BP%",
+                "new-RSUG BP%",
+                "ΔBP",
+                "sw RMS",
+                "rsu RMS"
+            ],
             &rows
         )
     );
     println!("paper shape: differences of only a few BP points (3 / 0.1 / 0.5 in the paper)");
-    write_csv("fig9a_stereo", "dataset,software_bp,rsug_bp,software_rms,rsug_rms", &csv);
+    write_csv(
+        "fig9a_stereo",
+        "dataset,software_bp,rsug_bp,software_rms,rsug_rms",
+        &csv,
+    );
 }

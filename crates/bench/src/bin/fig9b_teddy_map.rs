@@ -6,9 +6,11 @@ use vision::image::labels_to_image;
 fn main() {
     println!("Fig. 9b — teddy disparity map, new RSU-G\n");
     let ds = scenes::stereo_teddy_like(1001);
-    let out = run_stereo(&ds, &SamplerKind::NewRsu, STEREO_ITERATIONS, 11);
+    let out = run_stereo(&ds, &SamplerKind::NewRsu, STEREO_ITERATIONS, 11, 1);
     let path = artifacts_dir().join("fig9b_new_rsug_teddy.pgm");
-    labels_to_image(&out.field).save_pgm(&path).expect("write pgm");
+    labels_to_image(&out.field)
+        .save_pgm(&path)
+        .expect("write pgm");
     println!("new RSU-G BP {:.1} %  RMS {:.2}", out.bp, out.rms);
     println!("wrote {}", path.display());
     println!("paper shape: visually indistinguishable from the software map of Fig. 4c");

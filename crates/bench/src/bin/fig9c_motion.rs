@@ -8,8 +8,8 @@ fn main() {
     let mut rows = Vec::new();
     let mut csv = Vec::new();
     for (name, ds) in flow_suite() {
-        let sw = run_motion(&ds, &SamplerKind::Software, STEREO_ITERATIONS, 21);
-        let hw = run_motion(&ds, &SamplerKind::NewRsu, STEREO_ITERATIONS, 21);
+        let sw = run_motion(&ds, &SamplerKind::Software, STEREO_ITERATIONS, 21, 1);
+        let hw = run_motion(&ds, &SamplerKind::NewRsu, STEREO_ITERATIONS, 21, 1);
         rows.push(vec![
             name.to_owned(),
             format!("{:.3}", sw.epe),

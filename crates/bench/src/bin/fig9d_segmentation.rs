@@ -8,7 +8,11 @@ use sampling::stats::sample_std_dev;
 const LABEL_COUNTS: [usize; 4] = [2, 4, 6, 8];
 
 fn main() {
+    let threads = bench::threads_from_args();
     println!("Fig. 9d / Tab. I — segmentation VoI over 30 images (30 iterations each)\n");
+    if threads > 1 {
+        println!("running the parallel checkerboard engine on {threads} threads\n");
+    }
     let suite = scenes::segmentation_suite(3001, 30);
     let mut rows = Vec::new();
     let mut csv = Vec::new();
@@ -18,10 +22,26 @@ fn main() {
         for (i, ds) in suite.iter().enumerate() {
             let seed = 31 + i as u64;
             sw_vois.push(
-                run_segmentation(ds, k, &SamplerKind::Software, SEGMENT_ITERATIONS, seed).voi,
+                run_segmentation(
+                    ds,
+                    k,
+                    &SamplerKind::Software,
+                    SEGMENT_ITERATIONS,
+                    seed,
+                    threads,
+                )
+                .voi,
             );
             hw_vois.push(
-                run_segmentation(ds, k, &SamplerKind::NewRsu, SEGMENT_ITERATIONS, seed).voi,
+                run_segmentation(
+                    ds,
+                    k,
+                    &SamplerKind::NewRsu,
+                    SEGMENT_ITERATIONS,
+                    seed,
+                    threads,
+                )
+                .voi,
             );
         }
         let sw_mean = sw_vois.iter().sum::<f64>() / sw_vois.len() as f64;
@@ -35,12 +55,20 @@ fn main() {
             format!("{sw_sd:.2}"),
             format!("{hw_sd:.2}"),
         ]);
-        csv.push(format!("{k},{sw_mean:.5},{hw_mean:.5},{sw_sd:.5},{hw_sd:.5}"));
+        csv.push(format!(
+            "{k},{sw_mean:.5},{hw_mean:.5},{sw_sd:.5},{hw_sd:.5}"
+        ));
     }
     println!(
         "{}",
         table::render(
-            &["labels", "software VoI", "new-RSUG VoI", "sw σ(VoI)", "rsu σ(VoI)"],
+            &[
+                "labels",
+                "software VoI",
+                "new-RSUG VoI",
+                "sw σ(VoI)",
+                "rsu σ(VoI)"
+            ],
             &rows
         )
     );

@@ -14,7 +14,7 @@ fn main() {
     // Software reference line.
     let mut sw_avg = 0.0;
     for (_, ds) in &suite {
-        sw_avg += run_stereo(ds, &SamplerKind::Software, STEREO_ITERATIONS, 11).bp;
+        sw_avg += run_stereo(ds, &SamplerKind::Software, STEREO_ITERATIONS, 11, 1).bp;
     }
     sw_avg /= suite.len() as f64;
     for &bits in &ENERGY_BITS {
@@ -30,14 +30,25 @@ fn main() {
         );
         let mut avg = 0.0;
         for (_, ds) in &suite {
-            avg += run_stereo(ds, &kind, STEREO_ITERATIONS, 11).bp;
+            avg += run_stereo(ds, &kind, STEREO_ITERATIONS, 11, 1).bp;
         }
         avg /= suite.len() as f64;
-        rows.push(vec![format!("{bits}"), format!("{avg:.1}"), format!("{:+.1}", avg - sw_avg)]);
+        rows.push(vec![
+            format!("{bits}"),
+            format!("{avg:.1}"),
+            format!("{:+.1}", avg - sw_avg),
+        ]);
         csv.push(format!("{bits},{avg:.3}"));
     }
-    rows.push(vec!["float (software)".to_owned(), format!("{sw_avg:.1}"), "+0.0".to_owned()]);
-    println!("{}", table::render(&["Energy_bits", "avg BP%", "vs software"], &rows));
+    rows.push(vec![
+        "float (software)".to_owned(),
+        format!("{sw_avg:.1}"),
+        "+0.0".to_owned(),
+    ]);
+    println!(
+        "{}",
+        table::render(&["Energy_bits", "avg BP%", "vs software"], &rows)
+    );
     println!("paper shape: ≥ 8 bits matches software; below 8 bits quality degrades");
     write_csv("fig_energy_bits", "energy_bits,avg_bp", &csv);
 }

@@ -25,12 +25,10 @@ fn main() {
         )
         .expect("generated datasets are consistent");
         let mut gc_field = LabelField::constant(model.grid(), model.num_labels(), 0);
-        let report = alpha_expansion(&model, &mut gc_field)
-            .expect("absolute distance is a metric");
-        let gc_bp =
-            bad_pixel_percentage(&gc_field, &ds.ground_truth, Some(&ds.occlusion), 1.0);
-        let sw = run_stereo(&ds, &SamplerKind::Software, STEREO_ITERATIONS, 11);
-        let hw = run_stereo(&ds, &SamplerKind::NewRsu, STEREO_ITERATIONS, 11);
+        let report = alpha_expansion(&model, &mut gc_field).expect("absolute distance is a metric");
+        let gc_bp = bad_pixel_percentage(&gc_field, &ds.ground_truth, Some(&ds.occlusion), 1.0);
+        let sw = run_stereo(&ds, &SamplerKind::Software, STEREO_ITERATIONS, 11, 1);
+        let hw = run_stereo(&ds, &SamplerKind::NewRsu, STEREO_ITERATIONS, 11, 1);
         let sw_energy = {
             let f = &sw.field;
             total_energy(&model, f)
@@ -48,7 +46,14 @@ fn main() {
     println!(
         "{}",
         table::render(
-            &["dataset", "GraphCuts BP%", "MCMC BP%", "new-RSUG BP%", "GC energy", "MCMC energy"],
+            &[
+                "dataset",
+                "GraphCuts BP%",
+                "MCMC BP%",
+                "new-RSUG BP%",
+                "GC energy",
+                "MCMC energy"
+            ],
             &rows
         )
     );
@@ -56,5 +61,9 @@ fn main() {
         "paper shape: MCMC lands within a couple of BP points of Graph Cuts; the RSU-G\n\
          tracks MCMC; Graph Cuts reaches the lower (or equal) MRF energy deterministically"
     );
-    write_csv("graphcut_reference", "dataset,graphcuts_bp,mcmc_bp,rsug_bp", &csv);
+    write_csv(
+        "graphcut_reference",
+        "dataset,graphcuts_bp,mcmc_bp,rsug_bp",
+        &csv,
+    );
 }

@@ -5,10 +5,9 @@ use bench::{run_stereo, SamplerKind, STEREO_ITERATIONS};
 
 fn main() {
     for (name, ds) in bench::stereo_suite() {
-        let frac =
-            ds.occlusion.iter().filter(|&&o| o).count() as f64 / ds.occlusion.len() as f64;
-        let sw = run_stereo(&ds, &SamplerKind::Software, STEREO_ITERATIONS, 11);
-        let hw = run_stereo(&ds, &SamplerKind::NewRsu, STEREO_ITERATIONS, 11);
+        let frac = ds.occlusion.iter().filter(|&&o| o).count() as f64 / ds.occlusion.len() as f64;
+        let sw = run_stereo(&ds, &SamplerKind::Software, STEREO_ITERATIONS, 11, 1);
+        let hw = run_stereo(&ds, &SamplerKind::NewRsu, STEREO_ITERATIONS, 11, 1);
         println!(
             "{name}: occl floor {:.1}%  software BP {:.1}%  new-RSUG BP {:.1}%",
             frac * 100.0,

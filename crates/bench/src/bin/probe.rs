@@ -6,9 +6,18 @@ use bench::{run_stereo, SamplerKind, STEREO_ITERATIONS};
 
 fn main() {
     for (name, ds) in bench::stereo_suite() {
-        for kind in [SamplerKind::Software, SamplerKind::NewRsu, SamplerKind::PreviousRsu] {
-            let out = run_stereo(&ds, &kind, STEREO_ITERATIONS, 11);
-            println!("{name:>7} {:>10}: BP {:5.1} %  RMS {:6.3}", kind.name(), out.bp, out.rms);
+        for kind in [
+            SamplerKind::Software,
+            SamplerKind::NewRsu,
+            SamplerKind::PreviousRsu,
+        ] {
+            let out = run_stereo(&ds, &kind, STEREO_ITERATIONS, 11, 1);
+            println!(
+                "{name:>7} {:>10}: BP {:5.1} %  RMS {:6.3}",
+                kind.name(),
+                out.bp,
+                out.rms
+            );
         }
     }
 }

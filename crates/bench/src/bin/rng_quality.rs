@@ -48,7 +48,10 @@ fn main() {
     run_battery("xoshiro256++", &mut Xoshiro256pp::seed_from_u64(0xFEED));
     println!(
         "{}",
-        table::render(&["generator", "monobit", "runs", "blockfreq", "poker"], &battery_rows)
+        table::render(
+            &["generator", "monobit", "runs", "blockfreq", "poker"],
+            &battery_rows
+        )
     );
 
     println!("stereo quality with each RNG driving the software Gibbs kernel:");
@@ -72,10 +75,17 @@ fn main() {
         "mt19937",
         run_with_rng(&model, &mut Mt19937::seed_from_u64(11), STEREO_ITERATIONS),
     );
-    run_quality("lfsr19", run_with_rng(&model, &mut Lfsr::new_19bit(11), STEREO_ITERATIONS));
+    run_quality(
+        "lfsr19",
+        run_with_rng(&model, &mut Lfsr::new_19bit(11), STEREO_ITERATIONS),
+    );
     run_quality(
         "xoshiro256++",
-        run_with_rng(&model, &mut Xoshiro256pp::seed_from_u64(11), STEREO_ITERATIONS),
+        run_with_rng(
+            &model,
+            &mut Xoshiro256pp::seed_from_u64(11),
+            STEREO_ITERATIONS,
+        ),
     );
     println!("{}", table::render(&["generator", "poster BP%"], &rows));
     println!(

@@ -28,8 +28,9 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let key = args[i]
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got '{}'", args[i]))?;
-        let value =
-            args.get(i + 1).ok_or_else(|| format!("--{key} is missing its value"))?;
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("--{key} is missing its value"))?;
         flags.insert(key.to_owned(), value.clone());
         i += 2;
     }
@@ -43,7 +44,9 @@ fn get<T: std::str::FromStr>(
 ) -> Result<T, String> {
     match flags.get(key) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse '{v}'")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key}: cannot parse '{v}'")),
     }
 }
 
@@ -52,7 +55,9 @@ fn sampler_kind(flags: &HashMap<String, String>) -> Result<SamplerKind, String> 
         "software" => Ok(SamplerKind::Software),
         "new" => Ok(SamplerKind::NewRsu),
         "prev" => Ok(SamplerKind::PreviousRsu),
-        other => Err(format!("unknown sampler '{other}' (want software|new|prev)")),
+        other => Err(format!(
+            "unknown sampler '{other}' (want software|new|prev)"
+        )),
     }
 }
 
@@ -63,10 +68,16 @@ fn cmd_stereo(flags: HashMap<String, String>) -> Result<(), String> {
     let iterations: usize = get(&flags, "iterations", 200)?;
     let seed: u64 = get(&flags, "seed", 7)?;
     let kind = sampler_kind(&flags)?;
-    let ds = StereoSpec { width, height, num_disparities: labels, num_layers: 4, noise_sigma: 2.0 }
-        .generate(seed);
-    let model = StereoModel::new(&ds.left, &ds.right, labels, 0.3, 0.3)
-        .map_err(|e| e.to_string())?;
+    let ds = StereoSpec {
+        width,
+        height,
+        num_disparities: labels,
+        num_layers: 4,
+        noise_sigma: 2.0,
+    }
+    .generate(seed);
+    let model =
+        StereoModel::new(&ds.left, &ds.right, labels, 0.3, 0.3).map_err(|e| e.to_string())?;
     let field = kind.run(&model, annealing_schedule(), iterations, seed);
     let bp = bad_pixel_percentage(&field, &ds.ground_truth, Some(&ds.occlusion), 1.0);
     println!(
@@ -75,7 +86,9 @@ fn cmd_stereo(flags: HashMap<String, String>) -> Result<(), String> {
     );
     println!("bad pixels: {bp:.1} %");
     if let Some(path) = flags.get("out") {
-        labels_to_image(&field).save_pgm(path).map_err(|e| e.to_string())?;
+        labels_to_image(&field)
+            .save_pgm(path)
+            .map_err(|e| e.to_string())?;
         println!("wrote {path}");
     }
     Ok(())
@@ -86,15 +99,25 @@ fn cmd_motion(flags: HashMap<String, String>) -> Result<(), String> {
     let iterations: usize = get(&flags, "iterations", 150)?;
     let seed: u64 = get(&flags, "seed", 7)?;
     let kind = sampler_kind(&flags)?;
-    let ds = FlowSpec { width: 96, height: 72, window: 7, num_patches: patches, noise_sigma: 2.0 }
-        .generate(seed);
-    let model = MotionModel::new(&ds.frame1, &ds.frame2, 7, 0.004, 1.2)
-        .map_err(|e| e.to_string())?;
+    let ds = FlowSpec {
+        width: 96,
+        height: 72,
+        window: 7,
+        num_patches: patches,
+        noise_sigma: 2.0,
+    }
+    .generate(seed);
+    let model =
+        MotionModel::new(&ds.frame1, &ds.frame2, 7, 0.004, 1.2).map_err(|e| e.to_string())?;
     let field = kind.run(&model, annealing_schedule(), iterations, seed);
-    let flow: Vec<(isize, isize)> =
-        (0..field.grid().len()).map(|s| model.label_to_flow(field.get(s))).collect();
+    let flow: Vec<(isize, isize)> = (0..field.grid().len())
+        .map(|s| model.label_to_flow(field.get(s)))
+        .collect();
     let epe = endpoint_error(&flow, &ds.ground_truth);
-    println!("motion 96x72, 49 labels, {patches} patches, sampler {}", kind.name());
+    println!(
+        "motion 96x72, 49 labels, {patches} patches, sampler {}",
+        kind.name()
+    );
     println!("endpoint error: {epe:.3}");
     Ok(())
 }
@@ -112,14 +135,18 @@ fn cmd_segment(flags: HashMap<String, String>) -> Result<(), String> {
         contrast: 140.0,
     }
     .generate(seed);
-    let model =
-        SegmentModel::new(&ds.image, segments, 0.004, 2.5).map_err(|e| e.to_string())?;
+    let model = SegmentModel::new(&ds.image, segments, 0.004, 2.5).map_err(|e| e.to_string())?;
     let field = kind.run(&model, segmentation_schedule(), 30, seed);
     let voi = variation_of_information(&field, &ds.ground_truth);
-    println!("segment 96x72, {regions} regions, {segments} segments, sampler {}", kind.name());
+    println!(
+        "segment 96x72, {regions} regions, {segments} segments, sampler {}",
+        kind.name()
+    );
     println!("variation of information: {voi:.3} bits");
     if let Some(path) = flags.get("out") {
-        labels_to_image(&field).save_pgm(path).map_err(|e| e.to_string())?;
+        labels_to_image(&field)
+            .save_pgm(path)
+            .map_err(|e| e.to_string())?;
         println!("wrote {path}");
     }
     Ok(())
@@ -153,9 +180,19 @@ fn cmd_design(flags: HashMap<String, String>) -> Result<(), String> {
     }
     let model = PipelineModel::new(rsu::DesignKind::New, cfg);
     println!("\nreplica arithmetic:");
-    println!("  RET circuits (window {} cycles): {}", model.ret_circuit_replicas(), model.ret_circuit_replicas());
-    println!("  RET network rows per circuit: {}", model.ret_network_rows());
-    println!("  latency (49 labels): {} cycles", model.variable_latency_cycles(49));
+    println!(
+        "  RET circuits (window {} cycles): {}",
+        model.ret_circuit_replicas(),
+        model.ret_circuit_replicas()
+    );
+    println!(
+        "  RET network rows per circuit: {}",
+        model.ret_network_rows()
+    );
+    println!(
+        "  latency (49 labels): {} cycles",
+        model.variable_latency_cycles(49)
+    );
     let unit = RsuG::with_config(cfg);
     println!("  λ0 = {:.5} per time bin", unit.config().lambda0_per_bin());
     Ok(())

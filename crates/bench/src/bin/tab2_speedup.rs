@@ -40,7 +40,14 @@ fn main() {
     println!(
         "{}",
         table::render(
-            &["workload", "GPU_float", "GPU_int8", "RSUG_aug", "Speedup_flt", "Speedup_int8"],
+            &[
+                "workload",
+                "GPU_float",
+                "GPU_int8",
+                "RSUG_aug",
+                "Speedup_flt",
+                "Speedup_int8"
+            ],
             &rows
         )
     );

@@ -16,7 +16,10 @@ fn main() {
             format!("{:.0}", row.cost.area_um2),
             format!("{:.2}", row.cost.power_mw),
         ]);
-        csv.push(format!("{},{:.1},{:.3}", row.name, row.cost.area_um2, row.cost.power_mw));
+        csv.push(format!(
+            "{},{:.1},{:.3}",
+            row.name, row.cost.area_um2, row.cost.power_mw
+        ));
     }
     let total = t3.total();
     rows.push(vec![
@@ -24,8 +27,14 @@ fn main() {
         format!("{:.0}", total.area_um2),
         format!("{:.2}", total.power_mw),
     ]);
-    csv.push(format!("RSU Total,{:.1},{:.3}", total.area_um2, total.power_mw));
-    println!("{}", table::render(&["Component", "Area(um^2)", "Power(mW)"], &rows));
+    csv.push(format!(
+        "RSU Total,{:.1},{:.3}",
+        total.area_um2, total.power_mw
+    ));
+    println!(
+        "{}",
+        table::render(&["Component", "Area(um^2)", "Power(mW)"], &rows)
+    );
 
     let prev = designs::previous_rsu_total();
     println!(

@@ -16,16 +16,14 @@
 //! * [`table`] — plain-text table formatting;
 //! * [`artifacts_dir`]/[`write_csv`] — artifact output.
 
-use mrf::{LabelField, MrfModel, Schedule, SiteSampler, SoftwareGibbs};
+use mrf::{LabelField, MrfModel, ParallelSweepSolver, Schedule, SiteSampler, SoftwareGibbs};
 use rand::SeedableRng;
 use rsu::{RsuConfig, RsuG};
 use sampling::Xoshiro256pp;
 use scenes::{FlowDataset, SegmentationDataset, StereoDataset};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use vision::metrics::{
-    bad_pixel_percentage, endpoint_error, rms_error, variation_of_information,
-};
+use vision::metrics::{bad_pixel_percentage, endpoint_error, rms_error, variation_of_information};
 use vision::{MotionModel, SegmentModel, StereoModel};
 
 /// Stereo energy weights used throughout the experiments (best-effort
@@ -93,7 +91,58 @@ impl SamplerKind {
         iterations: usize,
         seed: u64,
     ) -> LabelField {
-        self.dispatch(model, |model, s| run_model(model, s, schedule, iterations, seed))
+        self.dispatch(model, |model, s| {
+            run_model(model, s, schedule, iterations, seed)
+        })
+    }
+
+    /// Runs the configured sampler with the parallel checkerboard
+    /// engine on `threads` worker threads. Unlike [`run`](Self::run)
+    /// (raster scan, one shared random stream) this uses per-site
+    /// counter-based streams, so results differ from `run` but are
+    /// identical across thread counts.
+    pub fn run_parallel<M: MrfModel + Sync>(
+        &self,
+        model: &M,
+        schedule: Schedule,
+        iterations: usize,
+        seed: u64,
+        threads: usize,
+    ) -> LabelField {
+        match self {
+            SamplerKind::Software => run_model_parallel(
+                model,
+                &SoftwareGibbs::new(),
+                schedule,
+                iterations,
+                seed,
+                threads,
+            ),
+            SamplerKind::PreviousRsu => run_model_parallel(
+                model,
+                &RsuG::previous_design(),
+                schedule,
+                iterations,
+                seed,
+                threads,
+            ),
+            SamplerKind::NewRsu => run_model_parallel(
+                model,
+                &RsuG::new_design(),
+                schedule,
+                iterations,
+                seed,
+                threads,
+            ),
+            SamplerKind::Custom(cfg) => run_model_parallel(
+                model,
+                &RsuG::with_config(*cfg),
+                schedule,
+                iterations,
+                seed,
+                threads,
+            ),
+        }
     }
 
     fn dispatch<M, F, T>(&self, model: &M, f: F) -> T
@@ -182,12 +231,62 @@ pub fn run_model<M: MrfModel>(
     field
 }
 
+/// Drives a model with the parallel checkerboard engine: the initial
+/// field matches [`run_model`]'s (same seed derivation), then
+/// [`ParallelSweepSolver`] runs `iterations` sweeps on `threads`
+/// threads with per-site deterministic randomness.
+pub fn run_model_parallel<M, S>(
+    model: &M,
+    sampler: &S,
+    schedule: Schedule,
+    iterations: usize,
+    seed: u64,
+    threads: usize,
+) -> LabelField
+where
+    M: MrfModel + Sync,
+    S: SiteSampler + Clone + Send,
+{
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let mut field = LabelField::random(model.grid(), model.num_labels(), &mut rng);
+    ParallelSweepSolver::new(model)
+        .schedule(schedule)
+        .iterations(iterations)
+        .threads(threads)
+        .seed(seed)
+        .run(&mut field, sampler);
+    field
+}
+
+/// Parses `--threads N` from the process arguments (default 1).
+///
+/// # Panics
+///
+/// Panics with a usage message if the flag is present without a valid
+/// positive integer.
+pub fn threads_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--threads") {
+        None => 1,
+        Some(i) => args
+            .get(i + 1)
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| panic!("--threads requires a positive integer")),
+    }
+}
+
 /// Runs one stereo dataset with the given sampler and returns BP/RMS.
+///
+/// `threads == 1` reproduces the historical raster-scan chain exactly;
+/// `threads > 1` switches to the parallel checkerboard engine (results
+/// then depend only on the seed, never on the thread count).
 pub fn run_stereo(
     ds: &StereoDataset,
     sampler: &SamplerKind,
     iterations: usize,
     seed: u64,
+    threads: usize,
 ) -> StereoOutcome {
     let model = StereoModel::new(
         &ds.left,
@@ -197,9 +296,13 @@ pub fn run_stereo(
         STEREO_SMOOTH_WEIGHT,
     )
     .expect("generated datasets are consistent");
-    let field = sampler.dispatch(&model, |model, s| {
-        run_model(model, s, annealing_schedule(), iterations, seed)
-    });
+    let field = if threads > 1 {
+        sampler.run_parallel(&model, annealing_schedule(), iterations, seed, threads)
+    } else {
+        sampler.dispatch(&model, |model, s| {
+            run_model(model, s, annealing_schedule(), iterations, seed)
+        })
+    };
     let bp = bad_pixel_percentage(&field, &ds.ground_truth, Some(&ds.occlusion), 1.0);
     let rms = rms_error(&field, &ds.ground_truth, Some(&ds.occlusion));
     StereoOutcome { bp, rms, field }
@@ -215,11 +318,13 @@ pub struct MotionOutcome {
 }
 
 /// Runs one flow dataset with the given sampler and returns the EPE.
+/// See [`run_stereo`] for the meaning of `threads`.
 pub fn run_motion(
     ds: &FlowDataset,
     sampler: &SamplerKind,
     iterations: usize,
     seed: u64,
+    threads: usize,
 ) -> MotionOutcome {
     let model = MotionModel::new(
         &ds.frame1,
@@ -229,11 +334,16 @@ pub fn run_motion(
         MOTION_SMOOTH_WEIGHT,
     )
     .expect("generated datasets are consistent");
-    let field = sampler.dispatch(&model, |model, s| {
-        run_model(model, s, annealing_schedule(), iterations, seed)
-    });
-    let flow: Vec<(isize, isize)> =
-        (0..field.grid().len()).map(|site| model.label_to_flow(field.get(site))).collect();
+    let field = if threads > 1 {
+        sampler.run_parallel(&model, annealing_schedule(), iterations, seed, threads)
+    } else {
+        sampler.dispatch(&model, |model, s| {
+            run_model(model, s, annealing_schedule(), iterations, seed)
+        })
+    };
+    let flow: Vec<(isize, isize)> = (0..field.grid().len())
+        .map(|site| model.label_to_flow(field.get(site)))
+        .collect();
     let epe = endpoint_error(&flow, &ds.ground_truth);
     MotionOutcome { epe, flow }
 }
@@ -249,12 +359,14 @@ pub struct SegmentationOutcome {
 
 /// Runs one segmentation dataset at `num_segments` with the given
 /// sampler and returns the VoI against the generating partition.
+/// See [`run_stereo`] for the meaning of `threads`.
 pub fn run_segmentation(
     ds: &SegmentationDataset,
     num_segments: usize,
     sampler: &SamplerKind,
     iterations: usize,
     seed: u64,
+    threads: usize,
 ) -> SegmentationOutcome {
     let model = SegmentModel::new(
         &ds.image,
@@ -263,9 +375,13 @@ pub fn run_segmentation(
         SEGMENT_SMOOTH_WEIGHT,
     )
     .expect("generated datasets are consistent");
-    let field = sampler.dispatch(&model, |model, s| {
-        run_model(model, s, segmentation_schedule(), iterations, seed)
-    });
+    let field = if threads > 1 {
+        sampler.run_parallel(&model, segmentation_schedule(), iterations, seed, threads)
+    } else {
+        sampler.dispatch(&model, |model, s| {
+            run_model(model, s, segmentation_schedule(), iterations, seed)
+        })
+    };
     let voi = variation_of_information(&field, &ds.ground_truth);
     SegmentationOutcome { voi, field }
 }
@@ -397,7 +513,7 @@ mod tests {
             noise_sigma: 1.0,
         }
         .generate(5);
-        let out = run_stereo(&ds, &SamplerKind::Software, 60, 1);
+        let out = run_stereo(&ds, &SamplerKind::Software, 60, 1, 1);
         assert!(out.bp < 60.0, "bp {}", out.bp);
         assert!(out.rms.is_finite());
     }

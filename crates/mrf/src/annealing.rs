@@ -75,7 +75,10 @@ impl Schedule {
     pub fn geometric(t0: f64, alpha: f64, floor: f64) -> Self {
         assert!(t0 > 0.0 && t0.is_finite(), "t0 must be positive and finite");
         assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
-        assert!(floor > 0.0 && floor.is_finite(), "floor must be positive and finite");
+        assert!(
+            floor > 0.0 && floor.is_finite(),
+            "floor must be positive and finite"
+        );
         Schedule::Geometric { t0, alpha, floor }
     }
 
@@ -88,7 +91,10 @@ impl Schedule {
     pub fn linear(t0: f64, rate: f64, floor: f64) -> Self {
         assert!(t0 > 0.0 && t0.is_finite(), "t0 must be positive and finite");
         assert!(rate >= 0.0 && rate.is_finite(), "rate must be non-negative");
-        assert!(floor > 0.0 && floor.is_finite(), "floor must be positive and finite");
+        assert!(
+            floor > 0.0 && floor.is_finite(),
+            "floor must be positive and finite"
+        );
         Schedule::Linear { t0, rate, floor }
     }
 

@@ -37,7 +37,11 @@ pub fn belief_propagation<M: MrfModel>(
     iterations: u32,
 ) -> BeliefPropReport {
     assert_eq!(field.grid(), model.grid(), "field grid mismatch");
-    assert_eq!(field.num_labels(), model.num_labels(), "label count mismatch");
+    assert_eq!(
+        field.num_labels(),
+        model.num_labels(),
+        "label count mismatch"
+    );
     let grid = model.grid();
     let k = model.num_labels();
     let n = grid.len();
@@ -107,7 +111,11 @@ pub fn belief_propagation<M: MrfModel>(
             }
         }
         std::mem::swap(&mut messages, &mut next);
-        final_delta = if delta_count == 0 { 0.0 } else { delta_sum / delta_count as f64 };
+        final_delta = if delta_count == 0 {
+            0.0
+        } else {
+            delta_sum / delta_count as f64
+        };
     }
     // Decode beliefs.
     for s in 0..n {
@@ -125,7 +133,10 @@ pub fn belief_propagation<M: MrfModel>(
         }
         field.set(s, best as Label);
     }
-    BeliefPropReport { iterations, final_delta }
+    BeliefPropReport {
+        iterations,
+        final_delta,
+    }
 }
 
 #[cfg(test)]
@@ -154,8 +165,9 @@ mod tests {
         let grid = Grid::new(6, 1);
         for seed in 0..10u64 {
             let mut rng = sampling::Xoshiro256pp::seed_from_u64(seed);
-            let singleton: Vec<f64> =
-                (0..grid.len() * 3).map(|_| rng.gen_range(0.0..5.0)).collect();
+            let singleton: Vec<f64> = (0..grid.len() * 3)
+                .map(|_| rng.gen_range(0.0..5.0))
+                .collect();
             let model = TabularMrf::new(
                 grid,
                 3,
@@ -179,7 +191,10 @@ mod tests {
                 let f = LabelField::from_labels(grid, 3, labels);
                 best = best.min(total_energy(&model, &f));
             }
-            assert!((got - best).abs() < 1e-9, "seed {seed}: BP {got} vs optimum {best}");
+            assert!(
+                (got - best).abs() < 1e-9,
+                "seed {seed}: BP {got} vs optimum {best}"
+            );
         }
     }
 

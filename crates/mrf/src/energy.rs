@@ -70,8 +70,11 @@ impl DistanceFn {
 
     /// All supported distance functions, in the order the paper introduces
     /// them.
-    pub const ALL: [DistanceFn; 3] =
-        [DistanceFn::Squared, DistanceFn::Absolute, DistanceFn::Binary];
+    pub const ALL: [DistanceFn; 3] = [
+        DistanceFn::Squared,
+        DistanceFn::Absolute,
+        DistanceFn::Binary,
+    ];
 }
 
 impl std::fmt::Display for DistanceFn {

@@ -34,8 +34,15 @@ impl LabelField {
     /// Panics if `num_labels` is zero or `initial >= num_labels`.
     pub fn constant(grid: Grid, num_labels: usize, initial: Label) -> Self {
         assert!(num_labels > 0, "need at least one label");
-        assert!((initial as usize) < num_labels, "initial label out of range");
-        LabelField { grid, num_labels, labels: vec![initial; grid.len()] }
+        assert!(
+            (initial as usize) < num_labels,
+            "initial label out of range"
+        );
+        LabelField {
+            grid,
+            num_labels,
+            labels: vec![initial; grid.len()],
+        }
     }
 
     /// Creates a field with independently uniform random labels — the
@@ -46,9 +53,18 @@ impl LabelField {
     /// Panics if `num_labels` is zero or exceeds `Label::MAX + 1`.
     pub fn random<R: Rng + ?Sized>(grid: Grid, num_labels: usize, rng: &mut R) -> Self {
         assert!(num_labels > 0, "need at least one label");
-        assert!(num_labels <= Label::MAX as usize + 1, "too many labels for Label type");
-        let labels = (0..grid.len()).map(|_| rng.gen_range(0..num_labels) as Label).collect();
-        LabelField { grid, num_labels, labels }
+        assert!(
+            num_labels <= Label::MAX as usize + 1,
+            "too many labels for Label type"
+        );
+        let labels = (0..grid.len())
+            .map(|_| rng.gen_range(0..num_labels) as Label)
+            .collect();
+        LabelField {
+            grid,
+            num_labels,
+            labels,
+        }
     }
 
     /// Creates a field from explicit labels.
@@ -63,7 +79,11 @@ impl LabelField {
             labels.iter().all(|&l| (l as usize) < num_labels),
             "label out of range for num_labels={num_labels}"
         );
-        LabelField { grid, num_labels, labels }
+        LabelField {
+            grid,
+            num_labels,
+            labels,
+        }
     }
 
     /// The underlying grid.
@@ -93,13 +113,30 @@ impl LabelField {
     /// Panics if `site` or `label` is out of range.
     #[inline]
     pub fn set(&mut self, site: usize, label: Label) {
-        assert!((label as usize) < self.num_labels, "label {label} out of range");
+        assert!(
+            (label as usize) < self.num_labels,
+            "label {label} out of range"
+        );
         self.labels[site] = label;
     }
 
     /// All labels in row-major order.
     pub fn as_slice(&self) -> &[Label] {
         &self.labels
+    }
+
+    /// Mutable view of all labels in row-major order. Callers must keep
+    /// every label below `num_labels`; the parallel sweep engine writes
+    /// sampler output here, which is range-checked by construction.
+    pub(crate) fn labels_mut(&mut self) -> &mut [Label] {
+        &mut self.labels
+    }
+
+    /// Overwrites this field's labels with `other`'s without
+    /// reallocating (both fields must share a grid).
+    pub(crate) fn copy_labels_from(&mut self, other: &LabelField) {
+        debug_assert_eq!(self.grid, other.grid, "grid mismatch");
+        self.labels.copy_from_slice(&other.labels);
     }
 
     /// Fraction of sites whose labels differ from `other`.
@@ -109,8 +146,12 @@ impl LabelField {
     /// Panics if the fields have different grids.
     pub fn disagreement(&self, other: &LabelField) -> f64 {
         assert_eq!(self.grid, other.grid, "grid mismatch");
-        let differing =
-            self.labels.iter().zip(&other.labels).filter(|(a, b)| a != b).count();
+        let differing = self
+            .labels
+            .iter()
+            .zip(&other.labels)
+            .filter(|(a, b)| a != b)
+            .count();
         differing as f64 / self.labels.len() as f64
     }
 
@@ -148,7 +189,10 @@ mod tests {
         let mut rng = Xoshiro256pp::seed_from_u64(2);
         let f = LabelField::random(Grid::new(32, 32), 5, &mut rng);
         let hist = f.histogram();
-        assert!(hist.iter().all(|&c| c > 100), "unbalanced histogram {hist:?}");
+        assert!(
+            hist.iter().all(|&c| c > 100),
+            "unbalanced histogram {hist:?}"
+        );
     }
 
     #[test]

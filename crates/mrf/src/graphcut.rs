@@ -265,17 +265,25 @@ mod tests {
         for seed in 0..20u64 {
             let mut rng = Xoshiro256pp::seed_from_u64(seed);
             use rand::Rng;
-            let singleton: Vec<f64> = (0..grid.len() * 2).map(|_| rng.gen_range(0.0..5.0)).collect();
-            let model =
-                TabularMrf::new(grid, 2, singleton, DistanceFn::Binary, rng.gen_range(0.0..2.0));
+            let singleton: Vec<f64> = (0..grid.len() * 2)
+                .map(|_| rng.gen_range(0.0..5.0))
+                .collect();
+            let model = TabularMrf::new(
+                grid,
+                2,
+                singleton,
+                DistanceFn::Binary,
+                rng.gen_range(0.0..2.0),
+            );
             let mut field = LabelField::constant(grid, 2, 0);
             alpha_expansion(&model, &mut field).unwrap();
             let got = total_energy(&model, &field);
             // Brute force over 2^6 labellings.
             let mut best = f64::INFINITY;
             for mask in 0..(1u32 << grid.len()) {
-                let labels: Vec<Label> =
-                    (0..grid.len()).map(|i| ((mask >> i) & 1) as Label).collect();
+                let labels: Vec<Label> = (0..grid.len())
+                    .map(|i| ((mask >> i) & 1) as Label)
+                    .collect();
                 let f = LabelField::from_labels(grid, 2, labels);
                 best = best.min(total_energy(&model, &f));
             }
@@ -305,7 +313,14 @@ mod tests {
         let mut f_icm = start;
         alpha_expansion(&model, &mut f_gc).unwrap();
         let mut icm = IcmSampler::new();
-        solve(&model, &mut f_icm, &mut icm, Schedule::constant(1.0), 30, &mut rng);
+        solve(
+            &model,
+            &mut f_icm,
+            &mut icm,
+            Schedule::constant(1.0),
+            30,
+            &mut rng,
+        );
         assert!(
             total_energy(&model, &f_gc) <= total_energy(&model, &f_icm) + 1e-9,
             "graph cuts {} vs ICM {}",
@@ -368,8 +383,7 @@ mod tests {
                         + b * (1.0 - xp) * xq
                         + c * xp * (1.0 - xq)
                         + d * xp * xq;
-                    let decomposed =
-                        a + (c - a) * xp + (d - c) * xq + k * (1.0 - xp) * xq;
+                    let decomposed = a + (c - a) * xp + (d - c) * xq + k * (1.0 - xp) * xq;
                     assert!(
                         (direct - decomposed).abs() < 1e-12,
                         "A={a} B={b} C={c} D={d} xp={xp} xq={xq}: {direct} vs {decomposed}"

@@ -89,7 +89,12 @@ impl Grid {
     #[inline]
     pub fn neighbors(&self, index: usize) -> Neighbors {
         let (x, y) = self.coords(index);
-        Neighbors { grid: *self, x, y, step: 0 }
+        Neighbors {
+            grid: *self,
+            x,
+            y,
+            step: 0,
+        }
     }
 
     /// Iterator over all site indices in raster order.

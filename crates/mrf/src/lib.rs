@@ -53,6 +53,7 @@ pub mod grid;
 pub mod maxflow;
 pub mod metropolis;
 pub mod model;
+pub mod parallel;
 pub mod solver;
 
 pub use annealing::Schedule;
@@ -63,6 +64,7 @@ pub use graphcut::{alpha_expansion, distance_is_metric, ExpansionReport, GraphCu
 pub use grid::{Grid, Neighbors};
 pub use metropolis::MetropolisSampler;
 pub use model::{Label, MrfModel, TabularMrf};
+pub use parallel::ParallelSweepSolver;
 pub use solver::{
     solve, total_energy, IcmSampler, ScanOrder, SiteSampler, SoftwareGibbs, SolveReport,
     SweepSolver,

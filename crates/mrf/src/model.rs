@@ -40,8 +40,7 @@ pub trait MrfModel {
 
     /// Smoothness term between `site` with `label` and its neighbour
     /// `neighbor` currently holding `neighbor_label`.
-    fn pairwise(&self, site: usize, neighbor: usize, label: Label, neighbor_label: Label)
-        -> f64;
+    fn pairwise(&self, site: usize, neighbor: usize, label: Label, neighbor_label: Label) -> f64;
 
     /// Computes the local conditional energies of every candidate label at
     /// `site` given the current field, appending into `out` (cleared
@@ -111,7 +110,13 @@ impl TabularMrf {
             pairwise_weight >= 0.0 && pairwise_weight.is_finite(),
             "pairwise weight must be non-negative and finite"
         );
-        TabularMrf { grid, num_labels, singleton, distance, pairwise_weight }
+        TabularMrf {
+            grid,
+            num_labels,
+            singleton,
+            distance,
+            pairwise_weight,
+        }
     }
 
     /// A synthetic problem whose ground truth is a checkerboard of
@@ -182,13 +187,7 @@ impl MrfModel for TabularMrf {
         self.singleton[site * self.num_labels + label as usize]
     }
 
-    fn pairwise(
-        &self,
-        _site: usize,
-        _neighbor: usize,
-        label: Label,
-        neighbor_label: Label,
-    ) -> f64 {
+    fn pairwise(&self, _site: usize, _neighbor: usize, label: Label, neighbor_label: Label) -> f64 {
         self.pairwise_weight * self.distance.eval(label, neighbor_label)
     }
 }

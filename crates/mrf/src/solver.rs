@@ -41,6 +41,25 @@ pub trait SiteSampler {
     ) -> Label;
 }
 
+/// A `&mut` sampler is itself a sampler: lets callers lend long-lived
+/// stateful kernels (e.g. hardware units with statistics) to engines
+/// that take samplers by value, like `parallel::BandWorker`.
+impl<T: SiteSampler + ?Sized> SiteSampler for &mut T {
+    fn begin_iteration(&mut self, temperature: f64) {
+        (**self).begin_iteration(temperature)
+    }
+
+    fn sample_label<R: Rng + ?Sized>(
+        &mut self,
+        energies: &[f64],
+        temperature: f64,
+        current: Label,
+        rng: &mut R,
+    ) -> Label {
+        (**self).sample_label(energies, temperature, current, rng)
+    }
+}
+
 /// IEEE-floating-point Gibbs kernel: `p_l ∝ exp(−E_l / T)` sampled by
 /// cumulative-sum inversion. This is the "software-only" implementation
 /// the paper treats as the quality gold standard ("commodity processors
@@ -67,7 +86,9 @@ pub struct SoftwareGibbs {
 impl SoftwareGibbs {
     /// Creates the kernel.
     pub fn new() -> Self {
-        SoftwareGibbs { weights: Vec::new() }
+        SoftwareGibbs {
+            weights: Vec::new(),
+        }
     }
 }
 
@@ -87,7 +108,8 @@ impl SiteSampler for SoftwareGibbs {
         // introduces for the fixed-point hardware (Eq. 4).
         let e_min = energies.iter().cloned().fold(f64::INFINITY, f64::min);
         self.weights.clear();
-        self.weights.extend(energies.iter().map(|&e| (-(e - e_min) / temperature).exp()));
+        self.weights
+            .extend(energies.iter().map(|&e| (-(e - e_min) / temperature).exp()));
         match Categorical::new(&self.weights) {
             Ok(cat) => cat.sample(rng) as Label,
             // All weights underflowed to zero (pathological temperature);
@@ -248,7 +270,11 @@ impl<'m, M: MrfModel> SweepSolver<'m, M> {
         R: Rng + ?Sized,
     {
         assert_eq!(field.grid(), self.model.grid(), "field grid mismatch");
-        assert_eq!(field.num_labels(), self.model.num_labels(), "label count mismatch");
+        assert_eq!(
+            field.num_labels(),
+            self.model.num_labels(),
+            "label count mismatch"
+        );
         let grid = self.model.grid();
         let mut order: Vec<usize> = grid.sites().collect();
         if self.scan == ScanOrder::Checkerboard {
@@ -264,6 +290,12 @@ impl<'m, M: MrfModel> SweepSolver<'m, M> {
             iterations_run: 0,
             labels_changed: 0,
         };
+        // Incremental energy tracking: pay the O(N·deg) full scan once,
+        // then fold in the exact per-flip delta. A flip at `site` changes
+        // only its singleton and incident pairwise terms, and both old
+        // and new sums are exactly the local conditional energies already
+        // computed for the sampler, so ΔE = energies[new] − energies[old].
+        let mut energy = total_energy(self.model, field);
         for iter in 0..self.iterations {
             let temperature = self.schedule.temperature(iter);
             sampler.begin_iteration(temperature);
@@ -276,10 +308,11 @@ impl<'m, M: MrfModel> SweepSolver<'m, M> {
                 let new = sampler.sample_label(&energies, temperature, current, rng);
                 if new != current {
                     report.labels_changed += 1;
+                    energy += energies[new as usize] - energies[current as usize];
                     field.set(site, new);
                 }
             }
-            report.energy_history.push(total_energy(self.model, field));
+            report.energy_history.push(energy);
             report.final_temperature = temperature;
             report.iterations_run = iter + 1;
             if let Some((window, tol)) = self.early_stop {
@@ -294,7 +327,7 @@ impl<'m, M: MrfModel> SweepSolver<'m, M> {
 
 /// Whether the trailing `window` of an energy history has a relative
 /// spread below `tolerance`.
-fn has_converged(history: &[f64], window: usize, tolerance: f64) -> bool {
+pub(crate) fn has_converged(history: &[f64], window: usize, tolerance: f64) -> bool {
     if history.len() < window + 1 {
         return false;
     }
@@ -320,7 +353,10 @@ where
     S: SiteSampler,
     R: Rng + ?Sized,
 {
-    SweepSolver::new(model).schedule(schedule).iterations(iterations).run(field, sampler, rng)
+    SweepSolver::new(model)
+        .schedule(schedule)
+        .iterations(iterations)
+        .run(field, sampler, rng)
 }
 
 #[cfg(test)]
@@ -341,9 +377,20 @@ mod tests {
         let mut rng = Xoshiro256pp::seed_from_u64(5);
         let mut field = LabelField::random(model.grid(), 3, &mut rng);
         let mut icm = IcmSampler::new();
-        solve(&model, &mut field, &mut icm, Schedule::constant(1.0), 10, &mut rng);
+        solve(
+            &model,
+            &mut field,
+            &mut icm,
+            Schedule::constant(1.0),
+            10,
+            &mut rng,
+        );
         let truth = TabularMrf::checkerboard_truth(8, 8, 3);
-        assert_eq!(field.disagreement(&truth), 0.0, "ICM should reach the strong optimum");
+        assert_eq!(
+            field.disagreement(&truth),
+            0.0,
+            "ICM should reach the strong optimum"
+        );
     }
 
     #[test]
@@ -378,7 +425,10 @@ mod tests {
             .run(&mut field, &mut gibbs, &mut rng);
         let first = report.energy_history[0];
         let last = report.final_energy();
-        assert!(last < 0.5 * first, "energy did not anneal down: {first} -> {last}");
+        assert!(
+            last < 0.5 * first,
+            "energy did not anneal down: {first} -> {last}"
+        );
     }
 
     #[test]
@@ -391,13 +441,20 @@ mod tests {
             .iterations(500)
             .stop_when_converged(3, 0.0)
             .run(&mut field, &mut icm, &mut rng);
-        assert!(report.iterations_run < 500, "ICM should converge and stop early");
+        assert!(
+            report.iterations_run < 500,
+            "ICM should converge and stop early"
+        );
     }
 
     #[test]
     fn scan_orders_all_reach_low_energy() {
         let model = test_model();
-        for scan in [ScanOrder::Raster, ScanOrder::Checkerboard, ScanOrder::RandomPermutation] {
+        for scan in [
+            ScanOrder::Raster,
+            ScanOrder::Checkerboard,
+            ScanOrder::RandomPermutation,
+        ] {
             let mut rng = Xoshiro256pp::seed_from_u64(21);
             let mut field = LabelField::random(model.grid(), 3, &mut rng);
             let mut gibbs = SoftwareGibbs::new();
@@ -452,13 +509,7 @@ mod tests {
     #[test]
     fn total_energy_matches_manual_computation() {
         let grid = crate::grid::Grid::new(2, 1);
-        let model = TabularMrf::new(
-            grid,
-            2,
-            vec![1.0, 0.0, 0.0, 2.0],
-            DistanceFn::Absolute,
-            3.0,
-        );
+        let model = TabularMrf::new(grid, 2, vec![1.0, 0.0, 0.0, 2.0], DistanceFn::Absolute, 3.0);
         let field = LabelField::from_labels(grid, 2, vec![0, 1]);
         // singleton(0, 0) = 1.0; singleton(1, 1) = 2.0; pair |0-1| * 3 = 3.
         assert_eq!(total_energy(&model, &field), 6.0);
@@ -471,7 +522,14 @@ mod tests {
         let mut field = TabularMrf::checkerboard_truth(8, 8, 3);
         let mut icm = IcmSampler::new();
         let mut rng = Xoshiro256pp::seed_from_u64(0);
-        let report = solve(&model, &mut field, &mut icm, Schedule::constant(1.0), 5, &mut rng);
+        let report = solve(
+            &model,
+            &mut field,
+            &mut icm,
+            Schedule::constant(1.0),
+            5,
+            &mut rng,
+        );
         assert_eq!(report.labels_changed, 0);
     }
 }

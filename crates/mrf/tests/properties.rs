@@ -9,11 +9,17 @@ use rand::SeedableRng;
 use sampling::Xoshiro256pp;
 
 fn arb_model() -> impl Strategy<Value = TabularMrf> {
-    (2usize..8, 2usize..8, 2usize..5, 0.5f64..8.0, 0.0f64..2.0, 0usize..3).prop_map(
-        |(w, h, labels, contrast, weight, dist_idx)| {
-            TabularMrf::checkerboard(w, h, labels, contrast, DistanceFn::ALL[dist_idx], weight)
-        },
+    (
+        2usize..8,
+        2usize..8,
+        2usize..5,
+        0.5f64..8.0,
+        0.0f64..2.0,
+        0usize..3,
     )
+        .prop_map(|(w, h, labels, contrast, weight, dist_idx)| {
+            TabularMrf::checkerboard(w, h, labels, contrast, DistanceFn::ALL[dist_idx], weight)
+        })
 }
 
 proptest! {

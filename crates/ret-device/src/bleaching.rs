@@ -51,10 +51,15 @@ impl BleachingModel {
     /// Returns [`DeviceError::InvalidRate`] unless the lifetime is
     /// positive and finite.
     pub fn new(lifetime_exposures: f64) -> Result<Self, DeviceError> {
-        if !(lifetime_exposures > 0.0) || !lifetime_exposures.is_finite() {
-            return Err(DeviceError::InvalidRate { value: lifetime_exposures });
+        if lifetime_exposures <= 0.0 || !lifetime_exposures.is_finite() {
+            return Err(DeviceError::InvalidRate {
+                value: lifetime_exposures,
+            });
         }
-        Ok(BleachingModel { lifetime_exposures, exposures: 0.0 })
+        Ok(BleachingModel {
+            lifetime_exposures,
+            exposures: 0.0,
+        })
     }
 
     /// Creates a mitigated model: core–shell encapsulation (Ow et al.,
@@ -68,8 +73,10 @@ impl BleachingModel {
         lifetime_exposures: f64,
         mitigation_factor: f64,
     ) -> Result<Self, DeviceError> {
-        if !(mitigation_factor >= 1.0) || !mitigation_factor.is_finite() {
-            return Err(DeviceError::InvalidRate { value: mitigation_factor });
+        if mitigation_factor < 1.0 || !mitigation_factor.is_finite() {
+            return Err(DeviceError::InvalidRate {
+                value: mitigation_factor,
+            });
         }
         BleachingModel::new(lifetime_exposures * mitigation_factor)
     }
@@ -94,7 +101,10 @@ impl BleachingModel {
     /// fresh value (e.g. the point where a 2× concentration row aliases
     /// into the 1× row at threshold 0.5).
     pub fn exposures_until(&self, threshold: f64) -> f64 {
-        assert!(threshold > 0.0 && threshold < 1.0, "threshold must be in (0, 1)");
+        assert!(
+            threshold > 0.0 && threshold < 1.0,
+            "threshold must be in (0, 1)"
+        );
         -threshold.ln() * self.lifetime_exposures - self.exposures
     }
 

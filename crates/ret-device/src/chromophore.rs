@@ -59,24 +59,34 @@ impl Chromophore {
         quantum_yield: f64,
         intrinsic_rate_per_ns: f64,
     ) -> Result<Self, DeviceError> {
-        if !(absorption_peak_nm > 0.0) || !(emission_peak_nm > 0.0) {
-            return Err(DeviceError::InvalidSpectrum { reason: "peaks must be positive" });
+        if absorption_peak_nm <= 0.0
+            || absorption_peak_nm.is_nan()
+            || emission_peak_nm <= 0.0
+            || emission_peak_nm.is_nan()
+        {
+            return Err(DeviceError::InvalidSpectrum {
+                reason: "peaks must be positive",
+            });
         }
         if emission_peak_nm < absorption_peak_nm {
             return Err(DeviceError::InvalidSpectrum {
                 reason: "emission peak must be red-shifted from absorption (Stokes shift)",
             });
         }
-        if !(spectral_width_nm > 0.0) {
-            return Err(DeviceError::InvalidSpectrum { reason: "width must be positive" });
+        if spectral_width_nm <= 0.0 || spectral_width_nm.is_nan() {
+            return Err(DeviceError::InvalidSpectrum {
+                reason: "width must be positive",
+            });
         }
         if !(quantum_yield > 0.0 && quantum_yield <= 1.0) {
             return Err(DeviceError::InvalidSpectrum {
                 reason: "quantum yield must be in (0, 1]",
             });
         }
-        if !(intrinsic_rate_per_ns > 0.0) || !intrinsic_rate_per_ns.is_finite() {
-            return Err(DeviceError::InvalidRate { value: intrinsic_rate_per_ns });
+        if intrinsic_rate_per_ns <= 0.0 || !intrinsic_rate_per_ns.is_finite() {
+            return Err(DeviceError::InvalidRate {
+                value: intrinsic_rate_per_ns,
+            });
         }
         Ok(Chromophore {
             name: name.to_owned(),
@@ -156,15 +166,22 @@ impl RetPair {
         acceptor: Chromophore,
         separation_nm: f64,
     ) -> Result<Self, DeviceError> {
-        if !(separation_nm > 0.0) || !separation_nm.is_finite() {
-            return Err(DeviceError::InvalidRate { value: separation_nm });
+        if separation_nm <= 0.0 || !separation_nm.is_finite() {
+            return Err(DeviceError::InvalidRate {
+                value: separation_nm,
+            });
         }
         // R0^6 ∝ overlap · quantum yield (orientation factor folded into
         // the reference radius).
         let overlap = donor.emission_overlap(&acceptor);
         let forster_radius_nm =
             Self::R0_REFERENCE_NM * (overlap * donor.quantum_yield()).powf(1.0 / 6.0);
-        Ok(RetPair { donor, acceptor, separation_nm, forster_radius_nm })
+        Ok(RetPair {
+            donor,
+            acceptor,
+            separation_nm,
+            forster_radius_nm,
+        })
     }
 
     /// The donor.
@@ -224,7 +241,10 @@ mod tests {
     #[test]
     fn rejects_invalid_spectra() {
         assert!(Chromophore::new("x", -1.0, 500.0, 20.0, 0.5, 1.0).is_err());
-        assert!(Chromophore::new("x", 500.0, 490.0, 20.0, 0.5, 1.0).is_err(), "no Stokes shift");
+        assert!(
+            Chromophore::new("x", 500.0, 490.0, 20.0, 0.5, 1.0).is_err(),
+            "no Stokes shift"
+        );
         assert!(Chromophore::new("x", 500.0, 520.0, 0.0, 0.5, 1.0).is_err());
         assert!(Chromophore::new("x", 500.0, 520.0, 20.0, 1.5, 1.0).is_err());
         assert!(Chromophore::new("x", 500.0, 520.0, 20.0, 0.5, 0.0).is_err());

@@ -47,7 +47,10 @@ pub const INTERFERENCE_TARGET: f64 = 0.004;
 /// assert_eq!(replicas_for_interference(0.004, 0.004), 1);
 /// ```
 pub fn replicas_for_interference(truncation: f64, target: f64) -> u32 {
-    assert!(truncation > 0.0 && truncation < 1.0, "truncation must be in (0, 1)");
+    assert!(
+        truncation > 0.0 && truncation < 1.0,
+        "truncation must be in (0, 1)"
+    );
     assert!(target > 0.0 && target < 1.0, "target must be in (0, 1)");
     (target.ln() / truncation.ln()).ceil().max(1.0) as u32
 }
@@ -188,7 +191,9 @@ impl RetCircuitBank {
     pub fn new(cal: RetCalibration, count: u32, rows_per_circuit: u32) -> Self {
         assert!(count > 0, "need at least one circuit");
         RetCircuitBank {
-            circuits: (0..count).map(|_| RetCircuit::new(cal, rows_per_circuit)).collect(),
+            circuits: (0..count)
+                .map(|_| RetCircuit::new(cal, rows_per_circuit))
+                .collect(),
             cycle: 0,
         }
     }
@@ -225,7 +230,10 @@ impl RetCircuitBank {
 
     /// Worst interference exposure across the bank's circuits.
     pub fn interference_exposure(&self) -> f64 {
-        self.circuits.iter().map(RetCircuit::interference_exposure).fold(0.0, f64::max)
+        self.circuits
+            .iter()
+            .map(RetCircuit::interference_exposure)
+            .fold(0.0, f64::max)
     }
 }
 
@@ -240,9 +248,7 @@ mod tests {
         assert_eq!(replicas_for_interference(0.5, 0.004), 8);
         assert_eq!(replicas_for_interference(0.004, 0.004), 1);
         // Monotone: higher truncation needs more replicas.
-        assert!(
-            replicas_for_interference(0.7, 0.004) > replicas_for_interference(0.3, 0.004)
-        );
+        assert!(replicas_for_interference(0.7, 0.004) > replicas_for_interference(0.3, 0.004));
     }
 
     #[test]
@@ -279,7 +285,9 @@ mod tests {
         let censor_rate = |code: u8, rng: &mut Xoshiro256pp| {
             let mut circuit = RetCircuit::new_paper_design(cal);
             let n = 40_000;
-            let censored = (0..n).filter(|_| circuit.sample(code, rng).is_none()).count();
+            let censored = (0..n)
+                .filter(|_| circuit.sample(code, rng).is_none())
+                .count();
             censored as f64 / n as f64
         };
         let c0 = censor_rate(0, &mut rng);

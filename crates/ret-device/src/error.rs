@@ -38,7 +38,10 @@ impl fmt::Display for DeviceError {
                 write!(f, "truncation must be in (0, 1), got {truncation}")
             }
             DeviceError::InvalidRate { value } => {
-                write!(f, "rate/concentration must be positive and finite, got {value}")
+                write!(
+                    f,
+                    "rate/concentration must be positive and finite, got {value}"
+                )
             }
             DeviceError::InvalidSpectrum { reason } => {
                 write!(f, "invalid chromophore spectrum: {reason}")
@@ -57,7 +60,11 @@ mod tests {
     fn errors_display_and_are_std_errors() {
         fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
         assert_err::<DeviceError>();
-        assert!(!DeviceError::InvalidTimeBits { time_bits: 0 }.to_string().is_empty());
-        assert!(!DeviceError::InvalidTruncation { truncation: 2.0 }.to_string().is_empty());
+        assert!(!DeviceError::InvalidTimeBits { time_bits: 0 }
+            .to_string()
+            .is_empty());
+        assert!(!DeviceError::InvalidTruncation { truncation: 2.0 }
+            .to_string()
+            .is_empty());
     }
 }

@@ -48,19 +48,28 @@ impl RetCalibration {
         if !(truncation > 0.0 && truncation < 1.0) {
             return Err(DeviceError::InvalidTruncation { truncation });
         }
-        Ok(RetCalibration { time_bits, truncation })
+        Ok(RetCalibration {
+            time_bits,
+            truncation,
+        })
     }
 
     /// The paper's chosen design point: 5 time bits, truncation 0.5.
     pub fn paper_new_design() -> Self {
-        RetCalibration { time_bits: 5, truncation: 0.5 }
+        RetCalibration {
+            time_bits: 5,
+            truncation: 0.5,
+        }
     }
 
     /// The previous design's operating point as characterised in §III-C3:
     /// 5 time bits with a very low truncation of 0.004 (the 99.6 % sample
     /// coverage of Wang et al.).
     pub fn paper_previous_design() -> Self {
-        RetCalibration { time_bits: 5, truncation: 0.004 }
+        RetCalibration {
+            time_bits: 5,
+            truncation: 0.004,
+        }
     }
 
     /// Number of time bits.
@@ -104,7 +113,9 @@ pub fn sample_binned_ttf<R: Rng + ?Sized>(
 ) -> Option<u32> {
     debug_assert!(rate_per_bin > 0.0 && rate_per_bin.is_finite());
     debug_assert!(t_max_bins > 0);
-    let t = Exponential::new(rate_per_bin).expect("validated rate").sample(rng);
+    let t = Exponential::new(rate_per_bin)
+        .expect("validated rate")
+        .sample(rng);
     if t > t_max_bins as f64 {
         None
     } else {
@@ -139,10 +150,15 @@ impl RetNetwork {
     /// Returns [`DeviceError::InvalidRate`] if the concentration is not
     /// positive and finite.
     pub fn new(concentration: f64) -> Result<Self, DeviceError> {
-        if !(concentration > 0.0) || !concentration.is_finite() {
-            return Err(DeviceError::InvalidRate { value: concentration });
+        if concentration <= 0.0 || !concentration.is_finite() {
+            return Err(DeviceError::InvalidRate {
+                value: concentration,
+            });
         }
-        Ok(RetNetwork { concentration, pending_emission: None })
+        Ok(RetNetwork {
+            concentration,
+            pending_emission: None,
+        })
     }
 
     /// Concentration multiplier.
@@ -251,7 +267,9 @@ mod tests {
         let mut rng = Xoshiro256pp::seed_from_u64(3);
         let n = 200_000;
         let censored = (0..n)
-            .filter(|_| sample_binned_ttf(cal.lambda0_per_bin(), cal.t_max_bins(), &mut rng).is_none())
+            .filter(|_| {
+                sample_binned_ttf(cal.lambda0_per_bin(), cal.t_max_bins(), &mut rng).is_none()
+            })
             .count();
         let observed = censored as f64 / n as f64;
         let sd = (0.5 * 0.5 / n as f64).sqrt();
@@ -363,7 +381,10 @@ mod tests {
             }
             now += cal.t_max_bins() as f64;
         }
-        assert!(saw_pending, "never saw a truncated window at truncation 0.9");
+        assert!(
+            saw_pending,
+            "never saw a truncated window at truncation 0.9"
+        );
     }
 
     #[test]

@@ -66,7 +66,14 @@ impl SharedWaveguide {
             })
             .collect::<Vec<_>>();
         let last_use = vec![None; rows.len()];
-        Ok(SharedWaveguide { cal, rows, last_use, now_bins: 0.0, violations: 0, samples: 0 })
+        Ok(SharedWaveguide {
+            cal,
+            rows,
+            last_use,
+            now_bins: 0.0,
+            violations: 0,
+            samples: 0,
+        })
     }
 
     /// Number of subscribing RSU-Gs.
@@ -170,7 +177,10 @@ impl RoundRobinArbiter {
     /// Panics if `subscribers` is zero.
     pub fn new(subscribers: u32) -> Self {
         assert!(subscribers > 0, "need at least one subscriber");
-        RoundRobinArbiter { subscribers, next: 0 }
+        RoundRobinArbiter {
+            subscribers,
+            next: 0,
+        }
     }
 
     /// The subscriber that owns the next window slot.
@@ -225,7 +235,10 @@ mod tests {
             wg.sample(rsu, (i % 4) as u8, &mut rng);
             wg.advance_window();
         }
-        assert!(wg.cooldown_violations() > 50, "2-way sharing at truncation 0.5 must violate");
+        assert!(
+            wg.cooldown_violations() > 50,
+            "2-way sharing at truncation 0.5 must violate"
+        );
     }
 
     #[test]

@@ -38,8 +38,10 @@ impl Spad {
     /// Returns [`DeviceError::InvalidRate`] if the rate is negative or
     /// not finite.
     pub fn new(dark_count_rate_hz: f64) -> Result<Self, DeviceError> {
-        if !(dark_count_rate_hz >= 0.0) || !dark_count_rate_hz.is_finite() {
-            return Err(DeviceError::InvalidRate { value: dark_count_rate_hz });
+        if dark_count_rate_hz < 0.0 || !dark_count_rate_hz.is_finite() {
+            return Err(DeviceError::InvalidRate {
+                value: dark_count_rate_hz,
+            });
         }
         Ok(Spad { dark_count_rate_hz })
     }
@@ -77,13 +79,25 @@ impl Spad {
         match (photon_at_s.filter(|&t| t <= window_s), dark) {
             (Some(p), Some(d)) => {
                 if d < p {
-                    Some(Detection { time_s: d, dark: true })
+                    Some(Detection {
+                        time_s: d,
+                        dark: true,
+                    })
                 } else {
-                    Some(Detection { time_s: p, dark: false })
+                    Some(Detection {
+                        time_s: p,
+                        dark: false,
+                    })
                 }
             }
-            (Some(p), None) => Some(Detection { time_s: p, dark: false }),
-            (None, Some(d)) => Some(Detection { time_s: d, dark: true }),
+            (Some(p), None) => Some(Detection {
+                time_s: p,
+                dark: false,
+            }),
+            (None, Some(d)) => Some(Detection {
+                time_s: d,
+                dark: true,
+            }),
             (None, None) => None,
         }
     }
@@ -145,7 +159,9 @@ mod tests {
         let spad = Spad::new(1e6).unwrap();
         let mut rng = Xoshiro256pp::seed_from_u64(3);
         let n = 100_000;
-        let hits = (0..n).filter(|_| spad.detect(None, 1e-6, &mut rng).is_some()).count();
+        let hits = (0..n)
+            .filter(|_| spad.detect(None, 1e-6, &mut rng).is_some())
+            .count();
         let p = hits as f64 / n as f64;
         let expected = 1.0 - (-1.0f64).exp();
         assert!((p - expected).abs() < 0.01, "{p} vs {expected}");
@@ -158,12 +174,17 @@ mod tests {
         let mut dark_wins = 0;
         let n = 10_000;
         for _ in 0..n {
-            let d = spad.detect(Some(3.9e-9), 4e-9, &mut rng).expect("something fires");
+            let d = spad
+                .detect(Some(3.9e-9), 4e-9, &mut rng)
+                .expect("something fires");
             assert!(d.time_s <= 3.9e-9 + 1e-18);
             if d.dark {
                 dark_wins += 1;
             }
         }
-        assert!(dark_wins > n * 9 / 10, "dark counts should usually pre-empt a late photon");
+        assert!(
+            dark_wins > n * 9 / 10,
+            "dark counts should usually pre-empt a late photon"
+        );
     }
 }

@@ -51,21 +51,31 @@ impl ShiftRegisterTimer {
     /// 1..=16 or the window would be shorter than one clock cycle
     /// (`2^time_bits < multiplier`).
     pub fn new(clock_ghz: f64, multiplier: u32, time_bits: u32) -> Result<Self, DeviceError> {
-        if !(clock_ghz > 0.0) || !clock_ghz.is_finite() {
+        if clock_ghz <= 0.0 || !clock_ghz.is_finite() {
             return Err(DeviceError::InvalidRate { value: clock_ghz });
         }
         if multiplier == 0 || !multiplier.is_power_of_two() {
-            return Err(DeviceError::InvalidRate { value: multiplier as f64 });
+            return Err(DeviceError::InvalidRate {
+                value: multiplier as f64,
+            });
         }
         if !(1..=16).contains(&time_bits) || (1u32 << time_bits) < multiplier {
             return Err(DeviceError::InvalidTimeBits { time_bits });
         }
-        Ok(ShiftRegisterTimer { clock_ghz, multiplier, time_bits })
+        Ok(ShiftRegisterTimer {
+            clock_ghz,
+            multiplier,
+            time_bits,
+        })
     }
 
     /// The paper's design: 1 GHz, 8× multiplier, 5 time bits.
     pub fn paper_design() -> Self {
-        ShiftRegisterTimer { clock_ghz: 1.0, multiplier: 8, time_bits: 5 }
+        ShiftRegisterTimer {
+            clock_ghz: 1.0,
+            multiplier: 8,
+            time_bits: 5,
+        }
     }
 
     /// Finest time resolution in picoseconds.
@@ -116,7 +126,11 @@ impl ShiftRegisterTimer {
     /// Bit 0 is the earliest bin of the cycle, matching a register that
     /// shifts the SPAD line in once per multiplied clock.
     pub fn decode_unary(&self, snapshot: u32) -> Option<u32> {
-        let mask = if self.multiplier == 32 { u32::MAX } else { (1 << self.multiplier) - 1 };
+        let mask = if self.multiplier == 32 {
+            u32::MAX
+        } else {
+            (1 << self.multiplier) - 1
+        };
         let bits = snapshot & mask;
         (bits != 0).then(|| bits.trailing_zeros())
     }
@@ -149,17 +163,27 @@ mod tests {
     fn rejects_invalid_configs() {
         assert!(ShiftRegisterTimer::new(0.0, 8, 5).is_err());
         assert!(ShiftRegisterTimer::new(1.0, 0, 5).is_err());
-        assert!(ShiftRegisterTimer::new(1.0, 3, 5).is_err(), "non-power-of-two multiplier");
+        assert!(
+            ShiftRegisterTimer::new(1.0, 3, 5).is_err(),
+            "non-power-of-two multiplier"
+        );
         assert!(ShiftRegisterTimer::new(1.0, 8, 0).is_err());
         assert!(ShiftRegisterTimer::new(1.0, 8, 17).is_err());
-        assert!(ShiftRegisterTimer::new(1.0, 8, 2).is_err(), "window shorter than one cycle");
+        assert!(
+            ShiftRegisterTimer::new(1.0, 8, 2).is_err(),
+            "window shorter than one cycle"
+        );
     }
 
     #[test]
     fn binning_boundaries() {
         let t = ShiftRegisterTimer::paper_design();
         assert_eq!(t.bin_of_ns(0.0), Some(1), "instantaneous photon is bin 1");
-        assert_eq!(t.bin_of_ns(0.125), Some(1), "boundary belongs to earlier bin");
+        assert_eq!(
+            t.bin_of_ns(0.125),
+            Some(1),
+            "boundary belongs to earlier bin"
+        );
         assert_eq!(t.bin_of_ns(0.1251), Some(2));
         assert_eq!(t.bin_of_ns(4.0), Some(32));
         assert_eq!(t.bin_of_ns(4.0001), None);

@@ -76,7 +76,10 @@ fn bin_law(multiplier: u16, lambda0: f64, bins: u32, clamp: bool) -> BinLaw {
 /// ```
 pub fn win_probabilities(cfg: &RsuConfig, multipliers: &[u16], clamp_to_t_max: bool) -> Vec<f64> {
     assert!(!multipliers.is_empty(), "need at least one label");
-    assert!(multipliers.iter().any(|&m| m > 0), "need at least one active label");
+    assert!(
+        multipliers.iter().any(|&m| m > 0),
+        "need at least one active label"
+    );
     let bins = cfg.t_max_bins();
     let lambda0 = cfg.lambda0_per_bin();
     let laws: Vec<Option<BinLaw>> = multipliers
@@ -172,13 +175,22 @@ mod tests {
     use sampling::Xoshiro256pp;
 
     fn cfg(time_bits: u32, truncation: f64) -> RsuConfig {
-        RsuConfig::builder().time_bits(time_bits).truncation(truncation).build().unwrap()
+        RsuConfig::builder()
+            .time_bits(time_bits)
+            .truncation(truncation)
+            .build()
+            .unwrap()
     }
 
     #[test]
     fn probabilities_sum_to_one_under_clamp() {
         let c = cfg(5, 0.5);
-        for ms in [vec![8u16, 4], vec![8, 8, 8], vec![1, 2, 4, 8], vec![8, 0, 2]] {
+        for ms in [
+            vec![8u16, 4],
+            vec![8, 8, 8],
+            vec![1, 2, 4, 8],
+            vec![8, 0, 2],
+        ] {
             let p = win_probabilities(&c, &ms, true);
             let total: f64 = p.iter().sum();
             assert!((total - 1.0).abs() < 1e-12, "{ms:?}: total {total}");
@@ -222,7 +234,11 @@ mod tests {
         let total = 15.0;
         for (i, &m) in [8u16, 4, 2, 1].iter().enumerate() {
             let ideal = m as f64 / total;
-            assert!((p[i] - ideal).abs() < 2e-3, "label {i}: {} vs {ideal}", p[i]);
+            assert!(
+                (p[i] - ideal).abs() < 2e-3,
+                "label {i}: {} vs {ideal}",
+                p[i]
+            );
         }
     }
 

@@ -112,7 +112,11 @@ impl RsuArray {
         R: Rng + ?Sized,
     {
         assert_eq!(field.grid(), model.grid(), "field grid mismatch");
-        assert_eq!(field.num_labels(), model.num_labels(), "label count mismatch");
+        assert_eq!(
+            field.num_labels(),
+            model.num_labels(),
+            "label count mismatch"
+        );
         self.model_labels = model.num_labels();
         let grid = model.grid();
         for unit in &mut self.units {
@@ -134,8 +138,7 @@ impl RsuArray {
                 }
                 model.local_energies(site, field, &mut energies);
                 let current = field.get(site);
-                let new = self.units[next_unit]
-                    .sample_label(&energies, temperature, current, rng);
+                let new = self.units[next_unit].sample_label(&energies, temperature, current, rng);
                 next_unit = (next_unit + 1) % self.units.len();
                 if new != current {
                     field.set(site, new);
@@ -152,12 +155,103 @@ impl RsuArray {
         report
     }
 
+    /// Runs one checkerboard sweep with the units mapped onto
+    /// contiguous row-band shards, executed on up to `threads` host
+    /// threads via `mrf::parallel::checkerboard_phase`.
+    ///
+    /// Unlike [`sweep`](Self::sweep), which serialises all units behind
+    /// one shared random stream, this mode gives every site update its
+    /// own counter-based stream keyed on `(seed, iteration, site)`, so
+    /// the resulting chain — and each unit's statistics, since the
+    /// unit→band mapping is fixed — is **identical for every host
+    /// thread count**. Unit `i` services band `i` of
+    /// `mrf::parallel::band_rows(height, units, i)`; units beyond the
+    /// grid's row count idle.
+    ///
+    /// The caller advances `iteration` once per sweep so that site
+    /// streams never repeat across sweeps of one chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the field and model disagree.
+    pub fn sweep_parallel<M>(
+        &mut self,
+        model: &M,
+        field: &mut LabelField,
+        temperature: f64,
+        iteration: u64,
+        seed: u64,
+        threads: usize,
+    ) -> ArraySweepReport
+    where
+        M: MrfModel + Sync,
+    {
+        assert_eq!(field.grid(), model.grid(), "field grid mismatch");
+        assert_eq!(
+            field.num_labels(),
+            model.num_labels(),
+            "label count mismatch"
+        );
+        self.model_labels = model.num_labels();
+        let grid = model.grid();
+        let width = grid.width();
+        let height = grid.height();
+        let labels = model.num_labels() as u64;
+        for unit in &mut self.units {
+            unit.begin_iteration(temperature);
+        }
+        let bands = self.units.len().min(height.max(1));
+        let mut snapshot = field.clone();
+        let mut workers: Vec<mrf::parallel::BandWorker<&mut RsuG>> = self
+            .units
+            .iter_mut()
+            .map(mrf::parallel::BandWorker::new)
+            .collect();
+
+        let mut report = ArraySweepReport {
+            sites: 0,
+            critical_path_cycles: 0,
+            busy_unit_cycles: 0,
+        };
+        for parity in 0..2usize {
+            mrf::parallel::checkerboard_phase(
+                model,
+                field,
+                &mut snapshot,
+                &mut workers,
+                threads,
+                parity,
+                temperature,
+                iteration,
+                seed,
+            );
+            // Cycle accounting from the band geometry: band `b` holds
+            // its rows' parity-`parity` sites, each costing one cycle
+            // per candidate label.
+            let mut phase_sites = 0u64;
+            let mut busiest = 0u64;
+            for band in 0..bands {
+                let mut band_sites = 0u64;
+                for y in mrf::parallel::band_rows(height, bands, band) {
+                    // Sites x in 0..width with (x + y) % 2 == parity.
+                    let offset = (parity + y) % 2;
+                    band_sites += ((width + 1 - offset) / 2) as u64;
+                }
+                busiest = busiest.max(band_sites);
+                phase_sites += band_sites;
+            }
+            report.critical_path_cycles += busiest * labels;
+            report.busy_unit_cycles += phase_sites * labels;
+            report.sites += phase_sites;
+        }
+        report
+    }
+
     /// The per-unit pipeline model for the most recent sweep's label
     /// count (`None` before any sweep).
     pub fn pipeline_model(&self) -> Option<PipelineModel> {
-        (self.model_labels > 0).then(|| {
-            PipelineModel::new(crate::pipeline::DesignKind::New, *self.units[0].config())
-        })
+        (self.model_labels > 0)
+            .then(|| PipelineModel::new(crate::pipeline::DesignKind::New, *self.units[0].config()))
     }
 }
 
@@ -222,9 +316,20 @@ mod tests {
         let r1 = small.sweep(&m, &mut field, 1.0, &mut rng);
         let r8 = big.sweep(&m, &mut field, 1.0, &mut rng);
         assert_eq!(r1.sites, 64);
-        assert_eq!(r1.critical_path_cycles, 64 * 3, "one unit does all the work");
-        assert_eq!(r8.critical_path_cycles, 2 * 4 * 3, "32 sites/phase over 8 units");
-        assert!(r8.efficiency(8) > 0.99, "perfect divisibility → full efficiency");
+        assert_eq!(
+            r1.critical_path_cycles,
+            64 * 3,
+            "one unit does all the work"
+        );
+        assert_eq!(
+            r8.critical_path_cycles,
+            2 * 4 * 3,
+            "32 sites/phase over 8 units"
+        );
+        assert!(
+            r8.efficiency(8) > 0.99,
+            "perfect divisibility → full efficiency"
+        );
     }
 
     #[test]
@@ -256,5 +361,64 @@ mod tests {
     #[should_panic(expected = "at least one unit")]
     fn zero_units_rejected() {
         RsuArray::new(RsuConfig::new_design(), 0);
+    }
+
+    #[test]
+    fn parallel_sweep_is_host_thread_invariant() {
+        // The chain AND the per-unit statistics must be identical for
+        // any number of host threads, because unit→band mapping and
+        // per-site randomness are fixed by the arguments.
+        let m = model();
+        let run = |threads: usize| {
+            let mut rng = Xoshiro256pp::seed_from_u64(9);
+            let mut field = LabelField::random(m.grid(), 3, &mut rng);
+            let mut array = RsuArray::new(RsuConfig::new_design(), 4);
+            let mut reports = Vec::new();
+            for iter in 0..20 {
+                reports.push(array.sweep_parallel(&m, &mut field, 1.5, iter, 77, threads));
+            }
+            (field, array.combined_stats(), reports)
+        };
+        let (f1, s1, r1) = run(1);
+        for threads in [2, 3, 8] {
+            let (f, s, r) = run(threads);
+            assert_eq!(f, f1, "{threads} host threads changed the chain");
+            assert_eq!(s, s1, "{threads} host threads changed the stats");
+            assert_eq!(r, r1, "{threads} host threads changed the report");
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_converges_on_checkerboard_problem() {
+        let m = model();
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        let mut field = LabelField::random(m.grid(), 3, &mut rng);
+        let mut array = RsuArray::new(RsuConfig::new_design(), 8);
+        for i in 0..120 {
+            let t = (3.0f64 * 0.93f64.powi(i)).max(0.1);
+            array.sweep_parallel(&m, &mut field, t, i as u64, 5, 2);
+        }
+        let truth = TabularMrf::checkerboard_truth(8, 8, 3);
+        assert!(
+            field.disagreement(&truth) < 0.1,
+            "disagreement {}",
+            field.disagreement(&truth)
+        );
+    }
+
+    #[test]
+    fn parallel_sweep_accounts_band_critical_path() {
+        // 8x8 grid, 4 units → 2 rows per band → 8 parity sites per band
+        // per phase; perfectly balanced, so the critical path equals
+        // busy work / units.
+        let m = model();
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let mut field = LabelField::random(m.grid(), 3, &mut rng);
+        let mut array = RsuArray::new(RsuConfig::new_design(), 4);
+        let r = array.sweep_parallel(&m, &mut field, 1.0, 0, 0, 2);
+        assert_eq!(r.sites, 64);
+        assert_eq!(r.busy_unit_cycles, 64 * 3);
+        assert_eq!(r.critical_path_cycles, 2 * 8 * 3, "8 sites/band/phase");
+        assert!(r.efficiency(4) > 0.99);
     }
 }

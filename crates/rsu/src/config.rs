@@ -137,7 +137,9 @@ impl RsuConfig {
     /// conversion, concentration-controlled rates, 5 time bits, truncation
     /// 0.5.
     pub fn new_design() -> Self {
-        RsuConfigBuilder::default().build().expect("new-design preset is valid")
+        RsuConfigBuilder::default()
+            .build()
+            .expect("new-design preset is valid")
     }
 
     /// Energy precision in bits.
@@ -370,22 +372,34 @@ impl RsuConfigBuilder {
     /// Returns a [`ConfigError`] describing the first violated constraint.
     pub fn build(self) -> Result<RsuConfig, ConfigError> {
         if !(1..=16).contains(&self.energy_bits) {
-            return Err(ConfigError::EnergyBits { bits: self.energy_bits });
+            return Err(ConfigError::EnergyBits {
+                bits: self.energy_bits,
+            });
         }
         if !(1..=8).contains(&self.lambda_bits) {
-            return Err(ConfigError::LambdaBits { bits: self.lambda_bits });
+            return Err(ConfigError::LambdaBits {
+                bits: self.lambda_bits,
+            });
         }
         if !(1..=16).contains(&self.time_bits) {
-            return Err(ConfigError::TimeBits { bits: self.time_bits });
+            return Err(ConfigError::TimeBits {
+                bits: self.time_bits,
+            });
         }
         if !(self.truncation > 0.0 && self.truncation < 1.0) {
-            return Err(ConfigError::Truncation { value: self.truncation });
+            return Err(ConfigError::Truncation {
+                value: self.truncation,
+            });
         }
         if !(2..=65536).contains(&self.max_labels) {
-            return Err(ConfigError::MaxLabels { value: self.max_labels });
+            return Err(ConfigError::MaxLabels {
+                value: self.max_labels,
+            });
         }
-        if !(self.energy_lsb > 0.0) || !self.energy_lsb.is_finite() {
-            return Err(ConfigError::EnergyLsb { value: self.energy_lsb });
+        if self.energy_lsb <= 0.0 || !self.energy_lsb.is_finite() {
+            return Err(ConfigError::EnergyLsb {
+                value: self.energy_lsb,
+            });
         }
         if self.conversion == Conversion::Comparison && !self.pow2_lambda {
             return Err(ConfigError::ComparisonNeedsPow2);
@@ -437,7 +451,11 @@ mod tests {
         assert!(new.decay_rate_scaling() && new.probability_cutoff() && new.pow2_lambda());
         assert_eq!(new.conversion(), Conversion::Comparison);
         assert_eq!(new.rate_control(), RateControl::Concentration);
-        assert_eq!(new.lambda_scale(), 8, "2^n mode: λmax = 8·λ0 at 4 bits (Fig. 7)");
+        assert_eq!(
+            new.lambda_scale(),
+            8,
+            "2^n mode: λmax = 8·λ0 at 4 bits (Fig. 7)"
+        );
         assert_eq!(new.max_labels(), 64);
     }
 
@@ -521,7 +539,10 @@ mod tests {
 
     #[test]
     fn device_path_accepts_paper_point() {
-        let cfg = RsuConfig::builder().photon_path(PhotonPath::RetCircuits).build().unwrap();
+        let cfg = RsuConfig::builder()
+            .photon_path(PhotonPath::RetCircuits)
+            .build()
+            .unwrap();
         assert_eq!(cfg.photon_path(), PhotonPath::RetCircuits);
     }
 }

@@ -104,9 +104,15 @@ impl LutConverter {
     /// Panics unless `1 <= energy_bits <= 16`, `scale` is a power of two,
     /// and the temperature is positive and finite.
     pub fn new(energy_bits: u32, scale: u32, pow2: bool, cutoff: bool, t_code: f64) -> Self {
-        assert!((1..=16).contains(&energy_bits), "energy bits must be 1..=16");
+        assert!(
+            (1..=16).contains(&energy_bits),
+            "energy bits must be 1..=16"
+        );
         assert!(scale.is_power_of_two(), "scale must be a power of two");
-        assert!(t_code > 0.0 && t_code.is_finite(), "temperature must be positive");
+        assert!(
+            t_code > 0.0 && t_code.is_finite(),
+            "temperature must be positive"
+        );
         let mut lut = LutConverter {
             energy_bits,
             scale,
@@ -151,7 +157,10 @@ impl EnergyToLambda for LutConverter {
     }
 
     fn set_temperature(&mut self, t_code: f64) {
-        assert!(t_code > 0.0 && t_code.is_finite(), "temperature must be positive");
+        assert!(
+            t_code > 0.0 && t_code.is_finite(),
+            "temperature must be positive"
+        );
         self.t_code = t_code;
         self.rebuild();
     }
@@ -202,9 +211,15 @@ impl ComparisonConverter {
     ///
     /// Same constraints as [`LutConverter::new`].
     pub fn new(energy_bits: u32, scale: u32, cutoff: bool, t_code: f64) -> Self {
-        assert!((1..=16).contains(&energy_bits), "energy bits must be 1..=16");
+        assert!(
+            (1..=16).contains(&energy_bits),
+            "energy bits must be 1..=16"
+        );
         assert!(scale.is_power_of_two(), "scale must be a power of two");
-        assert!(t_code > 0.0 && t_code.is_finite(), "temperature must be positive");
+        assert!(
+            t_code > 0.0 && t_code.is_finite(),
+            "temperature must be positive"
+        );
         let mut conv = ComparisonConverter {
             energy_bits,
             scale,
@@ -266,7 +281,10 @@ impl ComparisonConverter {
     /// Stages new boundary values for a temperature without affecting the
     /// active bank (the 8-bit-interface background transfer of §IV-B3).
     pub fn stage_temperature(&mut self, t_code: f64) {
-        assert!(t_code > 0.0 && t_code.is_finite(), "temperature must be positive");
+        assert!(
+            t_code > 0.0 && t_code.is_finite(),
+            "temperature must be positive"
+        );
         let staged = self.compute_boundaries(t_code);
         self.staged = Some((t_code, staged));
     }

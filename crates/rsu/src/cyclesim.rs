@@ -74,8 +74,15 @@ impl CycleAccuratePipeline {
     /// maximum.
     pub fn new(kind: DesignKind, config: RsuConfig, labels: u32) -> Self {
         assert!(labels >= 1, "need at least one label");
-        assert!(labels as usize <= config.max_labels(), "label count exceeds the design");
-        CycleAccuratePipeline { kind, config, labels: labels as u64 }
+        assert!(
+            labels as usize <= config.max_labels(),
+            "label count exceeds the design"
+        );
+        CycleAccuratePipeline {
+            kind,
+            config,
+            labels: labels as u64,
+        }
     }
 
     /// The matching analytical model.

@@ -67,7 +67,10 @@ impl fmt::Display for ConfigError {
                 write!(f, "energy LSB must be positive and finite, got {value}")
             }
             ConfigError::ComparisonNeedsPow2 => {
-                write!(f, "comparison-based conversion requires the 2^n lambda approximation")
+                write!(
+                    f,
+                    "comparison-based conversion requires the 2^n lambda approximation"
+                )
             }
             ConfigError::DeviceNeedsPow2 => {
                 write!(

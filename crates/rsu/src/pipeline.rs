@@ -176,11 +176,23 @@ mod tests {
     #[test]
     fn replica_counts_match_paper() {
         let prev = PipelineModel::previous();
-        assert_eq!(prev.ret_circuit_replicas(), 4, "four replicated RET circuits (§II-C)");
+        assert_eq!(
+            prev.ret_circuit_replicas(),
+            4,
+            "four replicated RET circuits (§II-C)"
+        );
         assert_eq!(prev.ret_network_rows(), 1);
         let new = PipelineModel::new_design();
-        assert_eq!(new.ret_circuit_replicas(), 4, "window 32/8 = 4 cycles (§IV-B5)");
-        assert_eq!(new.ret_network_rows(), 8, "8 replicas at truncation 0.5 (§IV-B6)");
+        assert_eq!(
+            new.ret_circuit_replicas(),
+            4,
+            "window 32/8 = 4 cycles (§IV-B5)"
+        );
+        assert_eq!(
+            new.ret_network_rows(),
+            8,
+            "8 replicas at truncation 0.5 (§IV-B6)"
+        );
     }
 
     #[test]

@@ -37,7 +37,10 @@ impl EnergyQuantizer {
     /// Panics unless `1 <= bits <= 16` and `lsb` is positive and finite.
     pub fn new(bits: u32, lsb: f64) -> Self {
         assert!((1..=16).contains(&bits), "bits must be 1..=16");
-        assert!(lsb > 0.0 && lsb.is_finite(), "lsb must be positive and finite");
+        assert!(
+            lsb > 0.0 && lsb.is_finite(),
+            "lsb must be positive and finite"
+        );
         EnergyQuantizer { bits, lsb }
     }
 
@@ -61,7 +64,11 @@ impl EnergyQuantizer {
         if !energy.is_finite() {
             // +inf (and NaN, conservatively) saturate high: an impossible
             // label.
-            return if energy == f64::NEG_INFINITY { 0 } else { self.max_code() };
+            return if energy == f64::NEG_INFINITY {
+                0
+            } else {
+                self.max_code()
+            };
         }
         let code = (energy / self.lsb).round();
         code.clamp(0.0, self.max_code() as f64) as u16

@@ -278,7 +278,11 @@ impl RsuG {
                 }
             }
         };
-        RaceResult { winner, winning_bin: best_bin, tie_size }
+        RaceResult {
+            winner,
+            winning_bin: best_bin,
+            tie_size,
+        }
     }
 
     /// Fallback label when no active label fired within the window: the
@@ -294,7 +298,10 @@ impl RsuG {
         if self.multipliers.get(current_idx) == Some(&max) {
             return Some(current);
         }
-        self.multipliers.iter().position(|&m| m == max).map(|i| i as Label)
+        self.multipliers
+            .iter()
+            .position(|&m| m == max)
+            .map(|i| i as Label)
     }
 }
 
@@ -546,8 +553,16 @@ mod tests {
             new.begin_iteration(*t);
             assert_eq!(prev.stats().temperature_updates, (i + 1) as u64);
         }
-        assert_eq!(prev.stats().stall_cycles, 4 * 128, "128 LUT-rewrite stalls per update");
-        assert_eq!(new.stats().stall_cycles, 0, "double buffering hides updates");
+        assert_eq!(
+            prev.stats().stall_cycles,
+            4 * 128,
+            "128 LUT-rewrite stalls per update"
+        );
+        assert_eq!(
+            new.stats().stall_cycles,
+            0,
+            "double buffering hides updates"
+        );
     }
 
     #[test]
@@ -565,8 +580,10 @@ mod tests {
         // kept below 0.4 %) must realise the same win ratios as the ideal
         // sampler within tolerance.
         let ideal_cfg = RsuConfig::new_design();
-        let device_cfg =
-            RsuConfig::builder().photon_path(PhotonPath::RetCircuits).build().unwrap();
+        let device_cfg = RsuConfig::builder()
+            .photon_path(PhotonPath::RetCircuits)
+            .build()
+            .unwrap();
         let mut rng = seeded(9);
         let ratio_of = |cfg: RsuConfig, rng: &mut Xoshiro256pp| {
             let mut unit = RsuG::with_config(cfg);
@@ -645,8 +662,14 @@ mod tests {
                 }
             }
         }
-        assert!(saw_censored, "truncation 0.97 must censor whole evaluations");
-        assert!(kept_when_censored, "KeepCurrent must return the current label");
+        assert!(
+            saw_censored,
+            "truncation 0.97 must censor whole evaluations"
+        );
+        assert!(
+            kept_when_censored,
+            "KeepCurrent must return the current label"
+        );
     }
 
     #[test]

@@ -101,7 +101,11 @@ impl EnergyFifo {
     pub fn rotate(&mut self) {
         assert_eq!(self.draining_len, 0, "previous variable not fully drained");
         self.draining_len = self.queue.len();
-        self.draining_min = if self.draining_len == 0 { 0 } else { self.incoming_min };
+        self.draining_min = if self.draining_len == 0 {
+            0
+        } else {
+            self.incoming_min
+        };
         self.incoming_min = u16::MAX;
     }
 

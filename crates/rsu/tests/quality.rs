@@ -40,8 +40,7 @@ fn run_with<S: SiteSampler>(
     iterations: usize,
 ) -> (LabelField, f64) {
     let mut rng = Xoshiro256pp::seed_from_u64(seed);
-    let mut field =
-        LabelField::random(model.grid(), model.num_labels(), &mut rng);
+    let mut field = LabelField::random(model.grid(), model.num_labels(), &mut rng);
     SweepSolver::new(model)
         .schedule(Schedule::geometric(40.0, 0.93, 0.5))
         .iterations(iterations)
@@ -79,7 +78,10 @@ fn new_design_matches_software_quality_previous_fails() {
     // Software and new RSU-G both solve the problem.
     assert!(err_sw < 0.05, "software error {err_sw}");
     assert!(err_new < 0.10, "new RSU-G error {err_new}");
-    assert!((err_new - err_sw).abs() < 0.08, "new design must track software quality");
+    assert!(
+        (err_new - err_sw).abs() < 0.08,
+        "new design must track software quality"
+    );
     // The previous design mislabels the bulk of the field (paper: BP > 90%
     // on stereo; here the floor depends on label count, but it must be
     // dramatically worse).
@@ -127,8 +129,12 @@ fn decay_rate_scaling_is_the_decisive_fix() {
     let mut frozen = 0.0;
     for &seed in &seeds {
         let (f_prev, _) = run_with(&model, &mut RsuG::previous_design(), seed, iterations);
-        let (f_scaled, _) =
-            run_with(&model, &mut RsuG::with_config(scaled_only), seed, iterations);
+        let (f_scaled, _) = run_with(
+            &model,
+            &mut RsuG::with_config(scaled_only),
+            seed,
+            iterations,
+        );
         let (f_full, _) = run_with(&model, &mut RsuG::new_design(), seed, iterations);
         e_prev += error_rate(&f_prev, &truth);
         e_scaled += error_rate(&f_scaled, &truth);
@@ -147,9 +153,18 @@ fn decay_rate_scaling_is_the_decisive_fix() {
     let n = seeds.len() as f64;
     let (e_prev, e_scaled, e_full, frozen) = (e_prev / n, e_scaled / n, e_full / n, frozen / n);
 
-    assert!(e_scaled < e_prev - 0.2, "scaling alone must improve markedly: {e_scaled} vs {e_prev}");
-    assert!(e_full <= e_scaled + 0.02, "full techniques at least as good: {e_full} vs {e_scaled}");
-    assert!(frozen > 0.5, "cut-off without scaling stays near random: {frozen}");
+    assert!(
+        e_scaled < e_prev - 0.2,
+        "scaling alone must improve markedly: {e_scaled} vs {e_prev}"
+    );
+    assert!(
+        e_full <= e_scaled + 0.02,
+        "full techniques at least as good: {e_full} vs {e_scaled}"
+    );
+    assert!(
+        frozen > 0.5,
+        "cut-off without scaling stays near random: {frozen}"
+    );
 }
 
 #[test]
@@ -171,7 +186,10 @@ fn pow2_approximation_does_not_hurt_quality() {
         e_pow2 += error_rate(&f_a, &truth);
         e_plain += error_rate(&f_b, &truth);
     }
-    assert!((e_pow2 - e_plain).abs() / 3.0 < 0.08, "pow2 {e_pow2} vs plain {e_plain}");
+    assert!(
+        (e_pow2 - e_plain).abs() / 3.0 < 0.08,
+        "pow2 {e_pow2} vs plain {e_plain}"
+    );
 }
 
 #[test]

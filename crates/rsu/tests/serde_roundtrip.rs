@@ -3,8 +3,7 @@
 //! can be stored alongside their artifacts.
 
 use rsu::{
-    CensoredPolicy, Conversion, CycleAccuratePipeline, DesignKind, PhotonPath, RsuConfig,
-    RsuStats,
+    CensoredPolicy, Conversion, CycleAccuratePipeline, DesignKind, PhotonPath, RsuConfig, RsuStats,
 };
 
 /// Minimal JSON-ish check without a serde_json dependency: round-trip
@@ -30,7 +29,12 @@ fn config_debug_contains_all_design_parameters() {
     // The Debug form is what experiment logs record; it must expose the
     // four paper parameters.
     let s = format!("{:?}", RsuConfig::new_design());
-    for needle in ["energy_bits: 8", "lambda_bits: 4", "time_bits: 5", "truncation: 0.5"] {
+    for needle in [
+        "energy_bits: 8",
+        "lambda_bits: 4",
+        "time_bits: 5",
+        "truncation: 0.5",
+    ] {
         assert!(s.contains(needle), "missing {needle} in {s}");
     }
 }

@@ -45,7 +45,7 @@ impl Categorical {
         let mut cumulative = Vec::with_capacity(weights.len());
         let mut total = 0.0;
         for (index, &w) in weights.iter().enumerate() {
-            if !(w >= 0.0) || !w.is_finite() {
+            if w < 0.0 || !w.is_finite() {
                 return Err(DistributionError::InvalidWeight { index, value: w });
             }
             total += w;
@@ -205,7 +205,7 @@ impl AliasTable {
         let k = weights.len();
         let mut total = 0.0;
         for (index, &w) in weights.iter().enumerate() {
-            if !(w >= 0.0) || !w.is_finite() {
+            if w < 0.0 || !w.is_finite() {
                 return Err(DistributionError::InvalidWeight { index, value: w });
             }
             total += w;
@@ -276,7 +276,10 @@ mod tests {
     #[test]
     fn categorical_rejects_bad_inputs() {
         assert_eq!(Categorical::new(&[]), Err(DistributionError::EmptyWeights));
-        assert_eq!(Categorical::new(&[0.0, 0.0]), Err(DistributionError::ZeroTotalWeight));
+        assert_eq!(
+            Categorical::new(&[0.0, 0.0]),
+            Err(DistributionError::ZeroTotalWeight)
+        );
         assert!(matches!(
             Categorical::new(&[1.0, -2.0]),
             Err(DistributionError::InvalidWeight { index: 1, .. })

@@ -37,7 +37,7 @@ impl Exponential {
     /// Returns [`DistributionError::NonPositiveRate`] if `rate` is not
     /// strictly positive and finite.
     pub fn new(rate: f64) -> Result<Self, DistributionError> {
-        if !(rate > 0.0) || !rate.is_finite() {
+        if rate <= 0.0 || !rate.is_finite() {
             return Err(DistributionError::NonPositiveRate { value: rate });
         }
         Ok(Exponential { rate })
@@ -116,7 +116,7 @@ impl TruncatedExponential {
     /// and [`DistributionError::InvalidBound`] for an invalid bound.
     pub fn new(rate: f64, t_max: f64) -> Result<Self, DistributionError> {
         let inner = Exponential::new(rate)?;
-        if !(t_max > 0.0) || !t_max.is_finite() {
+        if t_max <= 0.0 || !t_max.is_finite() {
             return Err(DistributionError::InvalidBound { value: t_max });
         }
         Ok(TruncatedExponential { inner, t_max })
@@ -161,7 +161,10 @@ mod tests {
     #[test]
     fn rejects_bad_rates() {
         for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
-            assert!(Exponential::new(bad).is_err(), "rate {bad} should be rejected");
+            assert!(
+                Exponential::new(bad).is_err(),
+                "rate {bad} should be rejected"
+            );
         }
     }
 
@@ -175,7 +178,10 @@ mod tests {
             let expected = 1.0 / rate;
             // SD of the mean is (1/rate)/sqrt(n).
             let tol = 5.0 * expected / (n as f64).sqrt();
-            assert!((mean - expected).abs() < tol, "rate {rate}: mean {mean} vs {expected}");
+            assert!(
+                (mean - expected).abs() < tol,
+                "rate {rate}: mean {mean} vs {expected}"
+            );
         }
     }
 
@@ -222,7 +228,9 @@ mod tests {
         let trunc = TruncatedExponential::new(0.05, 20.0).unwrap();
         let mut rng = Xoshiro256pp::seed_from_u64(8);
         let n = 100_000;
-        let censored = (0..n).filter(|_| trunc.sample_or_censor(&mut rng).is_none()).count();
+        let censored = (0..n)
+            .filter(|_| trunc.sample_or_censor(&mut rng).is_none())
+            .count();
         let observed = censored as f64 / n as f64;
         let expected = trunc.truncated_mass();
         let sd = (expected * (1.0 - expected) / n as f64).sqrt();

@@ -51,7 +51,10 @@ impl Hypoexponential {
         if rates.is_empty() {
             return Err(DistributionError::EmptyWeights);
         }
-        let stages = rates.iter().map(|&r| Exponential::new(r)).collect::<Result<_, _>>()?;
+        let stages = rates
+            .iter()
+            .map(|&r| Exponential::new(r))
+            .collect::<Result<_, _>>()?;
         Ok(Hypoexponential { stages })
     }
 
@@ -101,7 +104,10 @@ impl Hyperexponential {
             .iter()
             .map(|&(_, r)| Exponential::new(r))
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Hyperexponential { mixing, components: comps })
+        Ok(Hyperexponential {
+            mixing,
+            components: comps,
+        })
     }
 
     /// Number of mixture components.
@@ -171,7 +177,7 @@ impl PhaseType {
             return Err(DistributionError::EmptyWeights);
         }
         for (index, &r) in rates.iter().enumerate() {
-            if !(r > 0.0) || !r.is_finite() {
+            if r <= 0.0 || !r.is_finite() {
                 return Err(DistributionError::InvalidWeight { index, value: r });
             }
         }
@@ -186,7 +192,11 @@ impl PhaseType {
         if jump.iter().all(|row| row[n] == 0.0) {
             return Err(DistributionError::ZeroTotalWeight);
         }
-        Ok(PhaseType { initial: init, exit_rate: rates.to_vec(), transitions })
+        Ok(PhaseType {
+            initial: init,
+            exit_rate: rates.to_vec(),
+            transitions,
+        })
     }
 
     /// Number of transient phases.
@@ -306,11 +316,6 @@ mod tests {
         assert!(Hyperexponential::new(&[(1.0, -1.0)]).is_err());
         assert!(PhaseType::new(&[], &[], &[]).is_err());
         // Unreachable absorption.
-        assert!(PhaseType::new(
-            &[1.0],
-            &[1.0],
-            &[vec![1.0, 0.0]],
-        )
-        .is_err());
+        assert!(PhaseType::new(&[1.0], &[1.0], &[vec![1.0, 0.0]],).is_err());
     }
 }

@@ -44,7 +44,10 @@ impl fmt::Display for DistributionError {
                 write!(f, "weight at index {index} is invalid: {value}")
             }
             DistributionError::InvalidBound { value } => {
-                write!(f, "truncation bound must be positive and finite, got {value}")
+                write!(
+                    f,
+                    "truncation bound must be positive and finite, got {value}"
+                )
             }
         }
     }
@@ -69,10 +72,16 @@ impl fmt::Display for RngError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RngError::ZeroLfsrState => {
-                write!(f, "LFSR state must be non-zero (zero is an absorbing state)")
+                write!(
+                    f,
+                    "LFSR state must be non-zero (zero is an absorbing state)"
+                )
             }
             RngError::UnsupportedLfsrWidth { width } => {
-                write!(f, "unsupported LFSR width {width}; supported widths are 3..=32")
+                write!(
+                    f,
+                    "unsupported LFSR width {width}; supported widths are 3..=32"
+                )
             }
         }
     }
@@ -90,7 +99,11 @@ mod tests {
             DistributionError::NonPositiveRate { value: -1.0 }.to_string(),
             DistributionError::EmptyWeights.to_string(),
             DistributionError::ZeroTotalWeight.to_string(),
-            DistributionError::InvalidWeight { index: 3, value: f64::NAN }.to_string(),
+            DistributionError::InvalidWeight {
+                index: 3,
+                value: f64::NAN,
+            }
+            .to_string(),
             DistributionError::InvalidBound { value: 0.0 }.to_string(),
             RngError::ZeroLfsrState.to_string(),
             RngError::UnsupportedLfsrWidth { width: 99 }.to_string(),

@@ -57,8 +57,10 @@ pub fn race<R: Rng + ?Sized>(rates: &[f64], rng: &mut R) -> Result<RaceOutcome, 
         if rate == 0.0 {
             continue;
         }
-        let t = Exponential::new(rate).expect("validated positive").sample(rng);
-        if best.map_or(true, |b| t < b.time) {
+        let t = Exponential::new(rate)
+            .expect("validated positive")
+            .sample(rng);
+        if best.is_none_or(|b| t < b.time) {
             best = Some(RaceOutcome { winner: i, time: t });
         }
     }
@@ -81,7 +83,7 @@ fn validate_rates(rates: &[f64]) -> Result<(), DistributionError> {
         return Err(DistributionError::EmptyWeights);
     }
     for (index, &r) in rates.iter().enumerate() {
-        if !(r >= 0.0) || !r.is_finite() {
+        if r < 0.0 || !r.is_finite() {
             return Err(DistributionError::InvalidWeight { index, value: r });
         }
     }
@@ -141,8 +143,9 @@ mod tests {
         let rates = [1.0, 2.0, 3.0];
         let total = 6.0;
         let mut rng = Xoshiro256pp::seed_from_u64(21);
-        let samples: Vec<f64> =
-            (0..20_000).map(|_| race(&rates, &mut rng).unwrap().time).collect();
+        let samples: Vec<f64> = (0..20_000)
+            .map(|_| race(&rates, &mut rng).unwrap().time)
+            .collect();
         let d = stats::ks_statistic(&samples, |t| 1.0 - (-total * t).exp());
         assert!(d < 1.95 / (samples.len() as f64).sqrt(), "KS statistic {d}");
     }

@@ -81,7 +81,7 @@ pub fn gumbel_gibbs<R: Rng + ?Sized>(
     temperature: f64,
     rng: &mut R,
 ) -> Result<usize, DistributionError> {
-    if !(temperature > 0.0) {
+    if temperature <= 0.0 || temperature.is_nan() {
         return Err(DistributionError::NonPositiveRate { value: temperature });
     }
     let log_w: Vec<f64> = energies.iter().map(|&e| -e / temperature).collect();
@@ -103,7 +103,10 @@ mod tests {
         let xs: Vec<f64> = (0..200_000).map(|_| sample_gumbel(&mut rng)).collect();
         let (mean, var) = stats::mean_variance(&xs);
         assert!((mean - 0.577_215_66).abs() < 0.01, "mean {mean}");
-        assert!((var - std::f64::consts::PI.powi(2) / 6.0).abs() < 0.03, "var {var}");
+        assert!(
+            (var - std::f64::consts::PI.powi(2) / 6.0).abs() < 0.03,
+            "var {var}"
+        );
     }
 
     #[test]

@@ -46,9 +46,9 @@ pub mod rng;
 pub mod stats;
 
 pub use dist::{
-    AliasTable, Categorical, CdfTable, Exponential, Hyperexponential, Hypoexponential,
-    PhaseType, TruncatedExponential,
+    AliasTable, Categorical, CdfTable, Exponential, Hyperexponential, Hypoexponential, PhaseType,
+    TruncatedExponential,
 };
 pub use error::{DistributionError, RngError};
 pub use first_to_fire::{race, winner_probabilities, RaceOutcome};
-pub use rng::{Lfsr, Mt19937, SplitMix64, Xoshiro256pp};
+pub use rng::{Lfsr, Mt19937, SiteRng, SplitMix64, Xoshiro256pp};

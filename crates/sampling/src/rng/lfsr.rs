@@ -16,35 +16,35 @@ use rand::{Error, RngCore, SeedableRng};
 /// Xilinx/maximal-LFSR tables; each polynomial is primitive, giving period
 /// `2^width − 1`.
 const TAPS: [u32; 30] = [
-    0b110,                  // 3: x^3 + x^2 + 1
-    0b1100,                 // 4: x^4 + x^3 + 1
-    0b1_0100,               // 5: x^5 + x^3 + 1
-    0b11_0000,              // 6: x^6 + x^5 + 1
-    0b110_0000,             // 7: x^7 + x^6 + 1
-    0b1011_1000,            // 8: x^8 + x^6 + x^5 + x^4 + 1
-    0b1_0000_1000,          // 9: x^9 + x^5 + 1
-    0b10_0100_0000,         // 10: x^10 + x^7 + 1
-    0b101_0000_0000,        // 11: x^11 + x^9 + 1
-    0b1110_0000_1000,       // 12
-    0b1_1100_1000_0000,     // 13
-    0b11_1000_0000_0010,    // 14
-    0b110_0000_0000_0000,   // 15: x^15 + x^14 + 1
-    0b1101_0000_0000_1000,  // 16
-    0b1_0010_0000_0000_0000, // 17: x^17 + x^14 + 1
-    0b10_0000_0100_0000_0000, // 18: x^18 + x^11 + 1
-    0b111_0010_0000_0000_0000, // 19: x^19 + x^18 + x^17 + x^14 + 1
-    0b1001_0000_0000_0000_0000, // 20: x^20 + x^17 + 1
-    0b1_0100_0000_0000_0000_0000, // 21: x^21 + x^19 + 1
-    0b11_0000_0000_0000_0000_0000, // 22: x^22 + x^21 + 1
-    0b100_0010_0000_0000_0000_0000, // 23: x^23 + x^18 + 1
-    0b1110_0001_0000_0000_0000_0000, // 24
-    0b1_0010_0000_0000_0000_0000_0000, // 25: x^25 + x^22 + 1
-    0b10_0000_0000_0000_0000_0010_0011, // 26
-    0b100_0000_0000_0000_0000_0001_0011, // 27
-    0b1001_0000_0000_0000_0000_0000_0000, // 28: x^28 + x^25 + 1
-    0b1_0100_0000_0000_0000_0000_0000_0000, // 29: x^29 + x^27 + 1
-    0b10_0000_0000_0000_0000_0000_0010_1001, // 30: x^30 + x^6 + x^4 + x + 1
-    0b100_1000_0000_0000_0000_0000_0000_0000, // 31: x^31 + x^28 + 1
+    0b110,                                     // 3: x^3 + x^2 + 1
+    0b1100,                                    // 4: x^4 + x^3 + 1
+    0b1_0100,                                  // 5: x^5 + x^3 + 1
+    0b11_0000,                                 // 6: x^6 + x^5 + 1
+    0b110_0000,                                // 7: x^7 + x^6 + 1
+    0b1011_1000,                               // 8: x^8 + x^6 + x^5 + x^4 + 1
+    0b1_0000_1000,                             // 9: x^9 + x^5 + 1
+    0b10_0100_0000,                            // 10: x^10 + x^7 + 1
+    0b101_0000_0000,                           // 11: x^11 + x^9 + 1
+    0b1110_0000_1000,                          // 12
+    0b1_1100_1000_0000,                        // 13
+    0b11_1000_0000_0010,                       // 14
+    0b110_0000_0000_0000,                      // 15: x^15 + x^14 + 1
+    0b1101_0000_0000_1000,                     // 16
+    0b1_0010_0000_0000_0000,                   // 17: x^17 + x^14 + 1
+    0b10_0000_0100_0000_0000,                  // 18: x^18 + x^11 + 1
+    0b111_0010_0000_0000_0000,                 // 19: x^19 + x^18 + x^17 + x^14 + 1
+    0b1001_0000_0000_0000_0000,                // 20: x^20 + x^17 + 1
+    0b1_0100_0000_0000_0000_0000,              // 21: x^21 + x^19 + 1
+    0b11_0000_0000_0000_0000_0000,             // 22: x^22 + x^21 + 1
+    0b100_0010_0000_0000_0000_0000,            // 23: x^23 + x^18 + 1
+    0b1110_0001_0000_0000_0000_0000,           // 24
+    0b1_0010_0000_0000_0000_0000_0000,         // 25: x^25 + x^22 + 1
+    0b10_0000_0000_0000_0000_0010_0011,        // 26
+    0b100_0000_0000_0000_0000_0001_0011,       // 27
+    0b1001_0000_0000_0000_0000_0000_0000,      // 28: x^28 + x^25 + 1
+    0b1_0100_0000_0000_0000_0000_0000_0000,    // 29: x^29 + x^27 + 1
+    0b10_0000_0000_0000_0000_0000_0010_1001,   // 30: x^30 + x^6 + x^4 + x + 1
+    0b100_1000_0000_0000_0000_0000_0000_0000,  // 31: x^31 + x^28 + 1
     0b1000_0000_0010_0000_0000_0000_0000_0011, // 32
 ];
 
@@ -85,7 +85,11 @@ impl Lfsr {
             return Err(RngError::UnsupportedLfsrWidth { width });
         }
         let mask = TAPS[(width - 3) as usize];
-        let state_mask = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
+        let state_mask = if width == 32 {
+            u32::MAX
+        } else {
+            (1u32 << width) - 1
+        };
         let mut state = seed & state_mask;
         if state == 0 {
             state = 1;
@@ -180,7 +184,10 @@ mod tests {
         assert!(Lfsr::with_width(2, 1).is_err());
         assert!(Lfsr::with_width(33, 1).is_err());
         for w in 3..=32 {
-            assert!(Lfsr::with_width(w, 1).is_ok(), "width {w} should be supported");
+            assert!(
+                Lfsr::with_width(w, 1).is_ok(),
+                "width {w} should be supported"
+            );
         }
     }
 

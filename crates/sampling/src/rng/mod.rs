@@ -8,11 +8,13 @@
 
 mod lfsr;
 mod mt19937;
+mod site;
 mod splitmix;
 mod xoshiro;
 
 pub use lfsr::Lfsr;
 pub use mt19937::Mt19937;
+pub use site::SiteRng;
 pub use splitmix::SplitMix64;
 pub use xoshiro::Xoshiro256pp;
 

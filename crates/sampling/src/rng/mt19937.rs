@@ -34,7 +34,9 @@ pub struct Mt19937 {
 
 impl std::fmt::Debug for Mt19937 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Mt19937").field("index", &self.index).finish_non_exhaustive()
+        f.debug_struct("Mt19937")
+            .field("index", &self.index)
+            .finish_non_exhaustive()
     }
 }
 
@@ -231,7 +233,10 @@ mod tests {
         let mean = (0..n).map(|_| mt.next_word() as f64).sum::<f64>() / n as f64;
         let center = (u32::MAX as f64) / 2.0;
         // Standard error of the mean is ~ range/sqrt(12 n) ≈ 3.9e6.
-        assert!((mean - center).abs() < 2.0e7, "mean {mean} too far from {center}");
+        assert!(
+            (mean - center).abs() < 2.0e7,
+            "mean {mean} too far from {center}"
+        );
     }
 
     #[test]

@@ -39,6 +39,7 @@ impl Xoshiro256pp {
 
     /// Produces the next 64-bit output.
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u64 {
         let result = self.s[0]
             .wrapping_add(self.s[3])
@@ -130,7 +131,9 @@ impl SeedableRng for Xoshiro256pp {
 
     fn seed_from_u64(state: u64) -> Self {
         let mut sm = SplitMix64::new(state);
-        Xoshiro256pp { s: [sm.next(), sm.next(), sm.next(), sm.next()] }
+        Xoshiro256pp {
+            s: [sm.next(), sm.next(), sm.next(), sm.next()],
+        }
     }
 }
 

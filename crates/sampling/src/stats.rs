@@ -43,7 +43,11 @@ pub fn chi_square_statistic(observed: &[u64], expected_probs: &[f64]) -> f64 {
 /// Same conditions as [`chi_square_statistic`].
 pub fn chi_square_pvalue_uniformish(observed: &[u64], expected_probs: &[f64]) -> f64 {
     let stat = chi_square_statistic(observed, expected_probs);
-    let df = expected_probs.iter().filter(|&&p| p > 0.0).count().saturating_sub(1);
+    let df = expected_probs
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .count()
+        .saturating_sub(1);
     if df == 0 {
         return 1.0;
     }
@@ -118,7 +122,7 @@ pub fn ln_gamma(x: f64) -> f64 {
     const COEF: [f64; 9] = [
         0.999_999_999_999_809_9,
         676.520_368_121_885_1,
-        -1259.139_216_722_402_8,
+        -1_259.139_216_722_402_8,
         771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
@@ -216,7 +220,9 @@ pub fn serial_correlation(xs: &[f64], k: usize) -> f64 {
     if var == 0.0 {
         return 0.0;
     }
-    let cov: f64 = (0..n - k).map(|i| (xs[i] - mean) * (xs[i + k] - mean)).sum::<f64>()
+    let cov: f64 = (0..n - k)
+        .map(|i| (xs[i] - mean) * (xs[i + k] - mean))
+        .sum::<f64>()
         / (n - k) as f64;
     cov / var
 }
@@ -268,7 +274,10 @@ mod tests {
         // P(1, x) = 1 − e^{−x} (chi-square with 2 df).
         for x in [0.1, 1.0, 3.0, 10.0] {
             let expected = 1.0 - (-x as f64).exp();
-            assert!((regularized_gamma_p(1.0, x) - expected).abs() < 1e-10, "x={x}");
+            assert!(
+                (regularized_gamma_p(1.0, x) - expected).abs() < 1e-10,
+                "x={x}"
+            );
         }
         // P(0.5, x) = erf(sqrt(x)); check a tabulated point: erf(1) ≈ 0.8427007929.
         assert!((regularized_gamma_p(0.5, 1.0) - 0.842_700_792_9).abs() < 1e-8);
@@ -351,7 +360,9 @@ mod tests {
 
     #[test]
     fn serial_correlation_of_alternating_sequence_is_negative() {
-        let xs: Vec<f64> = (0..1000).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let xs: Vec<f64> = (0..1000)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert!(serial_correlation(&xs, 1) < -0.99);
         assert!(serial_correlation(&xs, 2) > 0.99);
     }

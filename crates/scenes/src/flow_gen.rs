@@ -51,7 +51,10 @@ impl FlowSpec {
     /// Panics if the window is even, smaller than 3, or larger than the
     /// frame.
     pub fn generate(&self, seed: u64) -> FlowDataset {
-        assert!(self.window >= 3 && self.window % 2 == 1, "window must be odd and >= 3");
+        assert!(
+            self.window >= 3 && self.window % 2 == 1,
+            "window must be odd and >= 3"
+        );
         assert!(
             self.window <= self.width && self.window <= self.height,
             "window must fit the frame"
@@ -126,7 +129,12 @@ impl FlowSpec {
 
         add_gaussian_noise(&mut frame1, self.noise_sigma, &mut rng);
         add_gaussian_noise(&mut frame2, self.noise_sigma, &mut rng);
-        FlowDataset { frame1, frame2, ground_truth: flow, window: self.window }
+        FlowDataset {
+            frame1,
+            frame2,
+            ground_truth: flow,
+            window: self.window,
+        }
     }
 }
 
@@ -135,7 +143,13 @@ mod tests {
     use super::*;
 
     fn spec() -> FlowSpec {
-        FlowSpec { width: 48, height: 36, window: 7, num_patches: 3, noise_sigma: 0.0 }
+        FlowSpec {
+            width: 48,
+            height: 36,
+            window: 7,
+            num_patches: 3,
+            noise_sigma: 0.0,
+        }
     }
 
     #[test]
@@ -183,8 +197,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "window must be odd")]
     fn rejects_even_window() {
-        FlowSpec { width: 32, height: 32, window: 6, num_patches: 1, noise_sigma: 0.0 }
-            .generate(0);
+        FlowSpec {
+            width: 32,
+            height: 32,
+            window: 6,
+            num_patches: 1,
+            noise_sigma: 0.0,
+        }
+        .generate(0);
     }
 
     #[test]

@@ -156,7 +156,11 @@ mod tests {
 
     #[test]
     fn named_flow_datasets_use_49_labels() {
-        for ds in [flow_venus_like(2), flow_rubberwhale_like(2), flow_dimetrodon_like(2)] {
+        for ds in [
+            flow_venus_like(2),
+            flow_rubberwhale_like(2),
+            flow_dimetrodon_like(2),
+        ] {
             assert_eq!(ds.window, 7);
             assert_eq!(ds.window * ds.window, 49);
         }
@@ -168,7 +172,10 @@ mod tests {
         assert_eq!(suite.len(), 30);
         let region_counts: std::collections::HashSet<usize> =
             suite.iter().map(|d| d.num_regions).collect();
-        assert!(region_counts.len() >= 4, "region counts should vary: {region_counts:?}");
+        assert!(
+            region_counts.len() >= 4,
+            "region counts should vary: {region_counts:?}"
+        );
     }
 
     #[test]

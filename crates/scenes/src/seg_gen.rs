@@ -53,7 +53,10 @@ impl SegmentationSpec {
         // Random seed points.
         let sites: Vec<(f64, f64)> = (0..self.num_regions)
             .map(|_| {
-                (rng.gen_range(0.0..self.width as f64), rng.gen_range(0.0..self.height as f64))
+                (
+                    rng.gen_range(0.0..self.width as f64),
+                    rng.gen_range(0.0..self.height as f64),
+                )
             })
             .collect();
         // Region means: evenly spaced then shuffled, so adjacent regions
@@ -93,7 +96,11 @@ impl SegmentationSpec {
         }
         add_gaussian_noise(&mut image, self.noise_sigma, &mut rng);
         let ground_truth = LabelField::from_labels(grid, self.num_regions, labels);
-        SegmentationDataset { image, ground_truth, num_regions: self.num_regions }
+        SegmentationDataset {
+            image,
+            ground_truth,
+            num_regions: self.num_regions,
+        }
     }
 }
 
@@ -127,8 +134,10 @@ mod tests {
         let mut coherent = 0usize;
         for site in grid.sites() {
             let l = ds.ground_truth.get(site);
-            let same =
-                grid.neighbors(site).filter(|&n| ds.ground_truth.get(n) == l).count();
+            let same = grid
+                .neighbors(site)
+                .filter(|&n| ds.ground_truth.get(n) == l)
+                .count();
             if same >= 2 {
                 coherent += 1;
             }
@@ -150,8 +159,11 @@ mod tests {
             sums[r] += ds.image.get(x, y) as f64;
             counts[r] += 1;
         }
-        let mut means: Vec<f64> =
-            sums.iter().zip(&counts).map(|(s, &c)| s / c as f64).collect();
+        let mut means: Vec<f64> = sums
+            .iter()
+            .zip(&counts)
+            .map(|(s, &c)| s / c as f64)
+            .collect();
         means.sort_by(|a, b| a.partial_cmp(b).unwrap());
         for pair in means.windows(2) {
             assert!(pair[1] - pair[0] > 15.0, "means too close: {means:?}");
@@ -161,7 +173,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "num_regions")]
     fn rejects_single_region() {
-        SegmentationSpec { num_regions: 1, ..spec() }.generate(0);
+        SegmentationSpec {
+            num_regions: 1,
+            ..spec()
+        }
+        .generate(0);
     }
 
     #[test]

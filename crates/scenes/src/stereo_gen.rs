@@ -53,8 +53,14 @@ impl StereoSpec {
     /// Panics if the dimensions are zero, `num_disparities < 4`, or the
     /// maximum disparity does not fit the width.
     pub fn generate(&self, seed: u64) -> StereoDataset {
-        assert!(self.width > 0 && self.height > 0, "dimensions must be non-zero");
-        assert!(self.num_disparities >= 4, "need at least 4 disparity labels");
+        assert!(
+            self.width > 0 && self.height > 0,
+            "dimensions must be non-zero"
+        );
+        assert!(
+            self.num_disparities >= 4,
+            "need at least 4 disparity labels"
+        );
         assert!(
             self.num_disparities < self.width,
             "maximum disparity must be smaller than the width"
@@ -165,7 +171,13 @@ mod tests {
     use super::*;
 
     fn spec() -> StereoSpec {
-        StereoSpec { width: 64, height: 48, num_disparities: 24, num_layers: 4, noise_sigma: 0.0 }
+        StereoSpec {
+            width: 64,
+            height: 48,
+            num_disparities: 24,
+            num_layers: 4,
+            noise_sigma: 0.0,
+        }
     }
 
     #[test]
@@ -197,8 +209,7 @@ mod tests {
     #[test]
     fn occlusion_fraction_is_plausible() {
         let ds = spec().generate(6);
-        let frac =
-            ds.occlusion.iter().filter(|&&o| o).count() as f64 / ds.occlusion.len() as f64;
+        let frac = ds.occlusion.iter().filter(|&&o| o).count() as f64 / ds.occlusion.len() as f64;
         assert!(frac > 0.005, "some occlusion expected, got {frac}");
         assert!(frac < 0.5, "occlusion should not dominate, got {frac}");
     }
@@ -208,7 +219,10 @@ mod tests {
         let ds = spec().generate(7);
         let hist = ds.ground_truth.histogram();
         let used = hist.iter().filter(|&&c| c > 0).count();
-        assert!(used >= 3, "scene should have at least 3 depth planes, got {used}");
+        assert!(
+            used >= 3,
+            "scene should have at least 3 depth planes, got {used}"
+        );
     }
 
     #[test]
@@ -224,8 +238,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "maximum disparity")]
     fn rejects_disparity_wider_than_image() {
-        StereoSpec { width: 16, height: 16, num_disparities: 16, num_layers: 1, noise_sigma: 0.0 }
-            .generate(0);
+        StereoSpec {
+            width: 16,
+            height: 16,
+            num_disparities: 16,
+            num_layers: 1,
+            noise_sigma: 0.0,
+        }
+        .generate(0);
     }
 
     #[test]

@@ -55,7 +55,10 @@ impl ValueNoise {
                 (side, values)
             })
             .collect();
-        ValueNoise { octaves, base_period }
+        ValueNoise {
+            octaves,
+            base_period,
+        }
     }
 
     fn lattice_value(values: &[f32], side: usize, ix: i64, iy: i64) -> f32 {
@@ -156,8 +159,9 @@ mod tests {
     fn noise_varies_at_large_scales() {
         let mut rng = Xoshiro256pp::seed_from_u64(2);
         let noise = ValueNoise::new(8.0, 3, &mut rng);
-        let samples: Vec<f64> =
-            (0..200).map(|i| noise.sample(i as f64 * 5.0, i as f64 * 3.0)).collect();
+        let samples: Vec<f64> = (0..200)
+            .map(|i| noise.sample(i as f64 * 5.0, i as f64 * 3.0))
+            .collect();
         let (mean, var) = sampling::stats::mean_variance(&samples);
         assert!(mean > 0.2 && mean < 0.8, "mean {mean}");
         assert!(var > 0.005, "variance {var} too small for texture");
@@ -170,7 +174,10 @@ mod tests {
         let img = noise.render(40, 30, 50.0, 200.0);
         let (lo, hi) = img.min_max();
         assert!(lo >= 50.0 && hi <= 200.0);
-        assert!(hi - lo > 30.0, "texture should use a good part of the range");
+        assert!(
+            hi - lo > 30.0,
+            "texture should use a good part of the range"
+        );
     }
 
     #[test]

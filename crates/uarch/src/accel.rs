@@ -81,7 +81,10 @@ pub fn simulate(
     labels: u32,
     iterations: u64,
 ) -> AcceleratorReport {
-    assert!(width > 0 && height > 0 && labels > 0 && iterations > 0, "empty workload");
+    assert!(
+        width > 0 && height > 0 && labels > 0 && iterations > 0,
+        "empty workload"
+    );
     assert!(spec.units > 0 && spec.clock_hz > 0.0 && spec.bandwidth_bytes_per_s > 0.0);
     let pixels = width * height;
     // Checkerboard phases: ceil/floor halves.
@@ -102,8 +105,7 @@ pub fn simulate(
             // one update per unit per batch).
             let compute_s = batches as f64 * labels as f64 / spec.clock_hz;
             // Memory time: all the phase's bytes through the shared bus.
-            let memory_s =
-                phase_pixels as f64 * spec.bytes_per_update / spec.bandwidth_bytes_per_s;
+            let memory_s = phase_pixels as f64 * spec.bytes_per_update / spec.bandwidth_bytes_per_s;
             let epoch = compute_s.max(memory_s);
             total_time += epoch;
             busy_unit_cycles += phase_pixels as f64 * labels as f64;
@@ -137,7 +139,10 @@ pub fn sizing_sweep(
         .iter()
         .map(|&units| {
             let spec = AcceleratorSpec { units, ..base };
-            (units, simulate(spec, width, height, labels, iterations).time_s)
+            (
+                units,
+                simulate(spec, width, height, labels, iterations).time_s,
+            )
         })
         .collect()
 }
@@ -159,8 +164,14 @@ mod tests {
         let spec = AcceleratorSpec::paper();
         let seg = simulate(spec, 320, 320, 5, 10);
         let motion = simulate(spec, 320, 320, 49, 10);
-        assert!(seg.memory_bound, "5-label segmentation should be memory-bound");
-        assert!(!motion.memory_bound, "49-label motion should be compute-bound");
+        assert!(
+            seg.memory_bound,
+            "5-label segmentation should be memory-bound"
+        );
+        assert!(
+            !motion.memory_bound,
+            "49-label motion should be compute-bound"
+        );
         assert!(motion.compute_utilisation > 0.9);
         assert!(seg.memory_utilisation > 0.9);
     }
@@ -201,7 +212,10 @@ mod tests {
         // must not help noticeably.
         let t336 = sweep.iter().find(|&&(u, _)| u == 336).unwrap().1;
         let t1344 = sweep.iter().find(|&&(u, _)| u == 1344).unwrap().1;
-        assert!(t1344 > t336 * 0.95, "scaling past the memory wall should not help");
+        assert!(
+            t1344 > t336 * 0.95,
+            "scaling past the memory wall should not help"
+        );
         // Going 84 → 168 units helps only until the memory wall
         // intervenes (threshold is 4 labels at 84 units, 8 at 168).
         let t84 = sweep.iter().find(|&&(u, _)| u == 84).unwrap().1;
@@ -209,20 +223,31 @@ mod tests {
         assert!(t168 < t84 * 0.85, "partial scaling before the wall");
         // Fully compute-bound workloads (49 labels) scale ~linearly.
         let c = sizing_sweep(base, &[84, 168], 1920, 1080, 49, 10);
-        assert!(c[1].1 < c[0].1 * 0.55, "compute-bound regime must scale: {c:?}");
+        assert!(
+            c[1].1 < c[0].1 * 0.55,
+            "compute-bound regime must scale: {c:?}"
+        );
     }
 
     #[test]
     fn more_bandwidth_helps_only_memory_bound_workloads() {
         let spec = AcceleratorSpec::paper();
-        let double_bw =
-            AcceleratorSpec { bandwidth_bytes_per_s: 672.0e9, ..spec };
+        let double_bw = AcceleratorSpec {
+            bandwidth_bytes_per_s: 672.0e9,
+            ..spec
+        };
         let seg = simulate(spec, 320, 320, 5, 10).time_s;
         let seg_fast = simulate(double_bw, 320, 320, 5, 10).time_s;
-        assert!(seg_fast < seg * 0.55, "memory-bound: doubling BW halves time");
+        assert!(
+            seg_fast < seg * 0.55,
+            "memory-bound: doubling BW halves time"
+        );
         let motion = simulate(spec, 320, 320, 49, 10).time_s;
         let motion_fast = simulate(double_bw, 320, 320, 49, 10).time_s;
-        assert!(motion_fast > motion * 0.95, "compute-bound: BW is not the limit");
+        assert!(
+            motion_fast > motion * 0.95,
+            "compute-bound: BW is not the limit"
+        );
     }
 
     #[test]

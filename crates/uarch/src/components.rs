@@ -48,7 +48,10 @@ pub fn mux(inputs: u32) -> AreaPower {
 /// energy-to-λ LUT at 147.8 µm² / 0.864 mW and the 6 Kbit label-value
 /// LUT at 655 µm² / 1.42 mW).
 pub fn sram_macro(bits: u64) -> AreaPower {
-    AreaPower::new(46.36 + 0.099_06 * bits as f64, 0.7523 + 1.086_7e-4 * bits as f64)
+    AreaPower::new(
+        46.36 + 0.099_06 * bits as f64,
+        0.7523 + 1.086_7e-4 * bits as f64,
+    )
 }
 
 /// Bits of the energy-to-λ conversion LUT (256 entries × 4 bits,

@@ -23,7 +23,10 @@ pub struct CostBreakdown {
 impl CostBreakdown {
     /// Appends a row.
     pub fn push(&mut self, name: &str, cost: AreaPower) {
-        self.rows.push(CostRow { name: name.to_owned(), cost });
+        self.rows.push(CostRow {
+            name: name.to_owned(),
+            cost,
+        });
     }
 
     /// Sum of all rows.
@@ -138,7 +141,12 @@ mod tests {
     use super::*;
 
     fn area_of(t: &CostBreakdown, name: &str) -> f64 {
-        t.rows.iter().find(|r| r.name == name).expect("row exists").cost.area_um2
+        t.rows
+            .iter()
+            .find(|r| r.name == name)
+            .expect("row exists")
+            .cost
+            .area_um2
     }
 
     #[test]
@@ -148,8 +156,16 @@ mod tests {
         assert!((area_of(&t, "CMOS Circuitry") - 1128.0).abs() < 1.0);
         assert!((area_of(&t, "LUT") - 655.0).abs() < 1.0);
         let total = t.total();
-        assert!((total.area_um2 - 2903.0).abs() < 2.0, "total area {}", total.area_um2);
-        assert!((total.power_mw - 4.99).abs() < 0.02, "total power {}", total.power_mw);
+        assert!(
+            (total.area_um2 - 2903.0).abs() < 2.0,
+            "total area {}",
+            total.area_um2
+        );
+        assert!(
+            (total.power_mw - 4.99).abs() < 0.02,
+            "total power {}",
+            total.power_mw
+        );
     }
 
     #[test]
@@ -157,8 +173,16 @@ mod tests {
         let new = new_rsu_total();
         let prev = previous_rsu_total();
         // §II-C: previous design 0.0029 mm², 3.91 mW.
-        assert!((prev.area_um2 - 2900.0).abs() < 15.0, "prev area {}", prev.area_um2);
-        assert!((prev.power_mw - 3.91).abs() < 0.05, "prev power {}", prev.power_mw);
+        assert!(
+            (prev.area_um2 - 2900.0).abs() < 15.0,
+            "prev area {}",
+            prev.area_um2
+        );
+        assert!(
+            (prev.power_mw - 3.91).abs() < 0.05,
+            "prev power {}",
+            prev.power_mw
+        );
         // Abstract: "1.27× power and equivalent area".
         assert!((new.power_mw / prev.power_mw - 1.27).abs() < 0.03);
         assert!((new.area_um2 / prev.area_um2 - 1.0).abs() < 0.01);
@@ -206,7 +230,10 @@ mod tests {
         let lfsr = lfsr_design(19).area_um2;
         let mt = mt19937_design(1).area_um2;
         assert!(rsug < mt / 6.0, "RSU-G far smaller than unshared mt19937");
-        assert!((rsug / lfsr - 1.0).abs() < 0.5, "RSU-G within ~1.5x of the LFSR design");
+        assert!(
+            (rsug / lfsr - 1.0).abs() < 0.5,
+            "RSU-G within ~1.5x of the LFSR design"
+        );
     }
 
     #[test]

@@ -32,8 +32,14 @@ impl AreaPower {
     ///
     /// Panics if either value is negative or non-finite.
     pub fn new(area_um2: f64, power_mw: f64) -> Self {
-        assert!(area_um2 >= 0.0 && area_um2.is_finite(), "area must be non-negative");
-        assert!(power_mw >= 0.0 && power_mw.is_finite(), "power must be non-negative");
+        assert!(
+            area_um2 >= 0.0 && area_um2.is_finite(),
+            "area must be non-negative"
+        );
+        assert!(
+            power_mw >= 0.0 && power_mw.is_finite(),
+            "power must be non-negative"
+        );
         AreaPower { area_um2, power_mw }
     }
 
@@ -70,7 +76,10 @@ impl Mul<f64> for AreaPower {
     type Output = AreaPower;
 
     fn mul(self, k: f64) -> AreaPower {
-        AreaPower { area_um2: self.area_um2 * k, power_mw: self.power_mw * k }
+        AreaPower {
+            area_um2: self.area_um2 * k,
+            power_mw: self.power_mw * k,
+        }
     }
 }
 
@@ -78,7 +87,10 @@ impl Div<f64> for AreaPower {
     type Output = AreaPower;
 
     fn div(self, k: f64) -> AreaPower {
-        AreaPower { area_um2: self.area_um2 / k, power_mw: self.power_mw / k }
+        AreaPower {
+            area_um2: self.area_um2 / k,
+            power_mw: self.power_mw / k,
+        }
     }
 }
 

@@ -27,12 +27,22 @@ pub struct StereoWorkload {
 impl StereoWorkload {
     /// The paper's SD shape (320×320).
     pub fn sd(labels: u32) -> Self {
-        StereoWorkload { width: 320, height: 320, labels, iterations: ITERATIONS }
+        StereoWorkload {
+            width: 320,
+            height: 320,
+            labels,
+            iterations: ITERATIONS,
+        }
     }
 
     /// The paper's HD shape (1920×1080).
     pub fn hd(labels: u32) -> Self {
-        StereoWorkload { width: 1920, height: 1080, labels, iterations: ITERATIONS }
+        StereoWorkload {
+            width: 1920,
+            height: 1080,
+            labels,
+            iterations: ITERATIONS,
+        }
     }
 
     /// Pixels per frame.
@@ -116,22 +126,27 @@ pub struct Table2Cell {
 
 /// Regenerates all four Table II columns (SD/HD × 10/64 labels).
 pub fn table2() -> Vec<Table2Cell> {
-    [StereoWorkload::sd(10), StereoWorkload::sd(64), StereoWorkload::hd(10), StereoWorkload::hd(64)]
-        .into_iter()
-        .map(|w| {
-            let gpu_float_s = gpu_time_s(w, GpuPrecision::Float);
-            let gpu_int8_s = gpu_time_s(w, GpuPrecision::Int8);
-            let rsug_s = rsu_augmented_time_s(w);
-            Table2Cell {
-                workload: w,
-                gpu_float_s,
-                gpu_int8_s,
-                rsug_s,
-                speedup_float: gpu_float_s / rsug_s,
-                speedup_int8: gpu_int8_s / rsug_s,
-            }
-        })
-        .collect()
+    [
+        StereoWorkload::sd(10),
+        StereoWorkload::sd(64),
+        StereoWorkload::hd(10),
+        StereoWorkload::hd(64),
+    ]
+    .into_iter()
+    .map(|w| {
+        let gpu_float_s = gpu_time_s(w, GpuPrecision::Float);
+        let gpu_int8_s = gpu_time_s(w, GpuPrecision::Int8);
+        let rsug_s = rsu_augmented_time_s(w);
+        Table2Cell {
+            workload: w,
+            gpu_float_s,
+            gpu_int8_s,
+            rsug_s,
+            speedup_float: gpu_float_s / rsug_s,
+            speedup_int8: gpu_int8_s / rsug_s,
+        }
+    })
+    .collect()
 }
 
 /// §II-C discrete accelerator: `units` RSU-Gs behind a memory-bandwidth
@@ -172,9 +187,7 @@ mod tests {
         let t = table2();
         let cell = |labels: u32, hd: bool| -> &Table2Cell {
             t.iter()
-                .find(|c| {
-                    c.workload.labels == labels && (c.workload.width == 1920) == hd
-                })
+                .find(|c| c.workload.labels == labels && (c.workload.width == 1920) == hd)
                 .expect("cell exists")
         };
         // Who wins: RSU everywhere.
@@ -238,20 +251,16 @@ mod tests {
     fn discrete_accelerator_speedup_grows_with_labels() {
         // §II-C: 21× at 5 labels vs 54× at 49 labels (336 units,
         // 336 GB/s).
-        let s5 = discrete_accelerator_speedup(
-            StereoWorkload::sd(5),
-            336,
-            336e9,
-            16.0,
+        let s5 = discrete_accelerator_speedup(StereoWorkload::sd(5), 336, 336e9, 16.0);
+        let s49 = discrete_accelerator_speedup(StereoWorkload::sd(49), 336, 336e9, 16.0);
+        assert!(
+            s49 > s5 * 1.5,
+            "more labels amortise the bandwidth: {s5} vs {s49}"
         );
-        let s49 = discrete_accelerator_speedup(
-            StereoWorkload::sd(49),
-            336,
-            336e9,
-            16.0,
+        assert!(
+            s5 > 5.0,
+            "discrete accelerator must be far faster than the GPU"
         );
-        assert!(s49 > s5 * 1.5, "more labels amortise the bandwidth: {s5} vs {s49}");
-        assert!(s5 > 5.0, "discrete accelerator must be far faster than the GPU");
     }
 
     #[test]
@@ -279,8 +288,7 @@ mod tests {
     fn rsu_time_is_dominated_by_label_evaluations_at_hd() {
         let w = StereoWorkload::hd(64);
         let t = rsu_augmented_time_s(w);
-        let pure_compute =
-            w.iterations as f64 * w.pixels() as f64 * 64.0 / (R_UNITS * F_HZ);
+        let pure_compute = w.iterations as f64 * w.pixels() as f64 * 64.0 / (R_UNITS * F_HZ);
         assert!(pure_compute / t > 0.9, "sampling should dominate at HD/64");
     }
 }

@@ -33,7 +33,11 @@ impl fmt::Display for VisionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             VisionError::DimensionMismatch { a, b } => {
-                write!(f, "image dimensions differ: {}x{} vs {}x{}", a.0, a.1, b.0, b.1)
+                write!(
+                    f,
+                    "image dimensions differ: {}x{} vs {}x{}",
+                    a.0, a.1, b.0, b.1
+                )
             }
             VisionError::InvalidParameter { name, reason } => {
                 write!(f, "invalid parameter {name}: {reason}")
@@ -60,7 +64,10 @@ mod tests {
     fn display_and_std_error() {
         fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
         assert_err::<VisionError>();
-        let e = VisionError::DimensionMismatch { a: (2, 3), b: (4, 5) };
+        let e = VisionError::DimensionMismatch {
+            a: (2, 3),
+            b: (4, 5),
+        };
         assert!(e.to_string().contains("2x3"));
     }
 }

@@ -31,7 +31,11 @@ impl GrayImage {
     /// Panics if either dimension is zero.
     pub fn filled(width: usize, height: usize, value: f32) -> Self {
         assert!(width > 0 && height > 0, "image dimensions must be non-zero");
-        GrayImage { width, height, data: vec![value; width * height] }
+        GrayImage {
+            width,
+            height,
+            data: vec![value; width * height],
+        }
     }
 
     /// Creates an image from a generator function.
@@ -39,11 +43,7 @@ impl GrayImage {
     /// # Panics
     ///
     /// Panics if either dimension is zero.
-    pub fn from_fn<F: FnMut(usize, usize) -> f32>(
-        width: usize,
-        height: usize,
-        mut f: F,
-    ) -> Self {
+    pub fn from_fn<F: FnMut(usize, usize) -> f32>(width: usize, height: usize, mut f: F) -> Self {
         assert!(width > 0 && height > 0, "image dimensions must be non-zero");
         let mut data = Vec::with_capacity(width * height);
         for y in 0..height {
@@ -51,7 +51,11 @@ impl GrayImage {
                 data.push(f(x, y));
             }
         }
-        GrayImage { width, height, data }
+        GrayImage {
+            width,
+            height,
+            data,
+        }
     }
 
     /// Creates an image from raw row-major samples.
@@ -62,7 +66,11 @@ impl GrayImage {
     pub fn from_raw(width: usize, height: usize, data: Vec<f32>) -> Self {
         assert!(width > 0 && height > 0, "image dimensions must be non-zero");
         assert_eq!(data.len(), width * height, "sample count mismatch");
-        GrayImage { width, height, data }
+        GrayImage {
+            width,
+            height,
+            data,
+        }
     }
 
     /// Width in pixels.
@@ -92,7 +100,10 @@ impl GrayImage {
     /// Panics if out of bounds.
     #[inline]
     pub fn get(&self, x: usize, y: usize) -> f32 {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         self.data[y * self.width + x]
     }
 
@@ -112,7 +123,10 @@ impl GrayImage {
     /// Panics if out of bounds.
     #[inline]
     pub fn set(&mut self, x: usize, y: usize, value: f32) {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         self.data[y * self.width + x] = value;
     }
 
@@ -160,8 +174,11 @@ impl GrayImage {
     /// Propagates I/O errors from the writer.
     pub fn write_pgm<W: Write>(&self, mut w: W) -> Result<(), VisionError> {
         write!(w, "P5\n{} {}\n255\n", self.width, self.height)?;
-        let bytes: Vec<u8> =
-            self.data.iter().map(|&v| v.round().clamp(0.0, 255.0) as u8).collect();
+        let bytes: Vec<u8> = self
+            .data
+            .iter()
+            .map(|&v| v.round().clamp(0.0, 255.0) as u8)
+            .collect();
         w.write_all(&bytes)?;
         Ok(())
     }
@@ -184,7 +201,9 @@ impl GrayImage {
     pub fn read_pgm<R: BufRead>(mut r: R) -> Result<GrayImage, VisionError> {
         let mut content = Vec::new();
         r.read_to_end(&mut content)?;
-        let bad = |reason: &str| VisionError::BadImageFormat { reason: reason.to_owned() };
+        let bad = |reason: &str| VisionError::BadImageFormat {
+            reason: reason.to_owned(),
+        };
         // Parse header tokens (magic, width, height, maxval), skipping
         // comments.
         let mut pos = 0usize;
@@ -234,8 +253,11 @@ impl GrayImage {
             "P2" => {
                 let text = String::from_utf8(content[pos..].to_vec())
                     .map_err(|_| bad("non-utf8 ascii data"))?;
-                let vals: Result<Vec<f32>, _> =
-                    text.split_whitespace().take(npix).map(|t| t.parse::<f32>()).collect();
+                let vals: Result<Vec<f32>, _> = text
+                    .split_whitespace()
+                    .take(npix)
+                    .map(|t| t.parse::<f32>())
+                    .collect();
                 let vals = vals.map_err(|_| bad("bad ascii sample"))?;
                 if vals.len() < npix {
                     return Err(bad("truncated ascii data"));
@@ -244,7 +266,11 @@ impl GrayImage {
             }
             _ => return Err(bad("unknown magic (want P2 or P5)")),
         };
-        Ok(GrayImage { width, height, data })
+        Ok(GrayImage {
+            width,
+            height,
+            data,
+        })
     }
 
     /// Loads a PGM file from `path`.
@@ -284,7 +310,9 @@ impl GrayImage {
     pub fn read_pfm<R: BufRead>(mut r: R) -> Result<GrayImage, VisionError> {
         let mut content = Vec::new();
         r.read_to_end(&mut content)?;
-        let bad = |reason: &str| VisionError::BadImageFormat { reason: reason.to_owned() };
+        let bad = |reason: &str| VisionError::BadImageFormat {
+            reason: reason.to_owned(),
+        };
         let mut pos = 0usize;
         let mut tokens: Vec<String> = Vec::new();
         while tokens.len() < 4 && pos < content.len() {
@@ -325,13 +353,21 @@ impl GrayImage {
             let b: [u8; 4] = content[pos + 4 * i..pos + 4 * i + 4]
                 .try_into()
                 .expect("bounds checked");
-            let v = if little_endian { f32::from_le_bytes(b) } else { f32::from_be_bytes(b) };
+            let v = if little_endian {
+                f32::from_le_bytes(b)
+            } else {
+                f32::from_be_bytes(b)
+            };
             // PFM rows run bottom-to-top.
             let row = i / width;
             let col = i % width;
             data[(height - 1 - row) * width + col] = v;
         }
-        Ok(GrayImage { width, height, data })
+        Ok(GrayImage {
+            width,
+            height,
+            data,
+        })
     }
 
     /// Loads a grayscale PFM file from `path`.
@@ -378,10 +414,22 @@ mod tests {
 
     #[test]
     fn rejects_malformed_pgm() {
-        assert!(GrayImage::read_pgm(&b"P5\n3 2\n"[..]).is_err(), "truncated header");
-        assert!(GrayImage::read_pgm(&b"P7\n3 2\n255\n"[..]).is_err(), "bad magic");
-        assert!(GrayImage::read_pgm(&b"P5\n3 2\n255\nab"[..]).is_err(), "truncated data");
-        assert!(GrayImage::read_pgm(&b"P5\n0 2\n255\n"[..]).is_err(), "zero width");
+        assert!(
+            GrayImage::read_pgm(&b"P5\n3 2\n"[..]).is_err(),
+            "truncated header"
+        );
+        assert!(
+            GrayImage::read_pgm(&b"P7\n3 2\n255\n"[..]).is_err(),
+            "bad magic"
+        );
+        assert!(
+            GrayImage::read_pgm(&b"P5\n3 2\n255\nab"[..]).is_err(),
+            "truncated data"
+        );
+        assert!(
+            GrayImage::read_pgm(&b"P5\n0 2\n255\n"[..]).is_err(),
+            "zero width"
+        );
     }
 
     #[test]
@@ -454,9 +502,18 @@ mod tests {
 
     #[test]
     fn pfm_rejects_malformed_input() {
-        assert!(GrayImage::read_pfm(&b"PF\n1 1\n-1.0\n\0\0\0\0"[..]).is_err(), "color PFM");
-        assert!(GrayImage::read_pfm(&b"Pf\n1 1\n-1.0\n\0\0"[..]).is_err(), "truncated");
-        assert!(GrayImage::read_pfm(&b"Pf\n0 1\n-1.0\n"[..]).is_err(), "zero width");
+        assert!(
+            GrayImage::read_pfm(&b"PF\n1 1\n-1.0\n\0\0\0\0"[..]).is_err(),
+            "color PFM"
+        );
+        assert!(
+            GrayImage::read_pfm(&b"Pf\n1 1\n-1.0\n\0\0"[..]).is_err(),
+            "truncated"
+        );
+        assert!(
+            GrayImage::read_pfm(&b"Pf\n0 1\n-1.0\n"[..]).is_err(),
+            "zero width"
+        );
     }
 
     #[test]

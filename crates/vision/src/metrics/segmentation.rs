@@ -32,15 +32,20 @@ impl ContingencyTable {
         for site in 0..a.grid().len() {
             counts[a.get(site) as usize * k_b + b.get(site) as usize] += 1;
         }
-        ContingencyTable { counts, k_a, k_b, total: a.grid().len() as u64 }
+        ContingencyTable {
+            counts,
+            k_a,
+            k_b,
+            total: a.grid().len() as u64,
+        }
     }
 
     /// Marginal counts of segmentation A.
     pub fn marginal_a(&self) -> Vec<u64> {
         let mut m = vec![0u64; self.k_a];
-        for a in 0..self.k_a {
+        for (a, slot) in m.iter_mut().enumerate() {
             for b in 0..self.k_b {
-                m[a] += self.counts[a * self.k_b + b];
+                *slot += self.counts[a * self.k_b + b];
             }
         }
         m
@@ -50,8 +55,8 @@ impl ContingencyTable {
     pub fn marginal_b(&self) -> Vec<u64> {
         let mut m = vec![0u64; self.k_b];
         for a in 0..self.k_a {
-            for b in 0..self.k_b {
-                m[b] += self.counts[a * self.k_b + b];
+            for (b, slot) in m.iter_mut().enumerate() {
+                *slot += self.counts[a * self.k_b + b];
             }
         }
         m
@@ -84,13 +89,13 @@ impl ContingencyTable {
         let mb = self.marginal_b();
         let n = self.total as f64;
         let mut mi = 0.0;
-        for a in 0..self.k_a {
-            for b in 0..self.k_b {
+        for (a, &ca) in ma.iter().enumerate() {
+            for (b, &cb) in mb.iter().enumerate() {
                 let c = self.counts[a * self.k_b + b];
                 if c > 0 {
                     let p = c as f64 / n;
-                    let pa = ma[a] as f64 / n;
-                    let pb = mb[b] as f64 / n;
+                    let pa = ca as f64 / n;
+                    let pb = cb as f64 / n;
                     mi += p * (p / (pa * pb)).log2();
                 }
             }
@@ -172,12 +177,12 @@ pub fn global_consistency_error(a: &LabelField, b: &LabelField) -> f64 {
     // E(A→B) = Σ_ij n_ij · (|A_i| − n_ij) / |A_i|.
     let mut e_ab = 0.0;
     let mut e_ba = 0.0;
-    for ia in 0..ma.len() {
-        for ib in 0..mb.len() {
+    for (ia, &ca) in ma.iter().enumerate() {
+        for (ib, &cb) in mb.iter().enumerate() {
             let nij = t.count(ia, ib) as f64;
             if nij > 0.0 {
-                e_ab += nij * (ma[ia] as f64 - nij) / ma[ia] as f64;
-                e_ba += nij * (mb[ib] as f64 - nij) / mb[ib] as f64;
+                e_ab += nij * (ca as f64 - nij) / ca as f64;
+                e_ba += nij * (cb as f64 - nij) / cb as f64;
             }
         }
     }
@@ -291,11 +296,8 @@ mod tests {
         let grid = Grid::new(8, 8);
         let a = halves(grid, 4);
         // Swap the labels: same partition.
-        let swapped = LabelField::from_labels(
-            grid,
-            2,
-            a.as_slice().iter().map(|&l| 1 - l).collect(),
-        );
+        let swapped =
+            LabelField::from_labels(grid, 2, a.as_slice().iter().map(|&l| 1 - l).collect());
         assert!(variation_of_information(&a, &a) < 1e-12);
         assert!(variation_of_information(&a, &swapped) < 1e-12);
         assert!(probabilistic_rand_index(&a, &swapped) > 0.999_999);
@@ -309,7 +311,9 @@ mod tests {
         let horizontal = LabelField::from_labels(
             grid,
             2,
-            grid.sites().map(|s| u16::from(grid.coords(s).1 >= 4)).collect(),
+            grid.sites()
+                .map(|s| u16::from(grid.coords(s).1 >= 4))
+                .collect(),
         );
         // Two orthogonal half-splits: VoI = 2·H(1/2) − 2·0 = 2 bits.
         let voi = variation_of_information(&vertical, &horizontal);

@@ -46,7 +46,7 @@ pub fn bad_pixel_percentage(
     let n = result.grid().len();
     let mut bad = 0usize;
     for site in 0..n {
-        let occl = occluded.map_or(false, |m| m[site]);
+        let occl = occluded.is_some_and(|m| m[site]);
         let err = (result.get(site) as f64 - truth.get(site) as f64).abs();
         if occl || err > threshold {
             bad += 1;
@@ -69,7 +69,7 @@ pub fn rms_error(result: &LabelField, truth: &LabelField, occluded: Option<&[boo
     let mut sum = 0.0;
     let mut count = 0usize;
     for site in 0..result.grid().len() {
-        if occluded.map_or(false, |m| m[site]) {
+        if occluded.is_some_and(|m| m[site]) {
             continue;
         }
         let d = result.get(site) as f64 - truth.get(site) as f64;
@@ -158,7 +158,11 @@ pub fn compute_regions(
             }
         }
     }
-    StereoRegions { occluded: occluded.to_vec(), textureless, discontinuity }
+    StereoRegions {
+        occluded: occluded.to_vec(),
+        textureless,
+        discontinuity,
+    }
 }
 
 /// Per-subregion bad-pixel percentages: `(all, nonocc, textureless,
@@ -223,7 +227,10 @@ mod tests {
         let (result, truth) = fields();
         let mask = vec![true, false, false, false];
         // Pixel 0 is correct but occluded → bad; pixel 2 wrong → bad.
-        assert_eq!(bad_pixel_percentage(&result, &truth, Some(&mask), 1.0), 50.0);
+        assert_eq!(
+            bad_pixel_percentage(&result, &truth, Some(&mask), 1.0),
+            50.0
+        );
     }
 
     #[test]

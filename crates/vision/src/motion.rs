@@ -76,8 +76,11 @@ impl MotionModel {
                 reason: "must not exceed the frame dimensions",
             });
         }
-        for (name, w) in [("data_weight", data_weight), ("smooth_weight", smooth_weight)] {
-            if !(w >= 0.0) || !w.is_finite() {
+        for (name, w) in [
+            ("data_weight", data_weight),
+            ("smooth_weight", smooth_weight),
+        ] {
+            if w < 0.0 || !w.is_finite() {
                 return Err(VisionError::InvalidParameter {
                     name,
                     reason: "must be non-negative and finite",
@@ -100,7 +103,13 @@ impl MotionModel {
                 }
             }
         }
-        Ok(MotionModel { grid, window, half, data_cost, smooth_weight })
+        Ok(MotionModel {
+            grid,
+            window,
+            half,
+            data_cost,
+            smooth_weight,
+        })
     }
 
     /// Search-window side length `N`.
@@ -116,7 +125,10 @@ impl MotionModel {
     pub fn label_to_flow(&self, label: Label) -> (isize, isize) {
         let l = label as usize;
         assert!(l < self.window * self.window, "label out of range");
-        ((l % self.window) as isize - self.half, (l / self.window) as isize - self.half)
+        (
+            (l % self.window) as isize - self.half,
+            (l / self.window) as isize - self.half,
+        )
     }
 
     /// Encodes a motion vector as a label, or `None` when it falls
@@ -144,13 +156,7 @@ impl MrfModel for MotionModel {
         self.data_cost[site * self.num_labels() + label as usize]
     }
 
-    fn pairwise(
-        &self,
-        _site: usize,
-        _neighbor: usize,
-        label: Label,
-        neighbor_label: Label,
-    ) -> f64 {
+    fn pairwise(&self, _site: usize, _neighbor: usize, label: Label, neighbor_label: Label) -> f64 {
         let (ax, ay) = self.label_to_flow(label);
         let (bx, by) = self.label_to_flow(neighbor_label);
         let dx = (ax - bx) as f64;
@@ -194,9 +200,18 @@ mod tests {
         let f = textured(8, 8);
         let g = textured(9, 8);
         assert!(MotionModel::new(&f, &g, 5, 1.0, 1.0).is_err());
-        assert!(MotionModel::new(&f, &f, 4, 1.0, 1.0).is_err(), "even window");
-        assert!(MotionModel::new(&f, &f, 1, 1.0, 1.0).is_err(), "tiny window");
-        assert!(MotionModel::new(&f, &f, 9, 1.0, 1.0).is_err(), "window > frame");
+        assert!(
+            MotionModel::new(&f, &f, 4, 1.0, 1.0).is_err(),
+            "even window"
+        );
+        assert!(
+            MotionModel::new(&f, &f, 1, 1.0, 1.0).is_err(),
+            "tiny window"
+        );
+        assert!(
+            MotionModel::new(&f, &f, 9, 1.0, 1.0).is_err(),
+            "window > frame"
+        );
         assert!(MotionModel::new(&f, &f, 5, f64::INFINITY, 1.0).is_err());
     }
 
@@ -214,7 +229,9 @@ mod tests {
     #[test]
     fn true_translation_has_zero_data_cost() {
         let f1 = textured(20, 20);
-        let f2 = GrayImage::from_fn(20, 20, |x, y| f1.get_clamped(x as isize - 2, y as isize + 1));
+        let f2 = GrayImage::from_fn(20, 20, |x, y| {
+            f1.get_clamped(x as isize - 2, y as isize + 1)
+        });
         let model = MotionModel::new(&f1, &f2, 7, 1.0, 0.0).unwrap();
         let label = model.flow_to_label(2, -1).unwrap();
         // Interior pixels match exactly at the true flow.
@@ -229,7 +246,9 @@ mod tests {
     #[test]
     fn gibbs_recovers_global_translation() {
         let f1 = textured(24, 24);
-        let f2 = GrayImage::from_fn(24, 24, |x, y| f1.get_clamped(x as isize - 1, y as isize - 2));
+        let f2 = GrayImage::from_fn(24, 24, |x, y| {
+            f1.get_clamped(x as isize - 1, y as isize - 2)
+        });
         let model = MotionModel::new(&f1, &f2, 5, 1.0, 0.5).unwrap();
         let truth_label = model.flow_to_label(1, 2).unwrap();
         let mut rng = Xoshiro256pp::seed_from_u64(3);

@@ -83,12 +83,11 @@ impl Pyramid {
     ///
     /// Panics if `from_level` is 0 or out of range, or if the flow size
     /// mismatches that level.
-    pub fn upsample_flow(
-        &self,
-        flow: &[(isize, isize)],
-        from_level: usize,
-    ) -> Vec<(isize, isize)> {
-        assert!(from_level > 0 && from_level < self.levels.len(), "bad level");
+    pub fn upsample_flow(&self, flow: &[(isize, isize)], from_level: usize) -> Vec<(isize, isize)> {
+        assert!(
+            from_level > 0 && from_level < self.levels.len(),
+            "bad level"
+        );
         let src = &self.levels[from_level];
         let dst = &self.levels[from_level - 1];
         assert_eq!(flow.len(), src.width() * src.height(), "flow size mismatch");

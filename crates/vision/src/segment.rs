@@ -56,8 +56,11 @@ impl SegmentModel {
                 reason: "must be in 2..=64 (the RSU-G label limit)",
             });
         }
-        for (name, w) in [("data_weight", data_weight), ("smooth_weight", smooth_weight)] {
-            if !(w >= 0.0) || !w.is_finite() {
+        for (name, w) in [
+            ("data_weight", data_weight),
+            ("smooth_weight", smooth_weight),
+        ] {
+            if w < 0.0 || !w.is_finite() {
                 return Err(VisionError::InvalidParameter {
                     name,
                     reason: "must be non-negative and finite",
@@ -73,7 +76,13 @@ impl SegmentModel {
                 data_cost.push(data_weight * d * d);
             }
         }
-        Ok(SegmentModel { grid, num_segments, class_means, data_cost, smooth_weight })
+        Ok(SegmentModel {
+            grid,
+            num_segments,
+            class_means,
+            data_cost,
+            smooth_weight,
+        })
     }
 
     /// The k-means class means, ascending.
@@ -95,13 +104,7 @@ impl MrfModel for SegmentModel {
         self.data_cost[site * self.num_segments + label as usize]
     }
 
-    fn pairwise(
-        &self,
-        _site: usize,
-        _neighbor: usize,
-        label: Label,
-        neighbor_label: Label,
-    ) -> f64 {
+    fn pairwise(&self, _site: usize, _neighbor: usize, label: Label, neighbor_label: Label) -> f64 {
         self.smooth_weight * DistanceFn::Binary.eval(label, neighbor_label)
     }
 }

@@ -67,8 +67,11 @@ impl StereoModel {
                 reason: "must be in 2..=image width",
             });
         }
-        for (name, w) in [("data_weight", data_weight), ("smooth_weight", smooth_weight)] {
-            if !(w >= 0.0) || !w.is_finite() {
+        for (name, w) in [
+            ("data_weight", data_weight),
+            ("smooth_weight", smooth_weight),
+        ] {
+            if w < 0.0 || !w.is_finite() {
                 return Err(VisionError::InvalidParameter {
                     name,
                     reason: "must be non-negative and finite",
@@ -86,7 +89,12 @@ impl StereoModel {
                 }
             }
         }
-        Ok(StereoModel { grid, num_disparities, data_cost, smooth_weight })
+        Ok(StereoModel {
+            grid,
+            num_disparities,
+            data_cost,
+            smooth_weight,
+        })
     }
 
     /// The smoothness weight.
@@ -108,13 +116,7 @@ impl MrfModel for StereoModel {
         self.data_cost[site * self.num_disparities + label as usize]
     }
 
-    fn pairwise(
-        &self,
-        _site: usize,
-        _neighbor: usize,
-        label: Label,
-        neighbor_label: Label,
-    ) -> f64 {
+    fn pairwise(&self, _site: usize, _neighbor: usize, label: Label, neighbor_label: Label) -> f64 {
         self.smooth_weight * DistanceFn::Absolute.eval(label, neighbor_label)
     }
 }

@@ -5,8 +5,8 @@ use proptest::prelude::*;
 use rand::SeedableRng;
 use sampling::Xoshiro256pp;
 use vision::metrics::{
-    bad_pixel_percentage, boundary_displacement_error, endpoint_error,
-    global_consistency_error, probabilistic_rand_index, rms_error, variation_of_information,
+    bad_pixel_percentage, boundary_displacement_error, endpoint_error, global_consistency_error,
+    probabilistic_rand_index, rms_error, variation_of_information,
 };
 use vision::{GrayImage, MotionModel, SegmentModel, StereoModel};
 

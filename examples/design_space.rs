@@ -35,8 +35,7 @@ fn main() -> Result<(), vision::VisionError> {
                 .expect("valid design point");
             let mut unit = RsuG::with_config(cfg);
             let mut rng = Xoshiro256pp::seed_from_u64(3);
-            let mut field =
-                mrf::LabelField::random(model.grid(), model.num_labels(), &mut rng);
+            let mut field = mrf::LabelField::random(model.grid(), model.num_labels(), &mut rng);
             mrf::SweepSolver::new(&model)
                 .schedule(Schedule::geometric(40.0, 0.95, 0.4))
                 .iterations(120)

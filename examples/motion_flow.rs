@@ -4,6 +4,7 @@
 //!
 //! Run with: `cargo run --release --example motion_flow`
 
+use rand::SeedableRng;
 use ret_rsu::mrf::{self, MrfModel, Schedule};
 use ret_rsu::rsu::RsuG;
 use ret_rsu::sampling::Xoshiro256pp;
@@ -11,27 +12,42 @@ use ret_rsu::scenes::flow_rubberwhale_like;
 use ret_rsu::vision::metrics::endpoint_error;
 use ret_rsu::vision::pyramid::Pyramid;
 use ret_rsu::vision::MotionModel;
-use rand::SeedableRng;
 
-fn solve<S: mrf::SiteSampler>(model: &MotionModel, sampler: &mut S, seed: u64) -> Vec<(isize, isize)> {
+fn solve<S: mrf::SiteSampler>(
+    model: &MotionModel,
+    sampler: &mut S,
+    seed: u64,
+) -> Vec<(isize, isize)> {
     let mut rng = Xoshiro256pp::seed_from_u64(seed);
     let mut field = mrf::LabelField::random(model.grid(), model.num_labels(), &mut rng);
     mrf::SweepSolver::new(model)
         .schedule(Schedule::geometric(40.0, 0.95, 0.4))
         .iterations(120)
         .run(&mut field, sampler, &mut rng);
-    (0..field.grid().len()).map(|s| model.label_to_flow(field.get(s))).collect()
+    (0..field.grid().len())
+        .map(|s| model.label_to_flow(field.get(s)))
+        .collect()
 }
 
 fn main() -> Result<(), ret_rsu::vision::VisionError> {
     let ds = flow_rubberwhale_like(9);
-    println!("frames: {}x{}, window 7x7 = 49 labels", ds.frame1.width(), ds.frame1.height());
+    println!(
+        "frames: {}x{}, window 7x7 = 49 labels",
+        ds.frame1.width(),
+        ds.frame1.height()
+    );
     let model = MotionModel::new(&ds.frame1, &ds.frame2, ds.window, 0.004, 1.2)?;
 
     let sw = solve(&model, &mut mrf::SoftwareGibbs::new(), 5);
     let hw = solve(&model, &mut RsuG::new_design(), 5);
-    println!("software  EPE: {:.3}", endpoint_error(&sw, &ds.ground_truth));
-    println!("new RSU-G EPE: {:.3}", endpoint_error(&hw, &ds.ground_truth));
+    println!(
+        "software  EPE: {:.3}",
+        endpoint_error(&sw, &ds.ground_truth)
+    );
+    println!(
+        "new RSU-G EPE: {:.3}",
+        endpoint_error(&hw, &ds.ground_truth)
+    );
 
     // Larger motions than ±3 px would use the pyramid (§III-D2): each
     // level doubles the effective search radius.

@@ -3,6 +3,7 @@
 //!
 //! Run with: `cargo run --release --example segmentation`
 
+use rand::SeedableRng;
 use ret_rsu::mrf::{self, MrfModel, Schedule};
 use ret_rsu::rsu::RsuG;
 use ret_rsu::sampling::Xoshiro256pp;
@@ -13,7 +14,6 @@ use ret_rsu::vision::metrics::{
     variation_of_information,
 };
 use ret_rsu::vision::SegmentModel;
-use rand::SeedableRng;
 
 fn solve<S: mrf::SiteSampler>(model: &SegmentModel, sampler: &mut S, seed: u64) -> mrf::LabelField {
     let mut rng = Xoshiro256pp::seed_from_u64(seed);
@@ -35,17 +35,36 @@ fn main() -> Result<(), ret_rsu::vision::VisionError> {
     }
     .generate(21);
     let model = SegmentModel::new(&ds.image, 4, 0.004, 2.5)?;
-    println!("image 96x72, 4 segments; class means {:?}", model.class_means());
+    println!(
+        "image 96x72, 4 segments; class means {:?}",
+        model.class_means()
+    );
 
     let sw = solve(&model, &mut mrf::SoftwareGibbs::new(), 3);
     let hw = solve(&model, &mut RsuG::new_design(), 3);
 
     println!("\nmetric                     software   new RSU-G   (vs generating partition)");
     let rows: [(&str, fn(&mrf::LabelField, &mrf::LabelField) -> f64, &str); 4] = [
-        ("Variation of Information", variation_of_information, "lower is better"),
-        ("Probabilistic Rand Index", probabilistic_rand_index, "higher is better"),
-        ("Global Consistency Error", global_consistency_error, "lower is better"),
-        ("Boundary Displacement", boundary_displacement_error, "pixels, lower is better"),
+        (
+            "Variation of Information",
+            variation_of_information,
+            "lower is better",
+        ),
+        (
+            "Probabilistic Rand Index",
+            probabilistic_rand_index,
+            "higher is better",
+        ),
+        (
+            "Global Consistency Error",
+            global_consistency_error,
+            "lower is better",
+        ),
+        (
+            "Boundary Displacement",
+            boundary_displacement_error,
+            "pixels, lower is better",
+        ),
     ];
     for (name, f, note) in rows {
         println!(

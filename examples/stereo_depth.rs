@@ -5,6 +5,7 @@
 //! Run with: `cargo run --release --example stereo_depth`
 //! Writes disparity maps as PGM files in the working directory.
 
+use rand::SeedableRng;
 use ret_rsu::mrf::{MrfModel, Schedule};
 use ret_rsu::rsu::RsuG;
 use ret_rsu::sampling::Xoshiro256pp;
@@ -13,16 +14,10 @@ use ret_rsu::vision::image::labels_to_image;
 use ret_rsu::vision::metrics::{bad_pixel_percentage, rms_error};
 use ret_rsu::vision::StereoModel;
 use ret_rsu::{mrf, vision};
-use rand::SeedableRng;
 
-fn solve<S: mrf::SiteSampler>(
-    model: &StereoModel,
-    sampler: &mut S,
-    seed: u64,
-) -> mrf::LabelField {
+fn solve<S: mrf::SiteSampler>(model: &StereoModel, sampler: &mut S, seed: u64) -> mrf::LabelField {
     let mut rng = Xoshiro256pp::seed_from_u64(seed);
-    let mut field =
-        mrf::LabelField::random(model.grid(), model.num_labels(), &mut rng);
+    let mut field = mrf::LabelField::random(model.grid(), model.num_labels(), &mut rng);
     mrf::SweepSolver::new(model)
         .schedule(Schedule::geometric(40.0, 0.95, 0.4))
         .iterations(150)

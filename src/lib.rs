@@ -52,8 +52,7 @@ pub use vision;
 /// one line: `use ret_rsu::prelude::*;`.
 pub mod prelude {
     pub use mrf::{
-        DistanceFn, Grid, LabelField, MrfModel, Schedule, SiteSampler, SoftwareGibbs,
-        SweepSolver,
+        DistanceFn, Grid, LabelField, MrfModel, Schedule, SiteSampler, SoftwareGibbs, SweepSolver,
     };
     pub use rsu::{RsuConfig, RsuG};
     pub use sampling::Xoshiro256pp;

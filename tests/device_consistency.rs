@@ -14,7 +14,10 @@ fn device_and_ideal_paths_produce_matching_boltzmann_statistics() {
     let energies = [0.0f64, 1.0, 3.0];
     let t = 1.2;
     let run = |path: PhotonPath, seed: u64| -> Vec<f64> {
-        let cfg = RsuConfig::builder().photon_path(path).build().expect("valid");
+        let cfg = RsuConfig::builder()
+            .photon_path(path)
+            .build()
+            .expect("valid");
         let mut unit = RsuG::with_config(cfg);
         let mut rng = Xoshiro256pp::seed_from_u64(seed);
         let mut counts = [0u64; 3];
@@ -63,7 +66,10 @@ fn paper_point_mux_width_and_bank_shape() {
     assert_eq!(circuit.mux_inputs(), 32);
     let model = PipelineModel::new_design();
     assert_eq!(model.ret_circuit_replicas(), 4);
-    assert_eq!(model.ret_network_rows() * 4 * model.ret_circuit_replicas(), 128);
+    assert_eq!(
+        model.ret_network_rows() * 4 * model.ret_circuit_replicas(),
+        128
+    );
 }
 
 #[test]

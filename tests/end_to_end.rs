@@ -19,11 +19,10 @@ fn solve<M: MrfModel, S: SiteSampler>(
 ) -> LabelField {
     let mut rng = Xoshiro256pp::seed_from_u64(seed);
     let mut field = LabelField::random(model.grid(), model.num_labels(), &mut rng);
-    SweepSolver::new(model).schedule(schedule).iterations(iterations).run(
-        &mut field,
-        sampler,
-        &mut rng,
-    );
+    SweepSolver::new(model)
+        .schedule(schedule)
+        .iterations(iterations)
+        .run(&mut field, sampler, &mut rng);
     field
 }
 
@@ -37,21 +36,38 @@ fn stereo_quality_ordering_holds_end_to_end() {
         noise_sigma: 2.0,
     }
     .generate(17);
-    let model =
-        StereoModel::new(&ds.left, &ds.right, ds.num_disparities, 0.3, 0.3).expect("valid");
+    let model = StereoModel::new(&ds.left, &ds.right, ds.num_disparities, 0.3, 0.3).expect("valid");
     let schedule = Schedule::geometric(40.0, 0.93, 0.4);
     let iters = 90;
 
     let bp = |field: &LabelField| {
         bad_pixel_percentage(field, &ds.ground_truth, Some(&ds.occlusion), 1.0)
     };
-    let sw = bp(&solve(&model, &mut SoftwareGibbs::new(), schedule, iters, 7));
+    let sw = bp(&solve(
+        &model,
+        &mut SoftwareGibbs::new(),
+        schedule,
+        iters,
+        7,
+    ));
     let new = bp(&solve(&model, &mut RsuG::new_design(), schedule, iters, 7));
-    let prev = bp(&solve(&model, &mut RsuG::previous_design(), schedule, iters, 7));
+    let prev = bp(&solve(
+        &model,
+        &mut RsuG::previous_design(),
+        schedule,
+        iters,
+        7,
+    ));
 
     assert!(sw < 45.0, "software BP {sw}");
-    assert!((new - sw).abs() < 12.0, "new RSU-G must track software: {new} vs {sw}");
-    assert!(prev > sw + 25.0, "previous design must be far worse: {prev} vs {sw}");
+    assert!(
+        (new - sw).abs() < 12.0,
+        "new RSU-G must track software: {new} vs {sw}"
+    );
+    assert!(
+        prev > sw + 25.0,
+        "previous design must be far worse: {prev} vs {sw}"
+    );
 }
 
 #[test]
@@ -72,7 +88,10 @@ fn segmentation_voi_parity_end_to_end() {
     let v_sw = variation_of_information(&sw, &ds.ground_truth);
     let v_hw = variation_of_information(&hw, &ds.ground_truth);
     assert!(v_sw < 1.5, "software VoI {v_sw}");
-    assert!((v_hw - v_sw).abs() < 0.4, "RSU-G VoI {v_hw} vs software {v_sw}");
+    assert!(
+        (v_hw - v_sw).abs() < 0.4,
+        "RSU-G VoI {v_hw} vs software {v_sw}"
+    );
 }
 
 #[test]
@@ -88,7 +107,13 @@ fn rsu_stats_account_for_all_work() {
     let model = StereoModel::new(&ds.left, &ds.right, 6, 0.3, 0.3).expect("valid");
     let mut unit = RsuG::new_design();
     let iters = 12;
-    solve(&model, &mut unit, Schedule::geometric(10.0, 0.9, 0.5), iters, 1);
+    solve(
+        &model,
+        &mut unit,
+        Schedule::geometric(10.0, 0.9, 0.5),
+        iters,
+        1,
+    );
     let stats = unit.stats();
     let sites = (24 * 18) as u64;
     assert_eq!(stats.variable_evaluations, sites * iters as u64);
@@ -118,7 +143,13 @@ fn previous_design_pays_lut_rewrite_stalls_across_annealing() {
     let model = StereoModel::new(&ds.left, &ds.right, 6, 0.3, 0.3).expect("valid");
     let mut unit = RsuG::previous_design();
     let iters = 12;
-    solve(&model, &mut unit, Schedule::geometric(10.0, 0.9, 0.5), iters, 1);
+    solve(
+        &model,
+        &mut unit,
+        Schedule::geometric(10.0, 0.9, 0.5),
+        iters,
+        1,
+    );
     // One 128-cycle LUT rewrite per temperature change (the geometric
     // schedule changes T every iteration here).
     assert_eq!(unit.stats().stall_cycles, 128 * iters as u64);

@@ -4,8 +4,8 @@
 
 use rand::SeedableRng;
 use ret_rsu::mrf::{
-    alpha_expansion, belief_propagation, total_energy, DistanceFn, LabelField,
-    MetropolisSampler, MrfModel, Schedule, SoftwareGibbs, SweepSolver, TabularMrf,
+    alpha_expansion, belief_propagation, total_energy, DistanceFn, LabelField, MetropolisSampler,
+    MrfModel, Schedule, SoftwareGibbs, SweepSolver, TabularMrf,
 };
 use ret_rsu::ret_device::{RetCalibration, RoundRobinArbiter, SharedWaveguide};
 use ret_rsu::rsu::{RsuArray, RsuConfig};
@@ -31,7 +31,11 @@ fn all_solver_families_agree_on_an_easy_problem() {
         .schedule(Schedule::geometric(3.0, 0.9, 0.05))
         .iterations(120)
         .run(&mut f_gibbs, &mut SoftwareGibbs::new(), &mut rng);
-    assert!(f_gibbs.disagreement(&truth) < 0.05, "gibbs {}", f_gibbs.disagreement(&truth));
+    assert!(
+        f_gibbs.disagreement(&truth) < 0.05,
+        "gibbs {}",
+        f_gibbs.disagreement(&truth)
+    );
 
     let mut f_mh = start.clone();
     let mut rng = Xoshiro256pp::seed_from_u64(3);
@@ -39,11 +43,19 @@ fn all_solver_families_agree_on_an_easy_problem() {
         .schedule(Schedule::geometric(3.0, 0.97, 0.05))
         .iterations(400)
         .run(&mut f_mh, &mut MetropolisSampler::new(), &mut rng);
-    assert!(f_mh.disagreement(&truth) < 0.08, "metropolis {}", f_mh.disagreement(&truth));
+    assert!(
+        f_mh.disagreement(&truth) < 0.08,
+        "metropolis {}",
+        f_mh.disagreement(&truth)
+    );
 
     let mut f_gc = start.clone();
     alpha_expansion(&model, &mut f_gc).expect("binary distance is a metric");
-    assert_eq!(f_gc.disagreement(&truth), 0.0, "graph cuts finds the optimum");
+    assert_eq!(
+        f_gc.disagreement(&truth),
+        0.0,
+        "graph cuts finds the optimum"
+    );
 
     let mut f_bp = start.clone();
     belief_propagation(&model, &mut f_bp, 25);
@@ -56,7 +68,11 @@ fn all_solver_families_agree_on_an_easy_problem() {
         let t = (3.0f64 * 0.9f64.powi(i)).max(0.05);
         array.sweep(&model, &mut f_array, t, &mut rng);
     }
-    assert!(f_array.disagreement(&truth) < 0.08, "array {}", f_array.disagreement(&truth));
+    assert!(
+        f_array.disagreement(&truth) < 0.08,
+        "array {}",
+        f_array.disagreement(&truth)
+    );
 
     // Energies agree on the deterministic optima.
     assert!((total_energy(&model, &f_gc) - total_energy(&model, &f_bp)).abs() < 1e-9);
@@ -82,7 +98,9 @@ fn coarse_to_fine_rsu_flow_reaches_beyond_the_window() {
     let mut rng = Xoshiro256pp::seed_from_u64(6);
     let ctf = CoarseToFine::new(2);
     let mut unit = ret_rsu::rsu::RsuG::new_design();
-    let flow = ctf.solve(&f1, &f2, &mut unit, &mut rng).expect("frames are consistent");
+    let flow = ctf
+        .solve(&f1, &f2, &mut unit, &mut rng)
+        .expect("frames are consistent");
     let hits = (10..38)
         .flat_map(|y| (10..38).map(move |x| (x, y)))
         .filter(|&(x, y)| flow[y * 48 + x] == (5, 2))
@@ -160,6 +178,9 @@ fn stereo_with_all_three_deterministic_baselines() {
     let bp_bp = bad_pixel_percentage(&f_bp, &ds.ground_truth, Some(&ds.occlusion), 1.0);
     let floor =
         100.0 * ds.occlusion.iter().filter(|&&o| o).count() as f64 / ds.occlusion.len() as f64;
-    assert!(bp_gc < floor + 25.0, "graph cuts BP {bp_gc} (floor {floor})");
+    assert!(
+        bp_gc < floor + 25.0,
+        "graph cuts BP {bp_gc} (floor {floor})"
+    );
     assert!(bp_bp < floor + 25.0, "loopy BP BP {bp_bp} (floor {floor})");
 }

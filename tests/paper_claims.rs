@@ -16,7 +16,10 @@ fn previous_design_headline_numbers() {
     assert_eq!(m.ret_circuit_replicas(), 4);
     assert_eq!(m.labels_per_cycle(), 1.0);
     let prev = designs::previous_rsu_total();
-    assert!((prev.area_mm2() - 0.0029).abs() < 0.0001, "0.0029 mm^2 (§II-C)");
+    assert!(
+        (prev.area_mm2() - 0.0029).abs() < 0.0001,
+        "0.0029 mm^2 (§II-C)"
+    );
     assert!((prev.power_mw - 3.91).abs() < 0.05, "3.91 mW (§II-C)");
 }
 
@@ -72,7 +75,10 @@ fn headline_cost_ratios() {
 fn replica_law() {
     let new = RsuConfig::new_design();
     let prev = RsuConfig::previous_design();
-    assert_eq!(PipelineModel::new(ret_rsu::rsu::DesignKind::New, new).ret_network_rows(), 8);
+    assert_eq!(
+        PipelineModel::new(ret_rsu::rsu::DesignKind::New, new).ret_network_rows(),
+        8
+    );
     assert_eq!(
         PipelineModel::new(ret_rsu::rsu::DesignKind::Previous, prev).ret_network_rows(),
         1
@@ -101,7 +107,12 @@ fn table2_shape() {
 fn table4_shape() {
     let t = designs::table4();
     let area = |name: &str| {
-        t.rows.iter().find(|r| r.name == name).expect("row").cost.area_um2
+        t.rows
+            .iter()
+            .find(|r| r.name == name)
+            .expect("row")
+            .cost
+            .area_um2
     };
     assert!(area("RSUG_noshare") < area("Intel DRNG (part)"));
     assert!(area("mt19937_noshare") > 6.0 * area("RSUG_noshare"));

@@ -22,8 +22,13 @@ fn scene_generators_are_pure_functions_of_their_seed() {
     assert_eq!(spec.generate(5), spec.generate(5));
     assert_ne!(spec.generate(5).left, spec.generate(6).left);
 
-    let fspec =
-        FlowSpec { width: 32, height: 24, window: 5, num_patches: 2, noise_sigma: 2.0 };
+    let fspec = FlowSpec {
+        width: 32,
+        height: 24,
+        window: 5,
+        num_patches: 2,
+        noise_sigma: 2.0,
+    };
     assert_eq!(fspec.generate(5), fspec.generate(5));
 
     let sspec = SegmentationSpec {
@@ -39,7 +44,10 @@ fn scene_generators_are_pure_functions_of_their_seed() {
 #[test]
 fn named_suites_are_stable() {
     assert_eq!(scenes::stereo_teddy_like(9), scenes::stereo_teddy_like(9));
-    assert_eq!(scenes::segmentation_suite(3, 4), scenes::segmentation_suite(3, 4));
+    assert_eq!(
+        scenes::segmentation_suite(3, 4),
+        scenes::segmentation_suite(3, 4)
+    );
 }
 
 #[test]

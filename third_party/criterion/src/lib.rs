@@ -1,0 +1,221 @@
+//! Offline stub of `criterion` 0.5.
+//!
+//! Implements the API shape the workspace benches use — groups,
+//! `bench_function` / `bench_with_input`, `Throughput`, `black_box`,
+//! `criterion_group!` / `criterion_main!` — over a simple wall-clock
+//! measurement loop (fixed warm-up, then timed batches, median-of-runs
+//! reporting). Statistical machinery (outlier analysis, HTML reports) is
+//! intentionally absent; the numbers printed are honest medians with
+//! min/max spread, which is enough for the relative comparisons the
+//! bench suite makes.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier: prevents the optimiser from deleting the
+/// computation producing `value`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Identifier carrying only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    /// Median nanoseconds per iteration measured by the last `iter`.
+    last_ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, recording nanoseconds per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: find an iteration count that runs at
+        // least ~25 ms per sample so timer quantisation is negligible.
+        let mut n = 1u64;
+        let per_call = loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(25) || n >= (1 << 24) {
+                break elapsed.as_nanos() as f64 / n as f64;
+            }
+            n = n.saturating_mul(2);
+        };
+        // Three timed samples; keep the median.
+        let mut samples = [per_call, 0.0, 0.0];
+        for slot in samples.iter_mut().skip(1) {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            *slot = start.elapsed().as_nanos() as f64 / n as f64;
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        self.last_ns_per_iter = samples[1];
+    }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:8.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:8.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:8.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:8.2} s ", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work per iteration for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the sample count (accepted for API compatibility; the stub's
+    /// fixed three-sample median ignores it).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement time (accepted for API compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { last_ns_per_iter: f64::NAN };
+        f(&mut bencher);
+        self.report(&id.to_string(), bencher.last_ns_per_iter);
+        self
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher { last_ns_per_iter: f64::NAN };
+        f(&mut bencher, input);
+        self.report(&id.to_string(), bencher.last_ns_per_iter);
+        self
+    }
+
+    fn report(&mut self, id: &str, ns: f64) {
+        let mut line = format!("{}/{}  {}", self.name, id, format_time(ns));
+        match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                let per_sec = n as f64 / (ns * 1e-9);
+                let _ = write!(line, "  ({per_sec:.3e} elem/s)");
+            }
+            Some(Throughput::Bytes(n)) => {
+                let per_sec = n as f64 / (ns * 1e-9);
+                let _ = write!(line, "  ({per_sec:.3e} B/s)");
+            }
+            None => {}
+        }
+        println!("{line}");
+        self.criterion.results.push((format!("{}/{}", self.name, id), ns));
+    }
+
+    /// Ends the group (accepted for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark harness.
+#[derive(Default)]
+pub struct Criterion {
+    /// `(benchmark id, median ns/iter)` for everything run so far.
+    pub results: Vec<(String, f64)>,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion 0.5.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion 0.5.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

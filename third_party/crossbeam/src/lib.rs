@@ -1,0 +1,33 @@
+//! Offline stub of the `crossbeam` scoped-thread API.
+//!
+//! Since Rust 1.63 the standard library provides structured scoped
+//! threads, so this stand-in forwards `crossbeam::scope` /
+//! `crossbeam::thread::scope` to [`std::thread::scope`]. One deliberate
+//! API deviation from real crossbeam 0.8: spawn closures take **no**
+//! scope argument (std style, `s.spawn(|| ...)`) instead of crossbeam's
+//! `s.spawn(|_| ...)`, and `scope` returns `Ok(_)` unconditionally
+//! because std's scope already propagates panics out of the closure.
+
+#![warn(missing_docs)]
+
+pub mod thread {
+    //! Scoped threads, forwarded to the standard library.
+
+    pub use std::thread::{Scope, ScopedJoinHandle};
+
+    /// Result type of [`scope`], mirroring crossbeam's signature.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// Creates a scope in which borrowed data may be used by spawned
+    /// threads; all threads are joined before `scope` returns.
+    ///
+    /// Spawn with `s.spawn(|| ...)` (std style — see the crate docs).
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(f))
+    }
+}
+
+pub use thread::scope;

@@ -1,0 +1,60 @@
+//! `any::<T>()` for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use core::marker::PhantomData;
+
+/// Types with a canonical "anything goes" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy producing arbitrary values of `T`; see [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(PhantomData<T>);
+
+/// The canonical strategy for `T`: uniform over the whole domain.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*
+    };
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.unit_f64()
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        rng.unit_f64() as f32
+    }
+}

@@ -1,0 +1,182 @@
+//! The `Standard` distribution and uniform range sampling, mirroring the
+//! constructions of rand 0.8 bit for bit.
+
+use crate::RngCore;
+
+/// Types that can produce values of type `T` given a source of
+/// randomness.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution of a type: uniform over all values for
+/// integers and booleans, uniform over `[0, 1)` for floats (53-bit /
+/// 24-bit significand construction, as in rand 0.8).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 random significand bits scaled into [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        // rand 0.8: sign bit of the next 32-bit output.
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty => $via:ident),* $(,)?) => {
+        $(
+            impl Distribution<$t> for Standard {
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.$via() as $t
+                }
+            }
+        )*
+    };
+}
+
+standard_int!(
+    u8 => next_u32,
+    u16 => next_u32,
+    u32 => next_u32,
+    u64 => next_u64,
+    usize => next_u64,
+    i8 => next_u32,
+    i16 => next_u32,
+    i32 => next_u32,
+    i64 => next_u64,
+    isize => next_u64,
+);
+
+/// Uniform range sampling, the machinery behind
+/// [`Rng::gen_range`](crate::Rng::gen_range).
+pub mod uniform {
+    use crate::RngCore;
+    use core::ops::{Range, RangeInclusive};
+
+    /// Types that support uniform sampling over a range.
+    pub trait SampleUniform: Sized + PartialOrd {
+        /// Draws a value in `[low, high)` (`high` included when
+        /// `inclusive`).
+        fn sample_between<R: RngCore + ?Sized>(
+            rng: &mut R,
+            low: Self,
+            high: Self,
+            inclusive: bool,
+        ) -> Self;
+    }
+
+    /// Range types usable with [`Rng::gen_range`](crate::Rng::gen_range).
+    pub trait SampleRange<T> {
+        /// Draws one value from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "cannot sample empty range");
+            T::sample_between(rng, self.start, self.end, false)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (low, high) = self.into_inner();
+            assert!(low <= high, "cannot sample empty range");
+            T::sample_between(rng, low, high, true)
+        }
+    }
+
+    /// Unbiased integer sampling in `[0, span)` by widening multiply
+    /// with rejection (Lemire's method, as in rand 0.8).
+    fn sample_u64_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        let zone = span.wrapping_neg() % span;
+        loop {
+            let v = rng.next_u64();
+            let mul = (v as u128) * (span as u128);
+            if (mul as u64) >= zone {
+                return (mul >> 64) as u64;
+            }
+        }
+    }
+
+    macro_rules! uniform_int {
+        ($($t:ty => $u:ty),* $(,)?) => {
+            $(
+                impl SampleUniform for $t {
+                    fn sample_between<R: RngCore + ?Sized>(
+                        rng: &mut R,
+                        low: Self,
+                        high: Self,
+                        inclusive: bool,
+                    ) -> Self {
+                        let lo = low as $u;
+                        let hi = high as $u;
+                        let span = if inclusive {
+                            match hi.wrapping_sub(lo).checked_add(1) {
+                                Some(s) => s,
+                                // Full domain: every bit pattern is valid.
+                                None => return rng.next_u64() as $t,
+                            }
+                        } else {
+                            hi.wrapping_sub(lo)
+                        };
+                        let off = sample_u64_below(rng, span as u64) as $u;
+                        lo.wrapping_add(off) as $t
+                    }
+                }
+            )*
+        };
+    }
+
+    uniform_int!(
+        u8 => u8,
+        u16 => u16,
+        u32 => u32,
+        u64 => u64,
+        usize => usize,
+        i8 => u8,
+        i16 => u16,
+        i32 => u32,
+        i64 => u64,
+        isize => usize,
+    );
+
+    impl SampleUniform for f64 {
+        fn sample_between<R: RngCore + ?Sized>(
+            rng: &mut R,
+            low: Self,
+            high: Self,
+            _inclusive: bool,
+        ) -> Self {
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            low + (high - low) * unit
+        }
+    }
+
+    impl SampleUniform for f32 {
+        fn sample_between<R: RngCore + ?Sized>(
+            rng: &mut R,
+            low: Self,
+            high: Self,
+            _inclusive: bool,
+        ) -> Self {
+            let unit = (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32);
+            low + (high - low) * unit
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Offline stub of the `rand` 0.8 API surface this workspace uses.
+//!
+//! The build container has no network access and an empty registry, so
+//! the real `rand` crate cannot be fetched. This vendored stand-in
+//! implements the exact subset of the 0.8 API the workspace exercises —
+//! [`RngCore`], [`SeedableRng`] (including the PCG32-based default
+//! `seed_from_u64` of rand 0.8, so generators relying on the default
+//! keep their streams), the [`Rng`] extension trait (`gen`, `gen_range`,
+//! `gen_bool`, `sample`), the [`distributions::Standard`] conversions
+//! (same bit-to-float constructions as rand 0.8) and
+//! [`seq::SliceRandom::shuffle`] (same end-to-front Fisher–Yates).
+//!
+//! Nothing here is cryptographically secure; neither is the real
+//! `rand::rngs::SmallRng` family the workspace previously relied on.
+
+#![warn(missing_docs)]
+
+use core::fmt;
+
+pub mod distributions;
+pub mod seq;
+
+pub use distributions::Standard;
+
+/// Error type reported by fallible RNG operations.
+///
+/// The generators in this workspace are infallible; the type exists so
+/// `try_fill_bytes` signatures match the rand 0.8 trait.
+pub struct Error {
+    inner: Box<dyn std::error::Error + Send + Sync>,
+}
+
+impl Error {
+    /// Wraps an arbitrary error.
+    pub fn new<E>(err: E) -> Self
+    where
+        E: Into<Box<dyn std::error::Error + Send + Sync>>,
+    {
+        Error { inner: err.into() }
+    }
+
+    /// The wrapped error.
+    pub fn inner(&self) -> &(dyn std::error::Error + Send + Sync + 'static) {
+        &*self.inner
+    }
+}
+
+impl fmt::Debug for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rand::Error({:?})", self.inner)
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.inner, f)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator: a source of random bits.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fills `dest` with random bytes, reporting failure as an error.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error>;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// The seed value required by the generator.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it through the same
+    /// PCG32 sequence rand 0.8 uses so that default-seeded generators
+    /// keep their reference streams.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Extension methods over any [`RngCore`]: typed value generation and
+/// range sampling.
+pub trait Rng: RngCore {
+    /// Returns a value of type `T` drawn from the [`Standard`]
+    /// distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: distributions::Distribution<T>,
+    {
+        distributions::Distribution::sample(&Standard, self)
+    }
+
+    /// Returns a value uniformly distributed over `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: distributions::uniform::SampleUniform,
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        self.gen::<f64>() < p
+    }
+
+    /// Draws a value from the given distribution.
+    fn sample<T, D>(&mut self, distr: D) -> T
+    where
+        D: distributions::Distribution<T>,
+    {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}

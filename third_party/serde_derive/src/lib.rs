@@ -1,0 +1,109 @@
+//! Offline stub of `serde_derive`.
+//!
+//! No serializer crate (e.g. `serde_json`) exists in this workspace's
+//! dependency graph, so derived impls are never *called* — but tests do
+//! assert that public types *implement* `Serialize`/`Deserialize`. The
+//! stub `serde` facade therefore defines the traits as markers, and
+//! these derives emit the corresponding empty marker impls.
+//!
+//! The input is parsed with a deliberately small token scanner: it
+//! extracts the type name and (optionally) simple generic parameters.
+//! Generic bounds are stripped; exotic generics (const generics with
+//! defaults, where clauses) are not supported and will fail loudly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The name and generic parameter names of the deriving type.
+struct TypeHeader {
+    name: String,
+    /// Parameter names with bounds stripped, e.g. `'de`, `T`.
+    params: Vec<String>,
+}
+
+fn parse_header(input: TokenStream) -> TypeHeader {
+    let mut iter = input.into_iter().peekable();
+    // Skip attributes (`#[...]`) and visibility/keywords until the
+    // `struct`/`enum`/`union` keyword.
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" || s == "union" {
+                break;
+            }
+        }
+    }
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected type name, found {other:?}"),
+    };
+    // Optional generics: `<` ... `>` with bounds stripped per parameter.
+    let mut params = Vec::new();
+    if matches!(&iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        iter.next();
+        let mut depth = 1usize;
+        let mut current = String::new();
+        let mut in_bound = false;
+        for tt in iter.by_ref() {
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokenTree::Punct(p) if p.as_char() == ':' && depth == 1 => in_bound = true,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                    if !current.is_empty() {
+                        params.push(std::mem::take(&mut current));
+                    }
+                    in_bound = false;
+                }
+                TokenTree::Punct(p) if p.as_char() == '\'' && depth == 1 && !in_bound => {
+                    current.push('\'');
+                }
+                TokenTree::Ident(id) if depth == 1 && !in_bound => {
+                    current.push_str(&id.to_string());
+                }
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    panic!("serde_derive stub: unexpected brace inside generics")
+                }
+                _ => {}
+            }
+        }
+        if !current.is_empty() {
+            params.push(current);
+        }
+    }
+    TypeHeader { name, params }
+}
+
+fn emit(header: &TypeHeader, impl_line: impl Fn(&str, &str) -> String) -> TokenStream {
+    let params = header.params.join(", ");
+    let generics = if params.is_empty() { String::new() } else { format!("<{params}>") };
+    impl_line(&header.name, &generics).parse().expect("stub derive emits valid Rust")
+}
+
+/// Emits an empty marker `impl serde::Serialize` for the type.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let header = parse_header(input);
+    emit(&header, |name, generics| {
+        let params = if generics.is_empty() { String::new() } else { generics.to_string() };
+        format!("impl{params} ::serde::Serialize for {name}{generics} {{}}")
+    })
+}
+
+/// Emits an empty marker `impl serde::Deserialize` for the type.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let header = parse_header(input);
+    emit(&header, |name, generics| {
+        let impl_params = if generics.is_empty() {
+            "<'de>".to_string()
+        } else {
+            format!("<'de, {}>", &generics[1..generics.len() - 1])
+        };
+        format!("impl{impl_params} ::serde::Deserialize<'de> for {name}{generics} {{}}")
+    })
+}

@@ -433,6 +433,8 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) {
     println!("wrote {}", path.display());
 }
 
+pub mod minijson;
+
 /// Plain-text table formatting helpers.
 pub mod table {
     /// Renders an aligned table: `header` then `rows`, each a vector of

@@ -77,6 +77,112 @@ impl DistanceFn {
     ];
 }
 
+/// Precomputed pairwise-energy lookup table: `M × M` values of the
+/// smoothness term for every `(label, neighbor_label)` pair, laid out
+/// **neighbor-label-major** so one neighbour contributes one contiguous
+/// row.
+///
+/// This is the software analogue of the per-label smoothness tables a
+/// streaming MRF accelerator precomputes once per model: with the table
+/// in hand, the Eq. 1 conditional `E_l = E_singleton(l) + Σ_n E_pair(l,
+/// x_n)` becomes a singleton copy plus one branch-free row-add per
+/// neighbour, replacing a per-element `DistanceFn` enum dispatch in the
+/// innermost solver loop. Entries are stored exactly as the model's
+/// `pairwise` would compute them, so the fast path is **bit-identical**
+/// to the direct path (see [`MrfModel::local_energies`]).
+///
+/// [`MrfModel::local_energies`]: crate::MrfModel::local_energies
+///
+/// # Example
+///
+/// ```
+/// use mrf::{DistanceFn, PairwiseTable};
+///
+/// let table = PairwiseTable::homogeneous(3, 0.5, DistanceFn::Absolute);
+/// assert_eq!(table.get(0, 2), 1.0); // 0.5 · |0 − 2|
+/// assert_eq!(table.row(1), &[0.5, 0.0, 0.5]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairwiseTable {
+    num_labels: usize,
+    /// `rows[neighbor_label * num_labels + label]`.
+    rows: Vec<f64>,
+}
+
+impl PairwiseTable {
+    /// Builds a table from an arbitrary pairwise function
+    /// `f(label, neighbor_label)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_labels` is zero, exceeds the `u16` label space, or
+    /// `f` returns a non-finite value.
+    pub fn from_fn(num_labels: usize, mut f: impl FnMut(u16, u16) -> f64) -> Self {
+        assert!(num_labels > 0, "need at least one label");
+        assert!(
+            num_labels <= u16::MAX as usize + 1,
+            "label count exceeds the u16 label space"
+        );
+        let mut rows = Vec::with_capacity(num_labels * num_labels);
+        for neighbor_label in 0..num_labels as u16 {
+            for label in 0..num_labels as u16 {
+                let v = f(label, neighbor_label);
+                assert!(
+                    v.is_finite(),
+                    "pairwise({label}, {neighbor_label}) is not finite: {v}"
+                );
+                rows.push(v);
+            }
+        }
+        PairwiseTable { num_labels, rows }
+    }
+
+    /// Builds the table for a homogeneous smoothness term
+    /// `weight · distance(l, l')` — the form every model in this
+    /// workspace uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_labels` is zero or `weight` is negative or not
+    /// finite.
+    pub fn homogeneous(num_labels: usize, weight: f64, distance: DistanceFn) -> Self {
+        assert!(
+            weight >= 0.0 && weight.is_finite(),
+            "pairwise weight must be non-negative and finite"
+        );
+        PairwiseTable::from_fn(num_labels, |a, b| weight * distance.eval(a, b))
+    }
+
+    /// Number of labels `M` (the table holds `M²` entries).
+    pub fn num_labels(&self) -> usize {
+        self.num_labels
+    }
+
+    /// The contiguous row of pairwise energies contributed by a
+    /// neighbour holding `neighbor_label`: `row[l] = pairwise(l,
+    /// neighbor_label)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `neighbor_label` is out of range.
+    #[inline]
+    pub fn row(&self, neighbor_label: u16) -> &[f64] {
+        let start = neighbor_label as usize * self.num_labels;
+        &self.rows[start..start + self.num_labels]
+    }
+
+    /// One table entry: the pairwise energy between a site holding
+    /// `label` and a neighbour holding `neighbor_label`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either label is out of range.
+    #[inline]
+    pub fn get(&self, label: u16, neighbor_label: u16) -> f64 {
+        self.rows[neighbor_label as usize * self.num_labels + label as usize]
+    }
+}
+
 impl std::fmt::Display for DistanceFn {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let name = match self {
@@ -140,6 +246,49 @@ mod tests {
         assert_eq!(DistanceFn::Squared.to_string(), "squared");
         assert_eq!(DistanceFn::Absolute.to_string(), "absolute");
         assert_eq!(DistanceFn::Binary.to_string(), "binary");
+    }
+
+    #[test]
+    fn pairwise_table_matches_direct_evaluation_exactly() {
+        for dist in DistanceFn::ALL {
+            for m in [1usize, 2, 7, 64] {
+                let weight = 0.3;
+                let table = PairwiseTable::homogeneous(m, weight, dist);
+                assert_eq!(table.num_labels(), m);
+                for a in 0..m as u16 {
+                    for b in 0..m as u16 {
+                        let direct = weight * dist.eval(a, b);
+                        assert_eq!(table.get(a, b), direct, "{dist} M={m} ({a},{b})");
+                        assert_eq!(table.row(b)[a as usize], direct);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pairwise_table_rows_are_neighbor_major() {
+        let table = PairwiseTable::from_fn(3, |l, n| (n as f64) * 10.0 + l as f64);
+        assert_eq!(table.row(0), &[0.0, 1.0, 2.0]);
+        assert_eq!(table.row(2), &[20.0, 21.0, 22.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one label")]
+    fn pairwise_table_rejects_zero_labels() {
+        PairwiseTable::from_fn(0, |_, _| 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not finite")]
+    fn pairwise_table_rejects_non_finite_entries() {
+        PairwiseTable::from_fn(2, |a, b| if a == b { 0.0 } else { f64::INFINITY });
+    }
+
+    #[test]
+    #[should_panic(expected = "pairwise weight")]
+    fn pairwise_table_rejects_negative_weight() {
+        PairwiseTable::homogeneous(2, -1.0, DistanceFn::Binary);
     }
 
     #[test]

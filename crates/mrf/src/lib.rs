@@ -58,7 +58,7 @@ pub mod solver;
 
 pub use annealing::Schedule;
 pub use beliefprop::{belief_propagation, BeliefPropReport};
-pub use energy::DistanceFn;
+pub use energy::{DistanceFn, PairwiseTable};
 pub use field::LabelField;
 pub use graphcut::{alpha_expansion, distance_is_metric, ExpansionReport, GraphCutError};
 pub use grid::{Grid, Neighbors};

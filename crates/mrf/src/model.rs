@@ -1,6 +1,6 @@
 //! The MRF model abstraction.
 
-use crate::energy::DistanceFn;
+use crate::energy::{DistanceFn, PairwiseTable};
 use crate::field::LabelField;
 use crate::grid::Grid;
 
@@ -42,11 +42,64 @@ pub trait MrfModel {
     /// `neighbor` currently holding `neighbor_label`.
     fn pairwise(&self, site: usize, neighbor: usize, label: Label, neighbor_label: Label) -> f64;
 
+    /// Site-independent precomputed pairwise table, when the model's
+    /// smoothness term is homogeneous (`pairwise(s, t, l, l')` depends
+    /// only on `(l, l')` — true for every model in this workspace).
+    ///
+    /// Models that return a table get the fused
+    /// [`local_energies`](Self::local_energies) fast path: singleton copy
+    /// plus one branch-free row-add per neighbour instead of a
+    /// `DistanceFn` dispatch per label×neighbour. The table's entries
+    /// MUST equal `self.pairwise(s, t, l, l')` bit-for-bit for every
+    /// site pair, or the fused and direct paths diverge.
+    fn pairwise_table(&self) -> Option<&PairwiseTable> {
+        None
+    }
+
+    /// The contiguous slice of singleton energies for `site` (index
+    /// `l` holding `singleton(site, l)`), when the model stores its data
+    /// costs contiguously. Lets the fused kernel start from a single
+    /// `memcpy` instead of a per-label virtual call.
+    fn singleton_row(&self, _site: usize) -> Option<&[f64]> {
+        None
+    }
+
     /// Computes the local conditional energies of every candidate label at
     /// `site` given the current field, appending into `out` (cleared
     /// first). This is the quantity stage 2 of the RSU-G pipeline
     /// computes.
+    ///
+    /// When [`pairwise_table`](Self::pairwise_table) provides a table the
+    /// fused kernel runs: copy the singleton row, then add the table row
+    /// of each neighbour's current label (neighbour-major, branch-free,
+    /// autovectorizable). Each label's additions happen in the same
+    /// order as the direct path — singleton first, then neighbours in
+    /// [`Grid::neighbors`] order — so the result is **bit-identical** to
+    /// [`local_energies_direct`](Self::local_energies_direct).
     fn local_energies(&self, site: usize, field: &LabelField, out: &mut Vec<f64>) {
+        let Some(table) = self.pairwise_table() else {
+            self.local_energies_direct(site, field, out);
+            return;
+        };
+        debug_assert_eq!(table.num_labels(), self.num_labels());
+        out.clear();
+        match self.singleton_row(site) {
+            Some(row) => out.extend_from_slice(row),
+            None => out.extend((0..self.num_labels() as Label).map(|l| self.singleton(site, l))),
+        }
+        for n in self.grid().neighbors(site) {
+            let row = table.row(field.get(n));
+            for (e, &p) in out.iter_mut().zip(row) {
+                *e += p;
+            }
+        }
+    }
+
+    /// The direct (naive) local-energy kernel: one
+    /// [`pairwise`](Self::pairwise) call per label×neighbour. This is the
+    /// reference implementation the fused path must reproduce
+    /// bit-for-bit; benches and property tests call it explicitly.
+    fn local_energies_direct(&self, site: usize, field: &LabelField, out: &mut Vec<f64>) {
         out.clear();
         let grid = self.grid();
         for label in 0..self.num_labels() as Label {
@@ -83,6 +136,9 @@ pub struct TabularMrf {
     singleton: Vec<f64>,
     distance: DistanceFn,
     pairwise_weight: f64,
+    /// Precomputed `weight · distance(l, l')`, built once at
+    /// construction; entries are bit-identical to [`Self::pairwise`].
+    table: PairwiseTable,
 }
 
 impl TabularMrf {
@@ -116,6 +172,7 @@ impl TabularMrf {
             singleton,
             distance,
             pairwise_weight,
+            table: PairwiseTable::homogeneous(num_labels, pairwise_weight, distance),
         }
     }
 
@@ -190,6 +247,15 @@ impl MrfModel for TabularMrf {
     fn pairwise(&self, _site: usize, _neighbor: usize, label: Label, neighbor_label: Label) -> f64 {
         self.pairwise_weight * self.distance.eval(label, neighbor_label)
     }
+
+    fn pairwise_table(&self) -> Option<&PairwiseTable> {
+        Some(&self.table)
+    }
+
+    fn singleton_row(&self, site: usize) -> Option<&[f64]> {
+        let start = site * self.num_labels;
+        Some(&self.singleton[start..start + self.num_labels])
+    }
 }
 
 #[cfg(test)]
@@ -240,6 +306,32 @@ mod tests {
     #[should_panic(expected = "pairwise weight")]
     fn rejects_negative_weight() {
         TabularMrf::new(Grid::new(1, 1), 1, vec![0.0], DistanceFn::Binary, -1.0);
+    }
+
+    #[test]
+    fn fused_local_energies_are_bit_identical_to_direct() {
+        for dist in DistanceFn::ALL {
+            let model = TabularMrf::checkerboard(5, 4, 4, 3.0, dist, 0.7);
+            let field = TabularMrf::checkerboard_truth(5, 4, 4);
+            assert!(model.pairwise_table().is_some(), "fast path must be wired");
+            let (mut fused, mut direct) = (Vec::new(), Vec::new());
+            for site in model.grid().sites() {
+                model.local_energies(site, &field, &mut fused);
+                model.local_energies_direct(site, &field, &mut direct);
+                assert_eq!(fused, direct, "{dist} site {site}");
+            }
+        }
+    }
+
+    #[test]
+    fn singleton_row_matches_singleton() {
+        let model = TabularMrf::checkerboard(4, 4, 3, 2.0, DistanceFn::Absolute, 0.5);
+        for site in model.grid().sites() {
+            let row = model.singleton_row(site).expect("table model has rows");
+            for label in 0..3u16 {
+                assert_eq!(row[label as usize], model.singleton(site, label));
+            }
+        }
     }
 
     #[test]

@@ -81,6 +81,7 @@ impl<T: SiteSampler + ?Sized> SiteSampler for &mut T {
 #[derive(Debug, Clone, Default)]
 pub struct SoftwareGibbs {
     weights: Vec<f64>,
+    cumulative: Vec<f64>,
 }
 
 impl SoftwareGibbs {
@@ -88,6 +89,7 @@ impl SoftwareGibbs {
     pub fn new() -> Self {
         SoftwareGibbs {
             weights: Vec::new(),
+            cumulative: Vec::new(),
         }
     }
 }
@@ -110,8 +112,11 @@ impl SiteSampler for SoftwareGibbs {
         self.weights.clear();
         self.weights
             .extend(energies.iter().map(|&e| (-(e - e_min) / temperature).exp()));
-        match Categorical::new(&self.weights) {
-            Ok(cat) => cat.sample(rng) as Label,
+        // One-pass scratch draw: bit-identical to building a Categorical
+        // per draw, without the per-site heap allocation that used to
+        // dominate the kernel.
+        match Categorical::sample_weights_with_scratch(&self.weights, &mut self.cumulative, rng) {
+            Ok(label) => label as Label,
             // All weights underflowed to zero (pathological temperature);
             // keep the current label to preserve forward progress.
             Err(_) => current,

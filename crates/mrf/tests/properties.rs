@@ -22,6 +22,22 @@ fn arb_model() -> impl Strategy<Value = TabularMrf> {
         })
 }
 
+/// Like [`arb_model`] but with label counts spanning the full RSU-G
+/// range (up to 64), for kernel bit-exactness checks.
+fn arb_wide_label_model() -> impl Strategy<Value = TabularMrf> {
+    (
+        2usize..7,
+        2usize..7,
+        2usize..=64,
+        0.5f64..8.0,
+        0.0f64..3.0,
+        0usize..3,
+    )
+        .prop_map(|(w, h, labels, contrast, weight, dist_idx)| {
+            TabularMrf::checkerboard(w, h, labels, contrast, DistanceFn::ALL[dist_idx], weight)
+        })
+}
+
 proptest! {
     /// Local conditional energies are consistent with total energy:
     /// E_total(field with x_s = l) − E_total(field with x_s = l') equals
@@ -50,6 +66,26 @@ proptest! {
                     "site {}: local Δ {} vs total Δ {}", site, d_local, d_total
                 );
             }
+        }
+    }
+
+    /// The fused table-driven local-energy kernel is bit-identical to
+    /// the direct per-pair evaluation path — exact `==` on every entry,
+    /// not approximate — for every distance function, label counts up to
+    /// the RSU-G limit of 64, and random fields.
+    #[test]
+    fn fused_local_energies_bit_identical_to_direct(
+        model in arb_wide_label_model(),
+        seed in any::<u64>(),
+    ) {
+        prop_assert!(model.pairwise_table().is_some(), "fast path must be wired");
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let field = LabelField::random(model.grid(), model.num_labels(), &mut rng);
+        let (mut fused, mut direct) = (Vec::new(), Vec::new());
+        for site in model.grid().sites() {
+            model.local_energies(site, &field, &mut fused);
+            model.local_energies_direct(site, &field, &mut direct);
+            prop_assert_eq!(&fused, &direct, "site {}", site);
         }
     }
 

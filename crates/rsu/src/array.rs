@@ -48,6 +48,11 @@ impl ArraySweepReport {
 pub struct RsuArray {
     units: Vec<RsuG>,
     model_labels: usize,
+    /// Pre-phase label snapshot reused across
+    /// [`sweep_parallel`](Self::sweep_parallel) calls, so steady-state
+    /// sweeps allocate nothing (it is rebuilt only when the field shape
+    /// changes, e.g. across coarse-to-fine pyramid levels).
+    snapshot: Option<LabelField>,
 }
 
 impl RsuArray {
@@ -61,6 +66,7 @@ impl RsuArray {
         RsuArray {
             units: (0..count).map(|_| RsuG::with_config(config)).collect(),
             model_labels: 0,
+            snapshot: None,
         }
     }
 
@@ -201,7 +207,15 @@ impl RsuArray {
             unit.begin_iteration(temperature);
         }
         let bands = self.units.len().min(height.max(1));
-        let mut snapshot = field.clone();
+        // Reuse the snapshot scratch whenever the field shape matches;
+        // its stale contents are overwritten at the start of each phase.
+        let snapshot = match &mut self.snapshot {
+            Some(s) if s.grid() == grid && s.num_labels() == field.num_labels() => s,
+            slot => {
+                *slot = Some(field.clone());
+                slot.as_mut().expect("snapshot was just installed")
+            }
+        };
         let mut workers: Vec<mrf::parallel::BandWorker<&mut RsuG>> = self
             .units
             .iter_mut()
@@ -217,7 +231,7 @@ impl RsuArray {
             mrf::parallel::checkerboard_phase(
                 model,
                 field,
-                &mut snapshot,
+                &mut *snapshot,
                 &mut workers,
                 threads,
                 parity,

@@ -87,6 +87,49 @@ impl Categorical {
         let idx = self.cumulative.partition_point(|&c| c <= u);
         idx.min(self.cumulative.len() - 1)
     }
+
+    /// One-pass, zero-allocation draw: validates `weights`, builds the
+    /// running sum into the caller's `scratch` buffer (cleared first,
+    /// capacity reused across calls) and inverts it with one uniform
+    /// draw.
+    ///
+    /// This is the Gibbs-kernel hot path: per-site construction of a
+    /// [`Categorical`] heap-allocates a cumulative vector for every
+    /// single draw, while this routine reuses the scratch buffer the
+    /// sampler owns. The result is **bit-identical** to
+    /// `Categorical::new(weights)?.sample(rng)` — same validation
+    /// order, same left-to-right summation, same inversion — and the
+    /// generator is only advanced on success, also matching the
+    /// two-step path.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the conditions of [`Categorical::new`]: empty weights, a
+    /// negative or non-finite weight, or a zero total.
+    pub fn sample_weights_with_scratch<R: Rng + ?Sized>(
+        weights: &[f64],
+        scratch: &mut Vec<f64>,
+        rng: &mut R,
+    ) -> Result<usize, DistributionError> {
+        if weights.is_empty() {
+            return Err(DistributionError::EmptyWeights);
+        }
+        scratch.clear();
+        let mut total = 0.0;
+        for (index, &w) in weights.iter().enumerate() {
+            if w < 0.0 || !w.is_finite() {
+                return Err(DistributionError::InvalidWeight { index, value: w });
+            }
+            total += w;
+            scratch.push(total);
+        }
+        if total <= 0.0 {
+            return Err(DistributionError::ZeroTotalWeight);
+        }
+        let u = rng.gen::<f64>() * total;
+        let idx = scratch.partition_point(|&c| c <= u);
+        Ok(idx.min(scratch.len() - 1))
+    }
 }
 
 /// Integer cumulative-weight lookup table: the discrete sampler a pure-CMOS
@@ -317,6 +360,69 @@ mod tests {
         for _ in 0..10_000 {
             let s = cat.sample(&mut rng);
             assert!(s == 1 || s == 3, "drew zero-weight outcome {s}");
+        }
+    }
+
+    #[test]
+    fn scratch_draw_is_bit_identical_to_two_step_path() {
+        let weight_sets: [&[f64]; 4] = [
+            &[1.0, 2.0, 3.0, 1.0],
+            &[0.0, 1.0, 0.0, 1.0, 0.0],
+            &[42.0],
+            &[1e-300, 1e300, 5.0],
+        ];
+        for weights in weight_sets {
+            let mut rng_a = Xoshiro256pp::seed_from_u64(99);
+            let mut rng_b = Xoshiro256pp::seed_from_u64(99);
+            let cat = Categorical::new(weights).unwrap();
+            let mut scratch = Vec::new();
+            for _ in 0..5_000 {
+                let two_step = cat.sample(&mut rng_a);
+                let one_pass =
+                    Categorical::sample_weights_with_scratch(weights, &mut scratch, &mut rng_b)
+                        .unwrap();
+                assert_eq!(one_pass, two_step, "{weights:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_draw_rejects_bad_inputs_without_advancing_the_rng() {
+        let mut scratch = Vec::new();
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let before = rng.clone();
+        assert_eq!(
+            Categorical::sample_weights_with_scratch(&[], &mut scratch, &mut rng),
+            Err(DistributionError::EmptyWeights)
+        );
+        assert_eq!(
+            Categorical::sample_weights_with_scratch(&[0.0, 0.0], &mut scratch, &mut rng),
+            Err(DistributionError::ZeroTotalWeight)
+        );
+        assert!(matches!(
+            Categorical::sample_weights_with_scratch(&[1.0, f64::NAN], &mut scratch, &mut rng),
+            Err(DistributionError::InvalidWeight { index: 1, .. })
+        ));
+        // Errors must not consume randomness: the next draw matches a
+        // fresh generator's.
+        let mut fresh = before;
+        assert_eq!(
+            rand::Rng::gen::<u64>(&mut rng),
+            rand::Rng::gen::<u64>(&mut fresh)
+        );
+    }
+
+    #[test]
+    fn scratch_buffer_is_reused_across_label_counts() {
+        let mut scratch = Vec::with_capacity(8);
+        let mut rng = Xoshiro256pp::seed_from_u64(11);
+        for n in [8usize, 2, 5] {
+            let weights = vec![1.0; n];
+            let s =
+                Categorical::sample_weights_with_scratch(&weights, &mut scratch, &mut rng).unwrap();
+            assert!(s < n);
+            assert_eq!(scratch.len(), n);
+            assert!(scratch.capacity() >= 8, "capacity must never shrink");
         }
     }
 

@@ -12,7 +12,7 @@
 
 use crate::error::VisionError;
 use crate::image::GrayImage;
-use mrf::{Grid, Label, MrfModel};
+use mrf::{Grid, Label, MrfModel, PairwiseTable};
 
 /// A dense-motion MRF over a temporally adjacent frame pair.
 ///
@@ -40,6 +40,21 @@ pub struct MotionModel {
     /// `cost[site * window² + label]`.
     data_cost: Vec<f64>,
     smooth_weight: f64,
+    /// Precomputed `w_smooth · ‖v − v'‖²` over all label pairs,
+    /// bit-identical to [`MrfModel::pairwise`] (both go through
+    /// [`flow_pairwise`]); enables the fused local-energy kernel.
+    table: PairwiseTable,
+}
+
+/// The motion smoothness term `w_smooth · ‖v(a) − v(b)‖²` for labels in
+/// an `window`-wide search grid. Shared by [`MrfModel::pairwise`] and
+/// the precomputed [`PairwiseTable`] so the two are bit-identical by
+/// construction.
+fn flow_pairwise(window: usize, smooth_weight: f64, a: Label, b: Label) -> f64 {
+    let (a, b) = (a as usize, b as usize);
+    let dx = ((a % window) as isize - (b % window) as isize) as f64;
+    let dy = ((a / window) as isize - (b / window) as isize) as f64;
+    smooth_weight * (dx * dx + dy * dy)
 }
 
 impl MotionModel {
@@ -109,6 +124,9 @@ impl MotionModel {
             half,
             data_cost,
             smooth_weight,
+            table: PairwiseTable::from_fn(labels, |a, b| {
+                flow_pairwise(window, smooth_weight, a, b)
+            }),
         })
     }
 
@@ -157,11 +175,17 @@ impl MrfModel for MotionModel {
     }
 
     fn pairwise(&self, _site: usize, _neighbor: usize, label: Label, neighbor_label: Label) -> f64 {
-        let (ax, ay) = self.label_to_flow(label);
-        let (bx, by) = self.label_to_flow(neighbor_label);
-        let dx = (ax - bx) as f64;
-        let dy = (ay - by) as f64;
-        self.smooth_weight * (dx * dx + dy * dy)
+        flow_pairwise(self.window, self.smooth_weight, label, neighbor_label)
+    }
+
+    fn pairwise_table(&self) -> Option<&PairwiseTable> {
+        Some(&self.table)
+    }
+
+    fn singleton_row(&self, site: usize) -> Option<&[f64]> {
+        let labels = self.window * self.window;
+        let start = site * labels;
+        Some(&self.data_cost[start..start + labels])
     }
 }
 

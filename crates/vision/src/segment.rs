@@ -7,7 +7,7 @@
 
 use crate::error::VisionError;
 use crate::image::GrayImage;
-use mrf::{DistanceFn, Grid, Label, MrfModel};
+use mrf::{DistanceFn, Grid, Label, MrfModel, PairwiseTable};
 
 /// A `K`-segment Potts MRF over a grayscale image.
 ///
@@ -33,6 +33,9 @@ pub struct SegmentModel {
     /// `cost[site * num_segments + k]`.
     data_cost: Vec<f64>,
     smooth_weight: f64,
+    /// Precomputed Potts row `w_smooth · [l ≠ l']`, bit-identical to
+    /// [`MrfModel::pairwise`]; enables the fused local-energy kernel.
+    table: PairwiseTable,
 }
 
 impl SegmentModel {
@@ -82,6 +85,7 @@ impl SegmentModel {
             class_means,
             data_cost,
             smooth_weight,
+            table: PairwiseTable::homogeneous(num_segments, smooth_weight, DistanceFn::Binary),
         })
     }
 
@@ -106,6 +110,15 @@ impl MrfModel for SegmentModel {
 
     fn pairwise(&self, _site: usize, _neighbor: usize, label: Label, neighbor_label: Label) -> f64 {
         self.smooth_weight * DistanceFn::Binary.eval(label, neighbor_label)
+    }
+
+    fn pairwise_table(&self) -> Option<&PairwiseTable> {
+        Some(&self.table)
+    }
+
+    fn singleton_row(&self, site: usize) -> Option<&[f64]> {
+        let start = site * self.num_segments;
+        Some(&self.data_cost[start..start + self.num_segments])
     }
 }
 

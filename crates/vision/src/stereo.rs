@@ -11,7 +11,7 @@
 
 use crate::error::VisionError;
 use crate::image::GrayImage;
-use mrf::{DistanceFn, Grid, Label, MrfModel};
+use mrf::{DistanceFn, Grid, Label, MrfModel, PairwiseTable};
 
 /// A stereo-matching MRF over a rectified image pair.
 ///
@@ -35,6 +35,9 @@ pub struct StereoModel {
     /// Precomputed `cost[site * num_disparities + d]`.
     data_cost: Vec<f64>,
     smooth_weight: f64,
+    /// Precomputed `w_smooth · |d − d'|`, bit-identical to
+    /// [`MrfModel::pairwise`]; enables the fused local-energy kernel.
+    table: PairwiseTable,
 }
 
 impl StereoModel {
@@ -94,6 +97,7 @@ impl StereoModel {
             num_disparities,
             data_cost,
             smooth_weight,
+            table: PairwiseTable::homogeneous(num_disparities, smooth_weight, DistanceFn::Absolute),
         })
     }
 
@@ -118,6 +122,15 @@ impl MrfModel for StereoModel {
 
     fn pairwise(&self, _site: usize, _neighbor: usize, label: Label, neighbor_label: Label) -> f64 {
         self.smooth_weight * DistanceFn::Absolute.eval(label, neighbor_label)
+    }
+
+    fn pairwise_table(&self) -> Option<&PairwiseTable> {
+        Some(&self.table)
+    }
+
+    fn singleton_row(&self, site: usize) -> Option<&[f64]> {
+        let start = site * self.num_disparities;
+        Some(&self.data_cost[start..start + self.num_disparities])
     }
 }
 

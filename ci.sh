@@ -10,11 +10,17 @@ cargo fmt --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
-echo "==> cargo build --release"
-cargo build --release
+# --workspace matters: the root is a facade package, so a bare
+# `cargo build`/`cargo test` would only cover it, leaving the member
+# crates' binaries and test suites out of the gate.
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
 
-echo "==> cargo test -q"
-cargo test -q
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> trace write/read round trip (emit JSONL, re-parse with bench::minijson)"
+cargo run --release -q -p bench --bin trace_roundtrip
 
 echo "==> cargo bench --no-run"
 cargo bench --no-run

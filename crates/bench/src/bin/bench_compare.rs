@@ -4,6 +4,8 @@
 //! bench_compare <base.json> <new.json> [--tolerance <pct>]
 //! ```
 //!
+//! `--threshold <pct>` is accepted as an alias of `--tolerance`.
+//!
 //! Entries are keyed on their `"config"` string; every numeric field
 //! whose name contains `ns_per` (lower is better) is compared. The
 //! process exits non-zero when any metric regresses by more than the
@@ -24,18 +26,21 @@ fn main() -> ExitCode {
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--tolerance" => {
+            flag @ ("--tolerance" | "--threshold") => {
                 i += 1;
                 tolerance = match args.get(i).and_then(|s| s.parse::<f64>().ok()) {
                     Some(t) if t >= 0.0 && t.is_finite() => t,
                     _ => {
-                        eprintln!("bench_compare: --tolerance needs a non-negative number");
+                        eprintln!("bench_compare: {flag} needs a non-negative number");
                         return ExitCode::from(2);
                     }
                 };
             }
             "--help" | "-h" => {
-                eprintln!("usage: bench_compare <base.json> <new.json> [--tolerance <pct>]");
+                eprintln!(
+                    "usage: bench_compare <base.json> <new.json> [--tolerance <pct>]\n\
+                     (--threshold is an accepted alias of --tolerance)"
+                );
                 return ExitCode::SUCCESS;
             }
             other => paths.push(other.to_string()),

@@ -5,14 +5,17 @@
 //! sampling-fidelity error (`rsu::analysis`), then prints the Pareto
 //! frontier of (sampling area, worst λ-ratio error).
 
+use bench::minijson::Value;
+use bench::trace_jsonl::JsonlTraceWriter;
 use bench::{table, write_csv};
-use uarch::explore::{enumerate_parallel, evaluate, pareto_frontier};
+use uarch::explore::{enumerate_parallel, evaluate, pareto_frontier, DesignPoint};
 
 const TIME_BITS: [u32; 5] = [3, 4, 5, 6, 7];
 const TRUNCS: [f64; 6] = [0.01, 0.1, 0.3, 0.5, 0.7, 0.9];
 
 fn main() {
     let threads = bench::threads_from_args();
+    let trace_path = bench::trace_path_from_args();
     println!("§IV-B6 — synthesis of all (Time_bits, Truncation) design points\n");
     if threads > 1 {
         println!("synthesising on {threads} threads (order-preserving, identical output)\n");
@@ -71,4 +74,49 @@ fn main() {
         "time_bits,truncation,area_um2,power_mw,worst_ratio_error",
         &csv,
     );
+
+    if let Some(path) = trace_path {
+        write_trace(&path, &points, &frontier);
+    }
+}
+
+/// `--trace` mode: one `"design_point"` record per enumerated
+/// configuration (flagged when it sits on the Pareto frontier) plus the
+/// cycle-accurate pipeline counters of both designs for the chosen
+/// (5, 0.5) point at the paper's 64-label capacity.
+fn write_trace(path: &std::path::Path, points: &[DesignPoint], frontier: &[DesignPoint]) {
+    let file = std::fs::File::create(path).expect("can create trace file");
+    let mut writer = JsonlTraceWriter::new(std::io::BufWriter::new(file));
+    for p in points {
+        let on_frontier = frontier
+            .iter()
+            .any(|f| f.time_bits == p.time_bits && f.truncation == p.truncation);
+        writer.write_design_point(vec![
+            ("time_bits", Value::Number(p.time_bits as f64)),
+            ("truncation", Value::Number(p.truncation)),
+            ("area_um2", Value::Number(p.sampling_cost.area_um2)),
+            ("power_mw", Value::Number(p.sampling_cost.power_mw)),
+            ("worst_ratio_error", Value::Number(p.worst_ratio_error)),
+            ("on_frontier", Value::Bool(on_frontier)),
+        ]);
+    }
+    let labels = 64u32;
+    for (design, kind, config) in [
+        ("new", rsu::DesignKind::New, rsu::RsuConfig::new_design()),
+        (
+            "previous",
+            rsu::DesignKind::Previous,
+            rsu::RsuConfig::previous_design(),
+        ),
+    ] {
+        let sim = rsu::CycleAccuratePipeline::new(kind, config, labels);
+        let report = sim.run(1_000, 10);
+        writer.write_rsu_pipeline(design, labels, &report);
+    }
+    writer.flush();
+    if let Some(e) = writer.take_error() {
+        eprintln!("error: failed writing trace to {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    println!("wrote trace {}", path.display());
 }

@@ -14,9 +14,10 @@
 //! degrades at low truncation (time-bin compression) and at very high
 //! truncation (over-truncation), and improves with more time bits.
 
+use bench::trace_jsonl::JsonlTraceWriter;
 use bench::{table, write_csv, SamplerKind};
-use mrf::Schedule;
-use rsu::{CensoredPolicy, RsuConfig};
+use mrf::{potential_scale_reduction, EnergyTrace, FanOut, MrfModel, Schedule};
+use rsu::{CensoredPolicy, CycleAccuratePipeline, DesignKind, RsuConfig};
 use vision::metrics::bad_pixel_percentage;
 use vision::StereoModel;
 
@@ -24,9 +25,14 @@ const TIME_BITS: [u32; 6] = [3, 4, 5, 6, 7, 8];
 const TRUNCATIONS: [f64; 7] = [0.01, 0.05, 0.1, 0.2, 0.5, 0.7, 0.9];
 const TEMPERATURE: f64 = 2.0;
 const ITERATIONS: usize = 150;
+/// Chains traced per configuration when `--trace` is given.
+const TRACE_SEEDS: [u64; 3] = [11, 12, 13];
+/// ε for the iterations-to-within-ε convergence summary.
+const TRACE_EPSILON: f64 = 0.02;
 
 fn main() {
     let threads = bench::threads_from_args();
+    let trace_path = bench::trace_path_from_args();
     println!(
         "Fig. 8 — poster BP over Time_bits × Truncation (fixed T = {TEMPERATURE}, clamp-to-t_max)\n"
     );
@@ -99,4 +105,85 @@ fn main() {
         ),
         &csv,
     );
+
+    if let Some(path) = trace_path {
+        write_trace(&path, &model, schedule, ds.num_disparities as u32, threads);
+    }
+}
+
+/// `--trace` mode: re-runs the software reference and the starred
+/// design point as multi-seed chains with per-sweep JSONL records plus
+/// ESS/PSRF/time-to-quality summaries, and appends the cycle-accurate
+/// pipeline counters for both RSU designs at this label count.
+fn write_trace(
+    path: &std::path::Path,
+    model: &StereoModel,
+    schedule: Schedule,
+    labels: u32,
+    threads: usize,
+) {
+    let file = std::fs::File::create(path).expect("can create trace file");
+    let mut writer = JsonlTraceWriter::new(std::io::BufWriter::new(file));
+    let starred = RsuConfig::builder()
+        .time_bits(5)
+        .truncation(0.5)
+        .censored_policy(CensoredPolicy::ClampToTMax)
+        .build()
+        .expect("the starred design point is valid");
+    for (config, kind) in [
+        ("software", SamplerKind::Software),
+        ("starred-RSUG", SamplerKind::Custom(starred)),
+    ] {
+        let mut chains: Vec<EnergyTrace> = Vec::new();
+        for &seed in &TRACE_SEEDS {
+            writer.set_chain(&format!("{config}/seed{seed}"));
+            let mut energy = EnergyTrace::new();
+            {
+                let mut observers = FanOut::new();
+                observers.push(&mut energy);
+                observers.push(&mut writer);
+                if threads > 1 {
+                    kind.run_parallel_observed(
+                        model,
+                        schedule,
+                        ITERATIONS,
+                        seed,
+                        threads,
+                        &mut observers,
+                    );
+                } else {
+                    kind.run_observed(model, schedule, ITERATIONS, seed, &mut observers);
+                }
+            }
+            chains.push(energy);
+        }
+        let ess: Vec<Option<f64>> = chains.iter().map(EnergyTrace::ess).collect();
+        let energy_series: Vec<Vec<f64>> = chains.iter().map(EnergyTrace::energies).collect();
+        let psrf = potential_scale_reduction(&energy_series);
+        let to_within: Vec<Option<usize>> = chains
+            .iter()
+            .map(|c| c.iterations_to_within(TRACE_EPSILON))
+            .collect();
+        writer.write_summary(config, &ess, psrf, TRACE_EPSILON, &to_within);
+    }
+    for (design, kind, config) in [
+        ("new", DesignKind::New, RsuConfig::new_design()),
+        (
+            "previous",
+            DesignKind::Previous,
+            RsuConfig::previous_design(),
+        ),
+    ] {
+        let sim = CycleAccuratePipeline::new(kind, config, labels);
+        // One annealing iteration's worth of variables, with one
+        // temperature update requested at its start.
+        let report = sim.run(model.grid().len() as u64, 1);
+        writer.write_rsu_pipeline(design, labels, &report);
+    }
+    writer.flush();
+    if let Some(e) = writer.take_error() {
+        eprintln!("error: failed writing trace to {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    println!("wrote trace {}", path.display());
 }

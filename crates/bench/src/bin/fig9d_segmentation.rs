@@ -2,13 +2,22 @@
 //! across 30 images at 2/4/6/8 labels, software vs new RSU-G — mean VoI
 //! (the figure) and its standard deviation (the table).
 
-use bench::{run_segmentation, table, write_csv, SamplerKind, SEGMENT_ITERATIONS};
+use bench::trace_jsonl::JsonlTraceWriter;
+use bench::{
+    run_segmentation, run_segmentation_observed, table, write_csv, SamplerKind, SEGMENT_ITERATIONS,
+};
+use mrf::{potential_scale_reduction, EnergyTrace, FanOut};
 use sampling::stats::sample_std_dev;
 
 const LABEL_COUNTS: [usize; 4] = [2, 4, 6, 8];
+/// Chains traced per sampler when `--trace` is given (first image, 4
+/// labels).
+const TRACE_SEEDS: [u64; 3] = [31, 32, 33];
+const TRACE_EPSILON: f64 = 0.02;
 
 fn main() {
     let threads = bench::threads_from_args();
+    let trace_path = bench::trace_path_from_args();
     println!("Fig. 9d / Tab. I — segmentation VoI over 30 images (30 iterations each)\n");
     if threads > 1 {
         println!("running the parallel checkerboard engine on {threads} threads\n");
@@ -81,4 +90,55 @@ fn main() {
         "labels,software_voi_mean,rsug_voi_mean,software_voi_sd,rsug_voi_sd",
         &csv,
     );
+
+    if let Some(path) = trace_path {
+        write_trace(&path, &suite[0], threads);
+    }
+}
+
+/// `--trace` mode: traces the first image of the suite at 4 labels,
+/// software vs new RSU-G, as multi-seed chains with per-sweep JSONL
+/// records plus ESS/PSRF/time-to-quality summaries.
+fn write_trace(path: &std::path::Path, ds: &scenes::SegmentationDataset, threads: usize) {
+    let file = std::fs::File::create(path).expect("can create trace file");
+    let mut writer = JsonlTraceWriter::new(std::io::BufWriter::new(file));
+    for (config, kind) in [
+        ("software", SamplerKind::Software),
+        ("new-RSUG", SamplerKind::NewRsu),
+    ] {
+        let mut chains: Vec<EnergyTrace> = Vec::new();
+        for &seed in &TRACE_SEEDS {
+            writer.set_chain(&format!("{config}/seed{seed}"));
+            let mut energy = EnergyTrace::new();
+            {
+                let mut observers = FanOut::new();
+                observers.push(&mut energy);
+                observers.push(&mut writer);
+                run_segmentation_observed(
+                    ds,
+                    4,
+                    &kind,
+                    SEGMENT_ITERATIONS,
+                    seed,
+                    threads,
+                    &mut observers,
+                );
+            }
+            chains.push(energy);
+        }
+        let ess: Vec<Option<f64>> = chains.iter().map(EnergyTrace::ess).collect();
+        let energy_series: Vec<Vec<f64>> = chains.iter().map(EnergyTrace::energies).collect();
+        let psrf = potential_scale_reduction(&energy_series);
+        let to_within: Vec<Option<usize>> = chains
+            .iter()
+            .map(|c| c.iterations_to_within(TRACE_EPSILON))
+            .collect();
+        writer.write_summary(config, &ess, psrf, TRACE_EPSILON, &to_within);
+    }
+    writer.flush();
+    if let Some(e) = writer.take_error() {
+        eprintln!("error: failed writing trace to {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    println!("wrote trace {}", path.display());
 }

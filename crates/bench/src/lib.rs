@@ -16,13 +16,17 @@
 //! * [`table`] — plain-text table formatting;
 //! * [`artifacts_dir`]/[`write_csv`] — artifact output.
 
-use mrf::{LabelField, MrfModel, ParallelSweepSolver, Schedule, SiteSampler, SoftwareGibbs};
+use mrf::{
+    total_energy, LabelField, MrfModel, NoopObserver, ParallelSweepSolver, Schedule, SiteSampler,
+    SoftwareGibbs, SweepObserver, SweepRecord,
+};
 use rand::SeedableRng;
 use rsu::{RsuConfig, RsuG};
 use sampling::Xoshiro256pp;
 use scenes::{FlowDataset, SegmentationDataset, StereoDataset};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 use vision::metrics::{bad_pixel_percentage, endpoint_error, rms_error, variation_of_information};
 use vision::{MotionModel, SegmentModel, StereoModel};
 
@@ -94,6 +98,73 @@ impl SamplerKind {
         self.dispatch(model, |model, s| {
             run_model(model, s, schedule, iterations, seed)
         })
+    }
+
+    /// Like [`run`](Self::run) with a [`SweepObserver`] attached; the
+    /// chain (and its RNG consumption) is bit-identical to `run`.
+    pub fn run_observed<M: MrfModel, O: SweepObserver>(
+        &self,
+        model: &M,
+        schedule: Schedule,
+        iterations: usize,
+        seed: u64,
+        observer: &mut O,
+    ) -> LabelField {
+        self.dispatch(model, |model, s| {
+            run_model_observed(model, s, schedule, iterations, seed, observer)
+        })
+    }
+
+    /// Like [`run_parallel`](Self::run_parallel) with a
+    /// [`SweepObserver`] attached; the chain is bit-identical to
+    /// `run_parallel` at every thread count.
+    pub fn run_parallel_observed<M: MrfModel + Sync, O: SweepObserver>(
+        &self,
+        model: &M,
+        schedule: Schedule,
+        iterations: usize,
+        seed: u64,
+        threads: usize,
+        observer: &mut O,
+    ) -> LabelField {
+        match self {
+            SamplerKind::Software => run_model_parallel_observed(
+                model,
+                &SoftwareGibbs::new(),
+                schedule,
+                iterations,
+                seed,
+                threads,
+                observer,
+            ),
+            SamplerKind::PreviousRsu => run_model_parallel_observed(
+                model,
+                &RsuG::previous_design(),
+                schedule,
+                iterations,
+                seed,
+                threads,
+                observer,
+            ),
+            SamplerKind::NewRsu => run_model_parallel_observed(
+                model,
+                &RsuG::new_design(),
+                schedule,
+                iterations,
+                seed,
+                threads,
+                observer,
+            ),
+            SamplerKind::Custom(cfg) => run_model_parallel_observed(
+                model,
+                &RsuG::with_config(*cfg),
+                schedule,
+                iterations,
+                seed,
+                threads,
+                observer,
+            ),
+        }
     }
 
     /// Runs the configured sampler with the parallel checkerboard
@@ -212,20 +283,62 @@ pub fn run_model<M: MrfModel>(
     iterations: usize,
     seed: u64,
 ) -> LabelField {
+    run_model_observed(
+        model,
+        sampler,
+        schedule,
+        iterations,
+        seed,
+        &mut NoopObserver,
+    )
+}
+
+/// [`run_model`] with a [`SweepObserver`] attached. With the observer
+/// disabled ([`NoopObserver`]) this is exactly `run_model`: same field,
+/// same RNG consumption, no timing calls.
+pub fn run_model_observed<M: MrfModel, O: SweepObserver>(
+    model: &M,
+    sampler: &mut dyn ErasedSampler,
+    schedule: Schedule,
+    iterations: usize,
+    seed: u64,
+    observer: &mut O,
+) -> LabelField {
     let mut rng = Xoshiro256pp::seed_from_u64(seed);
     let mut field = LabelField::random(model.grid(), model.num_labels(), &mut rng);
     let grid = model.grid();
     let mut energies = Vec::with_capacity(model.num_labels());
+    let observing = observer.is_enabled();
+    let want_sites = observing && observer.wants_site_updates();
+    let mut energy = observing.then(|| total_energy(model, &field));
     for iter in 0..iterations {
         let temperature = schedule.temperature(iter);
         sampler.begin_iteration(temperature);
+        let sweep_start = observing.then(Instant::now);
+        let mut flips = 0u64;
         for site in grid.sites() {
             model.local_energies(site, &field, &mut energies);
             let current = field.get(site);
             let new = sampler.sample_label(&energies, temperature, current, &mut rng);
             if new != current {
                 field.set(site, new);
+                if let Some(e) = energy.as_mut() {
+                    *e += energies[new as usize] - energies[current as usize];
+                }
+                flips += 1;
+                if want_sites {
+                    observer.on_site_update(iter, site, current, new);
+                }
             }
+        }
+        if observing {
+            observer.on_sweep(&SweepRecord {
+                iteration: iter,
+                temperature,
+                energy: energy.unwrap_or(f64::NAN),
+                flips,
+                elapsed: sweep_start.map(|t| t.elapsed()).unwrap_or(Duration::ZERO),
+            });
         }
     }
     field
@@ -258,22 +371,116 @@ where
     field
 }
 
-/// Parses `--threads N` from the process arguments (default 1).
-///
-/// # Panics
-///
-/// Panics with a usage message if the flag is present without a valid
-/// positive integer.
+/// [`run_model_parallel`] with a [`SweepObserver`] attached; the field
+/// is bit-identical to `run_model_parallel` at every thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn run_model_parallel_observed<M, S, O>(
+    model: &M,
+    sampler: &S,
+    schedule: Schedule,
+    iterations: usize,
+    seed: u64,
+    threads: usize,
+    observer: &mut O,
+) -> LabelField
+where
+    M: MrfModel + Sync,
+    S: SiteSampler + Clone + Send,
+    O: SweepObserver,
+{
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let mut field = LabelField::random(model.grid(), model.num_labels(), &mut rng);
+    ParallelSweepSolver::new(model)
+        .schedule(schedule)
+        .iterations(iterations)
+        .threads(threads)
+        .seed(seed)
+        .run_observed(&mut field, sampler, observer);
+    field
+}
+
+/// Parses `--threads N` (or `--threads=N`) from the process arguments
+/// (default 1). On a malformed value it prints a usage message to
+/// stderr and exits with code 2 instead of panicking.
 pub fn threads_from_args() -> usize {
-    let args: Vec<String> = std::env::args().collect();
-    match args.iter().position(|a| a == "--threads") {
-        None => 1,
-        Some(i) => args
-            .get(i + 1)
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| panic!("--threads requires a positive integer")),
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_threads(&args) {
+        Ok(n) => n,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("usage: --threads <N>   worker threads, a positive integer (default 1)");
+            std::process::exit(2);
+        }
     }
+}
+
+/// The testable core of [`threads_from_args`]: scans `args` for
+/// `--threads N` or `--threads=N` and returns the thread count
+/// (`Ok(1)` when the flag is absent) or a description of what is wrong
+/// with it.
+pub fn parse_threads(args: &[String]) -> Result<usize, String> {
+    for (i, arg) in args.iter().enumerate() {
+        let value = if arg == "--threads" {
+            match args.get(i + 1) {
+                // `--threads --trace out.jsonl`: the next token is
+                // another flag, not a value.
+                None => return Err("--threads requires a value".to_string()),
+                Some(next) if next.starts_with("--") => {
+                    return Err(format!("--threads requires a value, found flag '{next}'"))
+                }
+                Some(next) => next.as_str(),
+            }
+        } else if let Some(rest) = arg.strip_prefix("--threads=") {
+            rest
+        } else {
+            continue;
+        };
+        return value
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| format!("--threads requires a positive integer, got '{value}'"));
+    }
+    Ok(1)
+}
+
+/// Parses `--trace <path>` (or `--trace=<path>`) from the process
+/// arguments: the JSONL trace destination, `None` when absent. Exits
+/// with code 2 on a missing value, like [`threads_from_args`].
+pub fn trace_path_from_args() -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_trace_path(&args) {
+        Ok(path) => path,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("usage: --trace <path>   write per-sweep JSONL trace records to <path>");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The testable core of [`trace_path_from_args`].
+pub fn parse_trace_path(args: &[String]) -> Result<Option<PathBuf>, String> {
+    for (i, arg) in args.iter().enumerate() {
+        let value = if arg == "--trace" {
+            match args.get(i + 1) {
+                None => return Err("--trace requires a path".to_string()),
+                Some(next) if next.starts_with("--") => {
+                    return Err(format!("--trace requires a path, found flag '{next}'"))
+                }
+                Some(next) => next.as_str(),
+            }
+        } else if let Some(rest) = arg.strip_prefix("--trace=") {
+            rest
+        } else {
+            continue;
+        };
+        if value.is_empty() {
+            return Err("--trace requires a non-empty path".to_string());
+        }
+        return Ok(Some(PathBuf::from(value)));
+    }
+    Ok(None)
 }
 
 /// Runs one stereo dataset with the given sampler and returns BP/RMS.
@@ -386,6 +593,41 @@ pub fn run_segmentation(
     SegmentationOutcome { voi, field }
 }
 
+/// [`run_segmentation`] with a [`SweepObserver`] attached; the run is
+/// bit-identical to `run_segmentation` with the same arguments.
+#[allow(clippy::too_many_arguments)]
+pub fn run_segmentation_observed<O: SweepObserver>(
+    ds: &SegmentationDataset,
+    num_segments: usize,
+    sampler: &SamplerKind,
+    iterations: usize,
+    seed: u64,
+    threads: usize,
+    observer: &mut O,
+) -> SegmentationOutcome {
+    let model = SegmentModel::new(
+        &ds.image,
+        num_segments,
+        SEGMENT_DATA_WEIGHT,
+        SEGMENT_SMOOTH_WEIGHT,
+    )
+    .expect("generated datasets are consistent");
+    let field = if threads > 1 {
+        sampler.run_parallel_observed(
+            &model,
+            segmentation_schedule(),
+            iterations,
+            seed,
+            threads,
+            observer,
+        )
+    } else {
+        sampler.run_observed(&model, segmentation_schedule(), iterations, seed, observer)
+    };
+    let voi = variation_of_information(&field, &ds.ground_truth);
+    SegmentationOutcome { voi, field }
+}
+
 /// The three named stereo datasets of the evaluation, with their seeds.
 pub fn stereo_suite() -> Vec<(&'static str, StereoDataset)> {
     vec![
@@ -434,6 +676,7 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) {
 }
 
 pub mod minijson;
+pub mod trace_jsonl;
 
 /// Plain-text table formatting helpers.
 pub mod table {
@@ -518,6 +761,73 @@ mod tests {
         let out = run_stereo(&ds, &SamplerKind::Software, 60, 1, 1);
         assert!(out.bp < 60.0, "bp {}", out.bp);
         assert!(out.rms.is_finite());
+    }
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_threads_accepts_both_flag_forms_and_defaults_to_one() {
+        assert_eq!(parse_threads(&strs(&[])), Ok(1));
+        assert_eq!(parse_threads(&strs(&["--threads", "4"])), Ok(4));
+        assert_eq!(parse_threads(&strs(&["--threads=8"])), Ok(8));
+        assert_eq!(
+            parse_threads(&strs(&["--other", "x", "--threads", "2", "tail"])),
+            Ok(2)
+        );
+    }
+
+    #[test]
+    fn parse_threads_rejects_malformed_values() {
+        for bad in [
+            vec!["--threads"],
+            vec!["--threads", "--trace"],
+            vec!["--threads", "zero"],
+            vec!["--threads", "0"],
+            vec!["--threads=-3"],
+            vec!["--threads="],
+        ] {
+            assert!(parse_threads(&strs(&bad)).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_trace_path_handles_presence_absence_and_errors() {
+        assert_eq!(parse_trace_path(&strs(&[])), Ok(None));
+        assert_eq!(
+            parse_trace_path(&strs(&["--trace", "out.jsonl"])),
+            Ok(Some(PathBuf::from("out.jsonl")))
+        );
+        assert_eq!(
+            parse_trace_path(&strs(&["--trace=a/b.jsonl"])),
+            Ok(Some(PathBuf::from("a/b.jsonl")))
+        );
+        assert!(parse_trace_path(&strs(&["--trace"])).is_err());
+        assert!(parse_trace_path(&strs(&["--trace", "--threads"])).is_err());
+        assert!(parse_trace_path(&strs(&["--trace="])).is_err());
+    }
+
+    #[test]
+    fn run_model_observed_with_noop_matches_run_model() {
+        let model = mrf::TabularMrf::checkerboard(6, 6, 3, 4.0, mrf::DistanceFn::Binary, 0.3);
+        let schedule = Schedule::geometric(3.0, 0.9, 0.1);
+        let plain = {
+            let mut erased = Erased(SoftwareGibbs::new());
+            run_model(&model, &mut erased, schedule, 20, 7)
+        };
+        let mut trace = mrf::EnergyTrace::new();
+        let observed = {
+            let mut erased = Erased(SoftwareGibbs::new());
+            run_model_observed(&model, &mut erased, schedule, 20, 7, &mut trace)
+        };
+        assert_eq!(plain, observed);
+        assert_eq!(trace.len(), 20);
+        let last = trace.records().last().unwrap();
+        assert!(
+            (last.energy - total_energy(&model, &observed)).abs() < 1e-6,
+            "incremental energy must track the true total"
+        );
     }
 
     #[test]

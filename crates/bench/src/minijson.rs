@@ -1,10 +1,15 @@
-//! A minimal JSON reader for the workspace's `BENCH_*.json` artifacts.
+//! A minimal JSON reader/writer for the workspace's `BENCH_*.json`
+//! artifacts and solver trace streams.
 //!
 //! The build environment has no `serde_json` (offline, stub registry),
 //! and the bench exports are machine-written with a known shape, so a
 //! small recursive-descent parser covering the full JSON grammar is all
 //! `bench_compare` needs. Not a validator: it accepts every valid JSON
-//! document but reports errors by byte offset only.
+//! document but reports errors by byte offset only. The matching
+//! emitter is [`Value`]'s [`Display`](fmt::Display) impl: compact
+//! (no insignificant whitespace), escapes only what JSON requires, and
+//! writes non-finite numbers as `null` so every emitted document
+//! re-parses.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -61,6 +66,59 @@ impl Value {
             _ => None,
         }
     }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => f.write_str(if *b { "true" } else { "false" }),
+            Value::Number(n) if n.is_finite() => write!(f, "{n}"),
+            // JSON has no NaN/Infinity literal; emit null so the
+            // document stays parseable.
+            Value::Number(_) => f.write_str("null"),
+            Value::String(s) => write_escaped(f, s),
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(map) => {
+                f.write_str("{")?;
+                for (i, (key, value)) in map.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, key)?;
+                    write!(f, ":{value}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\u{0008}' => f.write_str("\\b")?,
+            '\u{000C}' => f.write_str("\\f")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
 }
 
 /// A parse failure: what was expected and the byte offset it happened at.
@@ -225,17 +283,41 @@ impl Parser<'_> {
                         b'r' => out.push('\r'),
                         b't' => out.push('\t'),
                         b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .ok_or_else(|| self.error("truncated \\u escape"))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.error("bad \\u escape"))?;
-                            self.pos += 4;
-                            // Surrogate pairs are not needed by any bench
-                            // artifact; map lone surrogates to U+FFFD.
-                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            let code = self.parse_hex4()?;
+                            let scalar = match code {
+                                // High surrogate: a low surrogate escape
+                                // must follow to form one supplementary
+                                // character.
+                                0xD800..=0xDBFF => {
+                                    if self.peek() != Some(b'\\') {
+                                        return Err(
+                                            self.error("high surrogate not followed by \\u escape")
+                                        );
+                                    }
+                                    self.pos += 1;
+                                    if self.peek() != Some(b'u') {
+                                        return Err(
+                                            self.error("high surrogate not followed by \\u escape")
+                                        );
+                                    }
+                                    self.pos += 1;
+                                    let low = self.parse_hex4()?;
+                                    if !(0xDC00..=0xDFFF).contains(&low) {
+                                        return Err(self.error(
+                                            "high surrogate followed by non-low surrogate",
+                                        ));
+                                    }
+                                    0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
+                                }
+                                0xDC00..=0xDFFF => {
+                                    return Err(self.error("lone low surrogate in \\u escape"))
+                                }
+                                _ => code,
+                            };
+                            out.push(
+                                char::from_u32(scalar)
+                                    .ok_or_else(|| self.error("bad \\u escape"))?,
+                            );
                         }
                         _ => return Err(self.error("unknown escape")),
                     }
@@ -254,6 +336,19 @@ impl Parser<'_> {
                 }
             }
         }
+    }
+
+    /// Reads the four hex digits of a `\u` escape (cursor already past
+    /// the `u`) and returns the code unit.
+    fn parse_hex4(&mut self) -> Result<u32, ParseError> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .ok_or_else(|| self.error("truncated \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.error("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
     }
 
     fn parse_number(&mut self) -> Result<Value, ParseError> {
@@ -320,6 +415,59 @@ mod tests {
         for bad in ["", "{", "[1,", "{\"a\" 1}", "1 2", "\"unterminated", "nul"] {
             assert!(parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn decodes_surrogate_pairs() {
+        assert_eq!(parse(r#""😀""#).unwrap(), Value::String("😀".to_string()));
+        assert_eq!(
+            parse(r#""a𝄞b""#).unwrap(),
+            Value::String("a\u{1D11E}b".to_string()),
+            "G clef, mixed with ASCII neighbours"
+        );
+    }
+
+    #[test]
+    fn rejects_lone_and_malformed_surrogates() {
+        for bad in [
+            r#""\uD83D""#,       // lone high at end of string
+            r#""\uD83Dx""#,      // high followed by plain char
+            r#""\uD83D\n""#,     // high followed by non-u escape
+            r#""\uD83D\uD83D""#, // high followed by another high
+            r#""\uDE00""#,       // lone low
+            r#""\uD83D\uDE0""#,  // truncated low
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn emits_compact_json_that_reparses() {
+        let doc = parse(r#"{"name": "träce \"x\"", "vals": [1, -2.5, null, true], "emoji": "😀"}"#)
+            .unwrap();
+        let emitted = doc.to_string();
+        assert!(!emitted.contains(": "), "emitter must be compact");
+        assert_eq!(parse(&emitted).unwrap(), doc, "write→read round trip");
+    }
+
+    #[test]
+    fn emitter_escapes_and_nulls_non_finite() {
+        let mut map = BTreeMap::new();
+        map.insert(
+            "s".to_string(),
+            Value::String("a\"b\\c\n\u{0001}".to_string()),
+        );
+        map.insert("nan".to_string(), Value::Number(f64::NAN));
+        map.insert("inf".to_string(), Value::Number(f64::INFINITY));
+        let doc = Value::Object(map);
+        let emitted = doc.to_string();
+        assert_eq!(emitted, r#"{"inf":null,"nan":null,"s":"a\"b\\c\n\u0001"}"#);
+        let back = parse(&emitted).unwrap();
+        assert_eq!(back.get("nan"), Some(&Value::Null));
+        assert_eq!(
+            back.get("s").and_then(Value::as_str),
+            Some("a\"b\\c\n\u{0001}")
+        );
     }
 
     #[test]

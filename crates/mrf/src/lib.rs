@@ -24,6 +24,10 @@
 //! * [`Schedule`] — simulated-annealing temperature schedules.
 //! * [`solve`] / [`SweepSolver`] — the outer MCMC loop with energy
 //!   tracking and convergence detection.
+//! * [`SweepObserver`] / [`EnergyTrace`] — zero-overhead-when-off sweep
+//!   tracing plus convergence diagnostics (autocorrelation ESS,
+//!   Gelman–Rubin PSRF, iterations-to-within-ε), honoured identically by
+//!   every engine (see the [`trace`] module's determinism contract).
 //!
 //! # Example
 //!
@@ -55,6 +59,7 @@ pub mod metropolis;
 pub mod model;
 pub mod parallel;
 pub mod solver;
+pub mod trace;
 
 pub use annealing::Schedule;
 pub use beliefprop::{belief_propagation, BeliefPropReport};
@@ -68,4 +73,8 @@ pub use parallel::ParallelSweepSolver;
 pub use solver::{
     solve, total_energy, IcmSampler, ScanOrder, SiteSampler, SoftwareGibbs, SolveReport,
     SweepSolver,
+};
+pub use trace::{
+    effective_sample_size, potential_scale_reduction, EnergyTrace, FanOut, NoopObserver,
+    SweepObserver, SweepRecord,
 };

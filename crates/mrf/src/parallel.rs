@@ -50,8 +50,10 @@ use crate::annealing::Schedule;
 use crate::field::LabelField;
 use crate::model::{Label, MrfModel};
 use crate::solver::{total_energy, SiteSampler, SolveReport};
+use crate::trace::{replay_phase_site_updates, NoopObserver, SweepObserver, SweepRecord};
 use sampling::SiteRng;
 use std::ops::Range;
+use std::time::{Duration, Instant};
 
 /// The rows owned by band `band` when `height` rows are split over
 /// `bands` contiguous bands: `height / bands` rows each, with the first
@@ -383,6 +385,30 @@ impl<'m, M: MrfModel + Sync> ParallelSweepSolver<'m, M> {
     where
         S: SiteSampler + Clone + Send,
     {
+        self.run_observed(field, sampler, &mut NoopObserver)
+    }
+
+    /// Runs the solver with a [`SweepObserver`] attached.
+    ///
+    /// The chain is bit-identical to [`run`](Self::run) at every thread
+    /// count: per-band flip counters and energy deltas are folded in row
+    /// order before the observer sees them, and per-site hooks are
+    /// driven by a raster-order replay of each phase's snapshot diff —
+    /// never by the racing workers (see the `trace` module docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the field's grid or label count disagree with the model.
+    pub fn run_observed<S, O>(
+        &self,
+        field: &mut LabelField,
+        sampler: &S,
+        observer: &mut O,
+    ) -> SolveReport
+    where
+        S: SiteSampler + Clone + Send,
+        O: SweepObserver,
+    {
         assert_eq!(field.grid(), self.model.grid(), "field grid mismatch");
         assert_eq!(
             field.num_labels(),
@@ -403,8 +429,12 @@ impl<'m, M: MrfModel + Sync> ParallelSweepSolver<'m, M> {
             labels_changed: 0,
         };
         let mut energy = total_energy(self.model, field);
+        let observing = observer.is_enabled();
+        let want_sites = observing && observer.wants_site_updates();
 
         for iter in 0..self.iterations {
+            let sweep_start = observing.then(Instant::now);
+            let flips_before = report.labels_changed;
             let temperature = self.schedule.temperature(iter);
             for worker in workers.iter_mut() {
                 worker.sampler.begin_iteration(temperature);
@@ -423,6 +453,18 @@ impl<'m, M: MrfModel + Sync> ParallelSweepSolver<'m, M> {
                 );
                 energy += outcome.delta_energy;
                 report.labels_changed += outcome.labels_changed;
+                if want_sites {
+                    replay_phase_site_updates(&snapshot, field, phase, iter, observer);
+                }
+            }
+            if observing {
+                observer.on_sweep(&SweepRecord {
+                    iteration: iter,
+                    temperature,
+                    energy,
+                    flips: report.labels_changed - flips_before,
+                    elapsed: sweep_start.map(|t| t.elapsed()).unwrap_or(Duration::ZERO),
+                });
             }
             report.energy_history.push(energy);
             report.final_temperature = temperature;

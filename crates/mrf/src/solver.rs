@@ -9,10 +9,12 @@
 use crate::annealing::Schedule;
 use crate::field::LabelField;
 use crate::model::{Label, MrfModel};
+use crate::trace::{NoopObserver, SweepObserver, SweepRecord};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use sampling::Categorical;
 use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
 
 /// A per-site Gibbs kernel: given the local conditional energies of every
 /// candidate label and the current temperature, choose the new label.
@@ -274,6 +276,30 @@ impl<'m, M: MrfModel> SweepSolver<'m, M> {
         S: SiteSampler,
         R: Rng + ?Sized,
     {
+        self.run_observed(field, sampler, rng, &mut NoopObserver)
+    }
+
+    /// Runs the solver with a [`SweepObserver`] attached.
+    ///
+    /// The chain is bit-identical to [`run`](Self::run) — observers only
+    /// read (see the `trace` module's determinism contract) — and a
+    /// disabled observer costs nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the field's grid or label count disagree with the model.
+    pub fn run_observed<S, R, O>(
+        &self,
+        field: &mut LabelField,
+        sampler: &mut S,
+        rng: &mut R,
+        observer: &mut O,
+    ) -> SolveReport
+    where
+        S: SiteSampler,
+        R: Rng + ?Sized,
+        O: SweepObserver,
+    {
         assert_eq!(field.grid(), self.model.grid(), "field grid mismatch");
         assert_eq!(
             field.num_labels(),
@@ -301,7 +327,11 @@ impl<'m, M: MrfModel> SweepSolver<'m, M> {
         // and new sums are exactly the local conditional energies already
         // computed for the sampler, so ΔE = energies[new] − energies[old].
         let mut energy = total_energy(self.model, field);
+        let observing = observer.is_enabled();
+        let want_sites = observing && observer.wants_site_updates();
         for iter in 0..self.iterations {
+            let sweep_start = observing.then(Instant::now);
+            let flips_before = report.labels_changed;
             let temperature = self.schedule.temperature(iter);
             sampler.begin_iteration(temperature);
             if self.scan == ScanOrder::RandomPermutation {
@@ -315,7 +345,19 @@ impl<'m, M: MrfModel> SweepSolver<'m, M> {
                     report.labels_changed += 1;
                     energy += energies[new as usize] - energies[current as usize];
                     field.set(site, new);
+                    if want_sites {
+                        observer.on_site_update(iter, site, current, new);
+                    }
                 }
+            }
+            if observing {
+                observer.on_sweep(&SweepRecord {
+                    iteration: iter,
+                    temperature,
+                    energy,
+                    flips: report.labels_changed - flips_before,
+                    elapsed: sweep_start.map(|t| t.elapsed()).unwrap_or(Duration::ZERO),
+                });
             }
             report.energy_history.push(energy);
             report.final_temperature = temperature;

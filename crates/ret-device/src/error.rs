@@ -26,6 +26,16 @@ pub enum DeviceError {
         /// Human-readable description of the violated constraint.
         reason: &'static str,
     },
+    /// A detection window must be finite and non-negative.
+    InvalidWindow {
+        /// The offending window length, seconds.
+        value: f64,
+    },
+    /// A photon arrival time must be finite and non-negative.
+    InvalidPhotonTime {
+        /// The offending arrival time, seconds.
+        value: f64,
+    },
 }
 
 impl fmt::Display for DeviceError {
@@ -45,6 +55,18 @@ impl fmt::Display for DeviceError {
             }
             DeviceError::InvalidSpectrum { reason } => {
                 write!(f, "invalid chromophore spectrum: {reason}")
+            }
+            DeviceError::InvalidWindow { value } => {
+                write!(
+                    f,
+                    "detection window must be finite and non-negative seconds, got {value}"
+                )
+            }
+            DeviceError::InvalidPhotonTime { value } => {
+                write!(
+                    f,
+                    "photon arrival time must be finite and non-negative seconds, got {value}"
+                )
             }
         }
     }
@@ -66,5 +88,11 @@ mod tests {
         assert!(!DeviceError::InvalidTruncation { truncation: 2.0 }
             .to_string()
             .is_empty());
+        assert!(DeviceError::InvalidWindow { value: f64::NAN }
+            .to_string()
+            .contains("window"));
+        assert!(DeviceError::InvalidPhotonTime { value: -1.0 }
+            .to_string()
+            .contains("photon"));
     }
 }

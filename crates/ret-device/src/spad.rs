@@ -61,13 +61,31 @@ impl Spad {
     /// (if any) arrives at `photon_at_s` from the window start.
     ///
     /// Returns the time of the first *detection* — photon or dark count,
-    /// whichever is earlier — or `None` if neither occurs in the window.
+    /// whichever is earlier — or `Ok(None)` if neither occurs in the
+    /// window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidWindow`] when `window_s` is NaN,
+    /// infinite or negative, and [`DeviceError::InvalidPhotonTime`] when
+    /// a supplied photon time is NaN, infinite or negative. These
+    /// degenerate inputs used to be silently censored (NaN fails every
+    /// comparison), turning an upstream modelling bug into a plausible
+    /// "no detection" sample; now they surface as typed errors.
     pub fn detect<R: Rng + ?Sized>(
         &self,
         photon_at_s: Option<f64>,
         window_s: f64,
         rng: &mut R,
-    ) -> Option<Detection> {
+    ) -> Result<Option<Detection>, DeviceError> {
+        if !window_s.is_finite() || window_s < 0.0 {
+            return Err(DeviceError::InvalidWindow { value: window_s });
+        }
+        if let Some(t) = photon_at_s {
+            if !t.is_finite() || t < 0.0 {
+                return Err(DeviceError::InvalidPhotonTime { value: t });
+            }
+        }
         let dark = if self.dark_count_rate_hz > 0.0 {
             let t = Exponential::new(self.dark_count_rate_hz)
                 .expect("positive rate")
@@ -76,7 +94,7 @@ impl Spad {
         } else {
             None
         };
-        match (photon_at_s.filter(|&t| t <= window_s), dark) {
+        Ok(match (photon_at_s.filter(|&t| t <= window_s), dark) {
             (Some(p), Some(d)) => {
                 if d < p {
                     Some(Detection {
@@ -99,7 +117,7 @@ impl Spad {
                 dark: true,
             }),
             (None, None) => None,
-        }
+        })
     }
 }
 
@@ -138,19 +156,56 @@ mod tests {
         let spad = Spad::new(0.0).unwrap();
         let mut rng = Xoshiro256pp::seed_from_u64(1);
         for _ in 0..1000 {
-            match spad.detect(Some(1e-9), 4e-9, &mut rng) {
+            match spad.detect(Some(1e-9), 4e-9, &mut rng).unwrap() {
                 Some(d) => assert!(!d.dark),
                 None => panic!("photon inside window must be detected"),
             }
         }
-        assert!(spad.detect(None, 4e-9, &mut rng).is_none());
+        assert!(spad.detect(None, 4e-9, &mut rng).unwrap().is_none());
     }
 
     #[test]
     fn photon_beyond_window_is_censored() {
         let spad = Spad::new(0.0).unwrap();
         let mut rng = Xoshiro256pp::seed_from_u64(2);
-        assert!(spad.detect(Some(5e-9), 4e-9, &mut rng).is_none());
+        assert!(spad.detect(Some(5e-9), 4e-9, &mut rng).unwrap().is_none());
+    }
+
+    #[test]
+    fn degenerate_windows_are_typed_errors_not_missed_photons() {
+        // Regression: a NaN window used to censor every photon (NaN
+        // fails the `t <= window_s` comparison), silently reporting "no
+        // detection" instead of flagging the upstream bug.
+        let spad = Spad::new(1_000.0).unwrap();
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
+        assert!(matches!(
+            spad.detect(Some(1e-9), f64::NAN, &mut rng),
+            Err(DeviceError::InvalidWindow { value }) if value.is_nan()
+        ));
+        assert!(matches!(
+            spad.detect(Some(1e-9), f64::INFINITY, &mut rng),
+            Err(DeviceError::InvalidWindow { .. })
+        ));
+        assert!(matches!(
+            spad.detect(Some(1e-9), -4e-9, &mut rng),
+            Err(DeviceError::InvalidWindow { .. })
+        ));
+        // A zero-length window is legal (nothing can fire).
+        assert_eq!(spad.detect(None, 0.0, &mut rng), Ok(None));
+    }
+
+    #[test]
+    fn degenerate_photon_times_are_typed_errors() {
+        let spad = Spad::new(0.0).unwrap();
+        let mut rng = Xoshiro256pp::seed_from_u64(8);
+        assert!(matches!(
+            spad.detect(Some(f64::NAN), 4e-9, &mut rng),
+            Err(DeviceError::InvalidPhotonTime { .. })
+        ));
+        assert!(matches!(
+            spad.detect(Some(-1e-9), 4e-9, &mut rng),
+            Err(DeviceError::InvalidPhotonTime { .. })
+        ));
     }
 
     #[test]
@@ -160,7 +215,7 @@ mod tests {
         let mut rng = Xoshiro256pp::seed_from_u64(3);
         let n = 100_000;
         let hits = (0..n)
-            .filter(|_| spad.detect(None, 1e-6, &mut rng).is_some())
+            .filter(|_| spad.detect(None, 1e-6, &mut rng).unwrap().is_some())
             .count();
         let p = hits as f64 / n as f64;
         let expected = 1.0 - (-1.0f64).exp();
@@ -176,6 +231,7 @@ mod tests {
         for _ in 0..n {
             let d = spad
                 .detect(Some(3.9e-9), 4e-9, &mut rng)
+                .unwrap()
                 .expect("something fires");
             assert!(d.time_s <= 3.9e-9 + 1e-18);
             if d.dark {

@@ -16,9 +16,11 @@
 use crate::config::RsuConfig;
 use crate::pipeline::PipelineModel;
 use crate::sampler::{RsuG, RsuStats};
-use mrf::{LabelField, MrfModel, SiteSampler};
+use mrf::trace::{replay_phase_site_updates, NoopObserver, SweepObserver, SweepRecord};
+use mrf::{total_energy, LabelField, MrfModel, SiteSampler};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
 
 /// Report of one array sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -117,6 +119,35 @@ impl RsuArray {
         M: MrfModel,
         R: Rng + ?Sized,
     {
+        self.sweep_observed(model, field, temperature, 0, rng, &mut NoopObserver)
+    }
+
+    /// Like [`sweep`](Self::sweep) with a [`SweepObserver`] attached.
+    ///
+    /// `iteration` labels the sweep in emitted records (the caller
+    /// advances it once per sweep of a chain). The chain and the unit
+    /// statistics are bit-identical to [`sweep`](Self::sweep); when the
+    /// observer is enabled the sweep additionally pays one
+    /// [`total_energy`] scan to seed the incremental energy it reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the field and model disagree, or the model's label
+    /// count exceeds the units' maximum.
+    pub fn sweep_observed<M, R, O>(
+        &mut self,
+        model: &M,
+        field: &mut LabelField,
+        temperature: f64,
+        iteration: usize,
+        rng: &mut R,
+        observer: &mut O,
+    ) -> ArraySweepReport
+    where
+        M: MrfModel,
+        R: Rng + ?Sized,
+        O: SweepObserver,
+    {
         assert_eq!(field.grid(), model.grid(), "field grid mismatch");
         assert_eq!(
             field.num_labels(),
@@ -128,6 +159,11 @@ impl RsuArray {
         for unit in &mut self.units {
             unit.begin_iteration(temperature);
         }
+        let observing = observer.is_enabled();
+        let want_sites = observing && observer.wants_site_updates();
+        let sweep_start = observing.then(Instant::now);
+        let mut energy = observing.then(|| total_energy(model, field));
+        let mut flips = 0u64;
         let mut energies = Vec::with_capacity(model.num_labels());
         let mut report = ArraySweepReport {
             sites: 0,
@@ -147,7 +183,14 @@ impl RsuArray {
                 let new = self.units[next_unit].sample_label(&energies, temperature, current, rng);
                 next_unit = (next_unit + 1) % self.units.len();
                 if new != current {
+                    if let Some(e) = energy.as_mut() {
+                        *e += energies[new as usize] - energies[current as usize];
+                    }
+                    flips += 1;
                     field.set(site, new);
+                    if want_sites {
+                        observer.on_site_update(iteration, site, current, new);
+                    }
                 }
                 phase_sites += 1;
             }
@@ -157,6 +200,15 @@ impl RsuArray {
             report.critical_path_cycles += per_unit * model.num_labels() as u64;
             report.busy_unit_cycles += phase_sites * model.num_labels() as u64;
             report.sites += phase_sites;
+        }
+        if observing {
+            observer.on_sweep(&SweepRecord {
+                iteration,
+                temperature,
+                energy: energy.unwrap_or(f64::NAN),
+                flips,
+                elapsed: sweep_start.map(|t| t.elapsed()).unwrap_or(Duration::ZERO),
+            });
         }
         report
     }
@@ -192,6 +244,46 @@ impl RsuArray {
     where
         M: MrfModel + Sync,
     {
+        self.sweep_parallel_observed(
+            model,
+            field,
+            temperature,
+            iteration,
+            seed,
+            threads,
+            &mut NoopObserver,
+        )
+    }
+
+    /// Like [`sweep_parallel`](Self::sweep_parallel) with a
+    /// [`SweepObserver`] attached.
+    ///
+    /// The chain, statistics and report stay bit-identical to
+    /// [`sweep_parallel`](Self::sweep_parallel) at every host thread
+    /// count: flip counters and energy deltas are folded in row order
+    /// by the phase engine, and per-site hooks replay each phase's
+    /// snapshot diff in raster order on the driver thread. When the
+    /// observer is enabled the sweep additionally pays one
+    /// [`total_energy`] scan to seed the incremental energy it reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the field and model disagree.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sweep_parallel_observed<M, O>(
+        &mut self,
+        model: &M,
+        field: &mut LabelField,
+        temperature: f64,
+        iteration: u64,
+        seed: u64,
+        threads: usize,
+        observer: &mut O,
+    ) -> ArraySweepReport
+    where
+        M: MrfModel + Sync,
+        O: SweepObserver,
+    {
         assert_eq!(field.grid(), model.grid(), "field grid mismatch");
         assert_eq!(
             field.num_labels(),
@@ -222,13 +314,19 @@ impl RsuArray {
             .map(mrf::parallel::BandWorker::new)
             .collect();
 
+        let observing = observer.is_enabled();
+        let want_sites = observing && observer.wants_site_updates();
+        let sweep_start = observing.then(Instant::now);
+        let mut energy = observing.then(|| total_energy(model, field));
+        let mut flips = 0u64;
+
         let mut report = ArraySweepReport {
             sites: 0,
             critical_path_cycles: 0,
             busy_unit_cycles: 0,
         };
         for parity in 0..2usize {
-            mrf::parallel::checkerboard_phase(
+            let phase = mrf::parallel::checkerboard_phase(
                 model,
                 field,
                 &mut *snapshot,
@@ -239,6 +337,13 @@ impl RsuArray {
                 iteration,
                 seed,
             );
+            if let Some(e) = energy.as_mut() {
+                *e += phase.delta_energy;
+            }
+            flips += phase.labels_changed;
+            if want_sites {
+                replay_phase_site_updates(&*snapshot, field, parity, iteration as usize, observer);
+            }
             // Cycle accounting from the band geometry: band `b` holds
             // its rows' parity-`parity` sites, each costing one cycle
             // per candidate label.
@@ -257,6 +362,15 @@ impl RsuArray {
             report.critical_path_cycles += busiest * labels;
             report.busy_unit_cycles += phase_sites * labels;
             report.sites += phase_sites;
+        }
+        if observing {
+            observer.on_sweep(&SweepRecord {
+                iteration: iteration as usize,
+                temperature,
+                energy: energy.unwrap_or(f64::NAN),
+                flips,
+                elapsed: sweep_start.map(|t| t.elapsed()).unwrap_or(Duration::ZERO),
+            });
         }
         report
     }

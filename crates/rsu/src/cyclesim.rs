@@ -48,12 +48,24 @@ pub struct CycleReport {
     pub stall_cycles: u64,
     /// Completion cycle of the first variable (its latency).
     pub first_latency: u64,
+    /// Peak number of entries resident in the energy FIFO at any cycle
+    /// (zero for the previous design, which has no FIFO).
+    pub fifo_peak_occupancy: u64,
+    /// Entry-cycles of FIFO residence summed over the run: each entry
+    /// contributes (drain cycle − insert cycle). Divide by
+    /// [`total_cycles`](Self::total_cycles) for mean occupancy.
+    pub fifo_occupancy_cycles: u64,
 }
 
 impl CycleReport {
     /// Steady-state cycles per variable over the run.
     pub fn cycles_per_variable(&self) -> f64 {
         self.total_cycles as f64 / self.variables.max(1) as f64
+    }
+
+    /// Mean FIFO occupancy over the run (entries, time-averaged).
+    pub fn fifo_mean_occupancy(&self) -> f64 {
+        self.fifo_occupancy_cycles as f64 / self.total_cycles.max(1) as f64
     }
 }
 
@@ -106,6 +118,8 @@ impl CycleAccuratePipeline {
         // fills v+1; the drain of v may not start before its fill is
         // complete, and may not overlap the drain of v−1.
         let mut backend_free_at: u64 = 0;
+        let mut fifo_peak: u64 = 0;
+        let mut fifo_entry_cycles: u64 = 0;
         let update_stall = self.analytical().temperature_update_stall_cycles();
         for v in 0..variables {
             if v < temp_updates && update_stall > 0 {
@@ -130,6 +144,15 @@ impl CycleAccuratePipeline {
                     // gated by the previous variable's drain.
                     let fill_done = last_issue + FRONT_DEPTH;
                     let drain_start = (fill_done + 1).max(backend_free_at);
+                    // FIFO accounting: entry i is inserted at
+                    // first_issue + FRONT_DEPTH + i and drained at
+                    // drain_start + i, so every entry of this variable
+                    // resides the same number of cycles. All m entries
+                    // coexist between the last insert and the first
+                    // drain (departures happen before arrivals within a
+                    // cycle), so the per-variable peak is m.
+                    fifo_entry_cycles += m * (drain_start - first_issue - FRONT_DEPTH);
+                    fifo_peak = fifo_peak.max(m);
                     let drain_last_issue = drain_start + (m - 1);
                     backend_free_at = drain_last_issue + 1;
                     drain_last_issue + NEW_BACK_DEPTH.max(sample_depth + 3)
@@ -145,6 +168,8 @@ impl CycleAccuratePipeline {
             variables,
             stall_cycles,
             first_latency,
+            fifo_peak_occupancy: fifo_peak,
+            fifo_occupancy_cycles: fifo_entry_cycles,
         }
     }
 }
@@ -246,6 +271,36 @@ mod tests {
         assert!(single.first_latency > base.first_latency);
         let steady = sim.run(5_000, 0);
         assert!((steady.cycles_per_variable() - 10.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn previous_design_reports_no_fifo_occupancy() {
+        let report = prev(10).run(200, 3);
+        assert_eq!(report.fifo_peak_occupancy, 0);
+        assert_eq!(report.fifo_occupancy_cycles, 0);
+        assert_eq!(report.fifo_mean_occupancy(), 0.0);
+    }
+
+    #[test]
+    fn new_design_fifo_peak_is_the_label_count() {
+        for m in [2u32, 5, 10, 49] {
+            let report = new_design(m).run(100, 0);
+            assert_eq!(report.fifo_peak_occupancy, m as u64, "M = {m}");
+        }
+    }
+
+    #[test]
+    fn new_design_steady_state_mean_fifo_occupancy_approaches_m() {
+        // In steady state each entry waits one full drain pass (m
+        // cycles) in the FIFO, so the time-averaged occupancy tends
+        // to m²/m = m.
+        let m = 10u64;
+        let report = new_design(m as u32).run(10_000, 0);
+        let mean = report.fifo_mean_occupancy();
+        assert!(
+            (mean - m as f64).abs() < 0.5,
+            "mean occupancy {mean} for M = {m}"
+        );
     }
 
     #[test]

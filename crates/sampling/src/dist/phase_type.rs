@@ -206,25 +206,30 @@ impl PhaseType {
 
     /// Draws one absorption time by simulating the chain.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the chain fails to absorb within 10⁶ jumps (indicating
-    /// a (numerically) absorbing transient cycle).
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+    /// Returns [`DistributionError::NoAbsorption`] if the chain fails to
+    /// absorb within 10⁶ jumps. Construction rejects chains where *no*
+    /// phase can absorb, but a chain can still pass construction with an
+    /// absorbing phase that is unreachable from the initial distribution
+    /// — that degenerate case used to abort the process from deep inside
+    /// a sampling loop.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<f64, DistributionError> {
+        const MAX_JUMPS: u64 = 1_000_000;
         let n = self.phases();
         let mut phase = self.initial.sample(rng);
         let mut t = 0.0;
-        for _ in 0..1_000_000 {
+        for _ in 0..MAX_JUMPS {
             t += Exponential::new(self.exit_rate[phase])
                 .expect("validated rate")
                 .sample(rng);
             let next = self.transitions[phase].sample(rng);
             if next == n {
-                return t;
+                return Ok(t);
             }
             phase = next;
         }
-        panic!("phase-type chain failed to absorb; check the transition weights");
+        Err(DistributionError::NoAbsorption { jumps: MAX_JUMPS })
     }
 }
 
@@ -301,7 +306,7 @@ mod tests {
         )
         .unwrap();
         let mut rng = Xoshiro256pp::seed_from_u64(5);
-        let xs: Vec<f64> = (0..30_000).map(|_| ph.sample(&mut rng)).collect();
+        let xs: Vec<f64> = (0..30_000).map(|_| ph.sample(&mut rng).unwrap()).collect();
         let erlang = Hypoexponential::new(&[3.0, 3.0]).unwrap();
         let (mean, var) = stats::mean_variance(&xs);
         assert!((mean - erlang.mean()).abs() < 0.02);
@@ -317,5 +322,24 @@ mod tests {
         assert!(PhaseType::new(&[], &[], &[]).is_err());
         // Unreachable absorption.
         assert!(PhaseType::new(&[1.0], &[1.0], &[vec![1.0, 0.0]],).is_err());
+    }
+
+    #[test]
+    fn non_absorbing_chain_is_a_typed_error_not_a_panic() {
+        // Regression: phase 1 can absorb (so construction passes), but
+        // the chain starts in phase 0, which only ever jumps back to
+        // itself — absorption is unreachable and `sample` used to panic
+        // after 10⁶ jumps.
+        let ph = PhaseType::new(
+            &[1.0, 0.0],
+            &[2.0, 2.0],
+            &[vec![1.0, 0.0, 0.0], vec![0.0, 0.0, 1.0]],
+        )
+        .unwrap();
+        let mut rng = Xoshiro256pp::seed_from_u64(6);
+        assert_eq!(
+            ph.sample(&mut rng),
+            Err(DistributionError::NoAbsorption { jumps: 1_000_000 })
+        );
     }
 }

@@ -28,6 +28,12 @@ pub enum DistributionError {
         /// The offending value.
         value: f64,
     },
+    /// An absorbing-chain sampler never reached absorption within its
+    /// jump budget (a transient cycle with numerically-zero exit mass).
+    NoAbsorption {
+        /// The number of jumps simulated before giving up.
+        jumps: u64,
+    },
 }
 
 impl fmt::Display for DistributionError {
@@ -47,6 +53,12 @@ impl fmt::Display for DistributionError {
                 write!(
                     f,
                     "truncation bound must be positive and finite, got {value}"
+                )
+            }
+            DistributionError::NoAbsorption { jumps } => {
+                write!(
+                    f,
+                    "chain failed to absorb within {jumps} jumps; check the transition weights"
                 )
             }
         }
@@ -105,6 +117,7 @@ mod tests {
             }
             .to_string(),
             DistributionError::InvalidBound { value: 0.0 }.to_string(),
+            DistributionError::NoAbsorption { jumps: 1_000_000 }.to_string(),
             RngError::ZeroLfsrState.to_string(),
             RngError::UnsupportedLfsrWidth { width: 99 }.to_string(),
         ];

@@ -16,11 +16,19 @@ cargo clippy --workspace -- -D warnings
 echo "==> cargo build --release --workspace"
 cargo build --release --workspace
 
+# Examples are not covered by --workspace builds or `cargo test`; keep
+# them compiling.
+echo "==> cargo build --workspace --examples"
+cargo build --workspace --examples
+
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
 echo "==> trace write/read round trip (emit JSONL, re-parse with bench::minijson)"
 cargo run --release -q -p bench --bin trace_roundtrip
+
+echo "==> checkpoint write/resume round trip (kill mid-run, reload, bit-identical resume)"
+cargo run --release -q -p bench --bin checkpoint_roundtrip
 
 echo "==> cargo bench --no-run"
 cargo bench --no-run

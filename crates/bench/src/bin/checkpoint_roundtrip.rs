@@ -1,0 +1,170 @@
+//! CI gate: exercises the checkpoint write → resume path end to end on
+//! a real file — a sequential chain and a parallel chain are each
+//! killed mid-run, checkpointed to disk, reloaded and resumed, and the
+//! resumed fields must equal the uninterrupted references bit for bit
+//! (the parallel chain resuming on a different thread count than it
+//! was killed on). Exits non-zero on any divergence.
+
+use bench::checkpoint::{run_model_checkpointed, run_model_parallel_checkpointed, CheckpointCtl};
+use mrf::{Checkpoint, DistanceFn, NoopObserver, Schedule, SoftwareGibbs, TabularMrf};
+use std::process::ExitCode;
+
+const ITERATIONS: usize = 24;
+const KILL_AT: usize = 11;
+const SEED: u64 = 2024;
+
+fn main() -> ExitCode {
+    let model = TabularMrf::checkerboard(14, 12, 3, 5.0, DistanceFn::Binary, 0.4);
+    let schedule = Schedule::geometric(3.0, 0.9, 0.1);
+    let dir = std::env::temp_dir().join("retrsu-checkpoint-roundtrip");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("checkpoint_roundtrip: cannot create {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+
+    // Sequential engine: kill at KILL_AT, resume from disk.
+    let path = dir.join("sequential.ckpt");
+    let reference = bench::SamplerKind::Software.run_checkpointed(
+        &model,
+        schedule,
+        ITERATIONS,
+        SEED,
+        "gate/seq",
+        &mut CheckpointCtl::disabled(),
+    );
+    {
+        let mut ctl = CheckpointCtl::new(Some(KILL_AT), path.clone(), None);
+        bench::SamplerKind::Software
+            .run_checkpointed(&model, schedule, KILL_AT, SEED, "gate/seq", &mut ctl);
+    }
+    let checkpoint = match Checkpoint::load(&path) {
+        Ok(cp) => cp,
+        Err(e) => {
+            eprintln!("checkpoint_roundtrip: reload failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if checkpoint.next_iteration != KILL_AT || checkpoint.rng_state.is_none() {
+        eprintln!(
+            "checkpoint_roundtrip: bad sequential checkpoint (next {}, rng {:?})",
+            checkpoint.next_iteration,
+            checkpoint.rng_state.is_some()
+        );
+        return ExitCode::FAILURE;
+    }
+    let resumed = bench::SamplerKind::Software.run_checkpointed(
+        &model,
+        schedule,
+        ITERATIONS,
+        SEED,
+        "gate/seq",
+        &mut CheckpointCtl::new(None, path.clone(), Some(checkpoint)),
+    );
+    if resumed != reference {
+        eprintln!("checkpoint_roundtrip: sequential resume diverged from the uninterrupted run");
+        return ExitCode::FAILURE;
+    }
+
+    // Parallel engine: kill on 2 threads, resume on 7.
+    let path = dir.join("parallel.ckpt");
+    let reference = {
+        let mut ctl = CheckpointCtl::disabled();
+        run_model_parallel_checkpointed(
+            &model,
+            &SoftwareGibbs::new(),
+            schedule,
+            ITERATIONS,
+            SEED,
+            1,
+            "gate/par",
+            &mut ctl,
+            &mut NoopObserver,
+        )
+    };
+    {
+        let mut ctl = CheckpointCtl::new(Some(KILL_AT), path.clone(), None);
+        run_model_parallel_checkpointed(
+            &model,
+            &SoftwareGibbs::new(),
+            schedule,
+            KILL_AT,
+            SEED,
+            2,
+            "gate/par",
+            &mut ctl,
+            &mut NoopObserver,
+        );
+    }
+    let checkpoint = match Checkpoint::load(&path) {
+        Ok(cp) => cp,
+        Err(e) => {
+            eprintln!("checkpoint_roundtrip: parallel reload failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let resumed = {
+        let mut ctl = CheckpointCtl::new(None, path.clone(), Some(checkpoint));
+        run_model_parallel_checkpointed(
+            &model,
+            &SoftwareGibbs::new(),
+            schedule,
+            ITERATIONS,
+            SEED,
+            7,
+            "gate/par",
+            &mut ctl,
+            &mut NoopObserver,
+        )
+    };
+    if resumed != reference {
+        eprintln!(
+            "checkpoint_roundtrip: parallel resume (2t kill → 7t resume) diverged from the \
+             uninterrupted 1t run"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    // The sequential version of run_model_checkpointed is also reachable
+    // through the erased-sampler path used by the drivers; cover it.
+    let via_erased = {
+        struct Shim(SoftwareGibbs);
+        impl bench::ErasedSampler for Shim {
+            fn begin_iteration(&mut self, t: f64) {
+                use mrf::SiteSampler;
+                self.0.begin_iteration(t);
+            }
+            fn sample_label(
+                &mut self,
+                energies: &[f64],
+                temperature: f64,
+                current: mrf::Label,
+                rng: &mut sampling::Xoshiro256pp,
+            ) -> mrf::Label {
+                use mrf::SiteSampler;
+                self.0.sample_label(energies, temperature, current, rng)
+            }
+        }
+        let mut ctl = CheckpointCtl::disabled();
+        run_model_checkpointed(
+            &model,
+            &mut Shim(SoftwareGibbs::new()),
+            schedule,
+            ITERATIONS,
+            SEED,
+            "gate/seq",
+            &mut ctl,
+            &mut NoopObserver,
+        )
+    };
+    let plain_reference = bench::SamplerKind::Software.run(&model, schedule, ITERATIONS, SEED);
+    if via_erased != plain_reference {
+        eprintln!("checkpoint_roundtrip: checkpointed runner drifted from the plain runner");
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "checkpoint_roundtrip: sequential and parallel kill/resume both bit-identical \
+         (kill at sweep {KILL_AT} of {ITERATIONS})"
+    );
+    ExitCode::SUCCESS
+}

@@ -33,11 +33,15 @@ const TRACE_EPSILON: f64 = 0.02;
 fn main() {
     let threads = bench::threads_from_args();
     let trace_path = bench::trace_path_from_args();
+    let mut ckpt = bench::checkpoint::CheckpointCtl::from_args_or_exit("fig8_time_truncation");
     println!(
         "Fig. 8 — poster BP over Time_bits × Truncation (fixed T = {TEMPERATURE}, clamp-to-t_max)\n"
     );
     if threads > 1 {
         println!("running the parallel checkerboard engine on {threads} threads\n");
+    }
+    if let Some(label) = ckpt.pending_resume() {
+        println!("resuming interrupted run {label} (earlier runs are recomputed)\n");
     }
     let ds = scenes::stereo_poster_like(1002);
     let model = StereoModel::new(
@@ -50,14 +54,16 @@ fn main() {
     .expect("generated datasets are consistent");
     let schedule = Schedule::constant(TEMPERATURE);
 
-    let run = |kind: SamplerKind| {
+    let mut run = |kind: SamplerKind, label: &str| {
         if threads > 1 {
-            kind.run_parallel(&model, schedule, ITERATIONS, 11, threads)
+            kind.run_parallel_checkpointed(
+                &model, schedule, ITERATIONS, 11, threads, label, &mut ckpt,
+            )
         } else {
-            kind.run(&model, schedule, ITERATIONS, 11)
+            kind.run_checkpointed(&model, schedule, ITERATIONS, 11, label, &mut ckpt)
         }
     };
-    let sw_field = run(SamplerKind::Software);
+    let sw_field = run(SamplerKind::Software, "fig8/software");
     let sw_bp = bad_pixel_percentage(&sw_field, &ds.ground_truth, Some(&ds.occlusion), 1.0);
 
     let mut rows = Vec::new();
@@ -72,7 +78,10 @@ fn main() {
                 .censored_policy(CensoredPolicy::ClampToTMax)
                 .build()
                 .expect("valid sweep point");
-            let field = run(SamplerKind::Custom(cfg));
+            let field = run(
+                SamplerKind::Custom(cfg),
+                &format!("fig8/tb{bits}/tr{trunc}"),
+            );
             let bp = bad_pixel_percentage(&field, &ds.ground_truth, Some(&ds.occlusion), 1.0);
             let marker = if bits == 5 && (trunc - 0.5).abs() < 1e-9 {
                 "*"

@@ -1,0 +1,780 @@
+//! Checkpoint/resume plumbing for the experiment drivers.
+//!
+//! Long annealing sweeps (fig8 runs 43 chains of 150 sweeps each) should
+//! survive interruption. Every driver accepts
+//!
+//! * `--checkpoint-every <N>` — write an [`mrf::Checkpoint`] to
+//!   `artifacts/<driver>.ckpt` after every `N` completed sweeps (and at
+//!   the end of each run), atomically;
+//! * `--resume <path>` — load a checkpoint and continue the interrupted
+//!   run from it.
+//!
+//! # Resume model
+//!
+//! A driver executes a fixed, deterministic sequence of runs, each with
+//! a unique label (e.g. `fig8/tb5/tr0.5`). The checkpoint records the
+//! label of the run it interrupted (in the [`mrf::Checkpoint::engine`]
+//! field). On `--resume`, runs *before* the labelled one are recomputed
+//! — they are deterministic and cheap relative to the tail — and the
+//! labelled run continues from the stored field, energy accumulator and
+//! RNG state; runs after it proceed normally.
+//!
+//! # Determinism contract
+//!
+//! A resumed run is **bit-identical** to an uninterrupted one: same
+//! final field, same energy history (every f64), same RNG consumption —
+//! at any thread count. Sequentially this holds because the checkpoint
+//! stores the exact [`Xoshiro256pp`] state words; in parallel because
+//! the engine's per-site streams are pure functions of
+//! `(seed, iteration, site)` and the solver's [`mrf::ResumeState`]
+//! continues the incremental energy accumulator rather than rescanning.
+
+use crate::{artifacts_dir, ErasedSampler, SamplerKind, SegmentationOutcome};
+use mrf::{
+    total_energy, Checkpoint, LabelField, MrfModel, NoopObserver, ParallelSweepSolver, ResumeState,
+    Schedule, SiteSampler, SoftwareGibbs, SweepObserver, SweepRecord,
+};
+use rand::SeedableRng;
+use rsu::RsuG;
+use sampling::Xoshiro256pp;
+use scenes::SegmentationDataset;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+use vision::metrics::variation_of_information;
+use vision::SegmentModel;
+
+/// Parses `--checkpoint-every N` (or `--checkpoint-every=N`) from the
+/// process arguments: the sweep interval between checkpoint writes,
+/// `None` when absent. Exits with code 2 on a malformed value, like
+/// [`crate::threads_from_args`].
+pub fn checkpoint_every_from_args() -> Option<usize> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_checkpoint_every(&args) {
+        Ok(every) => every,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!(
+                "usage: --checkpoint-every <N>   write a checkpoint every N sweeps, a positive integer"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The testable core of [`checkpoint_every_from_args`].
+pub fn parse_checkpoint_every(args: &[String]) -> Result<Option<usize>, String> {
+    for (i, arg) in args.iter().enumerate() {
+        let value = if arg == "--checkpoint-every" {
+            match args.get(i + 1) {
+                None => return Err("--checkpoint-every requires a value".to_string()),
+                Some(next) if next.starts_with("--") => {
+                    return Err(format!(
+                        "--checkpoint-every requires a value, found flag '{next}'"
+                    ))
+                }
+                Some(next) => next.as_str(),
+            }
+        } else if let Some(rest) = arg.strip_prefix("--checkpoint-every=") {
+            rest
+        } else {
+            continue;
+        };
+        return value
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .map(Some)
+            .ok_or_else(|| {
+                format!("--checkpoint-every requires a positive integer, got '{value}'")
+            });
+    }
+    Ok(None)
+}
+
+/// Parses `--resume <path>` (or `--resume=<path>`) from the process
+/// arguments: the checkpoint to continue from, `None` when absent.
+/// Exits with code 2 on a missing value.
+pub fn resume_path_from_args() -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_resume_path(&args) {
+        Ok(path) => path,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!(
+                "usage: --resume <path>   continue from a checkpoint written by --checkpoint-every"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The testable core of [`resume_path_from_args`].
+pub fn parse_resume_path(args: &[String]) -> Result<Option<PathBuf>, String> {
+    for (i, arg) in args.iter().enumerate() {
+        let value = if arg == "--resume" {
+            match args.get(i + 1) {
+                None => return Err("--resume requires a path".to_string()),
+                Some(next) if next.starts_with("--") => {
+                    return Err(format!("--resume requires a path, found flag '{next}'"))
+                }
+                Some(next) => next.as_str(),
+            }
+        } else if let Some(rest) = arg.strip_prefix("--resume=") {
+            rest
+        } else {
+            continue;
+        };
+        if value.is_empty() {
+            return Err("--resume requires a non-empty path".to_string());
+        }
+        return Ok(Some(PathBuf::from(value)));
+    }
+    Ok(None)
+}
+
+/// Per-driver checkpoint control: whether/where to write checkpoints
+/// and the loaded checkpoint (if any) waiting for its run to claim it.
+#[derive(Debug)]
+pub struct CheckpointCtl {
+    every: Option<usize>,
+    path: PathBuf,
+    resume: Option<Checkpoint>,
+}
+
+impl CheckpointCtl {
+    /// Builds the control from explicit parts (tests and embedding).
+    pub fn new(every: Option<usize>, path: PathBuf, resume: Option<Checkpoint>) -> Self {
+        CheckpointCtl {
+            every,
+            path,
+            resume,
+        }
+    }
+
+    /// A control that never writes and never resumes; the checkpointed
+    /// runners then behave exactly like their plain counterparts.
+    pub fn disabled() -> Self {
+        CheckpointCtl::new(None, PathBuf::new(), None)
+    }
+
+    /// Builds the control from the process arguments: checkpoints go to
+    /// `artifacts/<driver>.ckpt`; a `--resume` checkpoint that cannot
+    /// be loaded exits with code 2.
+    pub fn from_args_or_exit(driver: &str) -> Self {
+        let every = checkpoint_every_from_args();
+        let resume = resume_path_from_args().map(|p| match Checkpoint::load(&p) {
+            Ok(cp) => cp,
+            Err(e) => {
+                eprintln!("error: cannot resume from {}: {e}", p.display());
+                std::process::exit(2);
+            }
+        });
+        let path = artifacts_dir().join(format!("{driver}.ckpt"));
+        CheckpointCtl::new(every, path, resume)
+    }
+
+    /// Sweeps between checkpoint writes (`None`: writing disabled).
+    pub fn every(&self) -> Option<usize> {
+        self.every
+    }
+
+    /// Where checkpoints are written.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The label of the pending resume checkpoint, if one is loaded and
+    /// not yet claimed.
+    pub fn pending_resume(&self) -> Option<&str> {
+        self.resume.as_ref().map(|cp| cp.engine.as_str())
+    }
+
+    /// Claims the loaded checkpoint if it belongs to the run `label`;
+    /// runs with other labels leave it in place (they recompute from
+    /// scratch until the interrupted run comes up in driver order).
+    pub fn take_resume(&mut self, label: &str) -> Option<Checkpoint> {
+        if self.resume.as_ref().is_some_and(|cp| cp.engine == label) {
+            self.resume.take()
+        } else {
+            None
+        }
+    }
+
+    /// Best-effort checkpoint write: a failure is reported to stderr
+    /// but does not abort the run (the checkpoint is durability aid,
+    /// not an output artifact).
+    fn write(&self, checkpoint: &Checkpoint) {
+        if let Err(e) = checkpoint.save(&self.path) {
+            eprintln!(
+                "warning: failed to write checkpoint {}: {e}",
+                self.path.display()
+            );
+        }
+    }
+}
+
+/// [`crate::run_model_observed`] with checkpoint/resume support for the
+/// sequential raster-scan chain. Bit-identical to the plain runner —
+/// energy is tracked the same way, the RNG is consumed identically —
+/// with checkpoints written between sweeps (the stored [`Xoshiro256pp`]
+/// state words make the resumed stream exact).
+#[allow(clippy::too_many_arguments)]
+pub fn run_model_checkpointed<M: MrfModel, O: SweepObserver>(
+    model: &M,
+    sampler: &mut dyn ErasedSampler,
+    schedule: Schedule,
+    iterations: usize,
+    seed: u64,
+    label: &str,
+    ctl: &mut CheckpointCtl,
+    observer: &mut O,
+) -> LabelField {
+    let (mut rng, mut field, start, mut labels_changed, mut history, resumed_energy) =
+        match ctl.take_resume(label) {
+            Some(cp) => {
+                let rng = match cp.rng_state {
+                    Some(state) => Xoshiro256pp::from_state(state),
+                    // Foreign checkpoint without sequential RNG words:
+                    // the stream cannot be continued exactly, so restart
+                    // it (documented best effort; our own sequential
+                    // checkpoints always carry the words).
+                    None => Xoshiro256pp::seed_from_u64(seed),
+                };
+                let field = cp.restore_field();
+                (
+                    rng,
+                    field,
+                    cp.next_iteration,
+                    cp.labels_changed,
+                    cp.energy_history,
+                    Some(cp.energy),
+                )
+            }
+            None => {
+                let mut rng = Xoshiro256pp::seed_from_u64(seed);
+                let field = LabelField::random(model.grid(), model.num_labels(), &mut rng);
+                (rng, field, 0, 0, Vec::new(), None)
+            }
+        };
+    // Resume continues the stored incremental accumulator bit-exactly;
+    // a fresh total_energy rescan can differ in the last ulp.
+    let mut energy = match resumed_energy {
+        Some(e) if e.is_finite() => e,
+        _ => total_energy(model, &field),
+    };
+    let grid = model.grid();
+    let mut energies = Vec::with_capacity(model.num_labels());
+    let observing = observer.is_enabled();
+    let want_sites = observing && observer.wants_site_updates();
+    for iter in start..iterations {
+        let temperature = schedule.temperature(iter);
+        sampler.begin_iteration(temperature);
+        let sweep_start = observing.then(Instant::now);
+        let mut flips = 0u64;
+        for site in grid.sites() {
+            model.local_energies(site, &field, &mut energies);
+            let current = field.get(site);
+            let new = sampler.sample_label(&energies, temperature, current, &mut rng);
+            if new != current {
+                field.set(site, new);
+                energy += energies[new as usize] - energies[current as usize];
+                flips += 1;
+                if want_sites {
+                    observer.on_site_update(iter, site, current, new);
+                }
+            }
+        }
+        labels_changed += flips;
+        history.push(energy);
+        if observing {
+            observer.on_sweep(&SweepRecord {
+                iteration: iter,
+                temperature,
+                energy,
+                flips,
+                elapsed: sweep_start.map(|t| t.elapsed()).unwrap_or(Duration::ZERO),
+            });
+        }
+        if let Some(every) = ctl.every() {
+            if (iter + 1) % every == 0 {
+                ctl.write(
+                    &Checkpoint::capture(
+                        label,
+                        &field,
+                        iter + 1,
+                        energy,
+                        labels_changed,
+                        history.clone(),
+                    )
+                    .with_seed(seed)
+                    .with_rng_state(rng.state()),
+                );
+            }
+        }
+    }
+    field
+}
+
+/// [`crate::run_model_parallel_observed`] with checkpoint/resume
+/// support: the parallel solver runs in checkpoint-interval chunks,
+/// each continued through [`ResumeState`] (incremental energy and flip
+/// counter included), so the chain is bit-identical to an uninterrupted
+/// run at every thread count. The per-site counter-based streams need
+/// no stored RNG words — the chain seed plus the next iteration index
+/// is the full generator state.
+#[allow(clippy::too_many_arguments)]
+pub fn run_model_parallel_checkpointed<M, S, O>(
+    model: &M,
+    sampler: &S,
+    schedule: Schedule,
+    iterations: usize,
+    seed: u64,
+    threads: usize,
+    label: &str,
+    ctl: &mut CheckpointCtl,
+    observer: &mut O,
+) -> LabelField
+where
+    M: MrfModel + Sync,
+    S: SiteSampler + Clone + Send,
+    O: SweepObserver,
+{
+    let (mut field, mut state) = match ctl.take_resume(label) {
+        Some(cp) => {
+            let field = cp.restore_field();
+            let state = cp.resume_state();
+            (field, Some(state))
+        }
+        None => {
+            let mut rng = Xoshiro256pp::seed_from_u64(seed);
+            let field = LabelField::random(model.grid(), model.num_labels(), &mut rng);
+            (field, None)
+        }
+    };
+    loop {
+        let start = state.as_ref().map_or(0, |s| s.start_iteration);
+        let end = match ctl.every() {
+            Some(every) => ((start / every + 1) * every).min(iterations),
+            None => iterations,
+        }
+        .max(start);
+        let mut solver = ParallelSweepSolver::new(model)
+            .schedule(schedule)
+            .iterations(end)
+            .threads(threads)
+            .seed(seed);
+        if let Some(s) = state.take() {
+            solver = solver.resume(s);
+        }
+        let report = solver.run_observed(&mut field, sampler, observer);
+        if ctl.every().is_some() {
+            ctl.write(
+                &Checkpoint::capture(
+                    label,
+                    &field,
+                    report.iterations_run,
+                    report.final_energy(),
+                    report.labels_changed,
+                    report.energy_history.clone(),
+                )
+                .with_seed(seed),
+            );
+        }
+        if report.iterations_run >= iterations {
+            break;
+        }
+        state = Some(ResumeState {
+            start_iteration: report.iterations_run,
+            energy: report.final_energy(),
+            labels_changed: report.labels_changed,
+            energy_history: report.energy_history,
+        });
+    }
+    field
+}
+
+impl SamplerKind {
+    /// [`run`](Self::run) with checkpoint/resume support; with a
+    /// [`CheckpointCtl::disabled`] control this is exactly `run`.
+    pub fn run_checkpointed<M: MrfModel>(
+        &self,
+        model: &M,
+        schedule: Schedule,
+        iterations: usize,
+        seed: u64,
+        label: &str,
+        ctl: &mut CheckpointCtl,
+    ) -> LabelField {
+        self.dispatch(model, |model, s| {
+            run_model_checkpointed(
+                model,
+                s,
+                schedule,
+                iterations,
+                seed,
+                label,
+                ctl,
+                &mut NoopObserver,
+            )
+        })
+    }
+
+    /// [`run_parallel`](Self::run_parallel) with checkpoint/resume
+    /// support; results stay identical across thread counts.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_parallel_checkpointed<M: MrfModel + Sync>(
+        &self,
+        model: &M,
+        schedule: Schedule,
+        iterations: usize,
+        seed: u64,
+        threads: usize,
+        label: &str,
+        ctl: &mut CheckpointCtl,
+    ) -> LabelField {
+        let mut noop = NoopObserver;
+        match self {
+            SamplerKind::Software => run_model_parallel_checkpointed(
+                model,
+                &SoftwareGibbs::new(),
+                schedule,
+                iterations,
+                seed,
+                threads,
+                label,
+                ctl,
+                &mut noop,
+            ),
+            SamplerKind::PreviousRsu => run_model_parallel_checkpointed(
+                model,
+                &RsuG::previous_design(),
+                schedule,
+                iterations,
+                seed,
+                threads,
+                label,
+                ctl,
+                &mut noop,
+            ),
+            SamplerKind::NewRsu => run_model_parallel_checkpointed(
+                model,
+                &RsuG::new_design(),
+                schedule,
+                iterations,
+                seed,
+                threads,
+                label,
+                ctl,
+                &mut noop,
+            ),
+            SamplerKind::Custom(cfg) => run_model_parallel_checkpointed(
+                model,
+                &RsuG::with_config(*cfg),
+                schedule,
+                iterations,
+                seed,
+                threads,
+                label,
+                ctl,
+                &mut noop,
+            ),
+        }
+    }
+}
+
+/// [`crate::run_segmentation`] with checkpoint/resume support (the
+/// fig9d driver's unit of work).
+#[allow(clippy::too_many_arguments)]
+pub fn run_segmentation_checkpointed(
+    ds: &SegmentationDataset,
+    num_segments: usize,
+    sampler: &SamplerKind,
+    iterations: usize,
+    seed: u64,
+    threads: usize,
+    label: &str,
+    ctl: &mut CheckpointCtl,
+) -> SegmentationOutcome {
+    let model = SegmentModel::new(
+        &ds.image,
+        num_segments,
+        crate::SEGMENT_DATA_WEIGHT,
+        crate::SEGMENT_SMOOTH_WEIGHT,
+    )
+    .expect("generated datasets are consistent");
+    let field = if threads > 1 {
+        sampler.run_parallel_checkpointed(
+            &model,
+            crate::segmentation_schedule(),
+            iterations,
+            seed,
+            threads,
+            label,
+            ctl,
+        )
+    } else {
+        sampler.run_checkpointed(
+            &model,
+            crate::segmentation_schedule(),
+            iterations,
+            seed,
+            label,
+            ctl,
+        )
+    };
+    let voi = variation_of_information(&field, &ds.ground_truth);
+    SegmentationOutcome { voi, field }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_model, run_model_parallel, Erased};
+    use mrf::{DistanceFn, TabularMrf};
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn temp_ckpt(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("bench-checkpoint-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn parse_checkpoint_every_accepts_both_forms_and_defaults_to_none() {
+        assert_eq!(parse_checkpoint_every(&strs(&[])), Ok(None));
+        assert_eq!(
+            parse_checkpoint_every(&strs(&["--checkpoint-every", "25"])),
+            Ok(Some(25))
+        );
+        assert_eq!(
+            parse_checkpoint_every(&strs(&["--checkpoint-every=40"])),
+            Ok(Some(40))
+        );
+        for bad in [
+            vec!["--checkpoint-every"],
+            vec!["--checkpoint-every", "--resume"],
+            vec!["--checkpoint-every", "0"],
+            vec!["--checkpoint-every=x"],
+        ] {
+            assert!(
+                parse_checkpoint_every(&strs(&bad)).is_err(),
+                "accepted {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_resume_path_handles_presence_absence_and_errors() {
+        assert_eq!(parse_resume_path(&strs(&[])), Ok(None));
+        assert_eq!(
+            parse_resume_path(&strs(&["--resume", "a.ckpt"])),
+            Ok(Some(PathBuf::from("a.ckpt")))
+        );
+        assert_eq!(
+            parse_resume_path(&strs(&["--resume=b/c.ckpt"])),
+            Ok(Some(PathBuf::from("b/c.ckpt")))
+        );
+        assert!(parse_resume_path(&strs(&["--resume"])).is_err());
+        assert!(parse_resume_path(&strs(&["--resume", "--threads"])).is_err());
+        assert!(parse_resume_path(&strs(&["--resume="])).is_err());
+    }
+
+    #[test]
+    fn take_resume_only_matches_its_own_label() {
+        let model = TabularMrf::checkerboard(4, 4, 2, 4.0, DistanceFn::Binary, 0.3);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let field = LabelField::random(model.grid(), 2, &mut rng);
+        let cp = Checkpoint::capture("fig/x", &field, 5, -1.0, 3, vec![-1.0]);
+        let mut ctl = CheckpointCtl::new(None, PathBuf::new(), Some(cp));
+        assert_eq!(ctl.pending_resume(), Some("fig/x"));
+        assert!(ctl.take_resume("fig/other").is_none());
+        assert!(ctl.take_resume("fig/x").is_some());
+        // Claimed exactly once.
+        assert!(ctl.take_resume("fig/x").is_none());
+        assert_eq!(ctl.pending_resume(), None);
+    }
+
+    #[test]
+    fn disabled_sequential_checkpointing_matches_the_plain_runner() {
+        let model = TabularMrf::checkerboard(8, 6, 3, 4.0, DistanceFn::Binary, 0.3);
+        let schedule = Schedule::geometric(3.0, 0.9, 0.1);
+        let plain = {
+            let mut erased = Erased(SoftwareGibbs::new());
+            run_model(&model, &mut erased, schedule, 20, 7)
+        };
+        let checkpointed = {
+            let mut erased = Erased(SoftwareGibbs::new());
+            let mut ctl = CheckpointCtl::disabled();
+            run_model_checkpointed(
+                &model,
+                &mut erased,
+                schedule,
+                20,
+                7,
+                "test/software",
+                &mut ctl,
+                &mut NoopObserver,
+            )
+        };
+        assert_eq!(plain, checkpointed);
+    }
+
+    #[test]
+    fn sequential_kill_and_resume_is_bit_identical() {
+        let model = TabularMrf::checkerboard(10, 8, 3, 4.0, DistanceFn::Binary, 0.3);
+        let schedule = Schedule::geometric(3.0, 0.9, 0.1);
+        let path = temp_ckpt("sequential.ckpt");
+        let uninterrupted = {
+            let mut erased = Erased(SoftwareGibbs::new());
+            let mut ctl = CheckpointCtl::disabled();
+            run_model_checkpointed(
+                &model,
+                &mut erased,
+                schedule,
+                30,
+                11,
+                "t/seq",
+                &mut ctl,
+                &mut NoopObserver,
+            )
+        };
+        // "Kill" after 13 sweeps: run only that far, checkpointing at 13.
+        {
+            let mut erased = Erased(SoftwareGibbs::new());
+            let mut ctl = CheckpointCtl::new(Some(13), path.clone(), None);
+            run_model_checkpointed(
+                &model,
+                &mut erased,
+                schedule,
+                13,
+                11,
+                "t/seq",
+                &mut ctl,
+                &mut NoopObserver,
+            );
+        }
+        let cp = Checkpoint::load(&path).unwrap();
+        assert_eq!(cp.next_iteration, 13);
+        assert!(
+            cp.rng_state.is_some(),
+            "sequential checkpoints carry RNG words"
+        );
+        let resumed = {
+            let mut erased = Erased(SoftwareGibbs::new());
+            let mut ctl = CheckpointCtl::new(None, PathBuf::new(), Some(cp));
+            run_model_checkpointed(
+                &model,
+                &mut erased,
+                schedule,
+                30,
+                11,
+                "t/seq",
+                &mut ctl,
+                &mut NoopObserver,
+            )
+        };
+        assert_eq!(uninterrupted, resumed);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parallel_kill_and_resume_is_bit_identical_across_thread_counts() {
+        let model = TabularMrf::checkerboard(10, 8, 3, 4.0, DistanceFn::Binary, 0.3);
+        let schedule = Schedule::geometric(3.0, 0.9, 0.1);
+        let reference = run_model_parallel(&model, &SoftwareGibbs::new(), schedule, 30, 11, 1);
+        for (kill_threads, resume_threads) in [(1, 2), (2, 7), (7, 1)] {
+            let path = temp_ckpt(&format!("parallel-{kill_threads}-{resume_threads}.ckpt"));
+            {
+                let mut ctl = CheckpointCtl::new(Some(10), path.clone(), None);
+                run_model_parallel_checkpointed(
+                    &model,
+                    &SoftwareGibbs::new(),
+                    schedule,
+                    20,
+                    11,
+                    kill_threads,
+                    "t/par",
+                    &mut ctl,
+                    &mut NoopObserver,
+                );
+            }
+            let cp = Checkpoint::load(&path).unwrap();
+            assert_eq!(cp.next_iteration, 20);
+            assert_eq!(cp.energy_history.len(), 20);
+            let mut ctl = CheckpointCtl::new(None, PathBuf::new(), Some(cp));
+            let resumed = run_model_parallel_checkpointed(
+                &model,
+                &SoftwareGibbs::new(),
+                schedule,
+                30,
+                11,
+                resume_threads,
+                "t/par",
+                &mut ctl,
+                &mut NoopObserver,
+            );
+            assert_eq!(
+                reference, resumed,
+                "kill at {kill_threads} threads, resume at {resume_threads}"
+            );
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn parallel_resumed_energy_history_is_bit_identical() {
+        let model = TabularMrf::checkerboard(8, 8, 3, 4.0, DistanceFn::Binary, 0.3);
+        let schedule = Schedule::geometric(3.0, 0.9, 0.1);
+        let path = temp_ckpt("parallel-energy.ckpt");
+        let mut whole = mrf::EnergyTrace::new();
+        {
+            let mut ctl = CheckpointCtl::disabled();
+            run_model_parallel_checkpointed(
+                &model,
+                &SoftwareGibbs::new(),
+                schedule,
+                24,
+                5,
+                2,
+                "t/energy",
+                &mut ctl,
+                &mut whole,
+            );
+        }
+        {
+            let mut ctl = CheckpointCtl::new(Some(9), path.clone(), None);
+            run_model_parallel_checkpointed(
+                &model,
+                &SoftwareGibbs::new(),
+                schedule,
+                9,
+                5,
+                2,
+                "t/energy",
+                &mut ctl,
+                &mut NoopObserver,
+            );
+        }
+        let cp = Checkpoint::load(&path).unwrap();
+        let mut tail = mrf::EnergyTrace::new();
+        let mut ctl = CheckpointCtl::new(None, PathBuf::new(), Some(cp));
+        run_model_parallel_checkpointed(
+            &model,
+            &SoftwareGibbs::new(),
+            schedule,
+            24,
+            5,
+            2,
+            "t/energy",
+            &mut ctl,
+            &mut tail,
+        );
+        let whole_bits: Vec<u64> = whole.energies().iter().map(|e| e.to_bits()).collect();
+        let tail_bits: Vec<u64> = tail.energies().iter().map(|e| e.to_bits()).collect();
+        assert_eq!(&whole_bits[9..], &tail_bits[..], "resumed sweeps 9..24");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -675,6 +675,7 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) {
     println!("wrote {}", path.display());
 }
 
+pub mod checkpoint;
 pub mod minijson;
 pub mod trace_jsonl;
 

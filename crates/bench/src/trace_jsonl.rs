@@ -11,7 +11,10 @@
 //! * `"rsu_pipeline"` — cycle-accurate pipeline counters for a design
 //!   point ([`rsu::CycleReport`]): total/stall cycles, FIFO occupancy;
 //! * `"design_point"` — one enumerated configuration of a design-space
-//!   sweep.
+//!   sweep;
+//! * `"fault"` — a device fault activating during a degraded run: the
+//!   sweep, the failing unit, the failure mode and the degradation the
+//!   array applied (remap target when sites moved to spare capacity).
 //!
 //! Every line is emitted through [`crate::minijson::Value`]'s compact
 //! `Display`, so the write side and the read side
@@ -20,7 +23,7 @@
 //! trace with the same parser `bench_compare` uses on bench artifacts.
 
 use crate::minijson::Value;
-use mrf::{SweepObserver, SweepRecord};
+use mrf::{FaultRecord, SweepObserver, SweepRecord};
 use rsu::CycleReport;
 use std::collections::BTreeMap;
 use std::io;
@@ -174,6 +177,25 @@ impl<W: io::Write> SweepObserver for JsonlTraceWriter<W> {
         ]);
         self.write_value(&line);
     }
+
+    fn on_fault(&mut self, record: &FaultRecord) {
+        let line = object(vec![
+            ("kind", string("fault")),
+            ("chain", string(&self.chain)),
+            ("iteration", num(record.iteration as f64)),
+            ("unit", num(record.unit as f64)),
+            ("fault", string(record.kind)),
+            ("action", string(record.action)),
+            (
+                "remapped_to",
+                record
+                    .remapped_to
+                    .map(|u| num(u as f64))
+                    .unwrap_or(Value::Null),
+            ),
+        ]);
+        self.write_value(&line);
+    }
 }
 
 /// Parses every line of a JSONL trace, failing on the first malformed
@@ -253,6 +275,48 @@ mod tests {
         assert_eq!(
             lines[0].get("stall_cycles").and_then(Value::as_f64),
             Some(report.stall_cycles as f64)
+        );
+    }
+
+    #[test]
+    fn fault_records_round_trip_through_minijson() {
+        let mut writer = JsonlTraceWriter::new(Vec::new());
+        writer.set_chain("rsu-array/seed7");
+        writer.on_fault(&FaultRecord {
+            iteration: 12,
+            unit: 3,
+            kind: "dead-spad",
+            action: "remap",
+            remapped_to: Some(4),
+        });
+        writer.on_fault(&FaultRecord {
+            iteration: 20,
+            unit: 1,
+            kind: "bleached",
+            action: "derate",
+            remapped_to: None,
+        });
+        assert!(writer.take_error().is_none());
+        let text = String::from_utf8(writer.out).unwrap();
+        let lines = parse_jsonl(&text).unwrap();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].get("kind").and_then(Value::as_str), Some("fault"));
+        assert_eq!(
+            lines[0].get("fault").and_then(Value::as_str),
+            Some("dead-spad")
+        );
+        assert_eq!(
+            lines[0].get("action").and_then(Value::as_str),
+            Some("remap")
+        );
+        assert_eq!(
+            lines[0].get("remapped_to").and_then(Value::as_f64),
+            Some(4.0)
+        );
+        assert_eq!(lines[1].get("remapped_to"), Some(&Value::Null));
+        assert_eq!(
+            lines[1].get("chain").and_then(Value::as_str),
+            Some("rsu-array/seed7")
         );
     }
 

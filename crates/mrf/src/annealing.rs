@@ -103,7 +103,14 @@ impl Schedule {
         match *self {
             Schedule::Constant { temperature } => temperature,
             Schedule::Geometric { t0, alpha, floor } => {
-                (t0 * alpha.powi(iteration as i32)).max(floor)
+                // Saturate rather than truncate: `iteration as i32` wraps
+                // negative past 2^31, which would *reheat* the chain above
+                // `t0`. At i32::MAX the power has long underflowed to zero
+                // (any alpha < 1) or is exactly one (alpha == 1), so
+                // saturation is exact and keeps small-iteration results
+                // bit-identical to the historical `powi` path.
+                let k = iteration.min(i32::MAX as usize) as i32;
+                (t0 * alpha.powi(k)).max(floor)
             }
             Schedule::Linear { t0, rate, floor } => (t0 - rate * iteration as f64).max(floor),
         }
@@ -146,6 +153,25 @@ mod tests {
             prev = t;
         }
         assert_eq!(s.temperature(1000), 0.5);
+    }
+
+    #[test]
+    fn geometric_never_reheats_at_huge_iteration_indices() {
+        // Regression: `iteration as i32` used to wrap negative past 2^31,
+        // turning alpha^k into alpha^(negative) and reheating above t0.
+        let s = Schedule::geometric(10.0, 0.96, 0.5);
+        for &k in &[
+            (1usize << 31) - 1,
+            1usize << 31,
+            (1usize << 31) + 1,
+            1usize << 40,
+            usize::MAX,
+        ] {
+            assert_eq!(s.temperature(k), 0.5, "iteration {k}");
+        }
+        // alpha == 1 stays flat instead of exploding.
+        let flat = Schedule::geometric(2.0, 1.0, 0.1);
+        assert_eq!(flat.temperature(usize::MAX), 2.0);
     }
 
     #[test]

@@ -1,0 +1,594 @@
+//! Solver checkpoints: save a chain mid-run, resume it bit-identically.
+//!
+//! The paper's workloads are long annealed MCMC runs; a production
+//! deployment has to survive interruption without redoing thousands of
+//! sweeps. A [`Checkpoint`] captures everything a sweep engine needs to
+//! continue *exactly* where it stopped:
+//!
+//! * the label field (the latent state `X`),
+//! * the incrementally-tracked total energy **bit-exactly** — resumed
+//!   runs must keep accumulating the same f64, not a freshly rescanned
+//!   one, or the energy history diverges in the last ulp,
+//! * the sweep/annealing iteration index (one shared counter: the
+//!   schedule, the per-site RNG streams and the observers all key off
+//!   it),
+//! * the RNG state: the chain `seed` for counter-based
+//!   [`sampling::SiteRng`] streams (the parallel engines are pure
+//!   functions of `(seed, iteration, site)`, so the seed plus the next
+//!   iteration index *is* the full generator state), and the four raw
+//!   [`sampling::Xoshiro256pp`] state words for sequential-path
+//!   generators.
+//!
+//! # Determinism contract
+//!
+//! For every engine (`SweepSolver`, `ParallelSweepSolver`, the `rsu`
+//! crate's `RsuArray`): running `k` iterations, checkpointing, loading
+//! the checkpoint and running the remaining iterations produces the
+//! same label field, the same energy history (every f64 bit-identical)
+//! and the same RNG consumption as the uninterrupted run — at any
+//! thread count. This extends the thread-invariance contract of the
+//! parallel engine to interruption.
+//!
+//! # File format
+//!
+//! The vendored `serde` facade is marker-traits-only (no serializer
+//! backend ships in-tree), so checkpoints use a self-contained,
+//! versioned, line-oriented text format instead. Every `f64` is
+//! round-tripped through [`f64::to_bits`] as 16 hex digits — decimal
+//! formatting would lose the low mantissa bits and break the
+//! bit-identity contract. Writes go to a sibling temporary file which
+//! is atomically renamed into place, so a run killed mid-write never
+//! leaves a torn checkpoint behind.
+//!
+//! ```text
+//! retrsu-checkpoint v1
+//! engine <tag>
+//! grid <width> <height> <num_labels>
+//! progress <next_iteration> <labels_changed>
+//! energy <16-hex f64 bits>
+//! seed <u64>
+//! rng none | rng <4 × 16-hex u64 words>
+//! history <len> <16-hex f64 bits>...
+//! field <len> <label>...
+//! end
+//! ```
+
+use crate::field::LabelField;
+use crate::grid::Grid;
+use crate::model::Label;
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Current checkpoint format version (the `v1` in the header).
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+const MAGIC: &str = "retrsu-checkpoint";
+
+/// Error raised while saving, loading or validating a checkpoint.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Reading or writing the checkpoint file failed.
+    Io(io::Error),
+    /// The checkpoint text is not a valid `retrsu-checkpoint` document.
+    Malformed {
+        /// 1-based line the parser rejected.
+        line: usize,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// The file is a valid checkpoint of a future/unknown format version.
+    UnsupportedVersion(u32),
+    /// The checkpoint was written by a different engine than the one
+    /// trying to resume from it.
+    EngineMismatch {
+        /// Engine tag the caller expected.
+        expected: String,
+        /// Engine tag recorded in the checkpoint.
+        found: String,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o failed: {e}"),
+            CheckpointError::Malformed { line, reason } => {
+                write!(f, "malformed checkpoint at line {line}: {reason}")
+            }
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint version {v}")
+            }
+            CheckpointError::EngineMismatch { expected, found } => {
+                write!(
+                    f,
+                    "checkpoint engine mismatch: expected {expected:?}, found {found:?}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// The part of a [`Checkpoint`] a sweep engine consumes to continue a
+/// chain: where to restart and the accumulated report state.
+///
+/// Pass to [`SweepSolver::resume`](crate::SweepSolver::resume) or
+/// [`ParallelSweepSolver::resume`](crate::ParallelSweepSolver::resume);
+/// the resumed report then contains the *full* history (restored
+/// prefix plus new iterations), so convergence windows and
+/// `final_energy` behave as if the run was never interrupted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResumeState {
+    /// First iteration the resumed run executes (iterations
+    /// `0..start_iteration` already ran before the checkpoint).
+    pub start_iteration: usize,
+    /// The incrementally-accumulated total energy, bit-exact.
+    pub energy: f64,
+    /// Label flips accumulated so far.
+    pub labels_changed: u64,
+    /// Per-iteration energies of the completed prefix.
+    pub energy_history: Vec<f64>,
+}
+
+/// A complete, serializable snapshot of a sweep engine mid-run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Engine tag (e.g. `"sweep"`, `"parallel"`, `"rsu-array"`); free
+    /// form, validated by [`expect_engine`](Self::expect_engine).
+    pub engine: String,
+    /// Grid width of the label field.
+    pub grid_width: usize,
+    /// Grid height of the label field.
+    pub grid_height: usize,
+    /// Label-space size of the field.
+    pub num_labels: usize,
+    /// First iteration still to run.
+    pub next_iteration: usize,
+    /// Label flips accumulated so far.
+    pub labels_changed: u64,
+    /// Incrementally-tracked total energy at the checkpoint, bit-exact.
+    pub energy: f64,
+    /// Per-iteration energy history of the completed prefix.
+    pub energy_history: Vec<f64>,
+    /// Chain seed for counter-based per-site RNG streams (parallel
+    /// engines; 0 when unused).
+    pub seed: u64,
+    /// Raw xoshiro256++ state of a sequential-path generator, if the
+    /// checkpointed run threads one (label-field init, raster sweeps,
+    /// random-permutation shuffles).
+    pub rng_state: Option<[u64; 4]>,
+    /// The label field in row-major order.
+    pub labels: Vec<Label>,
+}
+
+impl Checkpoint {
+    /// Captures a checkpoint: the field plus the chain progress. The
+    /// seed defaults to 0 and no sequential RNG state is recorded; use
+    /// [`with_seed`](Self::with_seed) /
+    /// [`with_rng_state`](Self::with_rng_state) for those.
+    pub fn capture(
+        engine: &str,
+        field: &LabelField,
+        next_iteration: usize,
+        energy: f64,
+        labels_changed: u64,
+        energy_history: Vec<f64>,
+    ) -> Self {
+        Checkpoint {
+            engine: engine.to_string(),
+            grid_width: field.grid().width(),
+            grid_height: field.grid().height(),
+            num_labels: field.num_labels(),
+            next_iteration,
+            labels_changed,
+            energy,
+            energy_history,
+            seed: 0,
+            rng_state: None,
+            labels: field.as_slice().to_vec(),
+        }
+    }
+
+    /// Records the chain seed driving counter-based per-site streams.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Records a sequential-path generator's exact state
+    /// ([`sampling::Xoshiro256pp::state`]).
+    pub fn with_rng_state(mut self, state: [u64; 4]) -> Self {
+        self.rng_state = Some(state);
+        self
+    }
+
+    /// Rebuilds the label field recorded in the checkpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the recorded grid/label data is internally inconsistent
+    /// (cannot happen for checkpoints that round-tripped through
+    /// [`load`](Self::load), which validates).
+    pub fn restore_field(&self) -> LabelField {
+        let grid = Grid::new(self.grid_width, self.grid_height);
+        LabelField::from_labels(grid, self.num_labels, self.labels.clone())
+    }
+
+    /// The engine-facing resume state.
+    pub fn resume_state(&self) -> ResumeState {
+        ResumeState {
+            start_iteration: self.next_iteration,
+            energy: self.energy,
+            labels_changed: self.labels_changed,
+            energy_history: self.energy_history.clone(),
+        }
+    }
+
+    /// Fails unless the checkpoint was written by the given engine.
+    pub fn expect_engine(&self, engine: &str) -> Result<(), CheckpointError> {
+        if self.engine == engine {
+            Ok(())
+        } else {
+            Err(CheckpointError::EngineMismatch {
+                expected: engine.to_string(),
+                found: self.engine.clone(),
+            })
+        }
+    }
+
+    /// Serializes to the versioned text format.
+    pub fn to_text(&self) -> String {
+        use fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "{MAGIC} v{CHECKPOINT_VERSION}");
+        let _ = writeln!(out, "engine {}", self.engine);
+        let _ = writeln!(
+            out,
+            "grid {} {} {}",
+            self.grid_width, self.grid_height, self.num_labels
+        );
+        let _ = writeln!(
+            out,
+            "progress {} {}",
+            self.next_iteration, self.labels_changed
+        );
+        let _ = writeln!(out, "energy {:016x}", self.energy.to_bits());
+        let _ = writeln!(out, "seed {}", self.seed);
+        match self.rng_state {
+            None => {
+                let _ = writeln!(out, "rng none");
+            }
+            Some(s) => {
+                let _ = writeln!(
+                    out,
+                    "rng {:016x} {:016x} {:016x} {:016x}",
+                    s[0], s[1], s[2], s[3]
+                );
+            }
+        }
+        let _ = write!(out, "history {}", self.energy_history.len());
+        for e in &self.energy_history {
+            let _ = write!(out, " {:016x}", e.to_bits());
+        }
+        out.push('\n');
+        let _ = write!(out, "field {}", self.labels.len());
+        for l in &self.labels {
+            let _ = write!(out, " {l}");
+        }
+        out.push('\n');
+        out.push_str("end\n");
+        out
+    }
+
+    /// Parses the versioned text format, validating structure and
+    /// ranges (labels within `num_labels`, field length matching the
+    /// grid).
+    pub fn from_text(text: &str) -> Result<Self, CheckpointError> {
+        let mut lines = text.lines().enumerate();
+        let mut next = |expect: &str| -> Result<(usize, String), CheckpointError> {
+            match lines.next() {
+                Some((i, line)) => Ok((i + 1, line.to_string())),
+                None => Err(CheckpointError::Malformed {
+                    line: 0,
+                    reason: format!("missing {expect} line"),
+                }),
+            }
+        };
+        let malformed = |line: usize, reason: String| CheckpointError::Malformed { line, reason };
+
+        let (ln, header) = next("header")?;
+        let version = header
+            .strip_prefix(MAGIC)
+            .map(str::trim)
+            .and_then(|v| v.strip_prefix('v'))
+            .and_then(|v| v.parse::<u32>().ok())
+            .ok_or_else(|| malformed(ln, format!("expected `{MAGIC} v<N>` header")))?;
+        if version != CHECKPOINT_VERSION {
+            return Err(CheckpointError::UnsupportedVersion(version));
+        }
+
+        let (ln, line) = next("engine")?;
+        let engine = line
+            .strip_prefix("engine ")
+            .ok_or_else(|| malformed(ln, "expected `engine <tag>`".into()))?
+            .trim()
+            .to_string();
+
+        let (ln, line) = next("grid")?;
+        let grid_parts = parse_fields::<usize>(&line, "grid", 3).map_err(|r| malformed(ln, r))?;
+        let (grid_width, grid_height, num_labels) = (grid_parts[0], grid_parts[1], grid_parts[2]);
+        if grid_width == 0 || grid_height == 0 || num_labels == 0 {
+            return Err(malformed(ln, "grid dimensions must be non-zero".into()));
+        }
+
+        let (ln, line) = next("progress")?;
+        let progress = parse_fields::<u64>(&line, "progress", 2).map_err(|r| malformed(ln, r))?;
+        let next_iteration = progress[0] as usize;
+        let labels_changed = progress[1];
+
+        let (ln, line) = next("energy")?;
+        let energy_bits = line
+            .strip_prefix("energy ")
+            .and_then(|h| u64::from_str_radix(h.trim(), 16).ok())
+            .ok_or_else(|| malformed(ln, "expected `energy <16-hex bits>`".into()))?;
+        let energy = f64::from_bits(energy_bits);
+
+        let (ln, line) = next("seed")?;
+        let seed = line
+            .strip_prefix("seed ")
+            .and_then(|s| s.trim().parse::<u64>().ok())
+            .ok_or_else(|| malformed(ln, "expected `seed <u64>`".into()))?;
+
+        let (ln, line) = next("rng")?;
+        let rng_body = line
+            .strip_prefix("rng ")
+            .ok_or_else(|| malformed(ln, "expected `rng none` or `rng <4 words>`".into()))?;
+        let rng_state = if rng_body.trim() == "none" {
+            None
+        } else {
+            let words: Vec<u64> = rng_body
+                .split_whitespace()
+                .map(|w| u64::from_str_radix(w, 16))
+                .collect::<Result<_, _>>()
+                .map_err(|e| malformed(ln, format!("bad rng word: {e}")))?;
+            if words.len() != 4 {
+                return Err(malformed(
+                    ln,
+                    format!("expected 4 rng words, got {}", words.len()),
+                ));
+            }
+            Some([words[0], words[1], words[2], words[3]])
+        };
+
+        let (ln, line) = next("history")?;
+        let energy_history = parse_counted_list(&line, "history", |w| {
+            u64::from_str_radix(w, 16).ok().map(f64::from_bits)
+        })
+        .map_err(|r| malformed(ln, r))?;
+
+        let (ln, line) = next("field")?;
+        let labels: Vec<Label> = parse_counted_list(&line, "field", |w| w.parse::<Label>().ok())
+            .map_err(|r| malformed(ln, r))?;
+        if labels.len() != grid_width * grid_height {
+            return Err(malformed(
+                ln,
+                format!(
+                    "field has {} labels for a {}x{} grid",
+                    labels.len(),
+                    grid_width,
+                    grid_height
+                ),
+            ));
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l as usize >= num_labels) {
+            return Err(malformed(
+                ln,
+                format!("label {bad} out of range for {num_labels} labels"),
+            ));
+        }
+
+        let (ln, line) = next("end")?;
+        if line.trim() != "end" {
+            return Err(malformed(ln, "expected `end`".into()));
+        }
+
+        Ok(Checkpoint {
+            engine,
+            grid_width,
+            grid_height,
+            num_labels,
+            next_iteration,
+            labels_changed,
+            energy,
+            energy_history,
+            seed,
+            rng_state,
+            labels,
+        })
+    }
+
+    /// Writes the checkpoint to `path` atomically: the text goes to a
+    /// sibling `.tmp` file which is then renamed into place, so a kill
+    /// mid-write never leaves a torn checkpoint.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        let tmp = path.with_extension("ckpt.tmp");
+        fs::write(&tmp, self.to_text())?;
+        fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Loads and validates a checkpoint from `path`.
+    pub fn load(path: &Path) -> Result<Self, CheckpointError> {
+        let text = fs::read_to_string(path)?;
+        Checkpoint::from_text(&text)
+    }
+}
+
+/// Parses `<key> <v1> ... <vN>` with exactly `n` values.
+fn parse_fields<T: std::str::FromStr>(line: &str, key: &str, n: usize) -> Result<Vec<T>, String> {
+    let body = line
+        .strip_prefix(key)
+        .ok_or_else(|| format!("expected `{key} ...`"))?;
+    let values: Vec<T> = body
+        .split_whitespace()
+        .map(|w| {
+            w.parse::<T>()
+                .map_err(|_| format!("bad value {w:?} in `{key}`"))
+        })
+        .collect::<Result<_, _>>()?;
+    if values.len() != n {
+        return Err(format!(
+            "expected {n} values after `{key}`, got {}",
+            values.len()
+        ));
+    }
+    Ok(values)
+}
+
+/// Parses `<key> <len> <v1> ... <vlen>` where each value goes through
+/// `parse_one`.
+fn parse_counted_list<T>(
+    line: &str,
+    key: &str,
+    parse_one: impl Fn(&str) -> Option<T>,
+) -> Result<Vec<T>, String> {
+    let body = line
+        .strip_prefix(key)
+        .ok_or_else(|| format!("expected `{key} ...`"))?;
+    let mut words = body.split_whitespace();
+    let len: usize = words
+        .next()
+        .and_then(|w| w.parse().ok())
+        .ok_or_else(|| format!("expected a count after `{key}`"))?;
+    let values: Vec<T> = words
+        .map(|w| parse_one(w).ok_or_else(|| format!("bad value {w:?} in `{key}`")))
+        .collect::<Result<_, _>>()?;
+    if values.len() != len {
+        return Err(format!(
+            "`{key}` declared {len} values but carries {}",
+            values.len()
+        ));
+    }
+    Ok(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_checkpoint() -> Checkpoint {
+        let grid = Grid::new(3, 2);
+        let field = LabelField::from_labels(grid, 4, vec![0, 1, 2, 3, 0, 1]);
+        Checkpoint::capture(
+            "parallel",
+            &field,
+            17,
+            -123.456_789_f64,
+            42,
+            vec![-100.0, -110.5, f64::from_bits(0x3FF0_0000_0000_0001)],
+        )
+        .with_seed(987)
+        .with_rng_state([1, 2, 3, u64::MAX])
+    }
+
+    #[test]
+    fn text_round_trip_is_lossless() {
+        let ck = sample_checkpoint();
+        let text = ck.to_text();
+        let back = Checkpoint::from_text(&text).unwrap();
+        assert_eq!(back, ck);
+        // f64s survive to the bit, including a 1-ulp-off-1.0 value.
+        assert_eq!(back.energy_history[2].to_bits(), 0x3FF0_0000_0000_0001_u64);
+    }
+
+    #[test]
+    fn nan_and_infinite_energies_round_trip() {
+        let mut ck = sample_checkpoint();
+        ck.energy = f64::NAN;
+        ck.energy_history = vec![f64::INFINITY, f64::NEG_INFINITY, -0.0];
+        let back = Checkpoint::from_text(&ck.to_text()).unwrap();
+        assert!(back.energy.is_nan());
+        assert_eq!(back.energy_history[0], f64::INFINITY);
+        assert_eq!(back.energy_history[1], f64::NEG_INFINITY);
+        assert_eq!(back.energy_history[2].to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn restore_field_rebuilds_the_labelling() {
+        let ck = sample_checkpoint();
+        let field = ck.restore_field();
+        assert_eq!(field.grid(), Grid::new(3, 2));
+        assert_eq!(field.num_labels(), 4);
+        assert_eq!(field.as_slice(), &[0, 1, 2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn resume_state_carries_progress() {
+        let ck = sample_checkpoint();
+        let rs = ck.resume_state();
+        assert_eq!(rs.start_iteration, 17);
+        assert_eq!(rs.labels_changed, 42);
+        assert_eq!(rs.energy.to_bits(), ck.energy.to_bits());
+        assert_eq!(rs.energy_history.len(), 3);
+    }
+
+    #[test]
+    fn engine_mismatch_is_detected() {
+        let ck = sample_checkpoint();
+        assert!(ck.expect_engine("parallel").is_ok());
+        let err = ck.expect_engine("sweep").unwrap_err();
+        assert!(err.to_string().contains("sweep"));
+        assert!(err.to_string().contains("parallel"));
+    }
+
+    #[test]
+    fn save_and_load_round_trip_on_disk() {
+        let dir = std::env::temp_dir().join("retrsu-checkpoint-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("chain.ckpt");
+        let ck = sample_checkpoint();
+        ck.save(&path).unwrap();
+        let back = Checkpoint::load(&path).unwrap();
+        assert_eq!(back, ck);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        // Wrong magic.
+        assert!(Checkpoint::from_text("bogus v1\n").is_err());
+        // Future version.
+        let future = sample_checkpoint().to_text().replace("v1", "v999");
+        assert!(matches!(
+            Checkpoint::from_text(&future),
+            Err(CheckpointError::UnsupportedVersion(999))
+        ));
+        // Truncated document.
+        let text = sample_checkpoint().to_text();
+        let cut = &text[..text.len() / 2];
+        assert!(Checkpoint::from_text(cut).is_err());
+        // Field length disagreeing with the grid.
+        let bad = text.replace("grid 3 2 4", "grid 3 3 4");
+        assert!(Checkpoint::from_text(&bad).is_err());
+        // Label out of range.
+        let bad = text.replace("grid 3 2 4", "grid 3 2 2");
+        assert!(Checkpoint::from_text(&bad).is_err());
+    }
+}

@@ -28,6 +28,10 @@
 //!   tracing plus convergence diagnostics (autocorrelation ESS,
 //!   Gelman–Rubin PSRF, iterations-to-within-ε), honoured identically by
 //!   every engine (see the [`trace`] module's determinism contract).
+//! * [`Checkpoint`] / [`ResumeState`] — bit-exact save/resume of a chain
+//!   mid-run: a resumed run reproduces the uninterrupted one label for
+//!   label and bit for bit, at any thread count (see the [`checkpoint`]
+//!   module's determinism contract).
 //!
 //! # Example
 //!
@@ -50,6 +54,7 @@
 
 pub mod annealing;
 pub mod beliefprop;
+pub mod checkpoint;
 pub mod energy;
 pub mod field;
 pub mod graphcut;
@@ -63,6 +68,7 @@ pub mod trace;
 
 pub use annealing::Schedule;
 pub use beliefprop::{belief_propagation, BeliefPropReport};
+pub use checkpoint::{Checkpoint, CheckpointError, ResumeState};
 pub use energy::{DistanceFn, PairwiseTable};
 pub use field::LabelField;
 pub use graphcut::{alpha_expansion, distance_is_metric, ExpansionReport, GraphCutError};
@@ -75,6 +81,6 @@ pub use solver::{
     SweepSolver,
 };
 pub use trace::{
-    effective_sample_size, potential_scale_reduction, EnergyTrace, FanOut, NoopObserver,
-    SweepObserver, SweepRecord,
+    effective_sample_size, potential_scale_reduction, EnergyTrace, FanOut, FaultRecord,
+    NoopObserver, SweepObserver, SweepRecord,
 };

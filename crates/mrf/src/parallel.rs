@@ -47,6 +47,7 @@
 //! [`checkerboard_phase`], wrapping each unit in a [`BandWorker`].
 
 use crate::annealing::Schedule;
+use crate::checkpoint::ResumeState;
 use crate::field::LabelField;
 use crate::model::{Label, MrfModel};
 use crate::solver::{total_energy, SiteSampler, SolveReport};
@@ -316,6 +317,7 @@ pub struct ParallelSweepSolver<'m, M> {
     threads: usize,
     seed: u64,
     early_stop: Option<(usize, f64)>,
+    resume: Option<ResumeState>,
 }
 
 impl<'m, M: MrfModel + Sync> ParallelSweepSolver<'m, M> {
@@ -329,6 +331,7 @@ impl<'m, M: MrfModel + Sync> ParallelSweepSolver<'m, M> {
             threads: 1,
             seed: 0,
             early_stop: None,
+            resume: None,
         }
     }
 
@@ -369,6 +372,22 @@ impl<'m, M: MrfModel + Sync> ParallelSweepSolver<'m, M> {
         assert!(window > 0, "window must be non-zero");
         assert!(tolerance >= 0.0, "tolerance must be non-negative");
         self.early_stop = Some((window, tolerance));
+        self
+    }
+
+    /// Continues an interrupted chain instead of starting at iteration 0.
+    ///
+    /// The caller restores the field (e.g. via
+    /// [`Checkpoint::restore_field`](crate::Checkpoint::restore_field));
+    /// no generator state is needed beyond the chain seed, because every
+    /// site update draws from `SiteRng::for_site(seed, iteration, site)`
+    /// — a pure function of the global iteration index. The solver runs
+    /// iterations `start_iteration..iterations`, continuing the stored
+    /// incremental energy bit-exactly, and the report spans the whole
+    /// chain, so a resumed run is indistinguishable from an
+    /// uninterrupted one at any thread count.
+    pub fn resume(mut self, resume: ResumeState) -> Self {
+        self.resume = Some(resume);
         self
     }
 
@@ -422,17 +441,31 @@ impl<'m, M: MrfModel + Sync> ParallelSweepSolver<'m, M> {
             .collect();
         let mut snapshot = field.clone();
 
+        let start = self.resume.as_ref().map_or(0, |r| r.start_iteration);
         let mut report = SolveReport {
-            energy_history: Vec::with_capacity(self.iterations),
-            final_temperature: self.schedule.temperature(0),
-            iterations_run: 0,
-            labels_changed: 0,
+            energy_history: match &self.resume {
+                Some(r) => {
+                    let mut history = r.energy_history.clone();
+                    history.reserve(self.iterations.saturating_sub(start));
+                    history
+                }
+                None => Vec::with_capacity(self.iterations),
+            },
+            final_temperature: self.schedule.temperature(start),
+            iterations_run: start,
+            labels_changed: self.resume.as_ref().map_or(0, |r| r.labels_changed),
         };
-        let mut energy = total_energy(self.model, field);
+        // Resume continues the stored incremental accumulator; a fresh
+        // total_energy rescan would differ in the last ulp and break the
+        // bit-identity contract.
+        let mut energy = match &self.resume {
+            Some(r) => r.energy,
+            None => total_energy(self.model, field),
+        };
         let observing = observer.is_enabled();
         let want_sites = observing && observer.wants_site_updates();
 
-        for iter in 0..self.iterations {
+        for iter in start..self.iterations {
             let sweep_start = observing.then(Instant::now);
             let flips_before = report.labels_changed;
             let temperature = self.schedule.temperature(iter);

@@ -7,6 +7,7 @@
 //! same application code.
 
 use crate::annealing::Schedule;
+use crate::checkpoint::ResumeState;
 use crate::field::LabelField;
 use crate::model::{Label, MrfModel};
 use crate::trace::{NoopObserver, SweepObserver, SweepRecord};
@@ -220,6 +221,7 @@ pub struct SweepSolver<'m, M> {
     iterations: usize,
     scan: ScanOrder,
     early_stop: Option<(usize, f64)>,
+    resume: Option<ResumeState>,
 }
 
 impl<'m, M: MrfModel> SweepSolver<'m, M> {
@@ -232,6 +234,7 @@ impl<'m, M: MrfModel> SweepSolver<'m, M> {
             iterations: 100,
             scan: ScanOrder::Raster,
             early_stop: None,
+            resume: None,
         }
     }
 
@@ -263,6 +266,22 @@ impl<'m, M: MrfModel> SweepSolver<'m, M> {
         assert!(window > 0, "window must be non-zero");
         assert!(tolerance >= 0.0, "tolerance must be non-negative");
         self.early_stop = Some((window, tolerance));
+        self
+    }
+
+    /// Continues an interrupted chain instead of starting at iteration 0.
+    ///
+    /// The caller restores the field (e.g. via
+    /// [`Checkpoint::restore_field`](crate::Checkpoint::restore_field))
+    /// and the sequential generator
+    /// ([`sampling::Xoshiro256pp::from_state`]); the solver then runs
+    /// iterations `start_iteration..iterations`, continuing the stored
+    /// incremental energy bit-exactly rather than rescanning the field.
+    /// The resulting report spans the *whole* chain (restored prefix
+    /// plus new iterations), so a resumed run is indistinguishable from
+    /// an uninterrupted one.
+    pub fn resume(mut self, resume: ResumeState) -> Self {
+        self.resume = Some(resume);
         self
     }
 
@@ -315,21 +334,35 @@ impl<'m, M: MrfModel> SweepSolver<'m, M> {
             });
         }
         let mut energies = Vec::with_capacity(self.model.num_labels());
+        let start = self.resume.as_ref().map_or(0, |r| r.start_iteration);
         let mut report = SolveReport {
-            energy_history: Vec::with_capacity(self.iterations),
-            final_temperature: self.schedule.temperature(0),
-            iterations_run: 0,
-            labels_changed: 0,
+            energy_history: match &self.resume {
+                Some(r) => {
+                    let mut history = r.energy_history.clone();
+                    history.reserve(self.iterations.saturating_sub(start));
+                    history
+                }
+                None => Vec::with_capacity(self.iterations),
+            },
+            final_temperature: self.schedule.temperature(start),
+            iterations_run: start,
+            labels_changed: self.resume.as_ref().map_or(0, |r| r.labels_changed),
         };
         // Incremental energy tracking: pay the O(N·deg) full scan once,
         // then fold in the exact per-flip delta. A flip at `site` changes
         // only its singleton and incident pairwise terms, and both old
         // and new sums are exactly the local conditional energies already
         // computed for the sampler, so ΔE = energies[new] − energies[old].
-        let mut energy = total_energy(self.model, field);
+        // A resumed run continues the *stored* accumulator: a fresh
+        // rescan would differ in the last ulp from the running sum and
+        // break the bit-identity contract.
+        let mut energy = match &self.resume {
+            Some(r) => r.energy,
+            None => total_energy(self.model, field),
+        };
         let observing = observer.is_enabled();
         let want_sites = observing && observer.wants_site_updates();
-        for iter in 0..self.iterations {
+        for iter in start..self.iterations {
             let sweep_start = observing.then(Instant::now);
             let flips_before = report.labels_changed;
             let temperature = self.schedule.temperature(iter);

@@ -69,6 +69,28 @@ pub struct SweepRecord {
     pub elapsed: Duration,
 }
 
+/// A device-fault event surfaced by a degrading engine (the `rsu`
+/// crate's `RsuArray` with a fault plan installed).
+///
+/// Emitted once per fault, on the driver thread, at the start of the
+/// first sweep the fault is active in — so the event stream is
+/// deterministic for any thread count, like every other observer hook.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRecord {
+    /// Sweep (global iteration index) the fault activated at.
+    pub iteration: usize,
+    /// Index of the affected hardware unit within its array.
+    pub unit: usize,
+    /// Fault model, e.g. `"dead-spad"`, `"bleached"`, `"stuck"`.
+    pub kind: &'static str,
+    /// How the engine degraded, e.g. `"remap"`, `"software-fallback"`,
+    /// `"derate"`, `"freeze"`.
+    pub action: &'static str,
+    /// Healthy unit the failed unit's sites were remapped to, if the
+    /// action was a remap.
+    pub remapped_to: Option<usize>,
+}
+
 /// Observer of a sweep engine's progress.
 ///
 /// All hooks default to no-ops, so implementors opt into exactly the
@@ -100,6 +122,12 @@ pub trait SweepObserver {
     fn on_site_update(&mut self, iteration: usize, site: usize, old: Label, new: Label) {
         let _ = (iteration, site, old, new);
     }
+
+    /// Called once per fault when a degrading engine activates it,
+    /// gated on [`is_enabled`](Self::is_enabled) like every other hook.
+    fn on_fault(&mut self, record: &FaultRecord) {
+        let _ = record;
+    }
 }
 
 impl<O: SweepObserver + ?Sized> SweepObserver for &mut O {
@@ -117,6 +145,10 @@ impl<O: SweepObserver + ?Sized> SweepObserver for &mut O {
 
     fn on_site_update(&mut self, iteration: usize, site: usize, old: Label, new: Label) {
         (**self).on_site_update(iteration, site, old, new)
+    }
+
+    fn on_fault(&mut self, record: &FaultRecord) {
+        (**self).on_fault(record)
     }
 }
 
@@ -172,6 +204,12 @@ impl SweepObserver for FanOut<'_> {
             if o.wants_site_updates() {
                 o.on_site_update(iteration, site, old, new);
             }
+        }
+    }
+
+    fn on_fault(&mut self, record: &FaultRecord) {
+        for o in self.observers.iter_mut() {
+            o.on_fault(record);
         }
     }
 }

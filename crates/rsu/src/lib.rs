@@ -62,6 +62,7 @@ pub mod config;
 pub mod convert;
 pub mod cyclesim;
 pub mod error;
+pub mod fault;
 pub mod pipeline;
 pub mod quantize;
 pub mod sampler;
@@ -74,6 +75,7 @@ pub use config::{
 pub use convert::{ComparisonConverter, EnergyToLambda, LambdaConverter, LutConverter};
 pub use cyclesim::{CycleAccuratePipeline, CycleReport};
 pub use error::ConfigError;
+pub use fault::{DegradePolicy, FaultKind, FaultPlan, ScheduledFault};
 pub use pipeline::{DesignKind, PipelineModel};
 pub use quantize::EnergyQuantizer;
 pub use sampler::{RsuG, RsuStats};

@@ -95,6 +95,10 @@ pub struct RsuG {
     circuits: Option<RetCircuitBank>,
     stats: RsuStats,
     temperature_initialised: bool,
+    // Multiplicative emission-rate derating in (0, 1]: 1.0 = healthy
+    // chromophores. Photobleaching faults lower it, shifting the λ of
+    // every label this unit samples (see `fault::FaultKind::Bleached`).
+    rate_derating: f64,
     // Scratch buffers reused across evaluations. The per-variable hot
     // loop (front_end → race) must never heap-allocate: every buffer it
     // needs — quantised codes, scaled codes, λ multipliers, and the tie
@@ -141,6 +145,7 @@ impl RsuG {
             circuits,
             stats: RsuStats::default(),
             temperature_initialised: false,
+            rate_derating: 1.0,
             codes: Vec::new(),
             scaled: Vec::new(),
             multipliers: Vec::new(),
@@ -172,6 +177,32 @@ impl RsuG {
     /// Resets the lifetime counters.
     pub fn reset_stats(&mut self) {
         self.stats = RsuStats::default();
+    }
+
+    /// Sets the emission-rate derating applied to every λ this unit
+    /// samples on the ideal photon path: `λ_eff = λ · derating`.
+    ///
+    /// `1.0` models healthy chromophores (the default, and bit-identical
+    /// to a unit that never heard of derating); photobleaching faults
+    /// install the ladder's surviving-rate fraction here
+    /// ([`ret_device::BleachingModel::rate_derating`]). The RET-circuit
+    /// photon path models bleaching inside the circuit bank itself and
+    /// ignores this knob.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `derating` is in `(0, 1]`.
+    pub fn set_rate_derating(&mut self, derating: f64) {
+        assert!(
+            derating > 0.0 && derating <= 1.0,
+            "derating must be in (0, 1]"
+        );
+        self.rate_derating = derating;
+    }
+
+    /// The active emission-rate derating (1.0 = healthy).
+    pub fn rate_derating(&self) -> f64 {
+        self.rate_derating
     }
 
     /// Runs the front-end (quantise → scale → convert) for one variable
@@ -247,7 +278,7 @@ impl RsuG {
                     debug_assert!(m.is_power_of_two() && m <= 8);
                     bank.sample(m.trailing_zeros() as u8, rng)
                 }
-                None => sample_binned_ttf(m as f64 * lambda0, t_max, rng),
+                None => sample_binned_ttf(m as f64 * lambda0 * self.rate_derating, t_max, rng),
             };
             let bin = match sample {
                 Some(b) => b,
@@ -712,5 +743,55 @@ mod tests {
         }
         let h = sstats::discrete_entropy(&counts);
         assert!(h > 2.9, "entropy {h} bits per evaluation");
+    }
+
+    #[test]
+    fn unity_rate_derating_is_bit_identical_to_the_default() {
+        let run = |touch_knob: bool| {
+            let mut unit = RsuG::new_design();
+            if touch_knob {
+                unit.set_rate_derating(1.0);
+            }
+            unit.begin_iteration(1.0);
+            let mut rng = seeded(21);
+            let results: Vec<_> = (0..2000)
+                .map(|_| unit.race(&[4, 2, 1], false, &mut rng).winner)
+                .collect();
+            (results, *unit.stats())
+        };
+        assert_eq!(
+            run(false),
+            run(true),
+            "1.0 must be exactly the healthy path"
+        );
+    }
+
+    #[test]
+    fn rate_derating_slows_the_race_into_censoring() {
+        let censored = |derating: f64| {
+            let mut unit = RsuG::new_design();
+            unit.set_rate_derating(derating);
+            unit.begin_iteration(1.0);
+            let mut rng = seeded(22);
+            for _ in 0..5000 {
+                unit.race(&[4, 2, 1], false, &mut rng);
+            }
+            unit.stats().censored_samples
+        };
+        let healthy = censored(1.0);
+        let derated = censored(0.05);
+        // Healthy censoring is already ~27% of samples at truncation 0.5
+        // (probs 0.5^m for m = 4, 2, 1); at 20x slower it nears 100%,
+        // roughly a 3.4x jump in expectation.
+        assert!(
+            derated > healthy.max(1) * 2,
+            "a 20x-slower race must censor far more often ({derated} vs {healthy})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "derating")]
+    fn zero_rate_derating_rejected() {
+        RsuG::new_design().set_rate_derating(0.0);
     }
 }

@@ -1,0 +1,305 @@
+//! Integration tests for checkpoint/resume of [`RsuArray`] chains —
+//! healthy and fault-degraded — via [`mrf::Checkpoint`].
+//!
+//! The array is driven sweep-by-sweep by its caller, so "resume" means:
+//! restore the field from the checkpoint, build a *fresh* array (same
+//! config, same fault plan) and continue at the stored iteration index.
+//! That is bit-identical because every per-sweep input is a pure
+//! function of the absolute iteration: the per-site RNG streams
+//! (parallel path), the external generator state (sequential path,
+//! stored in the checkpoint), the annealing temperature and the fault
+//! state (activation and bleaching derate keyed off the iteration, not
+//! off elapsed array history).
+
+use mrf::{
+    Checkpoint, DistanceFn, FaultRecord, LabelField, MrfModel, Schedule, SweepObserver, TabularMrf,
+};
+use rand::SeedableRng;
+use rsu::{DegradePolicy, FaultKind, FaultPlan, RsuArray, RsuConfig, ScheduledFault};
+use sampling::Xoshiro256pp;
+
+const SEED: u64 = 77;
+const UNITS: u32 = 4;
+
+fn model() -> TabularMrf {
+    TabularMrf::checkerboard(10, 8, 3, 5.0, DistanceFn::Binary, 0.5)
+}
+
+fn schedule() -> Schedule {
+    Schedule::geometric(3.0, 0.92, 0.1)
+}
+
+fn initial_field(model: &TabularMrf) -> LabelField {
+    let mut rng = Xoshiro256pp::seed_from_u64(SEED);
+    LabelField::random(model.grid(), model.num_labels(), &mut rng)
+}
+
+fn degraded_plan() -> FaultPlan {
+    FaultPlan::new(DegradePolicy::RemapToHealthy)
+        .with_fault(ScheduledFault {
+            unit: 1,
+            sweep: 4,
+            kind: FaultKind::DeadSpad,
+        })
+        .with_fault(ScheduledFault {
+            unit: 2,
+            sweep: 12,
+            kind: FaultKind::Bleached {
+                lifetime_sweeps: 6.0,
+            },
+        })
+}
+
+/// Runs parallel checkerboard sweeps `start..end` on an array.
+fn run_parallel(
+    array: &mut RsuArray,
+    model: &TabularMrf,
+    field: &mut LabelField,
+    start: usize,
+    end: usize,
+    threads: usize,
+) {
+    for iter in start..end {
+        array.sweep_parallel(
+            model,
+            field,
+            schedule().temperature(iter),
+            iter as u64,
+            SEED,
+            threads,
+        );
+    }
+}
+
+/// Records fault activations, like `bench`'s JSONL writer would.
+#[derive(Default)]
+struct FaultRecorder(Vec<(usize, usize, &'static str, &'static str, Option<usize>)>);
+
+impl SweepObserver for FaultRecorder {
+    fn on_fault(&mut self, r: &FaultRecord) {
+        self.0
+            .push((r.iteration, r.unit, r.kind, r.action, r.remapped_to));
+    }
+}
+
+#[test]
+fn healthy_parallel_array_kill_and_resume_is_bit_identical_across_thread_counts() {
+    let model = model();
+    let total = 24;
+    let k = 10;
+    let mut reference = initial_field(&model);
+    run_parallel(
+        &mut RsuArray::new(RsuConfig::new_design(), UNITS),
+        &model,
+        &mut reference,
+        0,
+        total,
+        1,
+    );
+
+    for kill_threads in [1, 2, 7] {
+        let mut field = initial_field(&model);
+        run_parallel(
+            &mut RsuArray::new(RsuConfig::new_design(), UNITS),
+            &model,
+            &mut field,
+            0,
+            k,
+            kill_threads,
+        );
+        let checkpoint =
+            Checkpoint::capture("rsu-array", &field, k, f64::NAN, 0, Vec::new()).with_seed(SEED);
+        let restored = Checkpoint::from_text(&checkpoint.to_text()).unwrap();
+        restored.expect_engine("rsu-array").unwrap();
+
+        for resume_threads in [1, 2, 7] {
+            // A *fresh* array: no state beyond the checkpoint survives a
+            // kill, so none may be needed.
+            let mut resumed = restored.restore_field();
+            run_parallel(
+                &mut RsuArray::new(RsuConfig::new_design(), UNITS),
+                &model,
+                &mut resumed,
+                restored.next_iteration,
+                total,
+                resume_threads,
+            );
+            assert_eq!(
+                reference, resumed,
+                "kill at {kill_threads}t, resume at {resume_threads}t"
+            );
+        }
+    }
+}
+
+#[test]
+fn degraded_array_kill_and_resume_is_bit_identical() {
+    let model = model();
+    let total = 24;
+    let mut reference = initial_field(&model);
+    {
+        let mut array = RsuArray::new(RsuConfig::new_design(), UNITS);
+        array.install_faults(degraded_plan());
+        run_parallel(&mut array, &model, &mut reference, 0, total, 2);
+    }
+
+    // Kill points straddle both fault activations (sweeps 4 and 12).
+    for k in [2, 8, 15] {
+        let mut field = initial_field(&model);
+        {
+            let mut array = RsuArray::new(RsuConfig::new_design(), UNITS);
+            array.install_faults(degraded_plan());
+            run_parallel(&mut array, &model, &mut field, 0, k, 3);
+        }
+        let checkpoint =
+            Checkpoint::capture("rsu-array", &field, k, f64::NAN, 0, Vec::new()).with_seed(SEED);
+        let restored = Checkpoint::from_text(&checkpoint.to_text()).unwrap();
+        for resume_threads in [1, 7] {
+            let mut resumed = restored.restore_field();
+            let mut array = RsuArray::new(RsuConfig::new_design(), UNITS);
+            array.install_faults(degraded_plan());
+            run_parallel(
+                &mut array,
+                &model,
+                &mut resumed,
+                restored.next_iteration,
+                total,
+                resume_threads,
+            );
+            assert_eq!(
+                reference, resumed,
+                "kill at {k}, resume at {resume_threads}t"
+            );
+        }
+    }
+}
+
+#[test]
+fn fault_activations_are_emitted_exactly_once_across_a_kill_resume_boundary() {
+    let model = model();
+    let total = 20;
+    // Uninterrupted reference stream of fault events.
+    let mut uninterrupted = FaultRecorder::default();
+    {
+        let mut array = RsuArray::new(RsuConfig::new_design(), UNITS);
+        array.install_faults(degraded_plan());
+        let mut field = initial_field(&model);
+        for iter in 0..total {
+            array.sweep_parallel_observed(
+                &model,
+                &mut field,
+                schedule().temperature(iter),
+                iter as u64,
+                SEED,
+                2,
+                &mut uninterrupted,
+            );
+        }
+    }
+    assert_eq!(
+        uninterrupted.0,
+        vec![
+            (4, 1, "dead-spad", "remap", Some(2)),
+            (12, 2, "bleached", "derate", None),
+        ]
+    );
+
+    // Kill at sweep 8: after the dead-SPAD activation, before the
+    // bleach. The resumed half must emit only the bleach event — the
+    // concatenated stream then equals the uninterrupted one.
+    let mut first_half = FaultRecorder::default();
+    let mut field = initial_field(&model);
+    {
+        let mut array = RsuArray::new(RsuConfig::new_design(), UNITS);
+        array.install_faults(degraded_plan());
+        for iter in 0..8 {
+            array.sweep_parallel_observed(
+                &model,
+                &mut field,
+                schedule().temperature(iter),
+                iter as u64,
+                SEED,
+                2,
+                &mut first_half,
+            );
+        }
+    }
+    let checkpoint =
+        Checkpoint::capture("rsu-array", &field, 8, f64::NAN, 0, Vec::new()).with_seed(SEED);
+    let restored = Checkpoint::from_text(&checkpoint.to_text()).unwrap();
+    let mut second_half = FaultRecorder::default();
+    let mut resumed = restored.restore_field();
+    {
+        let mut array = RsuArray::new(RsuConfig::new_design(), UNITS);
+        array.install_faults(degraded_plan());
+        for iter in restored.next_iteration..total {
+            array.sweep_parallel_observed(
+                &model,
+                &mut resumed,
+                schedule().temperature(iter),
+                iter as u64,
+                SEED,
+                2,
+                &mut second_half,
+            );
+        }
+    }
+    let mut combined = first_half.0.clone();
+    combined.extend(second_half.0.iter().copied());
+    assert_eq!(combined, uninterrupted.0);
+}
+
+#[test]
+fn sequential_array_kill_and_resume_matches_including_rng_consumption() {
+    let model = model();
+    let total = 18;
+    let k = 7;
+
+    let mut ref_rng = Xoshiro256pp::seed_from_u64(SEED);
+    let mut reference = LabelField::random(model.grid(), model.num_labels(), &mut ref_rng);
+    {
+        let mut array = RsuArray::new(RsuConfig::new_design(), UNITS);
+        for iter in 0..total {
+            array.sweep(
+                &model,
+                &mut reference,
+                schedule().temperature(iter),
+                &mut ref_rng,
+            );
+        }
+    }
+
+    let mut rng = Xoshiro256pp::seed_from_u64(SEED);
+    let mut field = LabelField::random(model.grid(), model.num_labels(), &mut rng);
+    {
+        let mut array = RsuArray::new(RsuConfig::new_design(), UNITS);
+        for iter in 0..k {
+            array.sweep(&model, &mut field, schedule().temperature(iter), &mut rng);
+        }
+    }
+    let checkpoint = Checkpoint::capture("rsu-array", &field, k, f64::NAN, 0, Vec::new())
+        .with_seed(SEED)
+        .with_rng_state(rng.state());
+    drop((field, rng));
+
+    let restored = Checkpoint::from_text(&checkpoint.to_text()).unwrap();
+    let mut resumed = restored.restore_field();
+    let mut resumed_rng = Xoshiro256pp::from_state(restored.rng_state.unwrap());
+    {
+        let mut array = RsuArray::new(RsuConfig::new_design(), UNITS);
+        for iter in restored.next_iteration..total {
+            array.sweep(
+                &model,
+                &mut resumed,
+                schedule().temperature(iter),
+                &mut resumed_rng,
+            );
+        }
+    }
+    assert_eq!(reference, resumed);
+    assert_eq!(
+        ref_rng.state(),
+        resumed_rng.state(),
+        "the resumed sequential chain must consume the RNG identically"
+    );
+}

@@ -37,6 +37,15 @@ impl Xoshiro256pp {
         Xoshiro256pp { s }
     }
 
+    /// Returns the four raw state words.
+    ///
+    /// Together with [`from_state`](Self::from_state) this allows exact
+    /// save/restore of the generator — a restored generator continues the
+    /// identical output stream, which the solver checkpoints rely on.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
     /// Produces the next 64-bit output.
     #[inline]
     #[allow(clippy::should_implement_trait)]

@@ -209,6 +209,13 @@ pub fn discrete_entropy(counts: &[u64]) -> f64 {
 
 /// Lag-`k` serial correlation coefficient of a sequence.
 ///
+/// Both the lag-`k` autocovariance and the variance are normalised by
+/// `n` (the standard biased autocorrelation estimator, as in Geyer's
+/// initial-sequence ESS machinery). Normalising the covariance by
+/// `n − k` while dividing the variance by `n` — the previous behaviour —
+/// biases short-sequence lag estimates upward by `n / (n − k)` and can
+/// report correlations above 1.
+///
 /// Returns 0 for sequences shorter than `k + 2` or with zero variance.
 pub fn serial_correlation(xs: &[f64], k: usize) -> f64 {
     if xs.len() < k + 2 {
@@ -223,7 +230,7 @@ pub fn serial_correlation(xs: &[f64], k: usize) -> f64 {
     let cov: f64 = (0..n - k)
         .map(|i| (xs[i] - mean) * (xs[i + k] - mean))
         .sum::<f64>()
-        / (n - k) as f64;
+        / n as f64;
     cov / var
 }
 
@@ -372,6 +379,38 @@ mod tests {
         let mut rng = Xoshiro256pp::seed_from_u64(31);
         let xs: Vec<f64> = (0..50_000).map(|_| rng.gen::<f64>()).collect();
         assert!(serial_correlation(&xs, 1).abs() < 0.02);
+    }
+
+    #[test]
+    fn serial_correlation_matches_ar1_process() {
+        // AR(1): x_t = phi * x_{t-1} + e_t has theoretical lag-k
+        // autocorrelation phi^k. With the consistent `n` normalisation the
+        // estimates converge to that; the old mixed n/(n−k) normalisation
+        // inflated them by n/(n−k).
+        let phi = 0.8;
+        let mut rng = Xoshiro256pp::seed_from_u64(77);
+        let n = 200_000;
+        let mut xs = Vec::with_capacity(n);
+        let mut x = 0.0;
+        for _ in 0..n {
+            // Uniform(-0.5, 0.5) innovations: zero mean is all the
+            // autocorrelation shape needs.
+            let e = rng.gen::<f64>() - 0.5;
+            x = phi * x + e;
+            xs.push(x);
+        }
+        for k in 1..=4usize {
+            let expected = phi.powi(k as i32);
+            let got = serial_correlation(&xs, k);
+            assert!(
+                (got - expected).abs() < 0.02,
+                "lag {k}: got {got}, expected {expected}"
+            );
+        }
+        // Estimates are proper correlations: bounded by 1 in magnitude.
+        for k in 1..=4usize {
+            assert!(serial_correlation(&xs, k).abs() <= 1.0);
+        }
     }
 
     #[test]

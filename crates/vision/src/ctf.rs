@@ -57,7 +57,9 @@ impl CoarseToFine {
     /// # Errors
     ///
     /// Propagates model-construction errors (bad window/weights or
-    /// frames too small for the coarsest level).
+    /// frames too small for the coarsest level), tagged with the
+    /// pyramid level that failed
+    /// ([`VisionError::PyramidLevel`]).
     pub fn solve<S, R>(
         &self,
         frame1: &GrayImage,
@@ -96,7 +98,8 @@ impl CoarseToFine {
                 self.window,
                 self.data_weight,
                 self.smooth_weight,
-            )?;
+            )
+            .map_err(|e| e.at_pyramid_level(level))?;
             let mut field = LabelField::random(model.grid(), model.num_labels(), rng);
             SweepSolver::new(&model)
                 .schedule(self.schedule)
@@ -122,7 +125,9 @@ impl CoarseToFine {
     /// # Errors
     ///
     /// Propagates model-construction errors (bad window/weights or
-    /// frames too small for the coarsest level).
+    /// frames too small for the coarsest level), tagged with the
+    /// pyramid level that failed
+    /// ([`VisionError::PyramidLevel`]).
     pub fn solve_parallel<S>(
         &self,
         frame1: &GrayImage,
@@ -159,7 +164,8 @@ impl CoarseToFine {
                 self.window,
                 self.data_weight,
                 self.smooth_weight,
-            )?;
+            )
+            .map_err(|e| e.at_pyramid_level(level))?;
             // Per-level deterministic seeds: the initial field comes
             // from a SplitMix64 chain, the sweeps from per-site streams.
             let level_seed = seed ^ (level as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
@@ -328,5 +334,37 @@ mod tests {
     #[should_panic(expected = "flow size mismatch")]
     fn warp_rejects_wrong_flow_size() {
         warp_by_flow(&textured(4, 4), &[(0, 0); 3]);
+    }
+
+    #[test]
+    fn failed_level_solve_reports_the_pyramid_level() {
+        use crate::error::VisionError;
+        // 12×12 at two levels downsamples to 6×6, smaller than the 9×9
+        // window, so the coarsest level (index 1) must fail — and say so.
+        let f1 = textured(12, 12);
+        let f2 = translated(&f1, 1, 0);
+        let mut ctf = CoarseToFine::new(2);
+        ctf.window = 9;
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        let err = ctf
+            .solve(&f1, &f2, &mut SoftwareGibbs::new(), &mut rng)
+            .unwrap_err();
+        match err {
+            VisionError::PyramidLevel { level, ref source } => {
+                assert_eq!(level, 1);
+                assert!(matches!(
+                    **source,
+                    VisionError::InvalidParameter { name: "window", .. }
+                ));
+            }
+            other => panic!("expected PyramidLevel, got {other}"),
+        }
+        let par_err = ctf
+            .solve_parallel(&f1, &f2, &SoftwareGibbs::new(), 5, 2)
+            .unwrap_err();
+        assert!(matches!(
+            par_err,
+            VisionError::PyramidLevel { level: 1, .. }
+        ));
     }
 }

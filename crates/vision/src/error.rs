@@ -27,6 +27,27 @@ pub enum VisionError {
     },
     /// An I/O error while reading or writing an image.
     Io(String),
+    /// A per-level solve inside the coarse-to-fine pyramid failed.
+    ///
+    /// Wraps the underlying error with the (0-based, finest-first)
+    /// pyramid level it occurred at, so a failure deep in a long run
+    /// reports *which* level broke instead of aborting opaquely.
+    PyramidLevel {
+        /// The pyramid level (0 = finest) whose solve failed.
+        level: usize,
+        /// What went wrong at that level.
+        source: Box<VisionError>,
+    },
+}
+
+impl VisionError {
+    /// Wraps an error with the pyramid level it occurred at.
+    pub fn at_pyramid_level(self, level: usize) -> Self {
+        VisionError::PyramidLevel {
+            level,
+            source: Box::new(self),
+        }
+    }
 }
 
 impl fmt::Display for VisionError {
@@ -44,11 +65,21 @@ impl fmt::Display for VisionError {
             }
             VisionError::BadImageFormat { reason } => write!(f, "bad image format: {reason}"),
             VisionError::Io(msg) => write!(f, "image i/o failed: {msg}"),
+            VisionError::PyramidLevel { level, source } => {
+                write!(f, "coarse-to-fine pyramid level {level}: {source}")
+            }
         }
     }
 }
 
-impl Error for VisionError {}
+impl Error for VisionError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            VisionError::PyramidLevel { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
 
 impl From<std::io::Error> for VisionError {
     fn from(e: std::io::Error) -> Self {
@@ -69,5 +100,18 @@ mod tests {
             b: (4, 5),
         };
         assert!(e.to_string().contains("2x3"));
+    }
+
+    #[test]
+    fn pyramid_level_wraps_and_exposes_source() {
+        let inner = VisionError::InvalidParameter {
+            name: "window",
+            reason: "must not exceed the frame dimensions",
+        };
+        let e = inner.clone().at_pyramid_level(2);
+        assert!(e.to_string().contains("level 2"));
+        assert!(e.to_string().contains("window"));
+        let source = std::error::Error::source(&e).expect("has a source");
+        assert_eq!(source.to_string(), inner.to_string());
     }
 }

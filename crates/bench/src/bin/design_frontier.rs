@@ -8,12 +8,23 @@
 use bench::minijson::Value;
 use bench::trace_jsonl::JsonlTraceWriter;
 use bench::{table, write_csv};
+use rsu::DegradePolicy;
 use std::path::{Path, PathBuf};
+use uarch::degrade::{degraded_design_points, DegradedDesignPoint, DegradedStudySpec};
 use uarch::explore::{enumerate_parallel, evaluate, pareto_frontier, DesignPoint};
 use uarch::AreaPower;
 
 const TIME_BITS: [u32; 5] = [3, 4, 5, 6, 7];
 const TRUNCS: [f64; 6] = [0.01, 0.1, 0.3, 0.5, 0.7, 0.9];
+
+// Degraded-frontier study shape: a 12-unit array (Table II's R) running
+// the fig. 9d-class 320×320 5-label segmentation for 100 sweeps, with
+// seed-reproducible fault plans.
+const DEGRADE_UNITS: usize = 12;
+const DEGRADE_SHAPE: (usize, usize, u32) = (320, 320, 5);
+const DEGRADE_SWEEPS: u64 = 100;
+const DEGRADE_FAILED_UNITS: [usize; 2] = [1, 3];
+const DEGRADE_SEED: u64 = 2018;
 
 fn main() {
     let threads = bench::threads_from_args();
@@ -79,8 +90,86 @@ fn main() {
         &csv,
     );
 
+    let degraded = degraded_frontier(&frontier);
+
     if let Some(path) = trace_path {
-        write_trace(&path, &points, &frontier);
+        write_trace(&path, &points, &frontier, &degraded);
+    }
+}
+
+/// Prices every frontier point degraded (fault count × policy grid) and
+/// emits the degraded design points alongside the healthy frontier.
+fn degraded_frontier(frontier: &[DesignPoint]) -> Vec<DegradedDesignPoint> {
+    let (width, height, labels) = DEGRADE_SHAPE;
+    let degraded = degraded_design_points(
+        frontier,
+        &DegradedStudySpec {
+            units: DEGRADE_UNITS,
+            width,
+            height,
+            labels,
+            sweeps: DEGRADE_SWEEPS,
+            failed_units: &DEGRADE_FAILED_UNITS,
+            policies: &[
+                DegradePolicy::RemapToHealthy,
+                DegradePolicy::SoftwareFallback,
+            ],
+            seed: DEGRADE_SEED,
+        },
+    );
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for d in &degraded {
+        rows.push(vec![
+            format!("({}, {})", d.point.time_bits, d.point.truncation),
+            format!("{}", d.failed_units),
+            policy_name(d.policy).to_string(),
+            format!("{:.3}", d.slowdown),
+            format!("{:.3}", d.energy_ratio),
+            format!("{:.3}", d.software_fraction),
+        ]);
+        csv.push(format!(
+            "{},{},{},{},{:.6},{:.6},{:.6}",
+            d.point.time_bits,
+            d.point.truncation,
+            d.failed_units,
+            policy_name(d.policy),
+            d.slowdown,
+            d.energy_ratio,
+            d.software_fraction
+        ));
+    }
+    println!(
+        "\ndegraded frontier points ({DEGRADE_UNITS}-unit array, {}x{} @ {} labels, \
+         {DEGRADE_SWEEPS} sweeps, fault seed {DEGRADE_SEED}):\n",
+        DEGRADE_SHAPE.0, DEGRADE_SHAPE.1, DEGRADE_SHAPE.2
+    );
+    println!(
+        "{}",
+        table::render(
+            &[
+                "point (bits, trunc)",
+                "failed",
+                "policy",
+                "slowdown",
+                "energy ratio",
+                "sw fraction"
+            ],
+            &rows
+        )
+    );
+    write_csv(
+        "design_frontier_degraded",
+        "time_bits,truncation,failed_units,policy,slowdown,energy_ratio,software_fraction",
+        &csv,
+    );
+    degraded
+}
+
+fn policy_name(policy: DegradePolicy) -> &'static str {
+    match policy {
+        DegradePolicy::RemapToHealthy => "remap",
+        DegradePolicy::SoftwareFallback => "software",
     }
 }
 
@@ -234,10 +323,16 @@ fn load_progress(path: &Path, grid: &[(u32, f64)]) -> Result<Vec<DesignPoint>, S
 }
 
 /// `--trace` mode: one `"design_point"` record per enumerated
-/// configuration (flagged when it sits on the Pareto frontier) plus the
-/// cycle-accurate pipeline counters of both designs for the chosen
+/// configuration (flagged when it sits on the Pareto frontier), one
+/// degraded record per (frontier point × fault count × policy), plus
+/// the cycle-accurate pipeline counters of both designs for the chosen
 /// (5, 0.5) point at the paper's 64-label capacity.
-fn write_trace(path: &std::path::Path, points: &[DesignPoint], frontier: &[DesignPoint]) {
+fn write_trace(
+    path: &std::path::Path,
+    points: &[DesignPoint],
+    frontier: &[DesignPoint],
+    degraded: &[DegradedDesignPoint],
+) {
     let file = std::fs::File::create(path).expect("can create trace file");
     let mut writer = JsonlTraceWriter::new(std::io::BufWriter::new(file));
     for p in points {
@@ -251,6 +346,19 @@ fn write_trace(path: &std::path::Path, points: &[DesignPoint], frontier: &[Desig
             ("power_mw", Value::Number(p.sampling_cost.power_mw)),
             ("worst_ratio_error", Value::Number(p.worst_ratio_error)),
             ("on_frontier", Value::Bool(on_frontier)),
+        ]);
+    }
+    for d in degraded {
+        writer.write_design_point(vec![
+            ("degraded", Value::Bool(true)),
+            ("time_bits", Value::Number(d.point.time_bits as f64)),
+            ("truncation", Value::Number(d.point.truncation)),
+            ("failed_units", Value::Number(d.failed_units as f64)),
+            ("policy", Value::String(policy_name(d.policy).to_string())),
+            ("fault_seed", Value::Number(d.fault_seed as f64)),
+            ("slowdown", Value::Number(d.slowdown)),
+            ("energy_ratio", Value::Number(d.energy_ratio)),
+            ("software_fraction", Value::Number(d.software_fraction)),
         ]);
     }
     let labels = 64u32;

@@ -1,12 +1,26 @@
 //! Figure 9b: the teddy-like disparity map produced by the new RSU-G.
 
-use bench::{artifacts_dir, run_stereo, SamplerKind, STEREO_ITERATIONS};
+use bench::checkpoint::{run_stereo_checkpointed, CheckpointCtl};
+use bench::{artifacts_dir, SamplerKind, STEREO_ITERATIONS};
 use vision::image::labels_to_image;
 
 fn main() {
+    let threads = bench::threads_from_args();
+    let mut ckpt = CheckpointCtl::from_args_or_exit("fig9b_teddy_map");
     println!("Fig. 9b — teddy disparity map, new RSU-G\n");
+    if let Some(label) = ckpt.pending_resume() {
+        println!("resuming interrupted run {label}\n");
+    }
     let ds = scenes::stereo_teddy_like(1001);
-    let out = run_stereo(&ds, &SamplerKind::NewRsu, STEREO_ITERATIONS, 11, 1);
+    let out = run_stereo_checkpointed(
+        &ds,
+        &SamplerKind::NewRsu,
+        STEREO_ITERATIONS,
+        11,
+        threads,
+        "fig9b/teddy/new-RSUG",
+        &mut ckpt,
+    );
     let path = artifacts_dir().join("fig9b_new_rsug_teddy.pgm");
     labels_to_image(&out.field)
         .save_pgm(&path)

@@ -1,15 +1,37 @@
 //! Figure 9c: motion-estimation endpoint error across the three flow
 //! datasets, software vs new RSU-G (49 labels, 7×7 window).
 
-use bench::{flow_suite, run_motion, table, write_csv, SamplerKind, STEREO_ITERATIONS};
+use bench::checkpoint::{run_motion_checkpointed, CheckpointCtl};
+use bench::{flow_suite, table, write_csv, SamplerKind, STEREO_ITERATIONS};
 
 fn main() {
+    let threads = bench::threads_from_args();
+    let mut ckpt = CheckpointCtl::from_args_or_exit("fig9c_motion");
     println!("Fig. 9c — motion estimation EPE, software vs new RSU-G (49 labels)\n");
+    if let Some(label) = ckpt.pending_resume() {
+        println!("resuming interrupted run {label} (earlier runs are recomputed)\n");
+    }
     let mut rows = Vec::new();
     let mut csv = Vec::new();
     for (name, ds) in flow_suite() {
-        let sw = run_motion(&ds, &SamplerKind::Software, STEREO_ITERATIONS, 21, 1);
-        let hw = run_motion(&ds, &SamplerKind::NewRsu, STEREO_ITERATIONS, 21, 1);
+        let sw = run_motion_checkpointed(
+            &ds,
+            &SamplerKind::Software,
+            STEREO_ITERATIONS,
+            21,
+            threads,
+            &format!("fig9c/{name}/software"),
+            &mut ckpt,
+        );
+        let hw = run_motion_checkpointed(
+            &ds,
+            &SamplerKind::NewRsu,
+            STEREO_ITERATIONS,
+            21,
+            threads,
+            &format!("fig9c/{name}/new-RSUG"),
+            &mut ckpt,
+        );
         rows.push(vec![
             name.to_owned(),
             format!("{:.3}", sw.epe),

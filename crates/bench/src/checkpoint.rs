@@ -29,19 +29,21 @@
 //! `(seed, iteration, site)` and the solver's [`mrf::ResumeState`]
 //! continues the incremental energy accumulator rather than rescanning.
 
-use crate::{artifacts_dir, ErasedSampler, SamplerKind, SegmentationOutcome};
+use crate::{
+    artifacts_dir, ErasedSampler, MotionOutcome, SamplerKind, SegmentationOutcome, StereoOutcome,
+};
 use mrf::{
     total_energy, Checkpoint, LabelField, MrfModel, NoopObserver, ParallelSweepSolver, ResumeState,
     Schedule, SiteSampler, SoftwareGibbs, SweepObserver, SweepRecord,
 };
 use rand::SeedableRng;
-use rsu::RsuG;
+use rsu::{RsuArray, RsuG};
 use sampling::Xoshiro256pp;
-use scenes::SegmentationDataset;
+use scenes::{FlowDataset, SegmentationDataset, StereoDataset};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
-use vision::metrics::variation_of_information;
-use vision::SegmentModel;
+use vision::metrics::{bad_pixel_percentage, endpoint_error, rms_error, variation_of_information};
+use vision::{MotionModel, SegmentModel, StereoModel};
 
 /// Parses `--checkpoint-every N` (or `--checkpoint-every=N`) from the
 /// process arguments: the sweep interval between checkpoint writes,
@@ -522,6 +524,185 @@ pub fn run_segmentation_checkpointed(
             ctl,
         )
     };
+    let voi = variation_of_information(&field, &ds.ground_truth);
+    SegmentationOutcome { voi, field }
+}
+
+/// [`crate::run_stereo`] with checkpoint/resume support (the fig9a/9b
+/// drivers' unit of work).
+#[allow(clippy::too_many_arguments)]
+pub fn run_stereo_checkpointed(
+    ds: &StereoDataset,
+    sampler: &SamplerKind,
+    iterations: usize,
+    seed: u64,
+    threads: usize,
+    label: &str,
+    ctl: &mut CheckpointCtl,
+) -> StereoOutcome {
+    let model = StereoModel::new(
+        &ds.left,
+        &ds.right,
+        ds.num_disparities,
+        crate::STEREO_DATA_WEIGHT,
+        crate::STEREO_SMOOTH_WEIGHT,
+    )
+    .expect("generated datasets are consistent");
+    let field = if threads > 1 {
+        sampler.run_parallel_checkpointed(
+            &model,
+            crate::annealing_schedule(),
+            iterations,
+            seed,
+            threads,
+            label,
+            ctl,
+        )
+    } else {
+        sampler.run_checkpointed(
+            &model,
+            crate::annealing_schedule(),
+            iterations,
+            seed,
+            label,
+            ctl,
+        )
+    };
+    let bp = bad_pixel_percentage(&field, &ds.ground_truth, Some(&ds.occlusion), 1.0);
+    let rms = rms_error(&field, &ds.ground_truth, Some(&ds.occlusion));
+    StereoOutcome { bp, rms, field }
+}
+
+/// [`crate::run_motion`] with checkpoint/resume support (the fig9c
+/// driver's unit of work).
+#[allow(clippy::too_many_arguments)]
+pub fn run_motion_checkpointed(
+    ds: &FlowDataset,
+    sampler: &SamplerKind,
+    iterations: usize,
+    seed: u64,
+    threads: usize,
+    label: &str,
+    ctl: &mut CheckpointCtl,
+) -> MotionOutcome {
+    let model = MotionModel::new(
+        &ds.frame1,
+        &ds.frame2,
+        ds.window,
+        crate::MOTION_DATA_WEIGHT,
+        crate::MOTION_SMOOTH_WEIGHT,
+    )
+    .expect("generated datasets are consistent");
+    let field = if threads > 1 {
+        sampler.run_parallel_checkpointed(
+            &model,
+            crate::annealing_schedule(),
+            iterations,
+            seed,
+            threads,
+            label,
+            ctl,
+        )
+    } else {
+        sampler.run_checkpointed(
+            &model,
+            crate::annealing_schedule(),
+            iterations,
+            seed,
+            label,
+            ctl,
+        )
+    };
+    let flow: Vec<(isize, isize)> = (0..field.grid().len())
+        .map(|site| model.label_to_flow(field.get(site)))
+        .collect();
+    let epe = endpoint_error(&flow, &ds.ground_truth);
+    MotionOutcome { epe, flow }
+}
+
+/// Drives an [`RsuArray`] chain sweep-by-sweep with checkpoint/resume
+/// support: each sweep is one [`RsuArray::sweep_parallel`] call, so the
+/// chain is a pure function of `(seed, iteration, site)` and — fault
+/// service being a pure function of `(plan, iteration)` — stays
+/// bit-identical at every host thread count and across kill/resume at
+/// any sweep boundary. The checkpoint stores only the field and the
+/// next iteration: the chain seed plus the iteration index *is* the
+/// full generator state, and no incremental energy accumulator is
+/// threaded (the stored energy is NaN).
+///
+/// The array's cumulative [`rsu::DegradationReport`] covers only the
+/// sweeps this process executed; a resumed driver reconstructs the
+/// full-run report analytically via
+/// [`rsu::FaultPlan::predicted_degradation`], which is bit-identical to
+/// the measured accounting by the measured-equals-predicted contract.
+#[allow(clippy::too_many_arguments)]
+pub fn run_array_checkpointed<M: MrfModel + Sync>(
+    model: &M,
+    array: &mut RsuArray,
+    schedule: Schedule,
+    iterations: usize,
+    seed: u64,
+    threads: usize,
+    label: &str,
+    ctl: &mut CheckpointCtl,
+) -> LabelField {
+    let (mut field, start) = match ctl.take_resume(label) {
+        Some(cp) => (cp.restore_field(), cp.next_iteration),
+        None => {
+            let mut rng = Xoshiro256pp::seed_from_u64(seed);
+            (
+                LabelField::random(model.grid(), model.num_labels(), &mut rng),
+                0,
+            )
+        }
+    };
+    for iter in start..iterations {
+        let temperature = schedule.temperature(iter);
+        array.sweep_parallel(model, &mut field, temperature, iter as u64, seed, threads);
+        if let Some(every) = ctl.every() {
+            if (iter + 1) % every == 0 {
+                ctl.write(
+                    &Checkpoint::capture(label, &field, iter + 1, f64::NAN, 0, Vec::new())
+                        .with_seed(seed),
+                );
+            }
+        }
+    }
+    field
+}
+
+/// [`run_array_checkpointed`] over a segmentation dataset — the
+/// `fig_fault_sweep` driver's unit of work: builds the standard
+/// [`SegmentModel`], runs the (possibly fault-injected) array chain
+/// under the segmentation schedule, and scores the result.
+#[allow(clippy::too_many_arguments)]
+pub fn run_array_segmentation_checkpointed(
+    ds: &SegmentationDataset,
+    num_segments: usize,
+    array: &mut RsuArray,
+    iterations: usize,
+    seed: u64,
+    threads: usize,
+    label: &str,
+    ctl: &mut CheckpointCtl,
+) -> SegmentationOutcome {
+    let model = SegmentModel::new(
+        &ds.image,
+        num_segments,
+        crate::SEGMENT_DATA_WEIGHT,
+        crate::SEGMENT_SMOOTH_WEIGHT,
+    )
+    .expect("generated datasets are consistent");
+    let field = run_array_checkpointed(
+        &model,
+        array,
+        crate::segmentation_schedule(),
+        iterations,
+        seed,
+        threads,
+        label,
+        ctl,
+    );
     let voi = variation_of_information(&field, &ds.ground_truth);
     SegmentationOutcome { voi, field }
 }

@@ -22,7 +22,7 @@
 //! a pure function of `(plan, sweep index)`.
 
 use crate::config::RsuConfig;
-use crate::fault::{DegradePolicy, FaultKind, FaultPlan};
+use crate::fault::{DegradationReport, DegradePolicy, FaultKind, FaultPlan};
 use crate::pipeline::PipelineModel;
 use crate::sampler::{RsuG, RsuStats};
 use mrf::trace::{
@@ -83,6 +83,9 @@ struct FaultState {
     /// between evaluations, so a stand-in samples exactly as the target
     /// would).
     spares: Vec<Option<RsuG>>,
+    /// Who served the sites, accumulated across every sweep since the
+    /// plan was installed.
+    degradation: DegradationReport,
 }
 
 /// How one unit's sites are served during one sweep — a pure function
@@ -169,7 +172,12 @@ impl RsuArray {
         }
         self.clear_faults();
         let spares = vec![None; self.units.len()];
-        self.faults = Some(FaultState { plan, spares });
+        let degradation = DegradationReport::new(self.units.len());
+        self.faults = Some(FaultState {
+            plan,
+            spares,
+            degradation,
+        });
     }
 
     /// Removes any installed fault plan and restores every unit's
@@ -185,6 +193,18 @@ impl RsuArray {
     /// The installed fault plan, if any.
     pub fn fault_plan(&self) -> Option<&FaultPlan> {
         self.faults.as_ref().map(|s| &s.plan)
+    }
+
+    /// Cumulative load accounting since the plan was installed: sites
+    /// served per unit (remapped load included), sites absorbed from
+    /// retired units, and sites served by the software fallback. `None`
+    /// while the array is healthy.
+    ///
+    /// For the band-mapped parallel sweep mode this agrees exactly with
+    /// [`FaultPlan::predicted_degradation`], which a resuming driver can
+    /// therefore use to reconstruct the full-run report without state.
+    pub fn degradation_report(&self) -> Option<&DegradationReport> {
+        self.faults.as_ref().map(|s| &s.degradation)
     }
 
     /// Number of units.
@@ -366,6 +386,8 @@ impl RsuArray {
             critical_path_cycles: 0,
             busy_unit_cycles: 0,
         };
+        let mut remapped_sites = 0u64;
+        let mut software_sites = 0u64;
         for parity in 0..2usize {
             let mut phase_sites = 0u64;
             let mut next_unit = 0usize;
@@ -390,9 +412,11 @@ impl RsuArray {
                         if let Some(slots) = unit_slots.as_mut() {
                             slots[*target] += 1;
                         }
+                        remapped_sites += 1;
                         self.units[*target].sample_label(&energies, temperature, current, rng)
                     }
                     Some(UnitService::Software) => {
+                        software_sites += 1;
                         software.sample_label(&energies, temperature, current, rng)
                     }
                 };
@@ -425,9 +449,19 @@ impl RsuArray {
                     let unit_sites: u64 = slots.iter().sum();
                     report.critical_path_cycles += busiest * labels;
                     report.busy_unit_cycles += unit_sites * labels;
+                    if let Some(state) = self.faults.as_mut() {
+                        for (acc, s) in state.degradation.unit_sites.iter_mut().zip(slots) {
+                            *acc += *s;
+                        }
+                    }
                 }
             }
             report.sites += phase_sites;
+        }
+        if let Some(state) = self.faults.as_mut() {
+            state.degradation.remapped_sites += remapped_sites;
+            state.degradation.software_sites += software_sites;
+            state.degradation.sweeps += 1;
         }
         if observing {
             observer.on_sweep(&SweepRecord {
@@ -592,6 +626,12 @@ impl RsuArray {
             critical_path_cycles: 0,
             busy_unit_cycles: 0,
         };
+        // Degradation accounting staged in locals: `workers` holds the
+        // spares borrowed from `self.faults`, so the report is merged in
+        // only after the phases are done with them.
+        let mut deg_unit_sites = (!service.is_empty()).then(|| vec![0u64; unit_count]);
+        let mut remapped_sweep = 0u64;
+        let mut software_sweep = 0u64;
         for parity in 0..2usize {
             let phase = mrf::parallel::checkerboard_phase(
                 model,
@@ -642,17 +682,33 @@ impl RsuArray {
                         UnitService::Remapped { target } => {
                             load[target] += band_sites;
                             unit_sites += band_sites;
+                            remapped_sweep += band_sites;
                         }
-                        UnitService::Software => {}
+                        UnitService::Software => {
+                            software_sweep += band_sites;
+                        }
                     },
                 }
             }
             if let Some(load) = &load {
                 busiest = load.iter().copied().max().unwrap_or(0);
+                if let Some(acc) = deg_unit_sites.as_mut() {
+                    for (a, l) in acc.iter_mut().zip(load) {
+                        *a += *l;
+                    }
+                }
             }
             report.critical_path_cycles += busiest * labels;
             report.busy_unit_cycles += unit_sites * labels;
             report.sites += phase_sites;
+        }
+        if let (Some(sites), Some(state)) = (deg_unit_sites, self.faults.as_mut()) {
+            for (acc, s) in state.degradation.unit_sites.iter_mut().zip(&sites) {
+                *acc += *s;
+            }
+            state.degradation.remapped_sites += remapped_sweep;
+            state.degradation.software_sites += software_sweep;
+            state.degradation.sweeps += 1;
         }
         if observing {
             observer.on_sweep(&SweepRecord {
@@ -1121,6 +1177,87 @@ mod tests {
         // coupled model often picks anyway) — but it must stay a valid
         // field of the same shape.
         assert_eq!(degraded_field.grid(), healthy_field.grid());
+    }
+
+    #[test]
+    fn parallel_degradation_report_matches_the_analytic_prediction() {
+        // The measured accounting and the pure-function replay must
+        // agree bit-for-bit: that equality is what makes the report
+        // reconstructible across kill/resume.
+        let m = model();
+        let plan = FaultPlan::new(DegradePolicy::RemapToHealthy)
+            .with_fault(crate::fault::ScheduledFault {
+                unit: 1,
+                sweep: 3,
+                kind: crate::fault::FaultKind::DeadSpad,
+            })
+            .with_fault(crate::fault::ScheduledFault {
+                unit: 2,
+                sweep: 7,
+                kind: crate::fault::FaultKind::Stuck,
+            })
+            .with_fault(crate::fault::ScheduledFault {
+                unit: 0,
+                sweep: 5,
+                kind: crate::fault::FaultKind::Bleached {
+                    lifetime_sweeps: 6.0,
+                },
+            });
+        let sweeps = 15u64;
+        for policy_plan in [
+            plan.clone(),
+            FaultPlan::random(9, 4, sweeps, 3, DegradePolicy::SoftwareFallback),
+        ] {
+            let mut rng = Xoshiro256pp::seed_from_u64(9);
+            let mut field = LabelField::random(m.grid(), 3, &mut rng);
+            let mut array = RsuArray::new(RsuConfig::new_design(), 4);
+            array.install_faults(policy_plan.clone());
+            for iter in 0..sweeps {
+                array.sweep_parallel(&m, &mut field, 1.5, iter, 77, 2);
+            }
+            let measured = array.degradation_report().expect("plan installed");
+            let predicted = policy_plan.predicted_degradation(4, 8, 8, sweeps);
+            assert_eq!(measured, &predicted);
+            assert_eq!(measured.total_sites(), 64 * sweeps);
+        }
+    }
+
+    #[test]
+    fn sequential_degradation_report_conserves_sites() {
+        // The serialised mode distributes slots round-robin rather than
+        // by band, so the analytic band replay does not apply — but the
+        // totals must still conserve and classify every site.
+        let m = model();
+        let mut rng = Xoshiro256pp::seed_from_u64(8);
+        let mut field = LabelField::random(m.grid(), 3, &mut rng);
+        let mut array = RsuArray::new(RsuConfig::new_design(), 4);
+        array.install_faults(FaultPlan::new(DegradePolicy::SoftwareFallback).with_fault(
+            crate::fault::ScheduledFault {
+                unit: 1,
+                sweep: 0,
+                kind: crate::fault::FaultKind::DeadSpad,
+            },
+        ));
+        for _ in 0..10 {
+            array.sweep(&m, &mut field, 1.2, &mut rng);
+        }
+        let report = array.degradation_report().expect("plan installed");
+        assert_eq!(report.sweeps, 10);
+        assert_eq!(report.total_sites(), 64 * 10);
+        // Unit 1's round-robin slots (16 per sweep) went to software.
+        assert_eq!(report.software_sites, 16 * 10);
+        assert_eq!(report.unit_sites[1], 0);
+        assert!((report.software_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn healthy_array_reports_no_degradation() {
+        let m = model();
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let mut field = LabelField::random(m.grid(), 3, &mut rng);
+        let mut array = RsuArray::new(RsuConfig::new_design(), 4);
+        array.sweep(&m, &mut field, 1.0, &mut rng);
+        assert!(array.degradation_report().is_none());
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! sites served by a healthy stand-in unit or by the software Gibbs
 //! kernel, per the plan's [`DegradePolicy`].
 
+use mrf::parallel::band_rows;
 use ret_device::BleachingModel;
 use sampling::SplitMix64;
 use serde::{Deserialize, Serialize};
@@ -166,6 +167,14 @@ impl FaultPlan {
     /// Fully determined by `seed` — the driver records only the seed
     /// and the counts, and any process regenerates the identical plan.
     ///
+    /// Every bounded draw uses [`SplitMix64::next_below`] (Lemire's
+    /// widening multiply with rejection), not `next() % n`: the modulo
+    /// map is biased toward small values for every non-power-of-two
+    /// modulus, which would tilt unit selection, fault sweeps and
+    /// bleach lifetimes — the very RNG-quality sin the paper's Table IV
+    /// baselines are there to measure. The rejection loop keeps the
+    /// plan a pure function of `seed`.
+    ///
     /// # Panics
     ///
     /// Panics if `count > units` or `sweeps` is zero.
@@ -184,14 +193,14 @@ impl FaultPlan {
         let mut indices: Vec<usize> = (0..units).collect();
         let mut plan = FaultPlan::new(policy);
         for i in 0..count {
-            let j = i + (rng.next() % (units - i) as u64) as usize;
+            let j = i + rng.next_below((units - i) as u64) as usize;
             indices.swap(i, j);
             let unit = indices[i];
-            let sweep = rng.next() % sweeps;
-            let kind = match rng.next() % 3 {
+            let sweep = rng.next_below(sweeps);
+            let kind = match rng.next_below(3) {
                 0 => FaultKind::DeadSpad,
                 1 => FaultKind::Bleached {
-                    lifetime_sweeps: 4.0 + (rng.next() % 61) as f64,
+                    lifetime_sweeps: 4.0 + rng.next_below(61) as f64,
                 },
                 _ => FaultKind::Stuck,
             };
@@ -240,6 +249,178 @@ impl FaultPlan {
     /// an observer should be told about during that sweep.
     pub fn activations_at(&self, iteration: u64) -> impl Iterator<Item = &ScheduledFault> {
         self.faults.iter().filter(move |f| f.sweep == iteration)
+    }
+
+    /// Analytically replays the band-mapped degradation of
+    /// [`crate::RsuArray::sweep_parallel`] over sweeps `0..sweeps` of a
+    /// `width × height` checkerboard chain, without running the chain.
+    ///
+    /// Because which unit serves which band is a pure function of
+    /// `(plan, iteration)` and the band geometry, the load accounting
+    /// is too: the result is bit-identical to the
+    /// [`DegradationReport`] the array accumulates while actually
+    /// sampling (the tests pin this). That makes it both a cheap
+    /// resume-safe artifact source — a driver resuming mid-run can
+    /// reconstruct the full report from the plan alone — and the test
+    /// oracle for the measured accounting.
+    pub fn predicted_degradation(
+        &self,
+        units: usize,
+        width: usize,
+        height: usize,
+        sweeps: u64,
+    ) -> DegradationReport {
+        // The band geometry is sweep-invariant: hoist each band's
+        // per-parity site count out of the sweep loop.
+        let band_sites = band_site_table(units, width, height);
+        let mut report = DegradationReport::new(units);
+        for iteration in 0..sweeps {
+            self.accumulate_sweep(&mut report, &band_sites, units, iteration);
+        }
+        report
+    }
+
+    /// Like [`predicted_degradation`](Self::predicted_degradation), for
+    /// the single sweep `iteration` — what a cost model needs to price
+    /// each sweep's critical path, since the per-sweep service table
+    /// changes as faults activate.
+    pub fn sweep_degradation(
+        &self,
+        units: usize,
+        width: usize,
+        height: usize,
+        iteration: u64,
+    ) -> DegradationReport {
+        let band_sites = band_site_table(units, width, height);
+        let mut report = DegradationReport::new(units);
+        self.accumulate_sweep(&mut report, &band_sites, units, iteration);
+        report
+    }
+
+    /// Folds one sweep's band-mapped service into `report`.
+    fn accumulate_sweep(
+        &self,
+        report: &mut DegradationReport,
+        band_sites: &[Vec<u64>; 2],
+        units: usize,
+        iteration: u64,
+    ) {
+        for sites in band_sites {
+            for (band, &count) in sites.iter().enumerate() {
+                if !self.unit_disabled(band, iteration) {
+                    report.unit_sites[band] += count;
+                    continue;
+                }
+                let target = match self.policy {
+                    DegradePolicy::RemapToHealthy => self.remap_target(band, units, iteration),
+                    DegradePolicy::SoftwareFallback => None,
+                };
+                match target {
+                    Some(target) => {
+                        report.unit_sites[target] += count;
+                        report.remapped_sites += count;
+                    }
+                    None => report.software_sites += count,
+                }
+            }
+        }
+        report.sweeps += 1;
+    }
+}
+
+/// Per-(parity, band) site counts of the checkerboard band geometry
+/// used by [`crate::RsuArray::sweep_parallel`].
+fn band_site_table(units: usize, width: usize, height: usize) -> [Vec<u64>; 2] {
+    let bands = units.min(height.max(1));
+    let mut band_sites = [vec![0u64; bands], vec![0u64; bands]];
+    for (parity, sites) in band_sites.iter_mut().enumerate() {
+        for (band, count) in sites.iter_mut().enumerate() {
+            for y in band_rows(height, bands, band) {
+                // Sites x in 0..width with (x + y) % 2 == parity.
+                let offset = (parity + y) % 2;
+                *count += ((width + 1 - offset) / 2) as u64;
+            }
+        }
+    }
+    band_sites
+}
+
+/// Cumulative load accounting of a degraded array: who actually served
+/// the sites.
+///
+/// Accumulated per sweep by [`crate::RsuArray`] while a [`FaultPlan`] is
+/// installed, and computable analytically from the plan alone via
+/// [`FaultPlan::predicted_degradation`] (the two agree exactly for the
+/// band-mapped parallel sweep mode — degradation is a pure function of
+/// `(plan, iteration)`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DegradationReport {
+    /// Sites served by each unit, including load absorbed from retired
+    /// units under [`DegradePolicy::RemapToHealthy`] (indexed by
+    /// absorbing unit).
+    pub unit_sites: Vec<u64>,
+    /// Of the unit-served sites, how many belonged to a retired unit
+    /// and were absorbed by a remap target.
+    pub remapped_sites: u64,
+    /// Sites served by the host's software Gibbs kernel (the
+    /// [`DegradePolicy::SoftwareFallback`] path, or
+    /// [`DegradePolicy::RemapToHealthy`] with no healthy unit left).
+    pub software_sites: u64,
+    /// Sweeps accounted.
+    pub sweeps: u64,
+}
+
+impl DegradationReport {
+    /// An empty report for an array of `units` units.
+    pub fn new(units: usize) -> Self {
+        DegradationReport {
+            unit_sites: vec![0; units],
+            remapped_sites: 0,
+            software_sites: 0,
+            sweeps: 0,
+        }
+    }
+
+    /// Total sites served, by units and host together.
+    pub fn total_sites(&self) -> u64 {
+        self.unit_sites.iter().sum::<u64>() + self.software_sites
+    }
+
+    /// Sites served by the busiest unit — with
+    /// [`DegradePolicy::RemapToHealthy`] this is what stretches the
+    /// per-sweep critical path.
+    pub fn busiest_unit_sites(&self) -> u64 {
+        self.unit_sites.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Fraction of all served sites handled by the software fallback
+    /// (0 when nothing was served).
+    pub fn software_fraction(&self) -> f64 {
+        let total = self.total_sites();
+        if total == 0 {
+            return 0.0;
+        }
+        self.software_sites as f64 / total as f64
+    }
+
+    /// Folds another report (e.g. a later chunk of the same run) into
+    /// this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the unit counts differ.
+    pub fn merge(&mut self, other: &DegradationReport) {
+        assert_eq!(
+            self.unit_sites.len(),
+            other.unit_sites.len(),
+            "unit count mismatch"
+        );
+        for (acc, s) in self.unit_sites.iter_mut().zip(&other.unit_sites) {
+            *acc += s;
+        }
+        self.remapped_sites += other.remapped_sites;
+        self.software_sites += other.software_sites;
+        self.sweeps += other.sweeps;
     }
 }
 

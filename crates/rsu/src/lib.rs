@@ -75,7 +75,7 @@ pub use config::{
 pub use convert::{ComparisonConverter, EnergyToLambda, LambdaConverter, LutConverter};
 pub use cyclesim::{CycleAccuratePipeline, CycleReport};
 pub use error::ConfigError;
-pub use fault::{DegradePolicy, FaultKind, FaultPlan, ScheduledFault};
+pub use fault::{DegradationReport, DegradePolicy, FaultKind, FaultPlan, ScheduledFault};
 pub use pipeline::{DesignKind, PipelineModel};
 pub use quantize::EnergyQuantizer;
 pub use sampler::{RsuG, RsuStats};

@@ -125,6 +125,43 @@ pub fn simulate(
     }
 }
 
+/// A sizing sweep has no entry for the requested unit count — the grid
+/// changed under the caller. Carries what was asked for and what the
+/// sweep actually contains, so the failure is diagnosable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MissingUnitCount {
+    /// The unit count looked up.
+    pub units: u32,
+    /// The unit counts the sweep does contain, in sweep order.
+    pub available: Vec<u32>,
+}
+
+impl std::fmt::Display for MissingUnitCount {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sizing sweep has no entry for {} units (available: {:?})",
+            self.units, self.available
+        )
+    }
+}
+
+impl std::error::Error for MissingUnitCount {}
+
+/// Looks up the simulated time for `units` in a [`sizing_sweep`]
+/// result, failing with a [`MissingUnitCount`] that names the missing
+/// count instead of a bare `unwrap` panic.
+pub fn sweep_time_for_units(sweep: &[(u32, f64)], units: u32) -> Result<f64, MissingUnitCount> {
+    sweep
+        .iter()
+        .find(|&&(u, _)| u == units)
+        .map(|&(_, t)| t)
+        .ok_or_else(|| MissingUnitCount {
+            units,
+            available: sweep.iter().map(|&(u, _)| u).collect(),
+        })
+}
+
 /// Sweeps the unit count and returns `(units, time_s)` pairs — the
 /// sizing curve that flattens once the machine becomes memory-bound.
 pub fn sizing_sweep(
@@ -210,16 +247,16 @@ mod tests {
         let sweep = sizing_sweep(base, &[84, 168, 336, 672, 1344], 1920, 1080, 5, 10);
         // 5 labels: memory-bound at 336 already; doubling units beyond
         // must not help noticeably.
-        let t336 = sweep.iter().find(|&&(u, _)| u == 336).unwrap().1;
-        let t1344 = sweep.iter().find(|&&(u, _)| u == 1344).unwrap().1;
+        let t336 = sweep_time_for_units(&sweep, 336).expect("336 units in sweep");
+        let t1344 = sweep_time_for_units(&sweep, 1344).expect("1344 units in sweep");
         assert!(
             t1344 > t336 * 0.95,
             "scaling past the memory wall should not help"
         );
         // Going 84 → 168 units helps only until the memory wall
         // intervenes (threshold is 4 labels at 84 units, 8 at 168).
-        let t84 = sweep.iter().find(|&&(u, _)| u == 84).unwrap().1;
-        let t168 = sweep.iter().find(|&&(u, _)| u == 168).unwrap().1;
+        let t84 = sweep_time_for_units(&sweep, 84).expect("84 units in sweep");
+        let t168 = sweep_time_for_units(&sweep, 168).expect("168 units in sweep");
         assert!(t168 < t84 * 0.85, "partial scaling before the wall");
         // Fully compute-bound workloads (49 labels) scale ~linearly.
         let c = sizing_sweep(base, &[84, 168], 1920, 1080, 49, 10);
@@ -254,5 +291,18 @@ mod tests {
     #[should_panic(expected = "empty workload")]
     fn rejects_empty_workload() {
         simulate(AcceleratorSpec::paper(), 0, 10, 5, 1);
+    }
+
+    #[test]
+    fn missing_unit_count_names_the_culprit() {
+        let sweep = sizing_sweep(AcceleratorSpec::paper(), &[84, 336], 320, 320, 5, 1);
+        let err = sweep_time_for_units(&sweep, 512).expect_err("512 not in grid");
+        assert_eq!(err.units, 512);
+        assert_eq!(err.available, vec![84, 336]);
+        let msg = err.to_string();
+        assert!(
+            msg.contains("512") && msg.contains("84"),
+            "diagnosable message: {msg}"
+        );
     }
 }

@@ -36,10 +36,15 @@
 
 pub mod accel;
 pub mod components;
+pub mod degrade;
 pub mod designs;
 pub mod explore;
 pub mod model;
 pub mod perf;
 
-pub use accel::{simulate, sizing_sweep, AcceleratorReport, AcceleratorSpec};
+pub use accel::{
+    simulate, sizing_sweep, sweep_time_for_units, AcceleratorReport, AcceleratorSpec,
+    MissingUnitCount,
+};
+pub use degrade::{DegradeModel, DegradedDesignPoint, RunCost, SweepCost};
 pub use model::AreaPower;

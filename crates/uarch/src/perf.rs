@@ -74,14 +74,24 @@ const C_QUAD_LABELS: f64 = 0.004;
 const K_PIXELS: f64 = 26_774.0;
 const INT8_FACTOR: f64 = 0.92;
 
+/// Marginal per-site, per-iteration software Gibbs update time from the
+/// Table II calibration: `C_LABEL · (fixed + M + q·M²)` seconds — the
+/// per-pixel slope of [`gpu_time_s`] without the small-frame
+/// utilisation knee. This is the host-side cost the degradation model
+/// ([`crate::degrade`]) charges for every site served by the software
+/// fallback.
+pub fn software_update_time_s(labels: u32) -> f64 {
+    let m = labels as f64;
+    C_LABEL * (C_FIX_LABELS + m + C_QUAD_LABELS * m * m)
+}
+
 /// Modelled best-effort GPU execution time for a stereo workload.
 pub fn gpu_time_s(w: StereoWorkload, precision: GpuPrecision) -> f64 {
     let scale = match precision {
         GpuPrecision::Float => 1.0,
         GpuPrecision::Int8 => INT8_FACTOR,
     };
-    let m = w.labels as f64;
-    let per_pixel = C_LABEL * (C_FIX_LABELS + m + C_QUAD_LABELS * m * m);
+    let per_pixel = software_update_time_s(w.labels);
     scale * w.iterations as f64 * (w.pixels() as f64 + K_PIXELS) * per_pixel
 }
 

@@ -30,6 +30,9 @@ cargo run --release -q -p bench --bin trace_roundtrip
 echo "==> checkpoint write/resume round trip (kill mid-run, reload, bit-identical resume)"
 cargo run --release -q -p bench --bin checkpoint_roundtrip
 
+echo "==> numeric fast-path smoke (f32 + active-set vs f64 oracle within DESIGN §12 tolerance)"
+cargo run --release -q -p bench --bin numeric_smoke
+
 echo "==> fig_fault_sweep smoke (tiny degraded grid, trace re-parse self-check)"
 cargo run --release -q -p bench --bin fig_fault_sweep -- --smoke --trace artifacts/fig_fault_sweep_smoke.jsonl
 

@@ -1,17 +1,21 @@
 //! Site-update kernel microbench: ns per single-site Gibbs update for
 //! the naive path (per-pair `DistanceFn` dispatch + per-site heap
-//! allocations, the pre-fusion implementation) versus the fused path
-//! (precomputed pairwise table rows + scratch-reusing sampler), per
-//! distance function and label count `M ∈ {2, 8, 16, 64}`.
+//! allocations, the pre-fusion implementation), the fused f64 path
+//! (precomputed pairwise table rows + scratch-reusing sampler), and the
+//! f32 fast path (`NumericPolicy::Fast`: f32 table rows, fused row-add
+//! + min tracking, polynomial `fast_exp_f32` weights), per distance
+//! function and label count `M ∈ {2, 8, 16, 64}`.
 //!
-//! Both variants perform one full checkerboard-free raster pass over a
+//! Every variant performs one full checkerboard-free raster pass over a
 //! 64×64 field (4096 site updates per iteration) at constant
-//! temperature; the field is re-seeded identically per variant so the
-//! two measure the same label trajectory (the kernels are bit-identical
-//! by construction — see `tests/fused_kernel.rs`).
+//! temperature; the field is re-seeded identically per variant so all
+//! measure the same label trajectory (naive and fused are bit-identical
+//! by construction — see `tests/fused_kernel.rs`; the f32 path is
+//! statistically equivalent — see `mrf/tests/numeric_equivalence.rs`).
 //!
 //! Results are exported to `BENCH_kernel.json` at the workspace root
-//! (single-core numbers; `host_cores` recorded for context).
+//! (single-core numbers; host/toolchain provenance recorded so runs are
+//! only compared like-for-like).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use mrf::{DistanceFn, Label, LabelField, MrfModel, SiteSampler, SoftwareGibbs, TabularMrf};
@@ -81,6 +85,26 @@ fn bench_site_kernel(c: &mut Criterion) {
                     }
                 });
             });
+
+            group.bench_function("fast", |b| {
+                let mut rng = Xoshiro256pp::seed_from_u64(11);
+                let mut field = LabelField::random(model.grid(), labels, &mut rng);
+                let mut gibbs = SoftwareGibbs::new();
+                let mut energies: Vec<f32> = Vec::with_capacity(labels);
+                b.iter(|| {
+                    for site in model.grid().sites() {
+                        let e_min = model.local_energies_f32(site, &field, &mut energies);
+                        let new = gibbs.sample_label_f32(
+                            &energies,
+                            e_min,
+                            TEMPERATURE,
+                            field.get(site),
+                            &mut rng,
+                        );
+                        field.set(site, new);
+                    }
+                });
+            });
             group.finish();
         }
     }
@@ -90,9 +114,6 @@ fn bench_site_kernel(c: &mut Criterion) {
 /// Writes `BENCH_kernel.json` at the workspace root: one entry per
 /// `(distance, M)` pairing the naive and fused ns/site and the speedup.
 fn export_json(c: &Criterion, sites: u64) {
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
     let mut entries = Vec::new();
     for dist in DistanceFn::ALL {
         for labels in LABEL_COUNTS {
@@ -106,19 +127,25 @@ fn export_json(c: &Criterion, sites: u64) {
             };
             let naive = lookup("naive");
             let fused = lookup("fused");
+            let fast = lookup("fast");
             entries.push(format!(
                 "    {{\"config\": \"{dist}/M{labels}\", \"naive_ns_per_site\": {naive:.2}, \
-                 \"fused_ns_per_site\": {fused:.2}, \"speedup\": {:.3}}}",
-                naive / fused
+                 \"fused_ns_per_site\": {fused:.2}, \"fast_ns_per_site\": {fast:.2}, \
+                 \"speedup\": {:.3}, \"fast_speedup_vs_fused\": {:.3}}}",
+                naive / fused,
+                fused / fast
             ));
         }
     }
     let json = format!(
         "{{\n  \"benchmark\": \"site_kernel\",\n  \"grid\": [{WIDTH}, {HEIGHT}],\n  \
-         \"temperature\": {TEMPERATURE},\n  \"host_cores\": {cores},\n  \
+         \"temperature\": {TEMPERATURE},\n  {},\n  \
          \"note\": \"single-core ns per site update; naive = per-pair distance dispatch + \
          allocating sampler, fused = pairwise-table rows + scratch sampler (bit-identical \
-         outputs)\",\n  \"results\": [\n{}\n  ]\n}}\n",
+         outputs), fast = f32 rows + fused row-add/prefix-sum + polynomial exp \
+         (statistically equivalent, gated by mrf/tests/numeric_equivalence.rs)\",\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        bench::provenance_json_fields(),
         entries.join(",\n")
     );
     // CARGO_MANIFEST_DIR of this crate is <root>/crates/bench.

@@ -1,15 +1,52 @@
 //! Figure 9a: stereo BP across the three datasets, software vs the full
 //! new RSU-G design (Energy 8 b, λ 4 b, Time 5 b, Truncation 0.5).
+//!
+//! `--numeric fast` / `--active` switch the chains to the checkerboard
+//! engine's f32 fast path and/or active-site scheduling; quality under
+//! those knobs is gated against the f64 oracle (DESIGN §12), not
+//! bit-identical to the default run.
 
-use bench::{run_stereo, stereo_suite, table, write_csv, SamplerKind, STEREO_ITERATIONS};
+use bench::checkpoint::{run_stereo_checkpointed_numeric, CheckpointCtl};
+use bench::{stereo_suite, table, write_csv, SamplerKind, STEREO_ITERATIONS};
+use mrf::NumericPolicy;
 
 fn main() {
+    let numeric = bench::numeric_from_args();
+    let active = bench::active_from_args();
+    let mut ckpt = CheckpointCtl::disabled();
     println!("Fig. 9a — stereo BP, software vs new RSU-G (8/4/5 bits, truncation 0.5)\n");
+    if numeric == NumericPolicy::Fast || active {
+        println!(
+            "numeric policy {numeric:?}, active-site scheduling {}: chains run on the \
+             checkerboard engine (DESIGN §12 quality gate applies)\n",
+            if active { "on" } else { "off" }
+        );
+    }
     let mut rows = Vec::new();
     let mut csv = Vec::new();
     for (name, ds) in stereo_suite() {
-        let sw = run_stereo(&ds, &SamplerKind::Software, STEREO_ITERATIONS, 11, 1);
-        let hw = run_stereo(&ds, &SamplerKind::NewRsu, STEREO_ITERATIONS, 11, 1);
+        let sw = run_stereo_checkpointed_numeric(
+            &ds,
+            &SamplerKind::Software,
+            STEREO_ITERATIONS,
+            11,
+            1,
+            numeric,
+            active,
+            &format!("fig9a/{name}/software"),
+            &mut ckpt,
+        );
+        let hw = run_stereo_checkpointed_numeric(
+            &ds,
+            &SamplerKind::NewRsu,
+            STEREO_ITERATIONS,
+            11,
+            1,
+            numeric,
+            active,
+            &format!("fig9a/{name}/new-RSUG"),
+            &mut ckpt,
+        );
         rows.push(vec![
             name.to_owned(),
             format!("{:.1}", sw.bp),

@@ -2,10 +2,10 @@
 //! across 30 images at 2/4/6/8 labels, software vs new RSU-G — mean VoI
 //! (the figure) and its standard deviation (the table).
 
-use bench::checkpoint::{run_segmentation_checkpointed, CheckpointCtl};
+use bench::checkpoint::{run_segmentation_checkpointed_numeric, CheckpointCtl};
 use bench::trace_jsonl::JsonlTraceWriter;
 use bench::{run_segmentation_observed, table, write_csv, SamplerKind, SEGMENT_ITERATIONS};
-use mrf::{potential_scale_reduction, EnergyTrace, FanOut};
+use mrf::{potential_scale_reduction, EnergyTrace, FanOut, NumericPolicy};
 use sampling::stats::sample_std_dev;
 
 const LABEL_COUNTS: [usize; 4] = [2, 4, 6, 8];
@@ -16,11 +16,21 @@ const TRACE_EPSILON: f64 = 0.02;
 
 fn main() {
     let threads = bench::threads_from_args();
+    let numeric = bench::numeric_from_args();
+    let active = bench::active_from_args();
     let trace_path = bench::trace_path_from_args();
     let mut ckpt = CheckpointCtl::from_args_or_exit("fig9d_segmentation");
     println!("Fig. 9d / Tab. I — segmentation VoI over 30 images (30 iterations each)\n");
     if threads > 1 {
         println!("running the parallel checkerboard engine on {threads} threads\n");
+    }
+    if numeric == NumericPolicy::Fast || active {
+        println!(
+            "numeric policy {numeric:?}, active-site scheduling {}: chains run on the \
+             checkerboard engine; quality is gated against the f64 full-sweep oracle \
+             (DESIGN §12), not bit-identical to the default run\n",
+            if active { "on" } else { "off" }
+        );
     }
     if let Some(label) = ckpt.pending_resume() {
         println!("resuming interrupted run {label} (earlier runs are recomputed)\n");
@@ -34,26 +44,30 @@ fn main() {
         for (i, ds) in suite.iter().enumerate() {
             let seed = 31 + i as u64;
             sw_vois.push(
-                run_segmentation_checkpointed(
+                run_segmentation_checkpointed_numeric(
                     ds,
                     k,
                     &SamplerKind::Software,
                     SEGMENT_ITERATIONS,
                     seed,
                     threads,
+                    numeric,
+                    active,
                     &format!("fig9d/k{k}/img{i:02}/software"),
                     &mut ckpt,
                 )
                 .voi,
             );
             hw_vois.push(
-                run_segmentation_checkpointed(
+                run_segmentation_checkpointed_numeric(
                     ds,
                     k,
                     &SamplerKind::NewRsu,
                     SEGMENT_ITERATIONS,
                     seed,
                     threads,
+                    numeric,
+                    active,
                     &format!("fig9d/k{k}/img{i:02}/new-RSUG"),
                     &mut ckpt,
                 )

@@ -33,8 +33,9 @@ use crate::{
     artifacts_dir, ErasedSampler, MotionOutcome, SamplerKind, SegmentationOutcome, StereoOutcome,
 };
 use mrf::{
-    total_energy, Checkpoint, LabelField, MrfModel, NoopObserver, ParallelSweepSolver, ResumeState,
-    Schedule, SiteSampler, SoftwareGibbs, SweepObserver, SweepRecord,
+    total_energy, Checkpoint, LabelField, MrfModel, NoopObserver, NumericPolicy,
+    ParallelSweepSolver, ResumeState, Schedule, SiteSampler, SoftwareGibbs, SweepObserver,
+    SweepRecord,
 };
 use rand::SeedableRng;
 use rsu::{RsuArray, RsuG};
@@ -341,6 +342,46 @@ where
     S: SiteSampler + Clone + Send,
     O: SweepObserver,
 {
+    run_model_parallel_checkpointed_numeric(
+        model,
+        sampler,
+        schedule,
+        iterations,
+        seed,
+        threads,
+        NumericPolicy::Exact,
+        false,
+        label,
+        ctl,
+        observer,
+    )
+}
+
+/// [`run_model_parallel_checkpointed`] with the solver's numeric policy
+/// and active-site scheduling exposed. Kill/resume stays bit-identical
+/// to an uninterrupted run under every combination: the checkpoint
+/// serializes the worklist next to the field, and under `Fast` the
+/// resumed incremental accumulator continues the stored f64 bits (the
+/// f32-derived deltas are a deterministic function of the chain).
+#[allow(clippy::too_many_arguments)]
+pub fn run_model_parallel_checkpointed_numeric<M, S, O>(
+    model: &M,
+    sampler: &S,
+    schedule: Schedule,
+    iterations: usize,
+    seed: u64,
+    threads: usize,
+    numeric: NumericPolicy,
+    active: bool,
+    label: &str,
+    ctl: &mut CheckpointCtl,
+    observer: &mut O,
+) -> LabelField
+where
+    M: MrfModel + Sync,
+    S: SiteSampler + Clone + Send,
+    O: SweepObserver,
+{
     let (mut field, mut state) = match ctl.take_resume(label) {
         Some(cp) => {
             let field = cp.restore_field();
@@ -364,23 +405,27 @@ where
             .schedule(schedule)
             .iterations(end)
             .threads(threads)
-            .seed(seed);
+            .seed(seed)
+            .numeric(numeric)
+            .active_sites(active);
         if let Some(s) = state.take() {
             solver = solver.resume(s);
         }
         let report = solver.run_observed(&mut field, sampler, observer);
         if ctl.every().is_some() {
-            ctl.write(
-                &Checkpoint::capture(
-                    label,
-                    &field,
-                    report.iterations_run,
-                    report.final_energy(),
-                    report.labels_changed,
-                    report.energy_history.clone(),
-                )
-                .with_seed(seed),
-            );
+            let mut cp = Checkpoint::capture(
+                label,
+                &field,
+                report.iterations_run,
+                report.final_energy(),
+                report.labels_changed,
+                report.energy_history.clone(),
+            )
+            .with_seed(seed);
+            if let Some(mask) = report.active_sites.clone() {
+                cp = cp.with_active_sites(mask);
+            }
+            ctl.write(&cp);
         }
         if report.iterations_run >= iterations {
             break;
@@ -390,6 +435,7 @@ where
             energy: report.final_energy(),
             labels_changed: report.labels_changed,
             energy_history: report.energy_history,
+            active_sites: report.active_sites,
         });
     }
     field
@@ -434,48 +480,85 @@ impl SamplerKind {
         label: &str,
         ctl: &mut CheckpointCtl,
     ) -> LabelField {
+        self.run_parallel_checkpointed_numeric(
+            model,
+            schedule,
+            iterations,
+            seed,
+            threads,
+            NumericPolicy::Exact,
+            false,
+            label,
+            ctl,
+        )
+    }
+
+    /// [`run_parallel_checkpointed`](Self::run_parallel_checkpointed)
+    /// with the numeric policy and active-site scheduling exposed (the
+    /// `--numeric fast` / `--active` driver knobs).
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_parallel_checkpointed_numeric<M: MrfModel + Sync>(
+        &self,
+        model: &M,
+        schedule: Schedule,
+        iterations: usize,
+        seed: u64,
+        threads: usize,
+        numeric: NumericPolicy,
+        active: bool,
+        label: &str,
+        ctl: &mut CheckpointCtl,
+    ) -> LabelField {
         let mut noop = NoopObserver;
         match self {
-            SamplerKind::Software => run_model_parallel_checkpointed(
+            SamplerKind::Software => run_model_parallel_checkpointed_numeric(
                 model,
                 &SoftwareGibbs::new(),
                 schedule,
                 iterations,
                 seed,
                 threads,
+                numeric,
+                active,
                 label,
                 ctl,
                 &mut noop,
             ),
-            SamplerKind::PreviousRsu => run_model_parallel_checkpointed(
+            SamplerKind::PreviousRsu => run_model_parallel_checkpointed_numeric(
                 model,
                 &RsuG::previous_design(),
                 schedule,
                 iterations,
                 seed,
                 threads,
+                numeric,
+                active,
                 label,
                 ctl,
                 &mut noop,
             ),
-            SamplerKind::NewRsu => run_model_parallel_checkpointed(
+            SamplerKind::NewRsu => run_model_parallel_checkpointed_numeric(
                 model,
                 &RsuG::new_design(),
                 schedule,
                 iterations,
                 seed,
                 threads,
+                numeric,
+                active,
                 label,
                 ctl,
                 &mut noop,
             ),
-            SamplerKind::Custom(cfg) => run_model_parallel_checkpointed(
+            SamplerKind::Custom(cfg) => run_model_parallel_checkpointed_numeric(
                 model,
                 &RsuG::with_config(*cfg),
                 schedule,
                 iterations,
                 seed,
                 threads,
+                numeric,
+                active,
                 label,
                 ctl,
                 &mut noop,
@@ -497,6 +580,39 @@ pub fn run_segmentation_checkpointed(
     label: &str,
     ctl: &mut CheckpointCtl,
 ) -> SegmentationOutcome {
+    run_segmentation_checkpointed_numeric(
+        ds,
+        num_segments,
+        sampler,
+        iterations,
+        seed,
+        threads,
+        NumericPolicy::Exact,
+        false,
+        label,
+        ctl,
+    )
+}
+
+/// [`run_segmentation_checkpointed`] with the `--numeric` / `--active`
+/// knobs exposed. With `Exact` and no active scheduling this is exactly
+/// the plain runner; any non-default combination routes through the
+/// checkerboard engine (even at one thread), whose counter-based
+/// per-site streams are the only chain the f32/worklist determinism
+/// contract covers — so the historical raster chain stays untouched.
+#[allow(clippy::too_many_arguments)]
+pub fn run_segmentation_checkpointed_numeric(
+    ds: &SegmentationDataset,
+    num_segments: usize,
+    sampler: &SamplerKind,
+    iterations: usize,
+    seed: u64,
+    threads: usize,
+    numeric: NumericPolicy,
+    active: bool,
+    label: &str,
+    ctl: &mut CheckpointCtl,
+) -> SegmentationOutcome {
     let model = SegmentModel::new(
         &ds.image,
         num_segments,
@@ -504,13 +620,16 @@ pub fn run_segmentation_checkpointed(
         crate::SEGMENT_SMOOTH_WEIGHT,
     )
     .expect("generated datasets are consistent");
-    let field = if threads > 1 {
-        sampler.run_parallel_checkpointed(
+    let scheduled = numeric != NumericPolicy::Exact || active;
+    let field = if threads > 1 || scheduled {
+        sampler.run_parallel_checkpointed_numeric(
             &model,
             crate::segmentation_schedule(),
             iterations,
             seed,
             threads,
+            numeric,
+            active,
             label,
             ctl,
         )
@@ -540,6 +659,34 @@ pub fn run_stereo_checkpointed(
     label: &str,
     ctl: &mut CheckpointCtl,
 ) -> StereoOutcome {
+    run_stereo_checkpointed_numeric(
+        ds,
+        sampler,
+        iterations,
+        seed,
+        threads,
+        NumericPolicy::Exact,
+        false,
+        label,
+        ctl,
+    )
+}
+
+/// [`run_stereo_checkpointed`] with the `--numeric` / `--active` knobs
+/// exposed; same routing rule as
+/// [`run_segmentation_checkpointed_numeric`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_stereo_checkpointed_numeric(
+    ds: &StereoDataset,
+    sampler: &SamplerKind,
+    iterations: usize,
+    seed: u64,
+    threads: usize,
+    numeric: NumericPolicy,
+    active: bool,
+    label: &str,
+    ctl: &mut CheckpointCtl,
+) -> StereoOutcome {
     let model = StereoModel::new(
         &ds.left,
         &ds.right,
@@ -548,13 +695,16 @@ pub fn run_stereo_checkpointed(
         crate::STEREO_SMOOTH_WEIGHT,
     )
     .expect("generated datasets are consistent");
-    let field = if threads > 1 {
-        sampler.run_parallel_checkpointed(
+    let scheduled = numeric != NumericPolicy::Exact || active;
+    let field = if threads > 1 || scheduled {
+        sampler.run_parallel_checkpointed_numeric(
             &model,
             crate::annealing_schedule(),
             iterations,
             seed,
             threads,
+            numeric,
+            active,
             label,
             ctl,
         )
@@ -903,6 +1053,70 @@ mod tests {
             );
             std::fs::remove_file(&path).ok();
         }
+    }
+
+    #[test]
+    fn parallel_fast_active_kill_and_resume_is_bit_identical() {
+        let model = TabularMrf::checkerboard(10, 8, 3, 4.0, DistanceFn::Binary, 0.3);
+        let schedule = Schedule::geometric(3.0, 0.9, 0.1);
+        let path = temp_ckpt("parallel-fast-active.ckpt");
+        let reference = {
+            let mut ctl = CheckpointCtl::disabled();
+            run_model_parallel_checkpointed_numeric(
+                &model,
+                &SoftwareGibbs::new(),
+                schedule,
+                30,
+                11,
+                1,
+                NumericPolicy::Fast,
+                true,
+                "t/fa",
+                &mut ctl,
+                &mut NoopObserver,
+            )
+        };
+        {
+            let mut ctl = CheckpointCtl::new(Some(10), path.clone(), None);
+            run_model_parallel_checkpointed_numeric(
+                &model,
+                &SoftwareGibbs::new(),
+                schedule,
+                20,
+                11,
+                2,
+                NumericPolicy::Fast,
+                true,
+                "t/fa",
+                &mut ctl,
+                &mut NoopObserver,
+            );
+        }
+        let cp = Checkpoint::load(&path).unwrap();
+        assert_eq!(cp.next_iteration, 20);
+        assert!(
+            cp.active_sites.is_some(),
+            "active checkpoints carry the worklist"
+        );
+        let mut ctl = CheckpointCtl::new(None, PathBuf::new(), Some(cp));
+        let resumed = run_model_parallel_checkpointed_numeric(
+            &model,
+            &SoftwareGibbs::new(),
+            schedule,
+            30,
+            11,
+            7,
+            NumericPolicy::Fast,
+            true,
+            "t/fa",
+            &mut ctl,
+            &mut NoopObserver,
+        );
+        assert_eq!(
+            reference, resumed,
+            "fast+active kill at 2 threads, resume at 7"
+        );
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -17,8 +17,8 @@
 //! * [`artifacts_dir`]/[`write_csv`] — artifact output.
 
 use mrf::{
-    total_energy, LabelField, MrfModel, NoopObserver, ParallelSweepSolver, Schedule, SiteSampler,
-    SoftwareGibbs, SweepObserver, SweepRecord,
+    total_energy, LabelField, MrfModel, NoopObserver, NumericPolicy, ParallelSweepSolver, Schedule,
+    SiteSampler, SoftwareGibbs, SweepObserver, SweepRecord,
 };
 use rand::SeedableRng;
 use rsu::{RsuConfig, RsuG};
@@ -483,6 +483,56 @@ pub fn parse_trace_path(args: &[String]) -> Result<Option<PathBuf>, String> {
     Ok(None)
 }
 
+/// Parses `--numeric exact|fast` (or `--numeric=fast`) from the process
+/// arguments: the solver's [`NumericPolicy`], defaulting to the
+/// bit-exact f64 path. Exits with code 2 on a malformed value, like
+/// [`threads_from_args`].
+pub fn numeric_from_args() -> NumericPolicy {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_numeric(&args) {
+        Ok(numeric) => numeric,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("usage: --numeric exact|fast   numeric policy (default exact)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The testable core of [`numeric_from_args`].
+pub fn parse_numeric(args: &[String]) -> Result<NumericPolicy, String> {
+    for (i, arg) in args.iter().enumerate() {
+        let value = if arg == "--numeric" {
+            match args.get(i + 1) {
+                None => return Err("--numeric requires a value".to_string()),
+                Some(next) if next.starts_with("--") => {
+                    return Err(format!("--numeric requires a value, found flag '{next}'"))
+                }
+                Some(next) => next.as_str(),
+            }
+        } else if let Some(rest) = arg.strip_prefix("--numeric=") {
+            rest
+        } else {
+            continue;
+        };
+        return match value {
+            "exact" => Ok(NumericPolicy::Exact),
+            "fast" => Ok(NumericPolicy::Fast),
+            other => Err(format!(
+                "--numeric must be 'exact' or 'fast', got '{other}'"
+            )),
+        };
+    }
+    Ok(NumericPolicy::Exact)
+}
+
+/// Whether `--active` appears in the process arguments: enables
+/// active-site sweep scheduling in the drivers that support it. A bare
+/// presence flag — it takes no value.
+pub fn active_from_args() -> bool {
+    std::env::args().skip(1).any(|arg| arg == "--active")
+}
+
 /// Runs one stereo dataset with the given sampler and returns BP/RMS.
 ///
 /// `threads == 1` reproduces the historical raster-scan chain exactly;
@@ -663,6 +713,51 @@ fn workspace_root() -> PathBuf {
         .to_path_buf()
 }
 
+/// The `rustc --version` line of the toolchain this process was built
+/// by (strictly: the one on `PATH` at run time, which under `cargo
+/// bench` is the same), or `"unknown"` when rustc cannot be queried.
+pub fn rustc_version() -> String {
+    std::process::Command::new("rustc")
+        .arg("--version")
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The compiler flags in effect for this process: `RUSTFLAGS` when set
+/// (the knob that carries `-C target-cpu=...`), else cargo's encoded
+/// form `CARGO_ENCODED_RUSTFLAGS` (0x1f-separated) joined with spaces,
+/// else empty — meaning the default codegen options.
+pub fn rustflags() -> String {
+    if let Ok(flags) = std::env::var("RUSTFLAGS") {
+        return flags.trim().to_string();
+    }
+    std::env::var("CARGO_ENCODED_RUSTFLAGS")
+        .map(|flags| flags.split('\u{1f}').collect::<Vec<_>>().join(" "))
+        .unwrap_or_default()
+}
+
+/// Host/toolchain provenance for the `BENCH_*.json` exports, as a
+/// ready-to-embed JSON object fragment:
+/// `"host_cores": N, "rustc": "...", "rustflags": "..."`. Throughput
+/// numbers are only comparable across runs with matching provenance, so
+/// the benches record it next to their results; `bench_compare` ignores
+/// these fields (it only reads `ns_per*` metrics).
+pub fn provenance_json_fields() -> String {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    format!(
+        "\"host_cores\": {cores}, \"rustc\": {}, \"rustflags\": {}",
+        minijson::Value::String(rustc_version()),
+        minijson::Value::String(rustflags()),
+    )
+}
+
 /// Writes rows of comma-separated values (header first) under
 /// `artifacts/<name>.csv`.
 pub fn write_csv(name: &str, header: &str, rows: &[String]) {
@@ -791,6 +886,46 @@ mod tests {
         ] {
             assert!(parse_threads(&strs(&bad)).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn parse_numeric_accepts_both_policies_and_defaults_to_exact() {
+        assert_eq!(parse_numeric(&strs(&[])), Ok(NumericPolicy::Exact));
+        assert_eq!(
+            parse_numeric(&strs(&["--numeric", "exact"])),
+            Ok(NumericPolicy::Exact)
+        );
+        assert_eq!(
+            parse_numeric(&strs(&["--numeric", "fast"])),
+            Ok(NumericPolicy::Fast)
+        );
+        assert_eq!(
+            parse_numeric(&strs(&["--threads", "2", "--numeric=fast"])),
+            Ok(NumericPolicy::Fast)
+        );
+    }
+
+    #[test]
+    fn parse_numeric_rejects_malformed_values() {
+        for bad in [
+            vec!["--numeric"],
+            vec!["--numeric", "--active"],
+            vec!["--numeric", "f32"],
+            vec!["--numeric="],
+            vec!["--numeric", "Fast"],
+        ] {
+            assert!(parse_numeric(&strs(&bad)).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn provenance_fields_embed_as_valid_json() {
+        let doc = format!("{{{}}}", provenance_json_fields());
+        let parsed = minijson::parse(&doc).expect("provenance fragment must be valid JSON");
+        assert!(parsed.get("host_cores").and_then(|v| v.as_f64()).unwrap() >= 1.0);
+        let rustc = parsed.get("rustc").and_then(|v| v.as_str()).unwrap();
+        assert!(!rustc.is_empty());
+        assert!(parsed.get("rustflags").and_then(|v| v.as_str()).is_some());
     }
 
     #[test]

@@ -50,8 +50,15 @@
 //! rng none | rng <4 × 16-hex u64 words>
 //! history <len> <16-hex f64 bits>...
 //! field <len> <label>...
+//! active <len> <0/1 bitstring>        (optional)
 //! end
 //! ```
+//!
+//! The `active` line is optional and carries the active-site worklist
+//! of a run using active-site scheduling
+//! ([`SweepSolver::active_sites`](crate::SweepSolver::active_sites)):
+//! the row-major visit mask of the *next* sweep. Checkpoints without
+//! the line (all pre-existing ones) parse exactly as before.
 
 use crate::field::LabelField;
 use crate::grid::Grid;
@@ -145,6 +152,11 @@ pub struct ResumeState {
     pub labels_changed: u64,
     /// Per-iteration energies of the completed prefix.
     pub energy_history: Vec<f64>,
+    /// Active-site visit mask for the first resumed sweep, when the
+    /// interrupted run used active-site scheduling. `None` resumes
+    /// with full sweeps (or, if the solver enables active scheduling,
+    /// a conservative all-active worklist).
+    pub active_sites: Option<Vec<bool>>,
 }
 
 /// A complete, serializable snapshot of a sweep engine mid-run.
@@ -176,6 +188,9 @@ pub struct Checkpoint {
     pub rng_state: Option<[u64; 4]>,
     /// The label field in row-major order.
     pub labels: Vec<Label>,
+    /// Active-site worklist of the next sweep (row-major), when the
+    /// checkpointed run used active-site scheduling.
+    pub active_sites: Option<Vec<bool>>,
 }
 
 impl Checkpoint {
@@ -203,6 +218,7 @@ impl Checkpoint {
             seed: 0,
             rng_state: None,
             labels: field.as_slice().to_vec(),
+            active_sites: None,
         }
     }
 
@@ -216,6 +232,18 @@ impl Checkpoint {
     /// ([`sampling::Xoshiro256pp::state`]).
     pub fn with_rng_state(mut self, state: [u64; 4]) -> Self {
         self.rng_state = Some(state);
+        self
+    }
+
+    /// Records the active-site worklist of a run using active-site
+    /// scheduling (the [`SolveReport::active_sites`] mask — the visit
+    /// set of the next sweep). Resuming with the mask reproduces the
+    /// uninterrupted chain bit-identically; without it, an active-set
+    /// resume falls back to a full first sweep and diverges.
+    ///
+    /// [`SolveReport::active_sites`]: crate::SolveReport::active_sites
+    pub fn with_active_sites(mut self, mask: Vec<bool>) -> Self {
+        self.active_sites = Some(mask);
         self
     }
 
@@ -238,6 +266,7 @@ impl Checkpoint {
             energy: self.energy,
             labels_changed: self.labels_changed,
             energy_history: self.energy_history.clone(),
+            active_sites: self.active_sites.clone(),
         }
     }
 
@@ -293,6 +322,11 @@ impl Checkpoint {
             let _ = write!(out, " {l}");
         }
         out.push('\n');
+        if let Some(mask) = &self.active_sites {
+            let _ = write!(out, "active {} ", mask.len());
+            out.extend(mask.iter().map(|&b| if b { '1' } else { '0' }));
+            out.push('\n');
+        }
         out.push_str("end\n");
         out
     }
@@ -404,7 +438,53 @@ impl Checkpoint {
             ));
         }
 
-        let (ln, line) = next("end")?;
+        // Optional `active` line (absent in every pre-worklist
+        // checkpoint), then `end`.
+        let (mut ln, mut line) = next("end")?;
+        let mut active_sites = None;
+        if let Some(body) = line.strip_prefix("active ") {
+            let mut words = body.split_whitespace();
+            let len: usize = words
+                .next()
+                .and_then(|w| w.parse().ok())
+                .ok_or_else(|| malformed(ln, "expected a count after `active`".into()))?;
+            let bits = words
+                .next()
+                .ok_or_else(|| malformed(ln, "expected a bitstring after the count".into()))?;
+            if words.next().is_some() {
+                return Err(malformed(
+                    ln,
+                    "trailing tokens after `active` bitstring".into(),
+                ));
+            }
+            let mask: Vec<bool> = bits
+                .chars()
+                .map(|c| match c {
+                    '0' => Ok(false),
+                    '1' => Ok(true),
+                    other => Err(malformed(ln, format!("bad bit {other:?} in `active`"))),
+                })
+                .collect::<Result<_, _>>()?;
+            if mask.len() != len {
+                return Err(malformed(
+                    ln,
+                    format!("`active` declared {len} bits but carries {}", mask.len()),
+                ));
+            }
+            if mask.len() != grid_width * grid_height {
+                return Err(malformed(
+                    ln,
+                    format!(
+                        "`active` has {} bits for a {}x{} grid",
+                        mask.len(),
+                        grid_width,
+                        grid_height
+                    ),
+                ));
+            }
+            active_sites = Some(mask);
+            (ln, line) = next("end")?;
+        }
         if line.trim() != "end" {
             return Err(malformed(ln, "expected `end`".into()));
         }
@@ -421,6 +501,7 @@ impl Checkpoint {
             seed,
             rng_state,
             labels,
+            active_sites,
         })
     }
 
@@ -568,6 +649,42 @@ mod tests {
         let back = Checkpoint::load(&path).unwrap();
         assert_eq!(back, ck);
         fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn active_mask_round_trips() {
+        let mask = vec![true, false, true, true, false, false];
+        let ck = sample_checkpoint().with_active_sites(mask.clone());
+        let text = ck.to_text();
+        assert!(text.contains("active 6 101100\n"));
+        let back = Checkpoint::from_text(&text).unwrap();
+        assert_eq!(back, ck);
+        assert_eq!(back.resume_state().active_sites, Some(mask));
+    }
+
+    #[test]
+    fn checkpoints_without_active_line_still_parse() {
+        let ck = sample_checkpoint();
+        let back = Checkpoint::from_text(&ck.to_text()).unwrap();
+        assert_eq!(back.active_sites, None);
+        assert_eq!(back.resume_state().active_sites, None);
+    }
+
+    #[test]
+    fn rejects_malformed_active_lines() {
+        let ck = sample_checkpoint().with_active_sites(vec![true; 6]);
+        let text = ck.to_text();
+        // Declared count disagrees with the bitstring.
+        assert!(Checkpoint::from_text(&text.replace("active 6", "active 5")).is_err());
+        // Non-binary characters.
+        assert!(Checkpoint::from_text(&text.replace("111111", "1121x1")).is_err());
+        // Mask length disagrees with the grid.
+        assert!(Checkpoint::from_text(&text.replace("active 6 111111", "active 4 1111")).is_err());
+        // Trailing tokens.
+        assert!(
+            Checkpoint::from_text(&text.replace("active 6 111111", "active 6 111111 extra"))
+                .is_err()
+        );
     }
 
     #[test]

@@ -107,6 +107,10 @@ pub struct PairwiseTable {
     num_labels: usize,
     /// `rows[neighbor_label * num_labels + label]`.
     rows: Vec<f64>,
+    /// The same rows narrowed to f32 once at construction, for the
+    /// `NumericPolicy::Fast` solver path (half the memory traffic and
+    /// twice the SIMD lanes per row-add).
+    rows_f32: Vec<f32>,
 }
 
 impl PairwiseTable {
@@ -134,7 +138,12 @@ impl PairwiseTable {
                 rows.push(v);
             }
         }
-        PairwiseTable { num_labels, rows }
+        let rows_f32 = rows.iter().map(|&v| v as f32).collect();
+        PairwiseTable {
+            num_labels,
+            rows,
+            rows_f32,
+        }
     }
 
     /// Builds the table for a homogeneous smoothness term
@@ -169,6 +178,20 @@ impl PairwiseTable {
     pub fn row(&self, neighbor_label: u16) -> &[f64] {
         let start = neighbor_label as usize * self.num_labels;
         &self.rows[start..start + self.num_labels]
+    }
+
+    /// The f32 narrowing of [`row`](Self::row), used by the solver fast
+    /// path. Each entry is the f64 entry rounded once to f32 (never a
+    /// re-computation in f32 arithmetic), so the narrowing error is a
+    /// single rounding of ≤ half an ulp per entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `neighbor_label` is out of range.
+    #[inline]
+    pub fn row_f32(&self, neighbor_label: u16) -> &[f32] {
+        let start = neighbor_label as usize * self.num_labels;
+        &self.rows_f32[start..start + self.num_labels]
     }
 
     /// One table entry: the pairwise energy between a site holding
@@ -260,6 +283,22 @@ mod tests {
                         let direct = weight * dist.eval(a, b);
                         assert_eq!(table.get(a, b), direct, "{dist} M={m} ({a},{b})");
                         assert_eq!(table.row(b)[a as usize], direct);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f32_rows_are_single_roundings_of_f64_rows() {
+        for dist in DistanceFn::ALL {
+            for m in [1usize, 2, 16, 64] {
+                let table = PairwiseTable::homogeneous(m, 0.3, dist);
+                for n in 0..m as u16 {
+                    let (row64, row32) = (table.row(n), table.row_f32(n));
+                    assert_eq!(row32.len(), row64.len());
+                    for (a, b) in row64.iter().zip(row32) {
+                        assert_eq!(*b, *a as f32, "{dist} M={m} neighbour {n}");
                     }
                 }
             }

@@ -52,6 +52,7 @@
 //! assert_eq!(report.energy_history.len(), 50);
 //! ```
 
+pub mod active;
 pub mod annealing;
 pub mod beliefprop;
 pub mod checkpoint;
@@ -66,6 +67,7 @@ pub mod parallel;
 pub mod solver;
 pub mod trace;
 
+pub use active::ActiveSet;
 pub use annealing::Schedule;
 pub use beliefprop::{belief_propagation, BeliefPropReport};
 pub use checkpoint::{Checkpoint, CheckpointError, ResumeState};
@@ -77,8 +79,8 @@ pub use metropolis::MetropolisSampler;
 pub use model::{Label, MrfModel, TabularMrf};
 pub use parallel::ParallelSweepSolver;
 pub use solver::{
-    solve, total_energy, IcmSampler, ScanOrder, SiteSampler, SoftwareGibbs, SolveReport,
-    SweepSolver,
+    solve, total_energy, IcmSampler, NumericPolicy, ScanOrder, SiteSampler, SoftwareGibbs,
+    SolveReport, SweepSolver,
 };
 pub use trace::{
     effective_sample_size, potential_scale_reduction, EnergyTrace, FanOut, FaultRecord,

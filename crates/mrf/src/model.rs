@@ -64,6 +64,16 @@ pub trait MrfModel {
         None
     }
 
+    /// The f32 narrowing of [`singleton_row`](Self::singleton_row), for
+    /// the `NumericPolicy::Fast` solver path. Models that precompute an
+    /// f32 copy of their data costs (every tabular model in this
+    /// workspace does) return it here; each entry MUST be
+    /// `singleton(site, l) as f32` — a single rounding of the f64
+    /// value, not a recomputation in f32 arithmetic.
+    fn singleton_row_f32(&self, _site: usize) -> Option<&[f32]> {
+        None
+    }
+
     /// Computes the local conditional energies of every candidate label at
     /// `site` given the current field, appending into `out` (cleared
     /// first). This is the quantity stage 2 of the RSU-G pipeline
@@ -87,12 +97,108 @@ pub trait MrfModel {
             Some(row) => out.extend_from_slice(row),
             None => out.extend((0..self.num_labels() as Label).map(|l| self.singleton(site, l))),
         }
+        let mut ns = [0usize; 4];
+        let mut k = 0;
         for n in self.grid().neighbors(site) {
-            let row = table.row(field.get(n));
-            for (e, &p) in out.iter_mut().zip(row) {
-                *e += p;
+            ns[k] = n;
+            k += 1;
+        }
+        if k == 4 {
+            // Interior site (the overwhelmingly common case): one fused
+            // pass adding all four neighbour rows, instead of four
+            // load-add-store sweeps over `out`. The explicit
+            // left-to-right association reproduces the sequential
+            // neighbour-loop rounding exactly, so this stays
+            // bit-identical to the direct path.
+            let r0 = table.row(field.get(ns[0]));
+            let r1 = table.row(field.get(ns[1]));
+            let r2 = table.row(field.get(ns[2]));
+            let r3 = table.row(field.get(ns[3]));
+            for ((((e, &a), &b), &c), &d) in out.iter_mut().zip(r0).zip(r1).zip(r2).zip(r3) {
+                *e = (((*e + a) + b) + c) + d;
+            }
+        } else {
+            for &n in &ns[..k] {
+                let row = table.row(field.get(n));
+                for (e, &p) in out.iter_mut().zip(row) {
+                    *e += p;
+                }
             }
         }
+    }
+
+    /// The f32 local-energy kernel for the `NumericPolicy::Fast` solver
+    /// path: fills `out` with the local conditional energy of every
+    /// candidate label in f32 and returns the row minimum (which the
+    /// fused Boltzmann draw needs anyway, so the extra reduction pass
+    /// is free — it vectorizes over the same cached row).
+    ///
+    /// When the model provides both a [`pairwise_table`]
+    /// (`Self::pairwise_table`) and a
+    /// [`singleton_row_f32`](Self::singleton_row_f32), the kernel is
+    /// the f32 twin of the fused f64 path: one row copy plus one
+    /// chunked, autovectorizable row-add per neighbour — half the
+    /// memory traffic and twice the SIMD lanes of the f64 kernel.
+    /// Otherwise it falls back to narrowing the direct path per label.
+    ///
+    /// The result is **statistically** equivalent to
+    /// [`local_energies`](Self::local_energies), not bit-identical:
+    /// f32 narrowing is gated by the χ²/KS equivalence suites, and the
+    /// f64 path remains the exactness oracle.
+    ///
+    /// [`pairwise_table`]: Self::pairwise_table
+    fn local_energies_f32(&self, site: usize, field: &LabelField, out: &mut Vec<f32>) -> f32 {
+        match (self.pairwise_table(), self.singleton_row_f32(site)) {
+            (Some(table), Some(row)) => {
+                debug_assert_eq!(table.num_labels(), self.num_labels());
+                out.clear();
+                out.extend_from_slice(row);
+                let mut ns = [0usize; 4];
+                let mut k = 0;
+                for n in self.grid().neighbors(site) {
+                    ns[k] = n;
+                    k += 1;
+                }
+                if k == 4 {
+                    // Interior fast case, mirroring the f64 kernel: all
+                    // four neighbour rows added in one fused pass.
+                    let r0 = table.row_f32(field.get(ns[0]));
+                    let r1 = table.row_f32(field.get(ns[1]));
+                    let r2 = table.row_f32(field.get(ns[2]));
+                    let r3 = table.row_f32(field.get(ns[3]));
+                    for ((((e, &a), &b), &c), &d) in out.iter_mut().zip(r0).zip(r1).zip(r2).zip(r3)
+                    {
+                        *e = (((*e + a) + b) + c) + d;
+                    }
+                } else {
+                    for &n in &ns[..k] {
+                        let row = table.row_f32(field.get(n));
+                        for (e, &p) in out.iter_mut().zip(row) {
+                            *e += p;
+                        }
+                    }
+                }
+            }
+            _ => {
+                out.clear();
+                let grid = self.grid();
+                for label in 0..self.num_labels() as Label {
+                    let mut e = self.singleton(site, label) as f32;
+                    for n in grid.neighbors(site) {
+                        e += self.pairwise(site, n, label, field.get(n)) as f32;
+                    }
+                    out.push(e);
+                }
+            }
+        }
+        // Select-based min rather than `f32::min`: the latter carries
+        // IEEE `minNum` NaN semantics that block lowering to packed-min
+        // instructions at the baseline target, leaving the reduction
+        // scalar. Energies are finite by construction, so the NaN
+        // behaviour difference is unobservable here.
+        out.iter()
+            .copied()
+            .fold(f32::INFINITY, |m, e| if e < m { e } else { m })
     }
 
     /// The direct (naive) local-energy kernel: one
@@ -134,6 +240,9 @@ pub struct TabularMrf {
     num_labels: usize,
     /// `singleton[site * num_labels + label]`.
     singleton: Vec<f64>,
+    /// f32 narrowing of `singleton`, built once for the solver fast
+    /// path.
+    singleton_f32: Vec<f32>,
     distance: DistanceFn,
     pairwise_weight: f64,
     /// Precomputed `weight · distance(l, l')`, built once at
@@ -166,10 +275,12 @@ impl TabularMrf {
             pairwise_weight >= 0.0 && pairwise_weight.is_finite(),
             "pairwise weight must be non-negative and finite"
         );
+        let singleton_f32 = singleton.iter().map(|&v| v as f32).collect();
         TabularMrf {
             grid,
             num_labels,
             singleton,
+            singleton_f32,
             distance,
             pairwise_weight,
             table: PairwiseTable::homogeneous(num_labels, pairwise_weight, distance),
@@ -256,6 +367,11 @@ impl MrfModel for TabularMrf {
         let start = site * self.num_labels;
         Some(&self.singleton[start..start + self.num_labels])
     }
+
+    fn singleton_row_f32(&self, site: usize) -> Option<&[f32]> {
+        let start = site * self.num_labels;
+        Some(&self.singleton_f32[start..start + self.num_labels])
+    }
 }
 
 #[cfg(test)]
@@ -331,6 +447,63 @@ mod tests {
             for label in 0..3u16 {
                 assert_eq!(row[label as usize], model.singleton(site, label));
             }
+        }
+    }
+
+    #[test]
+    fn f32_kernel_stays_within_narrowing_error_of_f64_kernel() {
+        for dist in DistanceFn::ALL {
+            let model = TabularMrf::checkerboard(5, 4, 4, 3.0, dist, 0.7);
+            let field = TabularMrf::checkerboard_truth(5, 4, 4);
+            let (mut e64, mut e32) = (Vec::new(), Vec::new());
+            for site in model.grid().sites() {
+                model.local_energies(site, &field, &mut e64);
+                let min = model.local_energies_f32(site, &field, &mut e32);
+                let expect_min = e32.iter().copied().fold(f32::INFINITY, f32::min);
+                assert_eq!(min, expect_min, "{dist} site {site}");
+                for (label, (a, b)) in e64.iter().zip(&e32).enumerate() {
+                    // Four narrow-then-add roundings at most: the f32
+                    // result is within a few ulps of the f64 one.
+                    let tol = 1e-5 * a.abs().max(1.0);
+                    assert!(
+                        (*a - *b as f64).abs() <= tol,
+                        "{dist} site {site} label {label}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f32_kernel_fallback_matches_fused_path_closely() {
+        // A model without table/f32-row plumbing exercises the direct
+        // fallback arm.
+        struct Bare(TabularMrf);
+        impl MrfModel for Bare {
+            fn grid(&self) -> Grid {
+                self.0.grid()
+            }
+            fn num_labels(&self) -> usize {
+                self.0.num_labels()
+            }
+            fn singleton(&self, site: usize, label: Label) -> f64 {
+                self.0.singleton(site, label)
+            }
+            fn pairwise(&self, s: usize, n: usize, l: Label, nl: Label) -> f64 {
+                self.0.pairwise(s, n, l, nl)
+            }
+        }
+        let inner = TabularMrf::checkerboard(4, 4, 3, 2.0, DistanceFn::Absolute, 0.5);
+        let bare = Bare(inner.clone());
+        let field = TabularMrf::checkerboard_truth(4, 4, 3);
+        let (mut fused, mut direct) = (Vec::new(), Vec::new());
+        for site in inner.grid().sites() {
+            let min_fused = inner.local_energies_f32(site, &field, &mut fused);
+            let min_direct = bare.local_energies_f32(site, &field, &mut direct);
+            for (a, b) in fused.iter().zip(&direct) {
+                assert!((a - b).abs() <= 1e-4 * a.abs().max(1.0), "site {site}");
+            }
+            assert!((min_fused - min_direct).abs() <= 1e-4 * min_fused.abs().max(1.0));
         }
     }
 

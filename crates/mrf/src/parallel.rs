@@ -46,11 +46,12 @@
 //! units onto row bands ([`band_rows`]) and executes each phase with
 //! [`checkerboard_phase`], wrapping each unit in a [`BandWorker`].
 
+use crate::active::ActiveSet;
 use crate::annealing::Schedule;
 use crate::checkpoint::ResumeState;
 use crate::field::LabelField;
 use crate::model::{Label, MrfModel};
-use crate::solver::{total_energy, SiteSampler, SolveReport};
+use crate::solver::{total_energy, NumericPolicy, SiteSampler, SolveReport};
 use crate::trace::{replay_phase_site_updates, NoopObserver, SweepObserver, SweepRecord};
 use sampling::SiteRng;
 use std::ops::Range;
@@ -84,6 +85,8 @@ pub fn band_rows(height: usize, bands: usize, band: usize) -> Range<usize> {
 pub struct BandWorker<S> {
     sampler: S,
     energies: Vec<f64>,
+    energies_f32: Vec<f32>,
+    flipped: Vec<usize>,
 }
 
 impl<S> BandWorker<S> {
@@ -92,12 +95,21 @@ impl<S> BandWorker<S> {
         BandWorker {
             sampler,
             energies: Vec::new(),
+            energies_f32: Vec::new(),
+            flipped: Vec::new(),
         }
     }
 
     /// The wrapped sampler.
     pub fn sampler_mut(&mut self) -> &mut S {
         &mut self.sampler
+    }
+
+    /// Global site indices that flipped in the band during the last
+    /// [`checkerboard_phase_scheduled`] call with flip recording on
+    /// (i.e. with an active set). Empty otherwise.
+    pub fn flipped(&self) -> &[usize] {
+        &self.flipped
     }
 }
 
@@ -150,7 +162,61 @@ where
     M: MrfModel + Sync,
     S: SiteSampler + Send,
 {
+    checkerboard_phase_scheduled(
+        model,
+        field,
+        snapshot,
+        workers,
+        threads,
+        phase,
+        temperature,
+        iteration,
+        seed,
+        NumericPolicy::Exact,
+        None,
+    )
+}
+
+/// [`checkerboard_phase`] with the full scheduling surface: a
+/// [`NumericPolicy`] selecting the f64 or f32 site kernel, and an
+/// optional [`ActiveSet`] restricting the phase to its current mask.
+///
+/// With `active` supplied, each worker also records the global indices
+/// of its flipped sites (readable via [`BandWorker::flipped`] until the
+/// next scheduled call) so the driver can feed the worklist; sites
+/// outside the mask keep their labels and consume no randomness.
+/// `Exact` with `active = None` is bit-identical to the plain phase
+/// function.
+///
+/// # Panics
+///
+/// Panics if `workers` is empty, the field/model shapes disagree, or
+/// `active` tracks a different number of sites than the grid holds.
+#[allow(clippy::too_many_arguments)]
+pub fn checkerboard_phase_scheduled<M, S>(
+    model: &M,
+    field: &mut LabelField,
+    snapshot: &mut LabelField,
+    workers: &mut [BandWorker<S>],
+    threads: usize,
+    phase: usize,
+    temperature: f64,
+    iteration: u64,
+    seed: u64,
+    numeric: NumericPolicy,
+    active: Option<&ActiveSet>,
+) -> PhaseReport
+where
+    M: MrfModel + Sync,
+    S: SiteSampler + Send,
+{
     assert!(!workers.is_empty(), "need at least one band worker");
+    if let Some(set) = active {
+        assert_eq!(set.len(), model.grid().len(), "active mask length mismatch");
+    }
+    for worker in workers.iter_mut() {
+        worker.flipped.clear();
+    }
     assert_eq!(field.grid(), model.grid(), "field grid mismatch");
     assert_eq!(snapshot.grid(), model.grid(), "snapshot grid mismatch");
     let grid = model.grid();
@@ -196,6 +262,8 @@ where
             temperature,
             iteration,
             seed,
+            numeric,
+            active,
         )
     };
     let host_threads = threads.max(1).min(bands);
@@ -246,6 +314,8 @@ fn sweep_band<M, S>(
     temperature: f64,
     iteration: u64,
     seed: u64,
+    numeric: NumericPolicy,
+    active: Option<&ActiveSet>,
 ) where
     M: MrfModel + Sync,
     S: SiteSampler,
@@ -259,20 +329,49 @@ fn sweep_band<M, S>(
                 continue;
             }
             let site = y * width + x;
-            model.local_energies(site, snapshot, &mut task.worker.energies);
+            if let Some(set) = active {
+                if !set.is_active(site) {
+                    continue;
+                }
+            }
             let current = snapshot.get(site);
             let mut rng = SiteRng::for_site(seed, iteration, site as u64);
-            let new = task.worker.sampler.sample_label(
-                &task.worker.energies,
-                temperature,
-                current,
-                &mut rng,
-            );
+            let (new, flip_delta) = match numeric {
+                NumericPolicy::Exact => {
+                    model.local_energies(site, snapshot, &mut task.worker.energies);
+                    let new = task.worker.sampler.sample_label(
+                        &task.worker.energies,
+                        temperature,
+                        current,
+                        &mut rng,
+                    );
+                    let delta =
+                        task.worker.energies[new as usize] - task.worker.energies[current as usize];
+                    (new, delta)
+                }
+                NumericPolicy::Fast => {
+                    let e_min =
+                        model.local_energies_f32(site, snapshot, &mut task.worker.energies_f32);
+                    let new = task.worker.sampler.sample_label_f32(
+                        &task.worker.energies_f32,
+                        e_min,
+                        temperature,
+                        current,
+                        &mut rng,
+                    );
+                    let delta = (task.worker.energies_f32[new as usize]
+                        - task.worker.energies_f32[current as usize])
+                        as f64;
+                    (new, delta)
+                }
+            };
             if new != current {
-                delta +=
-                    task.worker.energies[new as usize] - task.worker.energies[current as usize];
+                delta += flip_delta;
                 changes += 1;
                 task.labels[local_y * width + x] = new;
+                if active.is_some() {
+                    task.worker.flipped.push(site);
+                }
             }
         }
         task.row_deltas[local_y] = delta;
@@ -318,6 +417,8 @@ pub struct ParallelSweepSolver<'m, M> {
     seed: u64,
     early_stop: Option<(usize, f64)>,
     resume: Option<ResumeState>,
+    numeric: NumericPolicy,
+    active: bool,
 }
 
 impl<'m, M: MrfModel + Sync> ParallelSweepSolver<'m, M> {
@@ -332,6 +433,8 @@ impl<'m, M: MrfModel + Sync> ParallelSweepSolver<'m, M> {
             seed: 0,
             early_stop: None,
             resume: None,
+            numeric: NumericPolicy::Exact,
+            active: false,
         }
     }
 
@@ -359,6 +462,32 @@ impl<'m, M: MrfModel + Sync> ParallelSweepSolver<'m, M> {
     /// sampler this fully determines the run.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Selects the numeric policy for the site kernel.
+    ///
+    /// [`NumericPolicy::Exact`] (the default) keeps the historical f64
+    /// path bit-for-bit. [`NumericPolicy::Fast`] runs the f32 kernel —
+    /// see [`SweepSolver::numeric`](crate::SweepSolver::numeric) for the
+    /// statistical-equivalence contract; the thread-count determinism
+    /// guarantee holds for both policies.
+    pub fn numeric(mut self, numeric: NumericPolicy) -> Self {
+        self.numeric = numeric;
+        self
+    }
+
+    /// Enables active-site sweep scheduling.
+    ///
+    /// Each iteration visits only sites that flipped — or neighbour a
+    /// flip — during the previous iteration (the first visits all).
+    /// Per-band flip lists are merged in band order into one worklist,
+    /// and site RNG streams are counter-based, so the result stays
+    /// bit-identical across thread counts; see
+    /// [`SweepSolver::active_sites`](crate::SweepSolver::active_sites)
+    /// for the chain-equivalence caveat.
+    pub fn active_sites(mut self, active: bool) -> Self {
+        self.active = active;
         self
     }
 
@@ -454,7 +583,19 @@ impl<'m, M: MrfModel + Sync> ParallelSweepSolver<'m, M> {
             final_temperature: self.schedule.temperature(start),
             iterations_run: start,
             labels_changed: self.resume.as_ref().map_or(0, |r| r.labels_changed),
+            active_sites: None,
         };
+        let grid = self.model.grid();
+        let mut active =
+            self.active.then(
+                || match self.resume.as_ref().and_then(|r| r.active_sites.clone()) {
+                    Some(mask) => {
+                        assert_eq!(mask.len(), grid.len(), "active mask length mismatch");
+                        ActiveSet::from_mask(mask)
+                    }
+                    None => ActiveSet::all_active(grid.len()),
+                },
+            );
         // Resume continues the stored incremental accumulator; a fresh
         // total_energy rescan would differ in the last ulp and break the
         // bit-identity contract.
@@ -472,8 +613,9 @@ impl<'m, M: MrfModel + Sync> ParallelSweepSolver<'m, M> {
             for worker in workers.iter_mut() {
                 worker.sampler.begin_iteration(temperature);
             }
+            let visited = active.as_ref().map(|set| set.active_count());
             for phase in 0..2 {
-                let outcome = checkerboard_phase(
+                let outcome = checkerboard_phase_scheduled(
                     self.model,
                     field,
                     &mut snapshot,
@@ -483,12 +625,32 @@ impl<'m, M: MrfModel + Sync> ParallelSweepSolver<'m, M> {
                     temperature,
                     iter as u64,
                     self.seed,
+                    self.numeric,
+                    active.as_ref(),
                 );
                 energy += outcome.delta_energy;
                 report.labels_changed += outcome.labels_changed;
+                // Merge per-band flip lists into the worklist in band
+                // order. Marking is an idempotent set-bit, so the merge
+                // order cannot change the next mask anyway — the band
+                // partition and thread count stay invisible.
+                if let Some(set) = &mut active {
+                    for worker in workers.iter() {
+                        for &site in worker.flipped() {
+                            set.mark_flip(&grid, site);
+                        }
+                    }
+                }
                 if want_sites {
                     replay_phase_site_updates(&snapshot, field, phase, iter, observer);
                 }
+            }
+            if let Some(set) = &mut active {
+                if observing {
+                    let visited = visited.unwrap_or(0);
+                    observer.on_active_sweep(iter, visited, grid.len() as u64 - visited);
+                }
+                set.advance();
             }
             if observing {
                 observer.on_sweep(&SweepRecord {
@@ -508,6 +670,7 @@ impl<'m, M: MrfModel + Sync> ParallelSweepSolver<'m, M> {
                 }
             }
         }
+        report.active_sites = active.map(|set| set.mask().to_vec());
         report
     }
 }

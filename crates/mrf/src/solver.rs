@@ -6,6 +6,7 @@
 //! implementation, the previous RSU-G and the new RSU-G all run the exact
 //! same application code.
 
+use crate::active::ActiveSet;
 use crate::annealing::Schedule;
 use crate::checkpoint::ResumeState;
 use crate::field::LabelField;
@@ -16,6 +17,49 @@ use rand::Rng;
 use sampling::Categorical;
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
+
+/// Numeric precision policy of a sweep engine's inner loop.
+///
+/// `Exact` (the default) runs the f64 kernel and is bit-identical to
+/// every pre-existing result — it is the exactness oracle all other
+/// configurations are validated against. `Fast` runs the f32 kernel:
+/// f32 table rows, chunked f32 row-adds and the fused
+/// fast-exp + prefix-sum Boltzmann draw
+/// ([`sampling::Categorical::sample_boltzmann_f32_with_scratch`]).
+/// Fast-path divergence from the oracle is statistical, not
+/// bit-level, and is gated by χ²/KS equivalence suites (per-site label
+/// marginals, final-energy distributions) rather than bit equality —
+/// the same "less exact arithmetic, faster" bet the paper's RSU-G
+/// makes with quantized optical sampling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum NumericPolicy {
+    /// f64 kernel, bit-identical to the historical solver output.
+    #[default]
+    Exact,
+    /// f32 kernel with fast exponentials; statistically equivalent.
+    Fast,
+}
+
+impl std::fmt::Display for NumericPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            NumericPolicy::Exact => "exact",
+            NumericPolicy::Fast => "fast",
+        })
+    }
+}
+
+impl std::str::FromStr for NumericPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "exact" => Ok(NumericPolicy::Exact),
+            "fast" => Ok(NumericPolicy::Fast),
+            other => Err(format!("unknown numeric policy {other:?} (exact|fast)")),
+        }
+    }
+}
 
 /// A per-site Gibbs kernel: given the local conditional energies of every
 /// candidate label and the current temperature, choose the new label.
@@ -42,6 +86,29 @@ pub trait SiteSampler {
         current: Label,
         rng: &mut R,
     ) -> Label;
+
+    /// Draws the new label from f32 local energies — the
+    /// [`NumericPolicy::Fast`] inner loop. `e_min` is the row minimum
+    /// (the fused f32 kernel tracks it for free).
+    ///
+    /// The default widens to f64 and delegates to
+    /// [`sample_label`](Self::sample_label), which is correct for any
+    /// sampler but allocates; the software kernels override it with
+    /// allocation-free fused implementations. Samplers that model
+    /// reduced-precision hardware (the `rsu` crate) keep the default —
+    /// their own quantization already dominates the narrowing error.
+    fn sample_label_f32<R: Rng + ?Sized>(
+        &mut self,
+        energies: &[f32],
+        e_min: f32,
+        temperature: f64,
+        current: Label,
+        rng: &mut R,
+    ) -> Label {
+        let _ = e_min;
+        let widened: Vec<f64> = energies.iter().map(|&e| e as f64).collect();
+        self.sample_label(&widened, temperature, current, rng)
+    }
 }
 
 /// A `&mut` sampler is itself a sampler: lets callers lend long-lived
@@ -60,6 +127,17 @@ impl<T: SiteSampler + ?Sized> SiteSampler for &mut T {
         rng: &mut R,
     ) -> Label {
         (**self).sample_label(energies, temperature, current, rng)
+    }
+
+    fn sample_label_f32<R: Rng + ?Sized>(
+        &mut self,
+        energies: &[f32],
+        e_min: f32,
+        temperature: f64,
+        current: Label,
+        rng: &mut R,
+    ) -> Label {
+        (**self).sample_label_f32(energies, e_min, temperature, current, rng)
     }
 }
 
@@ -85,6 +163,7 @@ impl<T: SiteSampler + ?Sized> SiteSampler for &mut T {
 pub struct SoftwareGibbs {
     weights: Vec<f64>,
     cumulative: Vec<f64>,
+    cumulative_f32: Vec<f32>,
 }
 
 impl SoftwareGibbs {
@@ -93,6 +172,7 @@ impl SoftwareGibbs {
         SoftwareGibbs {
             weights: Vec::new(),
             cumulative: Vec::new(),
+            cumulative_f32: Vec::new(),
         }
     }
 }
@@ -124,6 +204,26 @@ impl SiteSampler for SoftwareGibbs {
             // keep the current label to preserve forward progress.
             Err(_) => current,
         }
+    }
+
+    fn sample_label_f32<R: Rng + ?Sized>(
+        &mut self,
+        energies: &[f32],
+        e_min: f32,
+        temperature: f64,
+        _current: Label,
+        rng: &mut R,
+    ) -> Label {
+        // The fused fast path: fast-exp + prefix-sum + inversion in one
+        // pass over the row. With e_min subtracted the minimum-energy
+        // label's weight is exactly 1, so the draw cannot fail.
+        Categorical::sample_boltzmann_f32_with_scratch(
+            energies,
+            e_min,
+            temperature as f32,
+            &mut self.cumulative_f32,
+            rng,
+        ) as Label
     }
 }
 
@@ -158,6 +258,23 @@ impl SiteSampler for IcmSampler {
         }
         best
     }
+
+    fn sample_label_f32<R: Rng + ?Sized>(
+        &mut self,
+        energies: &[f32],
+        e_min: f32,
+        _temperature: f64,
+        current: Label,
+        _rng: &mut R,
+    ) -> Label {
+        // First label achieving the (precomputed) minimum — same
+        // tie-breaking as the f64 argmin.
+        energies
+            .iter()
+            .position(|&e| e == e_min)
+            .map(|l| l as Label)
+            .unwrap_or(current)
+    }
 }
 
 /// Site visit order within one iteration.
@@ -185,6 +302,11 @@ pub struct SolveReport {
     pub iterations_run: usize,
     /// Total number of site updates that changed a label.
     pub labels_changed: u64,
+    /// The active-site worklist for the *next* sweep, when the run used
+    /// active-site scheduling (`None` for full sweeps). Serializing
+    /// this into a checkpoint is what makes an interrupted active-set
+    /// chain resumable bit-identically.
+    pub active_sites: Option<Vec<bool>>,
 }
 
 impl SolveReport {
@@ -222,11 +344,14 @@ pub struct SweepSolver<'m, M> {
     scan: ScanOrder,
     early_stop: Option<(usize, f64)>,
     resume: Option<ResumeState>,
+    numeric: NumericPolicy,
+    active: bool,
 }
 
 impl<'m, M: MrfModel> SweepSolver<'m, M> {
     /// Creates a solver with defaults: constant temperature 1.0, 100
-    /// iterations, raster scan, no early stopping.
+    /// iterations, raster scan, no early stopping, exact numerics,
+    /// full sweeps.
     pub fn new(model: &'m M) -> Self {
         SweepSolver {
             model,
@@ -235,6 +360,8 @@ impl<'m, M: MrfModel> SweepSolver<'m, M> {
             scan: ScanOrder::Raster,
             early_stop: None,
             resume: None,
+            numeric: NumericPolicy::Exact,
+            active: false,
         }
     }
 
@@ -253,6 +380,34 @@ impl<'m, M: MrfModel> SweepSolver<'m, M> {
     /// Sets the site visit order.
     pub fn scan_order(mut self, scan: ScanOrder) -> Self {
         self.scan = scan;
+        self
+    }
+
+    /// Sets the numeric policy of the inner loop. The default
+    /// [`NumericPolicy::Exact`] is bit-identical to the historical
+    /// solver; [`NumericPolicy::Fast`] runs the f32 kernel (see the
+    /// enum docs for the equivalence contract). Under `Fast`, the
+    /// incremental energy accumulates f32-derived deltas in f64, so
+    /// the reported energies track the oracle statistically, not
+    /// bit-exactly.
+    pub fn numeric(mut self, numeric: NumericPolicy) -> Self {
+        self.numeric = numeric;
+        self
+    }
+
+    /// Enables active-site scheduling: after the first sweep, a site is
+    /// visited only when it or a lattice neighbour flipped in the
+    /// previous sweep (see [`ActiveSet`](crate::ActiveSet)). Late
+    /// annealing sweeps then skip converged regions entirely. Skipped
+    /// sites keep their labels and consume no randomness, which
+    /// suppresses their thermal re-draws: this is an optimization-mode
+    /// accelerator whose annealed solution quality is gated against the
+    /// full-sweep oracle (DESIGN §12), not an equilibrium-preserving
+    /// transformation — opt-in, and deterministic (the worklist is a
+    /// pure function of the chain). A resumed run restores the worklist
+    /// recorded in [`ResumeState::active_sites`].
+    pub fn active_sites(mut self, enabled: bool) -> Self {
+        self.active = enabled;
         self
     }
 
@@ -334,7 +489,21 @@ impl<'m, M: MrfModel> SweepSolver<'m, M> {
             });
         }
         let mut energies = Vec::with_capacity(self.model.num_labels());
+        let mut energies_f32 = Vec::with_capacity(self.model.num_labels());
         let start = self.resume.as_ref().map_or(0, |r| r.start_iteration);
+        // Active-site scheduling: a resumed run restores the exact
+        // worklist the interrupted run would have used, otherwise every
+        // site starts active (the first sweep must visit everything).
+        let mut active =
+            self.active.then(
+                || match self.resume.as_ref().and_then(|r| r.active_sites.clone()) {
+                    Some(mask) => {
+                        assert_eq!(mask.len(), grid.len(), "active mask length mismatch");
+                        ActiveSet::from_mask(mask)
+                    }
+                    None => ActiveSet::all_active(grid.len()),
+                },
+            );
         let mut report = SolveReport {
             energy_history: match &self.resume {
                 Some(r) => {
@@ -347,6 +516,7 @@ impl<'m, M: MrfModel> SweepSolver<'m, M> {
             final_temperature: self.schedule.temperature(start),
             iterations_run: start,
             labels_changed: self.resume.as_ref().map_or(0, |r| r.labels_changed),
+            active_sites: None,
         };
         // Incremental energy tracking: pay the O(N·deg) full scan once,
         // then fold in the exact per-flip delta. A flip at `site` changes
@@ -370,18 +540,65 @@ impl<'m, M: MrfModel> SweepSolver<'m, M> {
             if self.scan == ScanOrder::RandomPermutation {
                 order.shuffle(rng);
             }
+            let mut visited = 0u64;
             for &site in &order {
-                self.model.local_energies(site, field, &mut energies);
+                if let Some(set) = &active {
+                    if !set.is_active(site) {
+                        continue;
+                    }
+                    visited += 1;
+                }
                 let current = field.get(site);
-                let new = sampler.sample_label(&energies, temperature, current, rng);
+                // Exact keeps the historical f64 loop untouched (bit
+                // identity); Fast runs the f32 kernel and accumulates
+                // its deltas into the f64 energy.
+                let (new, delta) = match self.numeric {
+                    NumericPolicy::Exact => {
+                        self.model.local_energies(site, field, &mut energies);
+                        let new = sampler.sample_label(&energies, temperature, current, rng);
+                        let delta = if new != current {
+                            energies[new as usize] - energies[current as usize]
+                        } else {
+                            0.0
+                        };
+                        (new, delta)
+                    }
+                    NumericPolicy::Fast => {
+                        let e_min = self
+                            .model
+                            .local_energies_f32(site, field, &mut energies_f32);
+                        let new = sampler.sample_label_f32(
+                            &energies_f32,
+                            e_min,
+                            temperature,
+                            current,
+                            rng,
+                        );
+                        let delta = if new != current {
+                            (energies_f32[new as usize] - energies_f32[current as usize]) as f64
+                        } else {
+                            0.0
+                        };
+                        (new, delta)
+                    }
+                };
                 if new != current {
                     report.labels_changed += 1;
-                    energy += energies[new as usize] - energies[current as usize];
+                    energy += delta;
                     field.set(site, new);
+                    if let Some(set) = &mut active {
+                        set.mark_flip(&grid, site);
+                    }
                     if want_sites {
                         observer.on_site_update(iter, site, current, new);
                     }
                 }
+            }
+            if let Some(set) = &mut active {
+                if observing {
+                    observer.on_active_sweep(iter, visited, grid.len() as u64 - visited);
+                }
+                set.advance();
             }
             if observing {
                 observer.on_sweep(&SweepRecord {
@@ -401,6 +618,7 @@ impl<'m, M: MrfModel> SweepSolver<'m, M> {
                 }
             }
         }
+        report.active_sites = active.map(|set| set.mask().to_vec());
         report
     }
 }

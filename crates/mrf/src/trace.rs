@@ -128,6 +128,15 @@ pub trait SweepObserver {
     fn on_fault(&mut self, record: &FaultRecord) {
         let _ = record;
     }
+
+    /// Called once per sweep by engines running active-site scheduling
+    /// (before the worklist advances): how many sites the sweep
+    /// visited and how many converged sites it skipped. Deterministic
+    /// like every other hook — the worklist is a pure function of the
+    /// chain. Engines running full sweeps never call it.
+    fn on_active_sweep(&mut self, iteration: usize, visited: u64, skipped: u64) {
+        let _ = (iteration, visited, skipped);
+    }
 }
 
 impl<O: SweepObserver + ?Sized> SweepObserver for &mut O {
@@ -149,6 +158,10 @@ impl<O: SweepObserver + ?Sized> SweepObserver for &mut O {
 
     fn on_fault(&mut self, record: &FaultRecord) {
         (**self).on_fault(record)
+    }
+
+    fn on_active_sweep(&mut self, iteration: usize, visited: u64, skipped: u64) {
+        (**self).on_active_sweep(iteration, visited, skipped)
     }
 }
 
@@ -210,6 +223,12 @@ impl SweepObserver for FanOut<'_> {
     fn on_fault(&mut self, record: &FaultRecord) {
         for o in self.observers.iter_mut() {
             o.on_fault(record);
+        }
+    }
+
+    fn on_active_sweep(&mut self, iteration: usize, visited: u64, skipped: u64) {
+        for o in self.observers.iter_mut() {
+            o.on_active_sweep(iteration, visited, skipped);
         }
     }
 }

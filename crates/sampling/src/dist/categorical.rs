@@ -130,6 +130,73 @@ impl Categorical {
         let idx = scratch.partition_point(|&c| c <= u);
         Ok(idx.min(scratch.len() - 1))
     }
+
+    /// Fused f32 Boltzmann draw: converts local energies straight into a
+    /// categorical sample in two tight passes over the `M`-wide row,
+    /// using the fast polynomial exponential ([`crate::fast_exp_f32`]'s
+    /// branchless core).
+    ///
+    /// Pass 1 computes `w_l = exp(−(E_l − e_min)/T)` for every label —
+    /// branchless (underflow handled by clamping the argument at the
+    /// last normal-result point, so a would-be-zero weight becomes
+    /// ~1e-38, which the f32 prefix sum absorbs against a total ≥ 1;
+    /// staying off subnormals also avoids their microcode penalties)
+    /// and therefore
+    /// SIMD-vectorizable even at the baseline target. Pass 2 turns the
+    /// weights into an in-place cumulative sum, which one uniform draw
+    /// inverts. This is the `NumericPolicy::Fast` inner loop; it is
+    /// **statistically** equivalent to the f64 path (gated by χ²/KS
+    /// suites in `mrf`), not bit-identical.
+    ///
+    /// `e_min` must be the minimum of `energies` (the caller's fused
+    /// row-add kernel already tracks it); passing the true minimum keeps
+    /// the largest weight at exactly 1.0, so the total can never be zero
+    /// and the draw cannot fail — non-finite energies are the caller's
+    /// bug, caught by a debug assertion.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `energies` is empty, `temperature` is
+    /// not positive, or `e_min` is not the row minimum.
+    #[inline]
+    pub fn sample_boltzmann_f32_with_scratch<R: Rng + ?Sized>(
+        energies: &[f32],
+        e_min: f32,
+        temperature: f32,
+        scratch: &mut Vec<f32>,
+        rng: &mut R,
+    ) -> usize {
+        debug_assert!(!energies.is_empty());
+        debug_assert!(temperature > 0.0);
+        debug_assert!(
+            energies.iter().all(|&e| e >= e_min),
+            "e_min is not the row minimum"
+        );
+        let neg_inv_t = -1.0 / temperature;
+        scratch.clear();
+        // Pass 1: Boltzmann weights. Keeping this free of the running
+        // sum (and of any branch) lets the compiler vectorize the
+        // exponential across labels — the prefix-sum dependency chain
+        // moves to the cheap pass 2.
+        scratch.extend(energies.iter().map(|&e| {
+            crate::fastexp::exp_core(((e - e_min) * neg_inv_t).max(crate::fastexp::EXP_ARG_CLAMP))
+        }));
+        // Pass 2: in-place cumulative sum.
+        let mut total = 0.0f32;
+        for w in scratch.iter_mut() {
+            total += *w;
+            *w = total;
+        }
+        // The minimum-energy label contributes exactly weight 1, so
+        // total ≥ 1 and the inversion below is always well defined.
+        // Inversion by branchless rank: the selected index is the number
+        // of cumulative entries ≤ u (identical to a binary-search
+        // `partition_point`, but a vectorizable compare-and-count over a
+        // row this short beats log₂(M) data-dependent mispredicts).
+        let u = (rng.gen::<f64>() * total as f64) as f32;
+        let idx = scratch.iter().filter(|&&c| c <= u).count();
+        idx.min(scratch.len() - 1)
+    }
 }
 
 /// Integer cumulative-weight lookup table: the discrete sampler a pure-CMOS
@@ -424,6 +491,62 @@ mod tests {
             assert_eq!(scratch.len(), n);
             assert!(scratch.capacity() >= 8, "capacity must never shrink");
         }
+    }
+
+    #[test]
+    fn fused_f32_boltzmann_draw_matches_analytic_distribution() {
+        // Energies and temperature typical of the solver workloads.
+        let energies = [0.3f32, 1.5, 0.9, 4.0];
+        let t = 1.2f32;
+        let e_min = 0.3f32;
+        let weights: Vec<f64> = energies
+            .iter()
+            .map(|&e| (-((e - e_min) as f64) / t as f64).exp())
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let expected: Vec<f64> = weights.iter().map(|w| w / total).collect();
+        let mut rng = Xoshiro256pp::seed_from_u64(31);
+        let mut scratch = Vec::new();
+        let mut counts = [0u64; 4];
+        let n = 200_000;
+        for _ in 0..n {
+            let s = Categorical::sample_boltzmann_f32_with_scratch(
+                &energies,
+                e_min,
+                t,
+                &mut scratch,
+                &mut rng,
+            );
+            counts[s] += 1;
+        }
+        let p = stats::chi_square_pvalue_uniformish(&counts, &expected);
+        assert!(p > 1e-4, "chi-square p-value {p} too small");
+    }
+
+    #[test]
+    fn fused_f32_boltzmann_draw_handles_extreme_spreads() {
+        let mut rng = Xoshiro256pp::seed_from_u64(8);
+        let mut scratch = Vec::new();
+        // Huge energy gaps: all weight collapses onto the minimum label.
+        for _ in 0..2_000 {
+            let s = Categorical::sample_boltzmann_f32_with_scratch(
+                &[500.0f32, 0.0, 900.0],
+                0.0,
+                0.5,
+                &mut scratch,
+                &mut rng,
+            );
+            assert_eq!(s, 1);
+        }
+        // Single label always wins.
+        let s = Categorical::sample_boltzmann_f32_with_scratch(
+            &[7.0f32],
+            7.0,
+            1.0,
+            &mut scratch,
+            &mut rng,
+        );
+        assert_eq!(s, 0);
     }
 
     #[test]

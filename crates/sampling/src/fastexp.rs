@@ -1,0 +1,187 @@
+//! Fast `f32` exponential for the Gibbs fast path.
+//!
+//! The f32 solver fast path (`mrf`'s `NumericPolicy::Fast`) spends its
+//! time converting local energies to Boltzmann weights, `w = exp(−(E −
+//! E_min)/T)`. At M = 16 labels the libm `exp` calls dominate the fused
+//! kernel, so the fast path uses [`fast_exp_f32`]: a classic
+//! range-reduction + polynomial evaluation of `2^x` that vectorizes and
+//! costs a few cycles per element.
+//!
+//! # Accuracy contract
+//!
+//! Relative error is below `3e-7` over the entire domain the sampler
+//! uses (`x ≤ 0`; exact `1.0` at `x = 0`, monotone underflow to `0.0`
+//! below ≈ −87.3). That is ~2 f32 ulps — far below what a χ²/KS
+//! statistical-equivalence test at any feasible sample size can detect,
+//! and orders of magnitude tighter than bit-trick approximations
+//! (Schraudolph-style exponent splicing has ~2–4 % error, which *would*
+//! shift label marginals detectably). The accuracy bound is enforced by
+//! a dense-grid test against `f64::exp`.
+
+/// `log2(e)` in f32.
+const LOG2_E: f32 = std::f32::consts::LOG2_E;
+/// `ln(2)` split into a high part exactly representable in f32 and a
+/// low correction part, for exact-ish argument reduction
+/// (Cody–Waite style): `x − n·ln2 = (x − n·LN2_HI) − n·LN2_LO`.
+#[allow(clippy::excessive_precision)] // the full digits ARE the exact f32 value
+const LN2_HI: f32 = 0.693_359_375; // 0x1.63p-1, exact in f32
+const LN2_LO: f32 = -2.121_944_4e-4; // ln(2) − LN2_HI
+/// `1.5 · 2^23`: adding it pushes the fraction bits of any `|v| < 2^22`
+/// out of the f32 mantissa, so `(v + MAGIC) - MAGIC` is
+/// round-to-nearest-even without an explicit rounding instruction
+/// (`round_ties_even` is a libcall below SSE4.1, which de-vectorizes
+/// and dominates the weight loop at the default `x86-64` target).
+const MAGIC: f32 = 12_582_912.0;
+/// Bit pattern of [`MAGIC`]; for `nf = v + MAGIC` with integer
+/// `v ∈ [-2^22, 2^22)`, `nf.to_bits() - MAGIC_BITS == v`.
+const MAGIC_BITS: i32 = 0x4B40_0000;
+
+/// The lowest argument the guarded-domain core accepts: the point where
+/// `e^x` underflows f32. [`fast_exp_f32`] returns exact `0.0` below it.
+const EXP_UNDERFLOW_CUTOFF: f32 = -87.336_55;
+
+/// Clamp point for the fused Boltzmann sampler's branchless weight
+/// pass: the lowest argument whose result is still a *normal* f32
+/// (`e^−87 ≈ 1.65e−38` > the 1.18e−38 normal minimum). Clamping here
+/// rather than at the true underflow cutoff keeps subnormal results —
+/// and their per-element microcode-assist penalties — off the hot
+/// path; the ~1e−38 weight a clamped label gets instead of 0 is
+/// absorbed by the f32 prefix sum against a total ≥ 1.
+pub(crate) const EXP_ARG_CLAMP: f32 = -87.0;
+
+/// Branchless `e^x` core for `x ∈ [−87.33655, 88.72283]` (caller
+/// guards/clamps the domain). Round-to-nearest via the [`MAGIC`] shift
+/// trick and `2^n` scaling through the exponent bits: pure mul/add and
+/// integer lane ops, so a loop over a row of arguments vectorizes even
+/// at the baseline `x86-64` target.
+#[inline(always)]
+pub(crate) fn exp_core(x: f32) -> f32 {
+    // Range reduction: x = n·ln2 + r with |r| ≤ ln2/2; n recovered both
+    // as a float (for the two-part Cody–Waite subtraction) and as an
+    // integer (for the exponent-bit scaling) from the same magic add.
+    let nf = x * LOG2_E + MAGIC;
+    let n_i = (nf.to_bits() as i32).wrapping_sub(MAGIC_BITS);
+    let n = nf - MAGIC;
+    let r = (x - n * LN2_HI) - n * LN2_LO;
+    // Degree-6 Taylor polynomial for e^r on |r| ≤ 0.3466; the
+    // truncation error there is ~3e-8 relative, below f32 rounding.
+    let p = 1.0
+        + r * (1.0
+            + r * (0.5
+                + r * (1.666_666_6e-1
+                    + r * (4.166_666_5e-2 + r * (8.333_333e-3 + r * 1.388_888_9e-3)))));
+    // 2^n through the exponent bits: n ∈ [−126, 128] on the guarded
+    // domain, so n + 127 is a valid biased exponent (255 ⇒ ±inf, which
+    // only happens at the extreme positive edge where e^x ≈ f32::MAX).
+    f32::from_bits(((n_i + 127) as u32) << 23) * p
+}
+
+/// Fast `e^x` for `f32`, accurate to ~2 ulps (relative error < 3e-7).
+///
+/// Domain notes for the Gibbs fast path (which only passes `x ≤ 0`):
+///
+/// * `fast_exp_f32(0.0) == 1.0` exactly, so the minimum-energy label
+///   always gets weight 1 — same invariant as the f64 path.
+/// * Inputs below ≈ −87.3 (where `e^x` underflows f32) return `0.0`.
+/// * Large positive inputs saturate to `f32::INFINITY`; NaN propagates.
+///
+/// # Example
+///
+/// ```
+/// use sampling::fast_exp_f32;
+///
+/// assert_eq!(fast_exp_f32(0.0), 1.0);
+/// let x = -3.7f32;
+/// let err = (fast_exp_f32(x) as f64 - (x as f64).exp()).abs() / (x as f64).exp();
+/// assert!(err < 3e-7);
+/// ```
+#[inline]
+pub fn fast_exp_f32(x: f32) -> f32 {
+    // Underflow / overflow / NaN handling up front so the core path is
+    // branch-predictable (the sampler's inputs are almost always in
+    // range).
+    if x < EXP_UNDERFLOW_CUTOFF {
+        return 0.0;
+    }
+    if x > 88.72283 {
+        // Covers +inf; NaN fails both comparisons and falls through to
+        // the core, whose arithmetic propagates it.
+        return f32::INFINITY;
+    }
+    exp_core(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_at_zero() {
+        assert_eq!(fast_exp_f32(0.0), 1.0);
+        assert_eq!(fast_exp_f32(-0.0), 1.0);
+    }
+
+    #[test]
+    fn relative_error_below_three_em7_on_sampler_domain() {
+        // Dense grid over the whole negative domain the Gibbs kernel
+        // uses, plus a positive stretch for good measure.
+        let mut worst = 0.0f64;
+        let mut x = -87.0f32;
+        while x <= 20.0 {
+            let approx = fast_exp_f32(x) as f64;
+            let exact = (x as f64).exp();
+            let rel = (approx - exact).abs() / exact;
+            if rel > worst {
+                worst = rel;
+            }
+            x += 0.003;
+        }
+        assert!(worst < 3e-7, "worst relative error {worst}");
+    }
+
+    #[test]
+    fn underflows_to_zero_far_below_cutoff() {
+        assert_eq!(fast_exp_f32(-88.0), 0.0);
+        assert_eq!(fast_exp_f32(-1000.0), 0.0);
+        assert_eq!(fast_exp_f32(f32::NEG_INFINITY), 0.0);
+    }
+
+    #[test]
+    fn saturates_and_propagates_specials() {
+        assert_eq!(fast_exp_f32(89.0), f32::INFINITY);
+        assert_eq!(fast_exp_f32(f32::INFINITY), f32::INFINITY);
+        assert!(fast_exp_f32(f32::NAN).is_nan());
+    }
+
+    #[test]
+    fn monotone_near_the_underflow_boundary() {
+        // No discontinuity where the subnormal two-step scaling kicks in.
+        let mut prev = fast_exp_f32(-87.3);
+        let mut x = -87.3f32 + 0.001;
+        while x < -86.0 {
+            let v = fast_exp_f32(x);
+            assert!(v >= prev, "non-monotone at {x}: {v} < {prev}");
+            prev = v;
+            x += 0.001;
+        }
+    }
+
+    #[test]
+    fn boltzmann_weights_match_f64_closely() {
+        // The exact use in the sampler: w = exp(−(E − E_min)/T).
+        for &(e, e_min, t) in &[
+            (0.0f64, 0.0, 1.5),
+            (5.2, 0.0, 1.5),
+            (100.0, 96.0, 0.4),
+            (17.25, 17.25, 2.0),
+        ] {
+            let x32 = (-(e - e_min) / t) as f32;
+            let w32 = fast_exp_f32(x32) as f64;
+            let w64 = (-(e - e_min) / t).exp();
+            assert!(
+                (w32 - w64).abs() <= 3e-7 * w64.max(f64::MIN_POSITIVE),
+                "E={e} T={t}: {w32} vs {w64}"
+            );
+        }
+    }
+}

@@ -40,6 +40,7 @@
 pub mod bittests;
 pub mod dist;
 pub mod error;
+pub mod fastexp;
 pub mod first_to_fire;
 pub mod gumbel;
 pub mod rng;
@@ -50,5 +51,6 @@ pub use dist::{
     TruncatedExponential,
 };
 pub use error::{DistributionError, RngError};
+pub use fastexp::fast_exp_f32;
 pub use first_to_fire::{race, winner_probabilities, RaceOutcome};
 pub use rng::{Lfsr, Mt19937, SiteRng, SplitMix64, Xoshiro256pp};

@@ -39,6 +39,8 @@ pub struct MotionModel {
     half: isize,
     /// `cost[site * window² + label]`.
     data_cost: Vec<f64>,
+    /// `data_cost` narrowed once to f32 for the fast-path kernel.
+    data_cost_f32: Vec<f32>,
     smooth_weight: f64,
     /// Precomputed `w_smooth · ‖v − v'‖²` over all label pairs,
     /// bit-identical to [`MrfModel::pairwise`] (both go through
@@ -118,11 +120,13 @@ impl MotionModel {
                 }
             }
         }
+        let data_cost_f32 = data_cost.iter().map(|&v| v as f32).collect();
         Ok(MotionModel {
             grid,
             window,
             half,
             data_cost,
+            data_cost_f32,
             smooth_weight,
             table: PairwiseTable::from_fn(labels, |a, b| {
                 flow_pairwise(window, smooth_weight, a, b)
@@ -186,6 +190,12 @@ impl MrfModel for MotionModel {
         let labels = self.window * self.window;
         let start = site * labels;
         Some(&self.data_cost[start..start + labels])
+    }
+
+    fn singleton_row_f32(&self, site: usize) -> Option<&[f32]> {
+        let labels = self.window * self.window;
+        let start = site * labels;
+        Some(&self.data_cost_f32[start..start + labels])
     }
 }
 

@@ -32,6 +32,8 @@ pub struct SegmentModel {
     class_means: Vec<f64>,
     /// `cost[site * num_segments + k]`.
     data_cost: Vec<f64>,
+    /// `data_cost` narrowed once to f32 for the fast-path kernel.
+    data_cost_f32: Vec<f32>,
     smooth_weight: f64,
     /// Precomputed Potts row `w_smooth · [l ≠ l']`, bit-identical to
     /// [`MrfModel::pairwise`]; enables the fused local-energy kernel.
@@ -79,11 +81,13 @@ impl SegmentModel {
                 data_cost.push(data_weight * d * d);
             }
         }
+        let data_cost_f32 = data_cost.iter().map(|&v| v as f32).collect();
         Ok(SegmentModel {
             grid,
             num_segments,
             class_means,
             data_cost,
+            data_cost_f32,
             smooth_weight,
             table: PairwiseTable::homogeneous(num_segments, smooth_weight, DistanceFn::Binary),
         })
@@ -119,6 +123,11 @@ impl MrfModel for SegmentModel {
     fn singleton_row(&self, site: usize) -> Option<&[f64]> {
         let start = site * self.num_segments;
         Some(&self.data_cost[start..start + self.num_segments])
+    }
+
+    fn singleton_row_f32(&self, site: usize) -> Option<&[f32]> {
+        let start = site * self.num_segments;
+        Some(&self.data_cost_f32[start..start + self.num_segments])
     }
 }
 

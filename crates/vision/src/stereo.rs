@@ -34,6 +34,8 @@ pub struct StereoModel {
     num_disparities: usize,
     /// Precomputed `cost[site * num_disparities + d]`.
     data_cost: Vec<f64>,
+    /// `data_cost` narrowed once to f32 for the fast-path kernel.
+    data_cost_f32: Vec<f32>,
     smooth_weight: f64,
     /// Precomputed `w_smooth · |d − d'|`, bit-identical to
     /// [`MrfModel::pairwise`]; enables the fused local-energy kernel.
@@ -92,10 +94,12 @@ impl StereoModel {
                 }
             }
         }
+        let data_cost_f32 = data_cost.iter().map(|&v| v as f32).collect();
         Ok(StereoModel {
             grid,
             num_disparities,
             data_cost,
+            data_cost_f32,
             smooth_weight,
             table: PairwiseTable::homogeneous(num_disparities, smooth_weight, DistanceFn::Absolute),
         })
@@ -131,6 +135,11 @@ impl MrfModel for StereoModel {
     fn singleton_row(&self, site: usize) -> Option<&[f64]> {
         let start = site * self.num_disparities;
         Some(&self.data_cost[start..start + self.num_disparities])
+    }
+
+    fn singleton_row_f32(&self, site: usize) -> Option<&[f32]> {
+        let start = site * self.num_disparities;
+        Some(&self.data_cost_f32[start..start + self.num_disparities])
     }
 }
 

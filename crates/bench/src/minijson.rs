@@ -4,29 +4,55 @@
 //! The build environment has no `serde_json` (offline, stub registry),
 //! and the bench exports are machine-written with a known shape, so a
 //! small recursive-descent parser covering the full JSON grammar is all
-//! `bench_compare` needs. Not a validator: it accepts every valid JSON
-//! document but reports errors by byte offset only. The matching
-//! emitter is [`Value`]'s [`Display`](fmt::Display) impl: compact
-//! (no insignificant whitespace), escapes only what JSON requires, and
-//! writes non-finite numbers as `null` so every emitted document
-//! re-parses.
+//! `bench_compare` needs. It accepts exactly the JSON grammar — strict
+//! number forms (no `1.`, `01` or empty exponents), exactly four hex
+//! digits per `\u` escape, paired surrogates — and reports errors by
+//! byte offset. Plain integer tokens are preserved exactly
+//! ([`Value::Integer`], full `u64`/`i64` range): the job-server wire
+//! format carries 64-bit seeds that an `f64` payload would silently
+//! round above 2^53. The matching emitter is [`Value`]'s
+//! [`Display`](fmt::Display) impl: compact (no insignificant
+//! whitespace), escapes only what JSON requires, and writes non-finite
+//! numbers as `null` so every emitted document re-parses.
 
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// A parsed JSON value. Objects keep their keys sorted (`BTreeMap`), so
 /// iteration order is deterministic.
+///
+/// Numbers come in two shapes: [`Integer`](Value::Integer) for number
+/// tokens with no fraction or exponent (exact up to the full `u64`/`i64`
+/// range — an `f64` payload would silently round above 2^53, fatal for
+/// 64-bit job seeds), and [`Number`](Value::Number) for everything else.
+/// [`as_f64`](Value::as_f64) reads both, so float-oriented consumers
+/// never need to distinguish them.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
     Null,
     Bool(bool),
+    /// A number written with a fraction or exponent (or too large for
+    /// `i128`), carried as `f64`.
     Number(f64),
+    /// A number written as a plain integer, carried exactly. `i128`
+    /// spans both `i64` and `u64` without a sign compromise.
+    Integer(i128),
     String(String),
     Array(Vec<Value>),
     Object(BTreeMap<String, Value>),
 }
 
 impl Value {
+    /// Wraps a `u64` losslessly (e.g. a 64-bit chain seed).
+    pub fn from_u64(n: u64) -> Value {
+        Value::Integer(n as i128)
+    }
+
+    /// Wraps an `i64` losslessly.
+    pub fn from_i64(n: i64) -> Value {
+        Value::Integer(n as i128)
+    }
+
     /// The value under `key`, when this is an object holding one.
     pub fn get(&self, key: &str) -> Option<&Value> {
         match self {
@@ -35,10 +61,32 @@ impl Value {
         }
     }
 
-    /// The numeric payload, when this is a number.
+    /// The numeric payload, when this is a number of either shape
+    /// (integers convert with `as f64`, rounding above 2^53 — use
+    /// [`as_u64`](Self::as_u64)/[`as_i64`](Self::as_i64) where the low
+    /// bits matter).
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Value::Number(n) => Some(*n),
+            Value::Integer(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The exact unsigned payload, when this is an integer in `u64`
+    /// range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Integer(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The exact signed payload, when this is an integer in `i64`
+    /// range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Integer(n) => i64::try_from(*n).ok(),
             _ => None,
         }
     }
@@ -77,6 +125,7 @@ impl fmt::Display for Value {
             // JSON has no NaN/Infinity literal; emit null so the
             // document stays parseable.
             Value::Number(_) => f.write_str("null"),
+            Value::Integer(n) => write!(f, "{n}"),
             Value::String(s) => write_escaped(f, s),
             Value::Array(items) => {
                 f.write_str("[")?;
@@ -339,36 +388,71 @@ impl Parser<'_> {
     }
 
     /// Reads the four hex digits of a `\u` escape (cursor already past
-    /// the `u`) and returns the code unit.
+    /// the `u`) and returns the code unit. Exactly four ASCII hex
+    /// digits are required: delegating straight to `from_str_radix`
+    /// would also accept a sign (`"\u+041"`), which JSON forbids.
     fn parse_hex4(&mut self) -> Result<u32, ParseError> {
         let hex = self
             .bytes
             .get(self.pos..self.pos + 4)
-            .and_then(|h| std::str::from_utf8(h).ok())
             .ok_or_else(|| self.error("truncated \\u escape"))?;
-        let code = u32::from_str_radix(hex, 16).map_err(|_| self.error("bad \\u escape"))?;
+        let mut code = 0u32;
+        for &b in hex {
+            let digit = match b {
+                b'0'..=b'9' => b - b'0',
+                b'a'..=b'f' => b - b'a' + 10,
+                b'A'..=b'F' => b - b'A' + 10,
+                _ => return Err(self.error("bad \\u escape")),
+            };
+            code = (code << 4) | u32::from(digit);
+        }
         self.pos += 4;
         Ok(code)
     }
 
+    /// Scans one number token, enforcing the JSON grammar
+    /// (`-?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?`): a digit is
+    /// required after `.` and after the exponent marker, and a leading
+    /// zero cannot be followed by more digits. Leaning on the f64
+    /// parser alone would admit `1.`, `01` and `1.e5`.
     fn parse_number(&mut self) -> Result<Value, ParseError> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
-        while matches!(self.peek(), Some(b'0'..=b'9')) {
-            self.pos += 1;
+        match self.peek() {
+            Some(b'0') => {
+                self.pos += 1;
+                if matches!(self.peek(), Some(b'0'..=b'9')) {
+                    return Err(self.error("leading zeros are not allowed"));
+                }
+            }
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.error("expected a digit")),
         }
+        let mut integral = true;
         if self.peek() == Some(b'.') {
+            integral = false;
             self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.error("expected a digit after '.'"));
+            }
             while matches!(self.peek(), Some(b'0'..=b'9')) {
                 self.pos += 1;
             }
         }
         if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
             self.pos += 1;
             if matches!(self.peek(), Some(b'+' | b'-')) {
                 self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.error("expected a digit in exponent"));
             }
             while matches!(self.peek(), Some(b'0'..=b'9')) {
                 self.pos += 1;
@@ -376,6 +460,15 @@ impl Parser<'_> {
         }
         let text =
             std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        // Plain integers keep their exact value (`f64` rounds above
+        // 2^53); outlandishly long digit strings past `i128` fall back
+        // to the nearest f64, like every JSON reader with finite
+        // precision.
+        if integral {
+            if let Ok(n) = text.parse::<i128>() {
+                return Ok(Value::Integer(n));
+            }
+        }
         text.parse::<f64>()
             .map(Value::Number)
             .map_err(|_| self.error("invalid number"))
@@ -391,11 +484,101 @@ mod tests {
         assert_eq!(parse("null").unwrap(), Value::Null);
         assert_eq!(parse("true").unwrap(), Value::Bool(true));
         assert_eq!(parse("false").unwrap(), Value::Bool(false));
-        assert_eq!(parse("42").unwrap(), Value::Number(42.0));
+        assert_eq!(parse("42").unwrap(), Value::Integer(42));
         assert_eq!(parse("-3.5e2").unwrap(), Value::Number(-350.0));
         assert_eq!(
             parse("\"a\\nb\\u0041\"").unwrap(),
             Value::String("a\nbA".to_string())
+        );
+    }
+
+    #[test]
+    fn number_grammar_accept_reject_table() {
+        // Accepted: exactly the JSON number grammar.
+        for (text, expect) in [
+            ("0", Value::Integer(0)),
+            ("-0", Value::Integer(0)),
+            ("10", Value::Integer(10)),
+            ("-250", Value::Integer(-250)),
+            ("0.5", Value::Number(0.5)),
+            ("1.25", Value::Number(1.25)),
+            ("1e3", Value::Number(1000.0)),
+            ("1E3", Value::Number(1000.0)),
+            ("1e+3", Value::Number(1000.0)),
+            ("2.5e-1", Value::Number(0.25)),
+            ("0e0", Value::Number(0.0)),
+        ] {
+            assert_eq!(parse(text).unwrap(), expect, "on {text:?}");
+        }
+        // Rejected: common non-JSON forms the old scanner let the f64
+        // parser rescue (or mis-handle).
+        for bad in [
+            "1.", "01", "007", "-01", ".5", "-.5", "1.e5", "1e", "1e+", "1E-", "+1", "-", "--1",
+            "0x1f", "1_000", "NaN", "Infinity",
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+        // The same forms nested in structures are rejected too.
+        for bad in ["[01]", "{\"a\": 1.}", "[1, 2.e1]"] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn integers_round_trip_exactly_at_u64_and_i64_extremes() {
+        for n in [0u64, 1, (1 << 53) + 1, u64::MAX - 1, u64::MAX] {
+            let doc = Value::from_u64(n);
+            let back = parse(&doc.to_string()).unwrap();
+            assert_eq!(back.as_u64(), Some(n), "u64 {n} must survive the wire");
+        }
+        for n in [i64::MIN, -1, i64::MAX] {
+            let doc = Value::from_i64(n);
+            let back = parse(&doc.to_string()).unwrap();
+            assert_eq!(back.as_i64(), Some(n), "i64 {n} must survive the wire");
+        }
+        // The motivating failure: a 64-bit seed through an f64 payload
+        // loses the low bits; through Integer it does not.
+        assert_ne!(((1u64 << 63) + 1) as f64 as u64, (1u64 << 63) + 1);
+        let seed = parse("18446744073709551615").unwrap();
+        assert_eq!(seed, Value::Integer(u64::MAX as i128));
+        assert_eq!(seed.as_u64(), Some(u64::MAX));
+        // Fractions/exponents stay floats; integers beyond i128 degrade
+        // to the nearest f64 rather than failing.
+        assert_eq!(parse("42.0").unwrap(), Value::Number(42.0));
+        assert!(matches!(
+            parse("340282366920938463463374607431768211457").unwrap(),
+            Value::Number(_)
+        ));
+        // Out-of-range accessors answer None instead of wrapping.
+        assert_eq!(Value::Integer(-1).as_u64(), None);
+        assert_eq!(Value::Integer(u64::MAX as i128).as_i64(), None);
+        assert_eq!(Value::Number(7.0).as_u64(), None);
+    }
+
+    #[test]
+    fn hex_escape_requires_exactly_four_hex_digits() {
+        // The regression: `u32::from_str_radix` tolerates a sign, so
+        // `"\u+041"` used to parse as 'A'.
+        for bad in [
+            r#""\u+041""#,
+            r#""\u-041""#,
+            r#""\u 041""#,
+            r#""\u00 1""#,
+            r#""\u00g1""#,
+            r#""\u004""#,
+            r#""\u""#,
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+        assert_eq!(
+            parse(r#""\u0041""#).unwrap(),
+            Value::String("A".into()),
+            "the well-formed escape still decodes"
+        );
+        assert_eq!(
+            parse("\"\\uFFfd\"").unwrap(),
+            Value::String("\u{FFFD}".into()),
+            "mixed-case hex digits are fine"
         );
     }
 

@@ -14,7 +14,11 @@
 //!   sweep;
 //! * `"fault"` — a device fault activating during a degraded run: the
 //!   sweep, the failing unit, the failure mode and the degradation the
-//!   array applied (remap target when sites moved to spare capacity).
+//!   array applied (remap target when sites moved to spare capacity);
+//! * `"job"` — a job-lifecycle transition in the `retrsu-serve` job
+//!   server (submitted → admitted → started → preempted → resumed →
+//!   completed/failed), emitted via [`write_record`]
+//!   (`JsonlTraceWriter::write_record`).
 //!
 //! Every line is emitted through [`crate::minijson::Value`]'s compact
 //! `Display`, so the write side and the read side
@@ -151,6 +155,14 @@ impl<W: io::Write> JsonlTraceWriter<W> {
         let mut all = vec![("kind", string("design_point"))];
         all.extend(fields);
         self.write_value(&object(all));
+    }
+
+    /// Emits an arbitrary pre-built record as one JSONL line. Callers in
+    /// other crates (e.g. `retrsu-serve`'s `"job"` lifecycle events)
+    /// build their own tagged objects and stream them through the same
+    /// sticky-error writer as the built-in record kinds.
+    pub fn write_record(&mut self, value: &Value) {
+        self.write_value(value);
     }
 
     /// Flushes the underlying writer.

@@ -37,8 +37,11 @@
 //! round-tripped through [`f64::to_bits`] as 16 hex digits — decimal
 //! formatting would lose the low mantissa bits and break the
 //! bit-identity contract. Writes go to a sibling temporary file which
-//! is atomically renamed into place, so a run killed mid-write never
-//! leaves a torn checkpoint behind.
+//! is fsynced and then atomically renamed into place, with the parent
+//! directory fsynced after the rename: a run killed mid-write never
+//! leaves a torn checkpoint behind, and a completed [`Checkpoint::save`]
+//! survives power loss (rename without `sync_all` can persist the new
+//! name pointing at unwritten data).
 //!
 //! ```text
 //! retrsu-checkpoint v1
@@ -505,13 +508,28 @@ impl Checkpoint {
         })
     }
 
-    /// Writes the checkpoint to `path` atomically: the text goes to a
-    /// sibling `.tmp` file which is then renamed into place, so a kill
-    /// mid-write never leaves a torn checkpoint.
+    /// Writes the checkpoint to `path` atomically **and durably**: the
+    /// text goes to a sibling `.tmp` file which is `sync_all`ed before
+    /// being renamed into place, and the parent directory is fsynced
+    /// after the rename. A kill mid-write never leaves a torn
+    /// checkpoint, and a power loss after `save` returns cannot surface
+    /// a truncated file either — rename-without-fsync may persist the
+    /// new name pointing at unwritten data, which is fatal once
+    /// checkpoints are a preemption mechanism rather than a convenience.
     pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        use std::io::Write as _;
         let tmp = path.with_extension("ckpt.tmp");
-        fs::write(&tmp, self.to_text())?;
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(self.to_text().as_bytes())?;
+        // Data must be on stable storage before the rename publishes the
+        // name; otherwise the rename can be durable while the bytes are
+        // not.
+        file.sync_all()?;
+        drop(file);
         fs::rename(&tmp, path)?;
+        // The rename itself lives in the directory; fsync it so the new
+        // entry survives power loss too.
+        fs::File::open(parent_dir(path))?.sync_all()?;
         Ok(())
     }
 
@@ -519,6 +537,15 @@ impl Checkpoint {
     pub fn load(path: &Path) -> Result<Self, CheckpointError> {
         let text = fs::read_to_string(path)?;
         Checkpoint::from_text(&text)
+    }
+}
+
+/// The directory holding `path`'s entry; a bare relative file name
+/// (empty parent) lives in the current directory.
+fn parent_dir(path: &Path) -> &Path {
+    match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
     }
 }
 
@@ -649,6 +676,29 @@ mod tests {
         let back = Checkpoint::load(&path).unwrap();
         assert_eq!(back, ck);
         fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn parent_dir_defaults_bare_names_to_the_current_directory() {
+        // A bare file name has an empty parent; the directory fsync
+        // must target "." rather than failing to open "".
+        assert_eq!(parent_dir(Path::new("bare.ckpt")), Path::new("."));
+        assert_eq!(parent_dir(Path::new("a/b.ckpt")), Path::new("a"));
+        assert_eq!(parent_dir(Path::new("/tmp/x.ckpt")), Path::new("/tmp"));
+    }
+
+    #[test]
+    fn save_leaves_no_staging_file_behind() {
+        let dir = std::env::temp_dir().join("retrsu-checkpoint-staging");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("chain.ckpt");
+        sample_checkpoint().save(&path).unwrap();
+        assert!(path.exists());
+        assert!(
+            !dir.join("chain.ckpt.tmp").exists(),
+            "the staging file must be renamed away"
+        );
+        fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

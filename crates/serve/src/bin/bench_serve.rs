@@ -1,0 +1,308 @@
+//! Serving benchmark: throughput and latency of the job server under
+//! mixed interactive/batch traffic, plus an end-to-end preemption
+//! demonstration. Writes `BENCH_serve.json` at the workspace root.
+//!
+//! Two scenarios:
+//!
+//! * **preemption demo** — one worker, one long batch victim, one
+//!   interactive job arriving after the victim saturates the fleet.
+//!   Records that the victim was suspended and resumed bit-identically
+//!   (digest equals an uninterrupted run) while the interactive job
+//!   completed first, and that every lifecycle transition appears
+//!   exactly once in the JSONL trace.
+//! * **mixed traffic** — a worker fleet absorbing a burst of batch
+//!   jobs followed by interactive arrivals across three tenants and
+//!   all three applications. Reports jobs/s and p50/p99 latency,
+//!   overall and per priority class.
+//!
+//! Usage: `bench_serve [--workers N] [--jobs N] [--quantum N]`.
+
+use bench::minijson::Value;
+use bench::trace_jsonl::parse_jsonl;
+use retrsu_serve::{
+    serve, validate_lifecycle, JobEvent, JobKind, JobSpec, JobState, JobTask, Priority,
+    ServeOutcome, ServerConfig, SliceStatus,
+};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::AtomicBool;
+
+fn parse_flag(args: &[String], flag: &str, default: usize) -> usize {
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == flag {
+            return iter
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{flag} needs a positive integer"));
+        }
+        if let Some(value) = arg.strip_prefix(&format!("{flag}=")) {
+            return value
+                .parse()
+                .unwrap_or_else(|_| panic!("{flag} needs a positive integer"));
+        }
+    }
+    default
+}
+
+/// The three applications cycled through the traffic mix, scaled small
+/// enough that a full benchmark run stays in CI territory.
+fn kind_for(index: usize, scene_seed: u64) -> JobKind {
+    match index % 3 {
+        0 => JobKind::Stereo {
+            width: 32,
+            height: 24,
+            num_disparities: 6,
+            num_layers: 2,
+            noise_sigma: 1.0,
+            scene_seed,
+        },
+        1 => JobKind::Motion {
+            width: 24,
+            height: 20,
+            window: 3,
+            num_patches: 2,
+            noise_sigma: 0.5,
+            scene_seed,
+        },
+        _ => JobKind::Segmentation {
+            width: 32,
+            height: 24,
+            num_regions: 4,
+            noise_sigma: 2.0,
+            contrast: 90.0,
+            scene_seed,
+        },
+    }
+}
+
+/// Nearest-rank percentile of an unsorted sample (q in 0..=1).
+fn percentile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+struct PreemptionDemo {
+    victim_preemptions: u32,
+    digest_matches: bool,
+    interactive_first: bool,
+    lifecycle_valid: bool,
+    transitions_exactly_once: bool,
+    trace_events: usize,
+}
+
+fn preemption_demo(trace_path: PathBuf) -> PreemptionDemo {
+    let victim = JobSpec {
+        id: "demo-victim".into(),
+        tenant: "batch-tenant".into(),
+        priority: Priority::Batch,
+        seed: 77,
+        iterations: 60,
+        threads: 1,
+        kind: kind_for(0, 700),
+    };
+    let urgent = JobSpec {
+        id: "demo-urgent".into(),
+        tenant: "live-tenant".into(),
+        priority: Priority::Interactive,
+        seed: 78,
+        iterations: 8,
+        threads: 1,
+        kind: kind_for(1, 701),
+    };
+    let handle = serve(ServerConfig {
+        workers: 1,
+        array_units: 8,
+        quantum: 1_000,
+        spool_dir: None,
+        trace_path: Some(trace_path.clone()),
+    });
+    handle.submit(&victim).expect("victim admits");
+    handle.wait_for("demo-victim", JobState::Started);
+    handle.submit(&urgent).expect("urgent admits");
+    let outcome = handle.finish();
+
+    // Uninterrupted baseline for the victim.
+    let mut alone = JobTask::start(victim.clone()).expect("victim starts standalone");
+    let status = alone.run_slice(
+        &mut rsu::RsuArray::new(rsu::RsuConfig::new_design(), 8),
+        victim.iterations,
+        &AtomicBool::new(false),
+    );
+    assert_eq!(status, SliceStatus::Completed);
+    let (_, _, baseline) = alone.finish();
+
+    let text = std::fs::read_to_string(&trace_path).expect("trace readable");
+    let from_disk: Vec<JobEvent> = parse_jsonl(&text)
+        .expect("trace re-parses")
+        .iter()
+        .filter(|r| r.get("kind").and_then(Value::as_str) == Some("job"))
+        .map(|r| JobEvent::from_value(r).expect("job record parses"))
+        .collect();
+    let once = |job: &str, state: JobState| {
+        from_disk
+            .iter()
+            .filter(|e| e.job == job && e.state == state)
+            .count()
+            == 1
+    };
+    let exactly_once = ["demo-victim", "demo-urgent"].iter().all(|job| {
+        once(job, JobState::Submitted)
+            && once(job, JobState::Admitted)
+            && once(job, JobState::Started)
+            && once(job, JobState::Completed)
+    }) && once("demo-victim", JobState::Preempted)
+        && once("demo-victim", JobState::Resumed);
+
+    let completions: Vec<&str> = outcome
+        .events
+        .iter()
+        .filter(|e| e.state == JobState::Completed)
+        .map(|e| e.job.as_str())
+        .collect();
+    let victim_result = outcome.result("demo-victim").expect("victim completed");
+    PreemptionDemo {
+        victim_preemptions: victim_result.preemptions,
+        digest_matches: victim_result.field_digest == baseline,
+        interactive_first: completions.first().copied() == Some("demo-urgent"),
+        lifecycle_valid: validate_lifecycle(&from_disk).is_ok(),
+        transitions_exactly_once: exactly_once,
+        trace_events: from_disk.len(),
+    }
+}
+
+fn mixed_traffic(workers: usize, jobs: usize, quantum: usize) -> (ServeOutcome, usize, usize) {
+    let handle = serve(ServerConfig {
+        workers,
+        array_units: 8,
+        quantum,
+        spool_dir: None,
+        trace_path: None,
+    });
+    let tenants = ["acme", "globex", "initech"];
+    // Burst of batch jobs first so the fleet saturates…
+    let batch_jobs = (jobs * 3) / 4;
+    for i in 0..batch_jobs {
+        let spec = JobSpec {
+            id: format!("batch-{i:03}"),
+            tenant: tenants[i % tenants.len()].into(),
+            priority: Priority::Batch,
+            seed: 1_000 + i as u64,
+            iterations: 40,
+            threads: 1,
+            kind: kind_for(i, 2_000 + i as u64),
+        };
+        handle.submit(&spec).expect("batch spec admits");
+    }
+    // …then interactive arrivals that must cut the line (and preempt
+    // when every worker is busy).
+    for i in 0..(jobs - batch_jobs) {
+        let spec = JobSpec {
+            id: format!("live-{i:03}"),
+            tenant: tenants[i % tenants.len()].into(),
+            priority: Priority::Interactive,
+            seed: 5_000 + i as u64,
+            iterations: 8,
+            threads: 1,
+            kind: kind_for(i + 1, 6_000 + i as u64),
+        };
+        handle.submit(&spec).expect("interactive spec admits");
+    }
+    (handle.finish(), batch_jobs, jobs - batch_jobs)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let workers = parse_flag(&args, "--workers", 4);
+    let jobs = parse_flag(&args, "--jobs", 24);
+    let quantum = parse_flag(&args, "--quantum", 8);
+
+    let trace_dir = bench::artifacts_dir();
+    eprintln!("bench_serve: preemption demo (1 worker, forced preemption)…");
+    let demo = preemption_demo(trace_dir.join("bench_serve_demo.jsonl"));
+    assert!(demo.digest_matches, "victim digest must match baseline");
+    assert!(demo.lifecycle_valid, "demo lifecycle must validate");
+    assert!(demo.interactive_first, "interactive job must finish first");
+    assert!(
+        demo.transitions_exactly_once,
+        "every lifecycle transition must appear exactly once"
+    );
+
+    eprintln!("bench_serve: mixed traffic ({workers} workers, {jobs} jobs, quantum {quantum})…");
+    let (outcome, batch_jobs, live_jobs) = mixed_traffic(workers, jobs, quantum);
+    validate_lifecycle(&outcome.events).expect("traffic lifecycle validates");
+    assert_eq!(outcome.results.len(), jobs, "every job must complete");
+
+    let wall_s = outcome.wall.as_secs_f64();
+    let all: Vec<f64> = outcome.results.iter().map(|r| r.latency_ms).collect();
+    let live: Vec<f64> = outcome
+        .results
+        .iter()
+        .filter(|r| r.id.starts_with("live-"))
+        .map(|r| r.latency_ms)
+        .collect();
+    let batch: Vec<f64> = outcome
+        .results
+        .iter()
+        .filter(|r| r.id.starts_with("batch-"))
+        .map(|r| r.latency_ms)
+        .collect();
+    let preemptions: u32 = outcome.results.iter().map(|r| r.preemptions).sum();
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"serve\",\n  \"workers\": {workers}, \"quantum\": {quantum},\n  {},\n  \
+         \"note\": \"retrsu-serve under mixed traffic: {batch_jobs} batch jobs (40 sweeps) then \
+         {live_jobs} interactive jobs (8 sweeps) across 3 tenants and all 3 applications; \
+         latency = submit-to-complete; demo = 1-worker forced preemption with digest vs an \
+         uninterrupted run\",\n  \
+         \"preemption_demo\": {{\"victim_preemptions\": {}, \"digest_matches_uninterrupted\": {}, \
+         \"interactive_completed_first\": {}, \"lifecycle_valid\": {}, \
+         \"transitions_exactly_once\": {}, \"trace_events\": {}}},\n  \
+         \"traffic\": {{\"jobs\": {jobs}, \"batch_jobs\": {batch_jobs}, \"interactive_jobs\": {live_jobs}, \
+         \"completed\": {}, \"preemptions\": {preemptions}, \"wall_s\": {wall_s:.3}, \
+         \"jobs_per_s\": {:.2},\n    \"p50_latency_ms\": {:.2}, \"p99_latency_ms\": {:.2}, \
+         \"interactive_p50_ms\": {:.2}, \"interactive_p99_ms\": {:.2}, \
+         \"batch_p50_ms\": {:.2}, \"batch_p99_ms\": {:.2}}}\n}}\n",
+        bench::provenance_json_fields(),
+        demo.victim_preemptions,
+        demo.digest_matches,
+        demo.interactive_first,
+        demo.lifecycle_valid,
+        demo.transitions_exactly_once,
+        demo.trace_events,
+        outcome.results.len(),
+        outcome.results.len() as f64 / wall_s,
+        percentile(&all, 0.50),
+        percentile(&all, 0.99),
+        percentile(&live, 0.50),
+        percentile(&live, 0.99),
+        percentile(&batch, 0.50),
+        percentile(&batch, 0.99),
+    );
+    // CARGO_MANIFEST_DIR of this crate is <root>/crates/serve.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crate lives two levels under the workspace root");
+    let path = root.join("BENCH_serve.json");
+    let mut file = std::fs::File::create(&path).expect("can create BENCH_serve.json");
+    file.write_all(json.as_bytes())
+        .expect("can write BENCH_serve.json");
+    println!("wrote {}", path.display());
+    println!(
+        "bench_serve: {} jobs in {:.2}s ({:.1} jobs/s), p50 {:.1} ms, p99 {:.1} ms, \
+         interactive p99 {:.1} ms, {} preemptions",
+        outcome.results.len(),
+        wall_s,
+        outcome.results.len() as f64 / wall_s,
+        percentile(&all, 0.50),
+        percentile(&all, 0.99),
+        percentile(&live, 0.99),
+        preemptions
+    );
+}

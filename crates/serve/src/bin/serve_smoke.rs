@@ -1,0 +1,200 @@
+//! CI gate for the job server: submits a mixed batch with one forced
+//! preemption, re-parses the live lifecycle trace from disk, checks the
+//! state machine, and verifies the whole run is deterministic.
+//!
+//! Exits non-zero (panics) on any violation. Checks:
+//!
+//! 1. every submitted job completes, and the victim was preempted;
+//! 2. the interactive job finishes before the preempted batch job;
+//! 3. the trace file re-parses through `bench::minijson`, its `"job"`
+//!    records reconstruct the in-memory event log exactly, and every
+//!    one-shot lifecycle transition appears exactly once per job
+//!    (preempted/resumed in matched pairs);
+//! 4. the victim's field digest equals an uninterrupted single-task
+//!    run, and a full server rerun reproduces every digest.
+
+use bench::minijson::Value;
+use bench::trace_jsonl::parse_jsonl;
+use retrsu_serve::{
+    serve, validate_lifecycle, JobEvent, JobKind, JobResult, JobSpec, JobState, JobTask, Priority,
+    ServeOutcome, ServerConfig, SliceStatus,
+};
+use std::path::PathBuf;
+use std::sync::atomic::AtomicBool;
+
+fn victim_spec() -> JobSpec {
+    JobSpec {
+        id: "victim-seg".into(),
+        tenant: "tenant-batch".into(),
+        priority: Priority::Batch,
+        seed: 31,
+        iterations: 40,
+        threads: 1,
+        kind: JobKind::Segmentation {
+            width: 24,
+            height: 18,
+            num_regions: 3,
+            noise_sigma: 2.0,
+            contrast: 90.0,
+            scene_seed: 301,
+        },
+    }
+}
+
+fn mixed_batch() -> Vec<JobSpec> {
+    vec![
+        JobSpec {
+            id: "urgent-stereo".into(),
+            tenant: "tenant-live".into(),
+            priority: Priority::Interactive,
+            seed: 32,
+            iterations: 6,
+            threads: 1,
+            kind: JobKind::Stereo {
+                width: 24,
+                height: 18,
+                num_disparities: 5,
+                num_layers: 2,
+                noise_sigma: 1.0,
+                scene_seed: 302,
+            },
+        },
+        JobSpec {
+            id: "tail-motion".into(),
+            tenant: "tenant-batch".into(),
+            priority: Priority::Batch,
+            seed: 33,
+            iterations: 8,
+            threads: 1,
+            kind: JobKind::Motion {
+                width: 20,
+                height: 16,
+                window: 3,
+                num_patches: 2,
+                noise_sigma: 0.5,
+                scene_seed: 303,
+            },
+        },
+    ]
+}
+
+fn run_scenario(trace: PathBuf, spool: PathBuf) -> ServeOutcome {
+    let handle = serve(ServerConfig {
+        workers: 1,
+        array_units: 8,
+        quantum: 1_000, // only preemption may interleave jobs
+        spool_dir: Some(spool),
+        trace_path: Some(trace),
+    });
+    handle.submit(&victim_spec()).expect("victim admits");
+    // Guarantee the fleet is saturated by the victim before the
+    // higher-priority traffic arrives.
+    handle.wait_for("victim-seg", JobState::Started);
+    for spec in mixed_batch() {
+        handle.submit(&spec).expect("spec admits");
+    }
+    handle.finish()
+}
+
+fn check_exactly_once(events: &[JobEvent], job: &str) {
+    let count = |state: JobState| {
+        events
+            .iter()
+            .filter(|e| e.job == job && e.state == state)
+            .count()
+    };
+    for state in [
+        JobState::Submitted,
+        JobState::Admitted,
+        JobState::Started,
+        JobState::Completed,
+    ] {
+        assert_eq!(count(state), 1, "{job}: {state} must appear exactly once");
+    }
+    assert_eq!(count(JobState::Failed), 0, "{job}: no failures expected");
+    assert_eq!(
+        count(JobState::Preempted),
+        count(JobState::Resumed),
+        "{job}: preempted/resumed must pair up"
+    );
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join("retrsu-serve-smoke");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace_path = dir.join("lifecycle.jsonl");
+    let outcome = run_scenario(trace_path.clone(), dir.join("spool"));
+
+    // 1. All jobs completed; the victim really was preempted.
+    assert_eq!(outcome.results.len(), 3, "all three jobs must complete");
+    let victim = outcome.result("victim-seg").expect("victim result");
+    assert!(
+        victim.preemptions >= 1,
+        "the batch victim must be preempted at least once, got {victim:?}"
+    );
+
+    // 2. The interactive job overtook the already-running batch job.
+    let completion_order: Vec<&str> = outcome
+        .events
+        .iter()
+        .filter(|e| e.state == JobState::Completed)
+        .map(|e| e.job.as_str())
+        .collect();
+    assert_eq!(
+        completion_order.first().copied(),
+        Some("urgent-stereo"),
+        "interactive job must complete first, got {completion_order:?}"
+    );
+
+    // 3. Re-parse the live trace from disk and check the state machine.
+    let text = std::fs::read_to_string(&trace_path).expect("trace file readable");
+    let records = parse_jsonl(&text).expect("trace re-parses");
+    let from_disk: Vec<JobEvent> = records
+        .iter()
+        .filter(|r| r.get("kind").and_then(Value::as_str) == Some("job"))
+        .map(|r| JobEvent::from_value(r).expect("job record parses"))
+        .collect();
+    assert_eq!(
+        from_disk, outcome.events,
+        "trace on disk must reconstruct the in-memory event log"
+    );
+    validate_lifecycle(&from_disk).expect("lifecycle state machine holds");
+    for job in ["victim-seg", "urgent-stereo", "tail-motion"] {
+        check_exactly_once(&from_disk, job);
+    }
+
+    // 4a. The preempted run is bit-identical to an uninterrupted one.
+    let spec = victim_spec();
+    let mut alone = JobTask::start(spec.clone()).expect("victim starts standalone");
+    let status = alone.run_slice(
+        &mut rsu::RsuArray::new(rsu::RsuConfig::new_design(), 8),
+        spec.iterations,
+        &AtomicBool::new(false),
+    );
+    assert_eq!(status, SliceStatus::Completed);
+    let (_, _, baseline_digest) = alone.finish();
+    assert_eq!(
+        victim.field_digest, baseline_digest,
+        "preempted victim must match the uninterrupted digest"
+    );
+
+    // 4b. A full rerun reproduces every digest and every result wire
+    // document round-trips.
+    let rerun = run_scenario(dir.join("lifecycle2.jsonl"), dir.join("spool2"));
+    for result in &outcome.results {
+        let again = rerun.result(&result.id).expect("rerun completes same jobs");
+        assert_eq!(
+            again.field_digest, result.field_digest,
+            "rerun digest diverged for {}",
+            result.id
+        );
+        let wire = JobResult::from_json(&result.to_json()).expect("result round-trips");
+        assert_eq!(wire.field_digest, result.field_digest);
+    }
+
+    println!(
+        "serve_smoke: OK — 3 jobs, victim preempted {}x, {} trace events, digests stable across rerun",
+        victim.preemptions,
+        outcome.events.len()
+    );
+}

@@ -1,0 +1,515 @@
+//! Job execution: a [`JobTask`] turns a validated [`JobSpec`] into a
+//! running annealing chain on an [`RsuArray`] and supports suspension
+//! at any sweep boundary.
+//!
+//! The preemption contract rests on two facts:
+//!
+//! 1. Array chains are pure functions of `(seed, iteration, site)` —
+//!    resuming needs only the label field, the next iteration index and
+//!    the chain seed, all of which the v1 checkpoint format carries.
+//! 2. The model and dataset are pure functions of the spec — a resumed
+//!    task rebuilds both from the spec alone, proving the checkpoint
+//!    plus the spec is the *complete* preemption state (nothing hides
+//!    in worker-local memory, so a job may resume on any worker and on
+//!    any healthy array instance).
+//!
+//! Together these make the final label field — and therefore
+//! [`JobResult::field_digest`](crate::JobResult::field_digest) —
+//! bit-identical however many times the job was preempted, wherever it
+//! resumed, and at every host thread count.
+
+use crate::spec::{field_digest, JobKind, JobSpec, SpecError};
+use bench::{
+    annealing_schedule, segmentation_schedule, MOTION_DATA_WEIGHT, MOTION_SMOOTH_WEIGHT,
+    SEGMENT_DATA_WEIGHT, SEGMENT_SMOOTH_WEIGHT, STEREO_DATA_WEIGHT, STEREO_SMOOTH_WEIGHT,
+};
+use mrf::{Checkpoint, LabelField, MrfModel, Schedule};
+use rand::SeedableRng;
+use rsu::RsuArray;
+use sampling::Xoshiro256pp;
+use scenes::{FlowSpec, SegmentationSpec, StereoSpec};
+use std::sync::atomic::{AtomicBool, Ordering};
+use vision::{
+    metrics::{bad_pixel_percentage, endpoint_error, variation_of_information},
+    MotionModel, SegmentModel, StereoModel,
+};
+
+/// The materialized workload: MRF model plus the ground truth needed
+/// for scoring, both rebuilt deterministically from the spec.
+enum JobModel {
+    Stereo {
+        model: StereoModel,
+        truth: LabelField,
+        occlusion: Vec<bool>,
+    },
+    Motion {
+        model: MotionModel,
+        truth: Vec<(isize, isize)>,
+    },
+    Segmentation {
+        model: SegmentModel,
+        truth: LabelField,
+    },
+}
+
+impl JobModel {
+    fn build(spec: &JobSpec) -> Result<Self, SpecError> {
+        let bad_model =
+            |e: vision::VisionError| SpecError::new(format!("model construction failed: {e}"));
+        match spec.kind {
+            JobKind::Stereo {
+                width,
+                height,
+                num_disparities,
+                num_layers,
+                noise_sigma,
+                scene_seed,
+            } => {
+                let ds = StereoSpec {
+                    width,
+                    height,
+                    num_disparities,
+                    num_layers,
+                    noise_sigma: noise_sigma as f32,
+                }
+                .generate(scene_seed);
+                let model = StereoModel::new(
+                    &ds.left,
+                    &ds.right,
+                    ds.num_disparities,
+                    STEREO_DATA_WEIGHT,
+                    STEREO_SMOOTH_WEIGHT,
+                )
+                .map_err(bad_model)?;
+                Ok(JobModel::Stereo {
+                    model,
+                    truth: ds.ground_truth,
+                    occlusion: ds.occlusion,
+                })
+            }
+            JobKind::Motion {
+                width,
+                height,
+                window,
+                num_patches,
+                noise_sigma,
+                scene_seed,
+            } => {
+                let ds = FlowSpec {
+                    width,
+                    height,
+                    window,
+                    num_patches,
+                    noise_sigma: noise_sigma as f32,
+                }
+                .generate(scene_seed);
+                let model = MotionModel::new(
+                    &ds.frame1,
+                    &ds.frame2,
+                    ds.window,
+                    MOTION_DATA_WEIGHT,
+                    MOTION_SMOOTH_WEIGHT,
+                )
+                .map_err(bad_model)?;
+                Ok(JobModel::Motion {
+                    model,
+                    truth: ds.ground_truth,
+                })
+            }
+            JobKind::Segmentation {
+                width,
+                height,
+                num_regions,
+                noise_sigma,
+                contrast,
+                scene_seed,
+            } => {
+                let ds = SegmentationSpec {
+                    width,
+                    height,
+                    num_regions,
+                    noise_sigma: noise_sigma as f32,
+                    contrast: contrast as f32,
+                }
+                .generate(scene_seed);
+                let model = SegmentModel::new(
+                    &ds.image,
+                    ds.num_regions,
+                    SEGMENT_DATA_WEIGHT,
+                    SEGMENT_SMOOTH_WEIGHT,
+                )
+                .map_err(bad_model)?;
+                Ok(JobModel::Segmentation {
+                    model,
+                    truth: ds.ground_truth,
+                })
+            }
+        }
+    }
+
+    fn grid(&self) -> mrf::Grid {
+        match self {
+            JobModel::Stereo { model, .. } => model.grid(),
+            JobModel::Motion { model, .. } => model.grid(),
+            JobModel::Segmentation { model, .. } => model.grid(),
+        }
+    }
+
+    fn num_labels(&self) -> usize {
+        match self {
+            JobModel::Stereo { model, .. } => model.num_labels(),
+            JobModel::Motion { model, .. } => model.num_labels(),
+            JobModel::Segmentation { model, .. } => model.num_labels(),
+        }
+    }
+
+    fn schedule(&self) -> Schedule {
+        match self {
+            JobModel::Segmentation { .. } => segmentation_schedule(),
+            _ => annealing_schedule(),
+        }
+    }
+
+    fn sweep(
+        &self,
+        array: &mut RsuArray,
+        field: &mut LabelField,
+        temperature: f64,
+        iteration: u64,
+        seed: u64,
+        threads: usize,
+    ) {
+        match self {
+            JobModel::Stereo { model, .. } => {
+                array.sweep_parallel(model, field, temperature, iteration, seed, threads);
+            }
+            JobModel::Motion { model, .. } => {
+                array.sweep_parallel(model, field, temperature, iteration, seed, threads);
+            }
+            JobModel::Segmentation { model, .. } => {
+                array.sweep_parallel(model, field, temperature, iteration, seed, threads);
+            }
+        }
+    }
+
+    fn score(&self, field: &LabelField) -> (&'static str, f64) {
+        match self {
+            JobModel::Stereo {
+                truth, occlusion, ..
+            } => (
+                "bp",
+                bad_pixel_percentage(field, truth, Some(occlusion), 1.0),
+            ),
+            JobModel::Motion { model, truth } => {
+                let flow: Vec<(isize, isize)> = (0..field.grid().len())
+                    .map(|site| model.label_to_flow(field.get(site)))
+                    .collect();
+                ("epe", endpoint_error(&flow, truth))
+            }
+            JobModel::Segmentation { truth, .. } => ("voi", variation_of_information(field, truth)),
+        }
+    }
+}
+
+/// Why a slice of execution ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SliceStatus {
+    /// The job ran its full iteration budget; score it.
+    Completed,
+    /// The slice's sweep quantum expired with work remaining; the
+    /// scheduler decides who runs next (no lifecycle event — the job is
+    /// still logically running in the queue's eyes).
+    Expired,
+    /// The preempt flag was raised; the job stopped at the next sweep
+    /// boundary and must be checkpointed.
+    Preempted,
+}
+
+/// A job materialized for execution: model + chain state.
+pub struct JobTask {
+    spec: JobSpec,
+    model: JobModel,
+    schedule: Schedule,
+    field: LabelField,
+    next_sweep: usize,
+}
+
+impl JobTask {
+    /// Materializes a fresh task: builds the scene and model from the
+    /// spec and draws the initial field from the chain seed — exactly
+    /// the initialization the standalone checkpointed drivers use, so a
+    /// served job reproduces a CLI run with the same spec.
+    pub fn start(spec: JobSpec) -> Result<Self, SpecError> {
+        spec.validate()?;
+        let model = JobModel::build(&spec)?;
+        let mut rng = Xoshiro256pp::seed_from_u64(spec.seed);
+        let field = LabelField::random(model.grid(), model.num_labels(), &mut rng);
+        let schedule = model.schedule();
+        Ok(JobTask {
+            spec,
+            model,
+            schedule,
+            field,
+            next_sweep: 0,
+        })
+    }
+
+    /// Materializes a task from a suspended job's checkpoint. The model
+    /// is rebuilt from the spec; only field, progress and seed come
+    /// from the checkpoint.
+    pub fn resume(spec: JobSpec, checkpoint: &Checkpoint) -> Result<Self, SpecError> {
+        spec.validate()?;
+        checkpoint
+            .expect_engine(&spec.id)
+            .map_err(|e| SpecError::new(e.to_string()))?;
+        if checkpoint.seed != spec.seed {
+            return Err(SpecError::new(format!(
+                "checkpoint seed {} does not match spec seed {}",
+                checkpoint.seed, spec.seed
+            )));
+        }
+        if checkpoint.next_iteration > spec.iterations {
+            return Err(SpecError::new(format!(
+                "checkpoint is at sweep {} but the spec runs only {}",
+                checkpoint.next_iteration, spec.iterations
+            )));
+        }
+        let model = JobModel::build(&spec)?;
+        let field = checkpoint.restore_field();
+        if field.grid() != model.grid() || field.num_labels() != model.num_labels() {
+            return Err(SpecError::new(
+                "checkpoint field does not match the spec's model",
+            ));
+        }
+        let schedule = model.schedule();
+        Ok(JobTask {
+            spec,
+            model,
+            schedule,
+            field,
+            next_sweep: checkpoint.next_iteration,
+        })
+    }
+
+    /// The spec this task executes.
+    pub fn spec(&self) -> &JobSpec {
+        &self.spec
+    }
+
+    /// Sweeps completed so far.
+    pub fn sweeps_done(&self) -> u64 {
+        self.next_sweep as u64
+    }
+
+    /// Whether the iteration budget is exhausted.
+    pub fn is_done(&self) -> bool {
+        self.next_sweep >= self.spec.iterations
+    }
+
+    /// Runs up to `max_sweeps` sweeps on `array`, polling `preempt`
+    /// at every sweep boundary. Temperature follows the application's
+    /// standard schedule indexed by the *global* sweep number, so a
+    /// resumed chain anneals exactly as an uninterrupted one.
+    pub fn run_slice(
+        &mut self,
+        array: &mut RsuArray,
+        max_sweeps: usize,
+        preempt: &AtomicBool,
+    ) -> SliceStatus {
+        let end = self.spec.iterations.min(self.next_sweep + max_sweeps);
+        while self.next_sweep < end {
+            if preempt.load(Ordering::Acquire) {
+                return SliceStatus::Preempted;
+            }
+            let temperature = self.schedule.temperature(self.next_sweep);
+            self.model.sweep(
+                array,
+                &mut self.field,
+                temperature,
+                self.next_sweep as u64,
+                self.spec.seed,
+                self.spec.threads,
+            );
+            self.next_sweep += 1;
+        }
+        if self.is_done() {
+            SliceStatus::Completed
+        } else {
+            SliceStatus::Expired
+        }
+    }
+
+    /// Captures the suspension state in the v1 checkpoint format
+    /// (engine = job id, chain seed recorded, energy NaN — the array
+    /// drivers thread no incremental energy accumulator).
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint::capture(
+            &self.spec.id,
+            &self.field,
+            self.next_sweep,
+            f64::NAN,
+            0,
+            Vec::new(),
+        )
+        .with_seed(self.spec.seed)
+    }
+
+    /// Scores the finished field: `(metric name, score, field digest)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before the iteration budget is exhausted.
+    pub fn finish(&self) -> (&'static str, f64, u64) {
+        assert!(self.is_done(), "finish() on an unfinished job");
+        let (metric, score) = self.model.score(&self.field);
+        (metric, score, field_digest(&self.field))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Priority;
+    use rsu::RsuConfig;
+
+    fn small_spec(kind: JobKind) -> JobSpec {
+        JobSpec {
+            id: "t-1".into(),
+            tenant: "t".into(),
+            priority: Priority::Batch,
+            seed: 11,
+            iterations: 12,
+            threads: 2,
+            kind,
+        }
+    }
+
+    fn stereo_kind() -> JobKind {
+        JobKind::Stereo {
+            width: 20,
+            height: 14,
+            num_disparities: 5,
+            num_layers: 2,
+            noise_sigma: 1.0,
+            scene_seed: 42,
+        }
+    }
+
+    fn array() -> RsuArray {
+        RsuArray::new(RsuConfig::new_design(), 8)
+    }
+
+    fn run_uninterrupted(spec: &JobSpec) -> (f64, u64) {
+        let mut task = JobTask::start(spec.clone()).unwrap();
+        let status = task.run_slice(&mut array(), spec.iterations, &AtomicBool::new(false));
+        assert_eq!(status, SliceStatus::Completed);
+        let (_, score, digest) = task.finish();
+        (score, digest)
+    }
+
+    #[test]
+    fn resumed_chain_matches_uninterrupted_run_for_each_application() {
+        let kinds = [
+            stereo_kind(),
+            JobKind::Motion {
+                width: 18,
+                height: 14,
+                window: 3,
+                num_patches: 2,
+                noise_sigma: 0.5,
+                scene_seed: 43,
+            },
+            JobKind::Segmentation {
+                width: 20,
+                height: 14,
+                num_regions: 3,
+                noise_sigma: 2.0,
+                contrast: 90.0,
+                scene_seed: 44,
+            },
+        ];
+        for kind in kinds {
+            let spec = small_spec(kind);
+            let (score, digest) = run_uninterrupted(&spec);
+            // Same chain, suspended and resumed every 5 sweeps through
+            // the v1 checkpoint *text* (full serialize/parse cycle).
+            let mut task = JobTask::start(spec.clone()).unwrap();
+            loop {
+                match task.run_slice(&mut array(), 5, &AtomicBool::new(false)) {
+                    SliceStatus::Completed => break,
+                    SliceStatus::Expired => {
+                        let text = task.checkpoint().to_text();
+                        let cp = Checkpoint::from_text(&text).unwrap();
+                        task = JobTask::resume(spec.clone(), &cp).unwrap();
+                    }
+                    SliceStatus::Preempted => unreachable!(),
+                }
+            }
+            let (_, resumed_score, resumed_digest) = task.finish();
+            assert_eq!(resumed_digest, digest, "digest diverged for {spec:?}");
+            assert_eq!(resumed_score, score);
+        }
+    }
+
+    #[test]
+    fn preempt_flag_stops_at_a_sweep_boundary() {
+        let spec = small_spec(stereo_kind());
+        let mut task = JobTask::start(spec).unwrap();
+        let preempt = AtomicBool::new(true);
+        // Pre-raised flag: the slice must yield before sweeping at all.
+        assert_eq!(
+            task.run_slice(&mut array(), 100, &preempt),
+            SliceStatus::Preempted
+        );
+        assert_eq!(task.sweeps_done(), 0);
+        assert!(!task.is_done());
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_checkpoints() {
+        let spec = small_spec(stereo_kind());
+        let mut task = JobTask::start(spec.clone()).unwrap();
+        task.run_slice(&mut array(), 4, &AtomicBool::new(false));
+        let good = task.checkpoint();
+
+        let mut wrong_job = good.clone();
+        wrong_job.engine = "other-job".into();
+        assert!(JobTask::resume(spec.clone(), &wrong_job).is_err());
+
+        let mut wrong_seed = good.clone();
+        wrong_seed.seed = 999;
+        assert!(JobTask::resume(spec.clone(), &wrong_seed).is_err());
+
+        let mut too_far = good.clone();
+        too_far.next_iteration = spec.iterations + 1;
+        assert!(JobTask::resume(spec.clone(), &too_far).is_err());
+
+        // A checkpoint captured for a different scene shape.
+        let other = JobSpec {
+            id: spec.id.clone(),
+            kind: JobKind::Segmentation {
+                width: 10,
+                height: 8,
+                num_regions: 3,
+                noise_sigma: 2.0,
+                contrast: 90.0,
+                scene_seed: 1,
+            },
+            ..spec.clone()
+        };
+        let foreign = JobTask::start(other).unwrap().checkpoint();
+        assert!(JobTask::resume(spec, &foreign).is_err());
+    }
+
+    #[test]
+    fn quantum_expiry_reports_progress_without_completion() {
+        let spec = small_spec(stereo_kind());
+        let mut task = JobTask::start(spec).unwrap();
+        assert_eq!(
+            task.run_slice(&mut array(), 5, &AtomicBool::new(false)),
+            SliceStatus::Expired
+        );
+        assert_eq!(task.sweeps_done(), 5);
+        assert!(!task.is_done());
+    }
+}

@@ -1,0 +1,239 @@
+//! Admission queue with two-level scheduling: strict priority between
+//! classes, fair share within a class.
+//!
+//! * **Priority**: an [`Priority::Interactive`] entry always dispatches
+//!   before any [`Priority::Batch`] entry, and an arriving interactive
+//!   job may preempt a running batch job when no worker is free.
+//! * **Fair share**: within the chosen class, the entry whose *tenant*
+//!   has been served the fewest sweeps goes first — a tenant that
+//!   floods the queue cannot starve others, because every completed
+//!   slice raises its tenant's served-sweep count and pushes its
+//!   remaining entries behind lighter tenants.
+//! * **FIFO tie-break**: equal priority and equal served share resolve
+//!   by submission order, keeping the schedule deterministic for a
+//!   given arrival order and slice accounting.
+//!
+//! The queue is pure data — no clocks, no threads — so scheduling
+//! decisions are unit-testable in isolation from the server.
+
+use crate::spec::{JobSpec, Priority};
+use mrf::Checkpoint;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// Where a dispatched job's chain state comes from.
+#[derive(Debug, Clone)]
+pub enum ResumeFrom {
+    /// First slice: initialize the field from the spec's seed.
+    Fresh,
+    /// Quantum-expiry requeue: the checkpoint stayed in memory.
+    Memory(Checkpoint),
+    /// Preemption with a spool directory: the checkpoint was written
+    /// durably and must be reloaded from disk (exercising the full
+    /// save/load path on every real preemption).
+    Spooled(PathBuf),
+}
+
+/// One queued (or suspended) job with its scheduling bookkeeping.
+#[derive(Debug, Clone)]
+pub struct Pending {
+    /// The job.
+    pub spec: JobSpec,
+    /// Chain state to dispatch with.
+    pub resume: ResumeFrom,
+    /// Whether a `started` event was already emitted (true once the
+    /// first slice dispatched).
+    pub started: bool,
+    /// Whether the next dispatch must emit a `resumed` event (set on
+    /// preemption; quantum-expiry requeues leave it false).
+    pub resume_event_pending: bool,
+    /// Times the job has been preempted.
+    pub preemptions: u32,
+    /// Sweeps completed across all slices so far.
+    pub sweeps_done: u64,
+    /// Arrival order (FIFO tie-break key).
+    pub submit_index: u64,
+    /// Server-clock submission time.
+    pub submit_t_ms: f64,
+    /// Server-clock first-dispatch time, once started.
+    pub first_start_t_ms: Option<f64>,
+}
+
+impl Pending {
+    /// A fresh entry for a just-admitted spec.
+    pub fn new(spec: JobSpec, submit_index: u64, submit_t_ms: f64) -> Self {
+        Pending {
+            spec,
+            resume: ResumeFrom::Fresh,
+            started: false,
+            resume_event_pending: false,
+            preemptions: 0,
+            sweeps_done: 0,
+            submit_index,
+            submit_t_ms,
+            first_start_t_ms: None,
+        }
+    }
+}
+
+/// The admission queue plus per-tenant served-sweep accounting.
+#[derive(Debug, Default)]
+pub struct AdmissionQueue {
+    entries: Vec<Pending>,
+    served_sweeps: BTreeMap<String, u64>,
+}
+
+impl AdmissionQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queued entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Admits (or re-admits, after preemption/quantum expiry) an entry.
+    pub fn push(&mut self, pending: Pending) {
+        self.entries.push(pending);
+    }
+
+    /// Credits `sweeps` executed on behalf of `tenant` to the
+    /// fair-share ledger.
+    pub fn credit(&mut self, tenant: &str, sweeps: u64) {
+        *self.served_sweeps.entry(tenant.to_string()).or_insert(0) += sweeps;
+    }
+
+    /// Sweeps served to `tenant` so far.
+    pub fn served(&self, tenant: &str) -> u64 {
+        self.served_sweeps.get(tenant).copied().unwrap_or(0)
+    }
+
+    /// The highest priority class currently queued.
+    pub fn best_priority(&self) -> Option<Priority> {
+        self.entries.iter().map(|e| e.spec.priority).max()
+    }
+
+    /// Removes and returns the next entry to dispatch: highest priority
+    /// class, then least-served tenant, then FIFO.
+    pub fn pop_next(&mut self) -> Option<Pending> {
+        let best = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| {
+                (
+                    std::cmp::Reverse(e.spec.priority),
+                    self.served(&e.spec.tenant),
+                    e.submit_index,
+                )
+            })
+            .map(|(i, _)| i)?;
+        Some(self.entries.swap_remove(best))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::JobKind;
+
+    fn spec(id: &str, tenant: &str, priority: Priority) -> JobSpec {
+        JobSpec {
+            id: id.into(),
+            tenant: tenant.into(),
+            priority,
+            seed: 1,
+            iterations: 10,
+            threads: 1,
+            kind: JobKind::Segmentation {
+                width: 16,
+                height: 12,
+                num_regions: 3,
+                noise_sigma: 2.0,
+                contrast: 90.0,
+                scene_seed: 1,
+            },
+        }
+    }
+
+    fn queue_of(entries: &[(&str, &str, Priority)]) -> AdmissionQueue {
+        let mut queue = AdmissionQueue::new();
+        for (index, (id, tenant, priority)) in entries.iter().enumerate() {
+            queue.push(Pending::new(
+                spec(id, tenant, *priority),
+                index as u64,
+                index as f64,
+            ));
+        }
+        queue
+    }
+
+    fn drain_ids(mut queue: AdmissionQueue) -> Vec<String> {
+        let mut ids = Vec::new();
+        while let Some(entry) = queue.pop_next() {
+            ids.push(entry.spec.id);
+        }
+        ids
+    }
+
+    #[test]
+    fn interactive_dispatches_before_earlier_batch() {
+        let queue = queue_of(&[
+            ("b1", "a", Priority::Batch),
+            ("b2", "a", Priority::Batch),
+            ("i1", "z", Priority::Interactive),
+        ]);
+        assert_eq!(queue.best_priority(), Some(Priority::Interactive));
+        assert_eq!(drain_ids(queue), ["i1", "b1", "b2"]);
+    }
+
+    #[test]
+    fn fair_share_prefers_the_least_served_tenant() {
+        let mut queue = queue_of(&[
+            ("h1", "hog", Priority::Batch),
+            ("h2", "hog", Priority::Batch),
+            ("l1", "light", Priority::Batch),
+        ]);
+        // The hog has already burned 100 sweeps; the light tenant none.
+        queue.credit("hog", 100);
+        assert_eq!(drain_ids(queue), ["l1", "h1", "h2"]);
+    }
+
+    #[test]
+    fn equal_share_falls_back_to_fifo() {
+        let queue = queue_of(&[
+            ("first", "a", Priority::Batch),
+            ("second", "b", Priority::Batch),
+            ("third", "a", Priority::Batch),
+        ]);
+        assert_eq!(drain_ids(queue), ["first", "second", "third"]);
+    }
+
+    #[test]
+    fn priority_beats_fair_share() {
+        let mut queue = queue_of(&[
+            ("b-light", "light", Priority::Batch),
+            ("i-hog", "hog", Priority::Interactive),
+        ]);
+        // Even a heavily-served tenant's interactive job outranks a
+        // never-served tenant's batch job: classes are strict.
+        queue.credit("hog", 1_000_000);
+        assert_eq!(drain_ids(queue), ["i-hog", "b-light"]);
+    }
+
+    #[test]
+    fn credit_accumulates_per_tenant() {
+        let mut queue = AdmissionQueue::new();
+        queue.credit("a", 30);
+        queue.credit("a", 12);
+        assert_eq!(queue.served("a"), 42);
+        assert_eq!(queue.served("unseen"), 0);
+    }
+}

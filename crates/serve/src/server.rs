@@ -1,0 +1,706 @@
+//! The job server: a scheduler thread packing jobs onto a fleet of
+//! worker threads, each owning one simulated [`RsuArray`].
+//!
+//! ```text
+//!            submit()                 per-worker order channels
+//! clients ────────────► scheduler ═══════════════════════► worker 0 (RsuArray)
+//!                        thread  ◄═══════════════════════  worker 1 (RsuArray)
+//!                           │        shared reply channel        ⋮
+//!                           ├─ admission queue (priority + fair share)
+//!                           ├─ preempt flags (one AtomicBool per slice)
+//!                           └─ JSONL "job" event stream
+//! ```
+//!
+//! Execution is sliced: a dispatch hands a worker at most
+//! [`ServerConfig::quantum`] sweeps. Quantum expiry requeues the job
+//! silently (it is still logically running); raising the slice's
+//! preempt flag makes the worker yield at the next sweep boundary, the
+//! job's state round-trips through the v1 checkpoint format (spooled
+//! durably to disk when [`ServerConfig::spool_dir`] is set) and a
+//! higher-priority job takes the array. Because chains are pure
+//! functions of `(seed, iteration, site)` and models are pure functions
+//! of the spec, results are bit-identical whatever the interleaving —
+//! scheduling affects *when*, never *what*.
+
+use crate::events::{JobEvent, JobState};
+use crate::runner::{JobTask, SliceStatus};
+use crate::sched::{AdmissionQueue, Pending, ResumeFrom};
+use crate::spec::{JobResult, JobSpec, Priority, SpecError};
+use bench::trace_jsonl::JsonlTraceWriter;
+use mrf::Checkpoint;
+use rsu::{RsuArray, RsuConfig};
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::BufWriter;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server shape and policy.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads; each owns one simulated RSU array.
+    pub workers: usize,
+    /// RSU units per worker array.
+    pub array_units: u32,
+    /// Maximum sweeps per scheduling slice.
+    pub quantum: usize,
+    /// When set, preempted jobs spool their checkpoint here durably
+    /// (via [`Checkpoint::save`]) and resume by reloading it from disk;
+    /// when unset, suspension state stays in memory.
+    pub spool_dir: Option<PathBuf>,
+    /// When set, every lifecycle event is streamed live as a `"job"`
+    /// JSONL record to this file.
+    pub trace_path: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 2,
+            array_units: 8,
+            quantum: 10,
+            spool_dir: None,
+            trace_path: None,
+        }
+    }
+}
+
+/// Everything a finished server run produced.
+#[derive(Debug)]
+pub struct ServeOutcome {
+    /// Completed jobs' results, in completion order.
+    pub results: Vec<JobResult>,
+    /// Every lifecycle event, in emission order.
+    pub events: Vec<JobEvent>,
+    /// Scheduler-thread wall time from start to drain.
+    pub wall: Duration,
+}
+
+impl ServeOutcome {
+    /// The result for a job id, if it completed.
+    pub fn result(&self, id: &str) -> Option<&JobResult> {
+        self.results.iter().find(|r| r.id == id)
+    }
+}
+
+/// Orders the scheduler sends a worker.
+enum Order {
+    Run {
+        entry: Box<Pending>,
+        quantum: usize,
+        preempt: Arc<AtomicBool>,
+    },
+    Exit,
+}
+
+/// What a worker did with a slice.
+enum SliceReport {
+    Completed {
+        metric: &'static str,
+        score: f64,
+        field_digest: u64,
+    },
+    Yielded {
+        status: SliceStatus,
+        checkpoint: Box<Checkpoint>,
+    },
+    Failed {
+        message: String,
+    },
+}
+
+/// The unified message stream the scheduler drains.
+enum Msg {
+    Submit(JobSpec),
+    Sliced {
+        worker: u32,
+        entry: Box<Pending>,
+        sweeps_run: u64,
+        report: SliceReport,
+    },
+    Poll {
+        job: String,
+        state: JobState,
+        reply: Sender<bool>,
+    },
+    ShutdownWhenIdle,
+}
+
+/// A slice currently executing on a worker.
+struct RunningSlice {
+    priority: Priority,
+    preempt: Arc<AtomicBool>,
+    preempt_requested: bool,
+}
+
+fn worker_loop(worker: u32, config: &ServerConfig, orders: Receiver<Order>, replies: Sender<Msg>) {
+    let mut array = RsuArray::new(RsuConfig::new_design(), config.array_units);
+    while let Ok(order) = orders.recv() {
+        let (entry, quantum, preempt) = match order {
+            Order::Run {
+                entry,
+                quantum,
+                preempt,
+            } => (entry, quantum, preempt),
+            Order::Exit => break,
+        };
+        let materialized = match &entry.resume {
+            ResumeFrom::Fresh => JobTask::start(entry.spec.clone()),
+            ResumeFrom::Memory(checkpoint) => JobTask::resume(entry.spec.clone(), checkpoint),
+            ResumeFrom::Spooled(path) => Checkpoint::load(path)
+                .map_err(|e| SpecError::new(format!("spooled checkpoint unreadable: {e}")))
+                .and_then(|cp| JobTask::resume(entry.spec.clone(), &cp)),
+        };
+        let mut task = match materialized {
+            Ok(task) => task,
+            Err(e) => {
+                let _ = replies.send(Msg::Sliced {
+                    worker,
+                    entry,
+                    sweeps_run: 0,
+                    report: SliceReport::Failed { message: e.message },
+                });
+                continue;
+            }
+        };
+        let before = task.sweeps_done();
+        let status = task.run_slice(&mut array, quantum, &preempt);
+        let sweeps_run = task.sweeps_done() - before;
+        let report = match status {
+            SliceStatus::Completed => {
+                let (metric, score, field_digest) = task.finish();
+                SliceReport::Completed {
+                    metric,
+                    score,
+                    field_digest,
+                }
+            }
+            SliceStatus::Expired | SliceStatus::Preempted => SliceReport::Yielded {
+                status,
+                checkpoint: Box::new(task.checkpoint()),
+            },
+        };
+        let mut entry = entry;
+        entry.sweeps_done = task.sweeps_done();
+        let _ = replies.send(Msg::Sliced {
+            worker,
+            entry,
+            sweeps_run,
+            report,
+        });
+    }
+}
+
+/// The scheduler's mutable world.
+struct Scheduler {
+    config: ServerConfig,
+    queue: AdmissionQueue,
+    running: Vec<Option<RunningSlice>>,
+    order_txs: Vec<Sender<Order>>,
+    epoch: Instant,
+    submit_counter: u64,
+    events: Vec<JobEvent>,
+    results: Vec<JobResult>,
+    submit_t: BTreeMap<String, f64>,
+    trace: Option<JsonlTraceWriter<BufWriter<fs::File>>>,
+    in_flight: usize,
+    draining: bool,
+}
+
+impl Scheduler {
+    fn now_ms(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64() * 1e3
+    }
+
+    fn emit(&mut self, event: JobEvent) {
+        if let Some(writer) = &mut self.trace {
+            writer.write_record(&event.to_value());
+            writer.flush();
+        }
+        self.events.push(event);
+    }
+
+    fn emit_queue_side(&mut self, job: &str, state: JobState, detail: Option<String>) {
+        let event = JobEvent {
+            job: job.to_string(),
+            state,
+            t_ms: self.now_ms(),
+            worker: None,
+            sweep: 0,
+            detail,
+        };
+        self.emit(event);
+    }
+
+    fn on_submit(&mut self, spec: JobSpec) {
+        let now = self.now_ms();
+        self.submit_t.insert(spec.id.clone(), now);
+        self.emit_queue_side(&spec.id, JobState::Submitted, None);
+        self.emit_queue_side(&spec.id, JobState::Admitted, None);
+        let index = self.submit_counter;
+        self.submit_counter += 1;
+        self.queue.push(Pending::new(spec, index, now));
+        self.in_flight += 1;
+        self.dispatch_and_preempt();
+    }
+
+    /// Fills free workers from the queue, then — if the queue still
+    /// holds an entry outranking some running slice — raises that
+    /// slice's preempt flag.
+    fn dispatch_and_preempt(&mut self) {
+        while let Some(free) = self.running.iter().position(Option::is_none) {
+            let Some(mut entry) = self.queue.pop_next() else {
+                break;
+            };
+            let now = self.now_ms();
+            if !entry.started {
+                entry.started = true;
+                entry.first_start_t_ms = Some(now);
+                let event = JobEvent {
+                    job: entry.spec.id.clone(),
+                    state: JobState::Started,
+                    t_ms: now,
+                    worker: Some(free as u32),
+                    sweep: entry.sweeps_done,
+                    detail: None,
+                };
+                self.emit(event);
+            } else if entry.resume_event_pending {
+                entry.resume_event_pending = false;
+                let event = JobEvent {
+                    job: entry.spec.id.clone(),
+                    state: JobState::Resumed,
+                    t_ms: now,
+                    worker: Some(free as u32),
+                    sweep: entry.sweeps_done,
+                    detail: None,
+                };
+                self.emit(event);
+            }
+            self.running[free] = Some(RunningSlice {
+                priority: entry.spec.priority,
+                preempt: Arc::new(AtomicBool::new(false)),
+                preempt_requested: false,
+            });
+            let slice = self.running[free].as_ref().expect("just placed");
+            let order = Order::Run {
+                entry: Box::new(entry),
+                quantum: self.config.quantum,
+                preempt: Arc::clone(&slice.preempt),
+            };
+            let _ = self.order_txs[free].send(order);
+        }
+        // No worker free: preempt the lowest-priority running slice if
+        // the queue holds something strictly higher.
+        let Some(best) = self.queue.best_priority() else {
+            return;
+        };
+        let victim = self
+            .running
+            .iter_mut()
+            .flatten()
+            .filter(|slice| !slice.preempt_requested && slice.priority < best)
+            .min_by_key(|slice| slice.priority);
+        if let Some(slice) = victim {
+            slice.preempt_requested = true;
+            slice.preempt.store(true, Ordering::Release);
+        }
+    }
+
+    fn on_sliced(&mut self, worker: u32, mut entry: Pending, sweeps_run: u64, report: SliceReport) {
+        let preempting_done = self.running[worker as usize]
+            .take()
+            .map(|s| s.preempt_requested)
+            .unwrap_or(false);
+        self.queue.credit(&entry.spec.tenant, sweeps_run);
+        let now = self.now_ms();
+        match report {
+            SliceReport::Completed {
+                metric,
+                score,
+                field_digest,
+            } => {
+                let event = JobEvent {
+                    job: entry.spec.id.clone(),
+                    state: JobState::Completed,
+                    t_ms: now,
+                    worker: Some(worker),
+                    sweep: entry.sweeps_done,
+                    detail: None,
+                };
+                self.emit(event);
+                let submit_t = self.submit_t.get(&entry.spec.id).copied().unwrap_or(0.0);
+                self.results.push(JobResult {
+                    id: entry.spec.id.clone(),
+                    metric: metric.to_string(),
+                    score,
+                    field_digest,
+                    iterations: entry.spec.iterations,
+                    preemptions: entry.preemptions,
+                    wait_ms: entry.first_start_t_ms.unwrap_or(now) - submit_t,
+                    latency_ms: now - submit_t,
+                });
+                self.in_flight -= 1;
+            }
+            SliceReport::Yielded { status, checkpoint } => {
+                // A preempt flag raised after the final sweep can race
+                // slice completion; a yield with the flag set is a real
+                // preemption, quantum expiry is silent.
+                if status == SliceStatus::Preempted || preempting_done {
+                    entry.preemptions += 1;
+                    entry.resume_event_pending = true;
+                    let event = JobEvent {
+                        job: entry.spec.id.clone(),
+                        state: JobState::Preempted,
+                        t_ms: now,
+                        worker: Some(worker),
+                        sweep: entry.sweeps_done,
+                        detail: None,
+                    };
+                    self.emit(event);
+                    entry.resume = match &self.config.spool_dir {
+                        Some(dir) => {
+                            let path = dir.join(format!("{}.ckpt", entry.spec.id));
+                            match checkpoint.save(&path) {
+                                Ok(()) => ResumeFrom::Spooled(path),
+                                // Disk trouble degrades to in-memory
+                                // suspension rather than losing the job.
+                                Err(_) => ResumeFrom::Memory(*checkpoint),
+                            }
+                        }
+                        None => ResumeFrom::Memory(*checkpoint),
+                    };
+                } else {
+                    entry.resume = ResumeFrom::Memory(*checkpoint);
+                }
+                self.queue.push(entry);
+            }
+            SliceReport::Failed { message } => {
+                let event = JobEvent {
+                    job: entry.spec.id.clone(),
+                    state: JobState::Failed,
+                    t_ms: now,
+                    worker: Some(worker),
+                    sweep: entry.sweeps_done,
+                    detail: Some(message),
+                };
+                self.emit(event);
+                self.in_flight -= 1;
+            }
+        }
+        self.dispatch_and_preempt();
+    }
+
+    fn idle(&self) -> bool {
+        self.in_flight == 0 && self.running.iter().all(Option::is_none)
+    }
+}
+
+/// A running server. Submit jobs, then call
+/// [`finish`](ServeHandle::finish) to drain and collect the outcome.
+pub struct ServeHandle {
+    cmd: Sender<Msg>,
+    scheduler: Option<JoinHandle<ServeOutcome>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServeHandle {
+    /// Validates and submits a job. Validation failures are synchronous
+    /// — an invalid spec never enters the system and emits no events.
+    pub fn submit(&self, spec: &JobSpec) -> Result<(), SpecError> {
+        spec.validate()?;
+        self.cmd
+            .send(Msg::Submit(spec.clone()))
+            .map_err(|_| SpecError::new("server is shut down"))
+    }
+
+    /// Blocks until the given job has emitted the given lifecycle event
+    /// (e.g. wait for `Started` before submitting the preemptor in a
+    /// forced-preemption scenario).
+    pub fn wait_for(&self, job: &str, state: JobState) {
+        loop {
+            let (tx, rx) = mpsc::channel();
+            if self
+                .cmd
+                .send(Msg::Poll {
+                    job: job.to_string(),
+                    state,
+                    reply: tx,
+                })
+                .is_err()
+            {
+                return;
+            }
+            if rx.recv().unwrap_or(true) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Drains the queue, stops all threads and returns results, the
+    /// full event log and wall time.
+    pub fn finish(mut self) -> ServeOutcome {
+        let _ = self.cmd.send(Msg::ShutdownWhenIdle);
+        let outcome = self
+            .scheduler
+            .take()
+            .expect("finish() consumes the handle")
+            .join()
+            .expect("scheduler thread panicked");
+        for worker in self.workers.drain(..) {
+            worker.join().expect("worker thread panicked");
+        }
+        outcome
+    }
+}
+
+/// Starts the server: spawns the scheduler and `config.workers` worker
+/// threads and returns the submission handle.
+///
+/// # Panics
+///
+/// Panics if `config.workers` is zero or the trace/spool paths cannot
+/// be created.
+pub fn serve(config: ServerConfig) -> ServeHandle {
+    assert!(config.workers > 0, "a server needs at least one worker");
+    if let Some(dir) = &config.spool_dir {
+        fs::create_dir_all(dir).expect("spool dir must be creatable");
+    }
+    let trace = config.trace_path.as_ref().map(|path| {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            fs::create_dir_all(parent).expect("trace dir must be creatable");
+        }
+        JsonlTraceWriter::new(BufWriter::new(
+            fs::File::create(path).expect("trace file must be creatable"),
+        ))
+    });
+
+    let (cmd_tx, cmd_rx) = mpsc::channel::<Msg>();
+    let mut order_txs = Vec::with_capacity(config.workers);
+    let mut workers = Vec::with_capacity(config.workers);
+    for index in 0..config.workers {
+        let (order_tx, order_rx) = mpsc::channel::<Order>();
+        order_txs.push(order_tx);
+        let replies = cmd_tx.clone();
+        let worker_config = config.clone();
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("serve-worker-{index}"))
+                .spawn(move || worker_loop(index as u32, &worker_config, order_rx, replies))
+                .expect("worker thread spawns"),
+        );
+    }
+
+    let running = (0..config.workers).map(|_| None).collect();
+    let scheduler_config = config;
+    let scheduler = std::thread::Builder::new()
+        .name("serve-scheduler".into())
+        .spawn(move || {
+            let mut state = Scheduler {
+                order_txs,
+                config: scheduler_config,
+                queue: AdmissionQueue::new(),
+                running,
+                epoch: Instant::now(),
+                submit_counter: 0,
+                events: Vec::new(),
+                results: Vec::new(),
+                submit_t: BTreeMap::new(),
+                trace,
+                in_flight: 0,
+                draining: false,
+            };
+            while let Ok(msg) = cmd_rx.recv() {
+                match msg {
+                    Msg::Submit(spec) => state.on_submit(spec),
+                    Msg::Sliced {
+                        worker,
+                        entry,
+                        sweeps_run,
+                        report,
+                    } => state.on_sliced(worker, *entry, sweeps_run, report),
+                    Msg::Poll {
+                        job,
+                        state: wanted,
+                        reply,
+                    } => {
+                        let seen = state
+                            .events
+                            .iter()
+                            .any(|e| e.state == wanted && e.job == job);
+                        let _ = reply.send(seen);
+                    }
+                    Msg::ShutdownWhenIdle => state.draining = true,
+                }
+                if state.draining && state.idle() {
+                    break;
+                }
+            }
+            for tx in &state.order_txs {
+                let _ = tx.send(Order::Exit);
+            }
+            if let Some(writer) = &mut state.trace {
+                writer.flush();
+                if let Some(e) = writer.take_error() {
+                    eprintln!("serve: trace write failed: {e}");
+                }
+            }
+            ServeOutcome {
+                results: state.results,
+                events: state.events,
+                wall: state.epoch.elapsed(),
+            }
+        })
+        .expect("scheduler thread spawns");
+
+    ServeHandle {
+        cmd: cmd_tx,
+        scheduler: Some(scheduler),
+        workers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::validate_lifecycle;
+    use crate::spec::JobKind;
+
+    fn spec(id: &str, tenant: &str, priority: Priority, iterations: usize) -> JobSpec {
+        JobSpec {
+            id: id.into(),
+            tenant: tenant.into(),
+            priority,
+            seed: 7,
+            iterations,
+            threads: 1,
+            kind: JobKind::Segmentation {
+                width: 16,
+                height: 12,
+                num_regions: 3,
+                noise_sigma: 2.0,
+                contrast: 90.0,
+                scene_seed: 5,
+            },
+        }
+    }
+
+    #[test]
+    fn single_job_runs_to_completion_with_a_clean_lifecycle() {
+        let handle = serve(ServerConfig {
+            workers: 1,
+            quantum: 4,
+            ..ServerConfig::default()
+        });
+        handle
+            .submit(&spec("solo", "t", Priority::Batch, 10))
+            .unwrap();
+        let outcome = handle.finish();
+        assert_eq!(outcome.results.len(), 1);
+        let result = outcome.result("solo").unwrap();
+        assert_eq!(result.iterations, 10);
+        assert_eq!(result.preemptions, 0);
+        validate_lifecycle(&outcome.events).unwrap();
+        // Quantum requeues are silent: no preempted/resumed events.
+        assert!(outcome
+            .events
+            .iter()
+            .all(|e| e.state != JobState::Preempted && e.state != JobState::Resumed));
+    }
+
+    #[test]
+    fn invalid_spec_is_rejected_synchronously_without_events() {
+        let handle = serve(ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        });
+        let bad = JobSpec {
+            iterations: 0,
+            ..spec("bad", "t", Priority::Batch, 1)
+        };
+        assert!(handle.submit(&bad).is_err());
+        let outcome = handle.finish();
+        assert!(outcome.events.is_empty());
+        assert!(outcome.results.is_empty());
+    }
+
+    #[test]
+    fn interactive_job_preempts_a_saturated_batch_fleet() {
+        let handle = serve(ServerConfig {
+            workers: 1,
+            quantum: 1_000, // no quantum slicing: only preemption can interleave
+            ..ServerConfig::default()
+        });
+        let batch = spec("bg", "tenant-b", Priority::Batch, 60);
+        handle.submit(&batch).unwrap();
+        handle.wait_for("bg", JobState::Started);
+        let urgent = spec("fg", "tenant-i", Priority::Interactive, 5);
+        handle.submit(&urgent).unwrap();
+        let outcome = handle.finish();
+        validate_lifecycle(&outcome.events).unwrap();
+
+        // The batch job was preempted at least once and still finished.
+        let bg = outcome.result("bg").expect("batch job completed");
+        assert!(bg.preemptions >= 1, "expected a preemption, got {bg:?}");
+        assert_eq!(bg.iterations, 60);
+        // The interactive job finished before the batch job.
+        let order: Vec<&str> = outcome
+            .events
+            .iter()
+            .filter(|e| e.state == JobState::Completed)
+            .map(|e| e.job.as_str())
+            .collect();
+        assert_eq!(order, ["fg", "bg"]);
+        // And the preempted run is bit-identical to an undisturbed one.
+        let alone = serve(ServerConfig {
+            workers: 1,
+            quantum: 1_000,
+            ..ServerConfig::default()
+        });
+        alone.submit(&batch).unwrap();
+        let undisturbed = alone.finish();
+        assert_eq!(
+            undisturbed.result("bg").unwrap().field_digest,
+            bg.field_digest
+        );
+    }
+
+    #[test]
+    fn fair_share_interleaves_tenants_under_quantum_slicing() {
+        let handle = serve(ServerConfig {
+            workers: 1,
+            quantum: 2,
+            ..ServerConfig::default()
+        });
+        // One hog tenant floods first; a light tenant arrives after.
+        for i in 0..3 {
+            handle
+                .submit(&spec(&format!("hog-{i}"), "hog", Priority::Batch, 8))
+                .unwrap();
+        }
+        handle
+            .submit(&spec("light-0", "light", Priority::Batch, 8))
+            .unwrap();
+        let outcome = handle.finish();
+        validate_lifecycle(&outcome.events).unwrap();
+        assert_eq!(outcome.results.len(), 4);
+        // The light tenant must not finish last: fair share pulls it
+        // ahead of the hog's backlog once the hog has been served.
+        let order: Vec<&str> = outcome
+            .events
+            .iter()
+            .filter(|e| e.state == JobState::Completed)
+            .map(|e| e.job.as_str())
+            .collect();
+        let light_pos = order.iter().position(|j| *j == "light-0").unwrap();
+        assert!(
+            light_pos < order.len() - 1,
+            "light tenant starved: completion order {order:?}"
+        );
+    }
+}

@@ -1,0 +1,634 @@
+//! The job-server wire format: [`JobSpec`] in, [`JobResult`] out.
+//!
+//! Both sides serialize through `bench::minijson`, the same
+//! reader/writer pair the trace and bench artifacts use, so the CI
+//! round-trip gates exercise this grammar too. A job is a pure function
+//! of its spec — the scene is generated from `scene_seed`, the chain
+//! from `seed` — which makes responses deterministic, cacheable and
+//! retries free: resubmitting a spec reproduces the artifact bit for
+//! bit (`JobResult::field_digest`).
+//!
+//! Seeds are 64-bit and ride the wire as [`Value::Integer`]; an `f64`
+//! number payload would silently round seeds above 2^53 and quietly
+//! change which chain a retry runs.
+
+use bench::minijson::{self, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Scheduling class of a job. `Interactive` jobs may preempt running
+/// `Batch` jobs; two jobs of the same class never preempt each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Priority {
+    /// Throughput-oriented; preemptible at sweep boundaries.
+    Batch,
+    /// Latency-sensitive; admitted ahead of every queued batch job.
+    Interactive,
+}
+
+impl Priority {
+    /// Wire name (`"batch"` / `"interactive"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Priority::Batch => "batch",
+            Priority::Interactive => "interactive",
+        }
+    }
+
+    fn parse(text: &str) -> Result<Self, SpecError> {
+        match text {
+            "batch" => Ok(Priority::Batch),
+            "interactive" => Ok(Priority::Interactive),
+            other => Err(SpecError::new(format!("unknown priority {other:?}"))),
+        }
+    }
+}
+
+/// The inference workload a job runs: one of the paper's three vision
+/// applications, with the synthetic-scene knobs and the scene seed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobKind {
+    /// Stereo disparity estimation ([`scenes::StereoSpec`]).
+    Stereo {
+        /// Image width in pixels.
+        width: usize,
+        /// Image height in pixels.
+        height: usize,
+        /// Disparity label count `M` (≥ 4, < width).
+        num_disparities: usize,
+        /// Foreground surfaces layered over the background.
+        num_layers: usize,
+        /// Sensor noise σ.
+        noise_sigma: f64,
+        /// Scene-generation seed.
+        scene_seed: u64,
+    },
+    /// Motion estimation ([`scenes::FlowSpec`]).
+    Motion {
+        /// Frame width in pixels.
+        width: usize,
+        /// Frame height in pixels.
+        height: usize,
+        /// Search-window side (odd, ≥ 3, ≤ both dimensions).
+        window: usize,
+        /// Independently moving patches.
+        num_patches: usize,
+        /// Sensor noise σ.
+        noise_sigma: f64,
+        /// Scene-generation seed.
+        scene_seed: u64,
+    },
+    /// Image segmentation ([`scenes::SegmentationSpec`]).
+    Segmentation {
+        /// Image width in pixels.
+        width: usize,
+        /// Image height in pixels.
+        height: usize,
+        /// Generating regions (2..=64).
+        num_regions: usize,
+        /// Sensor noise σ.
+        noise_sigma: f64,
+        /// Intensity spread across region means.
+        contrast: f64,
+        /// Scene-generation seed.
+        scene_seed: u64,
+    },
+}
+
+impl JobKind {
+    /// Wire name of the application (`"stereo"` / `"motion"` /
+    /// `"segmentation"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobKind::Stereo { .. } => "stereo",
+            JobKind::Motion { .. } => "motion",
+            JobKind::Segmentation { .. } => "segmentation",
+        }
+    }
+}
+
+/// A job request: everything needed to reproduce the artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Unique job id; also the checkpoint label and spool file stem, so
+    /// restricted to `[A-Za-z0-9._-]`.
+    pub id: String,
+    /// Tenant the job is accounted to (fair-share key).
+    pub tenant: String,
+    /// Scheduling class.
+    pub priority: Priority,
+    /// 64-bit chain seed (full range — integer-exact on the wire).
+    pub seed: u64,
+    /// Annealing sweeps to run.
+    pub iterations: usize,
+    /// Compute threads the job's sweeps use on its worker.
+    pub threads: usize,
+    /// The workload.
+    pub kind: JobKind,
+}
+
+/// A malformed or unsatisfiable job spec / result document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// What is wrong.
+    pub message: String,
+}
+
+impl SpecError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        SpecError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad job document: {}", self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn object(fields: Vec<(&str, Value)>) -> Value {
+    let mut map = BTreeMap::new();
+    for (key, value) in fields {
+        map.insert(key.to_string(), value);
+    }
+    Value::Object(map)
+}
+
+fn get_str(doc: &Value, key: &str) -> Result<String, SpecError> {
+    doc.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| SpecError::new(format!("missing string field {key:?}")))
+}
+
+fn get_u64(doc: &Value, key: &str) -> Result<u64, SpecError> {
+    doc.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| SpecError::new(format!("missing integer field {key:?}")))
+}
+
+fn get_usize(doc: &Value, key: &str) -> Result<usize, SpecError> {
+    usize::try_from(get_u64(doc, key)?)
+        .map_err(|_| SpecError::new(format!("field {key:?} out of range")))
+}
+
+fn get_f64(doc: &Value, key: &str) -> Result<f64, SpecError> {
+    doc.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| SpecError::new(format!("missing number field {key:?}")))
+}
+
+impl JobSpec {
+    /// Validates the invariants the scene generators and the scheduler
+    /// rely on (the generators `assert!` theirs; a server must reject,
+    /// not die).
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.id.is_empty()
+            || !self
+                .id
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-')
+        {
+            return Err(SpecError::new(format!(
+                "job id {:?} must be non-empty [A-Za-z0-9._-] (it names the spooled checkpoint)",
+                self.id
+            )));
+        }
+        if self.tenant.is_empty() {
+            return Err(SpecError::new("tenant must be non-empty"));
+        }
+        if self.iterations == 0 {
+            return Err(SpecError::new("iterations must be positive"));
+        }
+        if self.threads == 0 || self.threads > 64 {
+            return Err(SpecError::new("threads must be in 1..=64"));
+        }
+        match self.kind {
+            JobKind::Stereo {
+                width,
+                height,
+                num_disparities,
+                ..
+            } => {
+                if width == 0 || height == 0 {
+                    return Err(SpecError::new("stereo dimensions must be non-zero"));
+                }
+                if num_disparities < 4 || num_disparities >= width {
+                    return Err(SpecError::new(
+                        "stereo num_disparities must be >= 4 and < width",
+                    ));
+                }
+            }
+            JobKind::Motion {
+                width,
+                height,
+                window,
+                ..
+            } => {
+                if window < 3 || window % 2 == 0 || window > width || window > height {
+                    return Err(SpecError::new(
+                        "motion window must be odd, >= 3 and fit the frame",
+                    ));
+                }
+            }
+            JobKind::Segmentation {
+                width,
+                height,
+                num_regions,
+                ..
+            } => {
+                if width == 0 || height == 0 {
+                    return Err(SpecError::new("segmentation dimensions must be non-zero"));
+                }
+                if !(2..=64).contains(&num_regions) {
+                    return Err(SpecError::new("segmentation num_regions must be in 2..=64"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The spec as a minijson document.
+    pub fn to_value(&self) -> Value {
+        let kind_fields = match &self.kind {
+            JobKind::Stereo {
+                width,
+                height,
+                num_disparities,
+                num_layers,
+                noise_sigma,
+                scene_seed,
+            } => vec![
+                ("width", Value::from_u64(*width as u64)),
+                ("height", Value::from_u64(*height as u64)),
+                ("num_disparities", Value::from_u64(*num_disparities as u64)),
+                ("num_layers", Value::from_u64(*num_layers as u64)),
+                ("noise_sigma", Value::Number(*noise_sigma)),
+                ("scene_seed", Value::from_u64(*scene_seed)),
+            ],
+            JobKind::Motion {
+                width,
+                height,
+                window,
+                num_patches,
+                noise_sigma,
+                scene_seed,
+            } => vec![
+                ("width", Value::from_u64(*width as u64)),
+                ("height", Value::from_u64(*height as u64)),
+                ("window", Value::from_u64(*window as u64)),
+                ("num_patches", Value::from_u64(*num_patches as u64)),
+                ("noise_sigma", Value::Number(*noise_sigma)),
+                ("scene_seed", Value::from_u64(*scene_seed)),
+            ],
+            JobKind::Segmentation {
+                width,
+                height,
+                num_regions,
+                noise_sigma,
+                contrast,
+                scene_seed,
+            } => vec![
+                ("width", Value::from_u64(*width as u64)),
+                ("height", Value::from_u64(*height as u64)),
+                ("num_regions", Value::from_u64(*num_regions as u64)),
+                ("noise_sigma", Value::Number(*noise_sigma)),
+                ("contrast", Value::Number(*contrast)),
+                ("scene_seed", Value::from_u64(*scene_seed)),
+            ],
+        };
+        object(vec![
+            ("type", Value::String("job_spec".into())),
+            ("id", Value::String(self.id.clone())),
+            ("tenant", Value::String(self.tenant.clone())),
+            ("priority", Value::String(self.priority.name().into())),
+            ("seed", Value::from_u64(self.seed)),
+            ("iterations", Value::from_u64(self.iterations as u64)),
+            ("threads", Value::from_u64(self.threads as u64)),
+            ("application", Value::String(self.kind.name().into())),
+            ("scene", object(kind_fields)),
+        ])
+    }
+
+    /// Parses and validates a spec document.
+    pub fn from_value(doc: &Value) -> Result<Self, SpecError> {
+        if get_str(doc, "type")? != "job_spec" {
+            return Err(SpecError::new("document type is not \"job_spec\""));
+        }
+        let scene = doc
+            .get("scene")
+            .ok_or_else(|| SpecError::new("missing object field \"scene\""))?;
+        let application = get_str(doc, "application")?;
+        let kind = match application.as_str() {
+            "stereo" => JobKind::Stereo {
+                width: get_usize(scene, "width")?,
+                height: get_usize(scene, "height")?,
+                num_disparities: get_usize(scene, "num_disparities")?,
+                num_layers: get_usize(scene, "num_layers")?,
+                noise_sigma: get_f64(scene, "noise_sigma")?,
+                scene_seed: get_u64(scene, "scene_seed")?,
+            },
+            "motion" => JobKind::Motion {
+                width: get_usize(scene, "width")?,
+                height: get_usize(scene, "height")?,
+                window: get_usize(scene, "window")?,
+                num_patches: get_usize(scene, "num_patches")?,
+                noise_sigma: get_f64(scene, "noise_sigma")?,
+                scene_seed: get_u64(scene, "scene_seed")?,
+            },
+            "segmentation" => JobKind::Segmentation {
+                width: get_usize(scene, "width")?,
+                height: get_usize(scene, "height")?,
+                num_regions: get_usize(scene, "num_regions")?,
+                noise_sigma: get_f64(scene, "noise_sigma")?,
+                contrast: get_f64(scene, "contrast")?,
+                scene_seed: get_u64(scene, "scene_seed")?,
+            },
+            other => return Err(SpecError::new(format!("unknown application {other:?}"))),
+        };
+        let spec = JobSpec {
+            id: get_str(doc, "id")?,
+            tenant: get_str(doc, "tenant")?,
+            priority: Priority::parse(&get_str(doc, "priority")?)?,
+            seed: get_u64(doc, "seed")?,
+            iterations: get_usize(doc, "iterations")?,
+            threads: get_usize(doc, "threads")?,
+            kind,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Serializes to one compact JSON line.
+    pub fn to_json(&self) -> String {
+        self.to_value().to_string()
+    }
+
+    /// Parses [`to_json`](Self::to_json)'s output (or any equivalent
+    /// JSON document).
+    pub fn from_json(text: &str) -> Result<Self, SpecError> {
+        let doc = minijson::parse(text).map_err(|e| SpecError::new(e.to_string()))?;
+        Self::from_value(&doc)
+    }
+}
+
+/// The deterministic outcome of a completed job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResult {
+    /// The job this answers.
+    pub id: String,
+    /// Quality-metric name (`"bp"` for stereo, `"epe"` for motion,
+    /// `"voi"` for segmentation).
+    pub metric: String,
+    /// The metric's value.
+    pub score: f64,
+    /// FNV-1a digest of the final label field — the artifact identity.
+    /// Bit-identical reruns (including preempted/resumed ones) produce
+    /// the same digest; full `u64`, integer-exact on the wire.
+    pub field_digest: u64,
+    /// Sweeps executed (equals the spec's `iterations`).
+    pub iterations: usize,
+    /// Times the job was preempted and later resumed.
+    pub preemptions: u32,
+    /// Queue wait before first execution, milliseconds.
+    pub wait_ms: f64,
+    /// Submit-to-completion latency, milliseconds.
+    pub latency_ms: f64,
+}
+
+impl JobResult {
+    /// The result as a minijson document.
+    pub fn to_value(&self) -> Value {
+        object(vec![
+            ("type", Value::String("job_result".into())),
+            ("id", Value::String(self.id.clone())),
+            ("metric", Value::String(self.metric.clone())),
+            ("score", Value::Number(self.score)),
+            ("field_digest", Value::from_u64(self.field_digest)),
+            ("iterations", Value::from_u64(self.iterations as u64)),
+            ("preemptions", Value::from_u64(self.preemptions as u64)),
+            ("wait_ms", Value::Number(self.wait_ms)),
+            ("latency_ms", Value::Number(self.latency_ms)),
+        ])
+    }
+
+    /// Parses a result document.
+    pub fn from_value(doc: &Value) -> Result<Self, SpecError> {
+        if get_str(doc, "type")? != "job_result" {
+            return Err(SpecError::new("document type is not \"job_result\""));
+        }
+        Ok(JobResult {
+            id: get_str(doc, "id")?,
+            metric: get_str(doc, "metric")?,
+            score: get_f64(doc, "score")?,
+            field_digest: get_u64(doc, "field_digest")?,
+            iterations: get_usize(doc, "iterations")?,
+            preemptions: u32::try_from(get_u64(doc, "preemptions")?)
+                .map_err(|_| SpecError::new("field \"preemptions\" out of range"))?,
+            wait_ms: get_f64(doc, "wait_ms")?,
+            latency_ms: get_f64(doc, "latency_ms")?,
+        })
+    }
+
+    /// Serializes to one compact JSON line.
+    pub fn to_json(&self) -> String {
+        self.to_value().to_string()
+    }
+
+    /// Parses [`to_json`](Self::to_json)'s output.
+    pub fn from_json(text: &str) -> Result<Self, SpecError> {
+        let doc = minijson::parse(text).map_err(|e| SpecError::new(e.to_string()))?;
+        Self::from_value(&doc)
+    }
+}
+
+/// FNV-1a over the label field's row-major `u16` labels: a cheap,
+/// deterministic artifact identity for cache keys and bit-identity
+/// checks.
+pub fn field_digest(field: &mrf::LabelField) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &label in field.as_slice() {
+        for byte in label.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(PRIME);
+        }
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_spec() -> JobSpec {
+        JobSpec {
+            id: "stereo-017".into(),
+            tenant: "acme".into(),
+            priority: Priority::Interactive,
+            seed: u64::MAX,
+            iterations: 40,
+            threads: 2,
+            kind: JobKind::Stereo {
+                width: 32,
+                height: 24,
+                num_disparities: 6,
+                num_layers: 2,
+                noise_sigma: 1.0,
+                scene_seed: (1 << 53) + 1,
+            },
+        }
+    }
+
+    #[test]
+    fn spec_round_trips_with_full_range_seeds() {
+        let spec = sample_spec();
+        let back = JobSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+        // The motivating case: u64::MAX and a 2^53+1 scene seed must
+        // survive the wire exactly (an f64 payload rounds both).
+        assert_eq!(back.seed, u64::MAX);
+        match back.kind {
+            JobKind::Stereo { scene_seed, .. } => assert_eq!(scene_seed, (1 << 53) + 1),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn all_three_applications_round_trip() {
+        let motion = JobSpec {
+            id: "m-1".into(),
+            kind: JobKind::Motion {
+                width: 24,
+                height: 20,
+                window: 5,
+                num_patches: 2,
+                noise_sigma: 0.5,
+                scene_seed: 7,
+            },
+            priority: Priority::Batch,
+            ..sample_spec()
+        };
+        let seg = JobSpec {
+            id: "s-1".into(),
+            kind: JobKind::Segmentation {
+                width: 24,
+                height: 20,
+                num_regions: 3,
+                noise_sigma: 2.0,
+                contrast: 90.0,
+                scene_seed: 8,
+            },
+            ..sample_spec()
+        };
+        for spec in [motion, seg] {
+            assert_eq!(JobSpec::from_json(&spec.to_json()).unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_and_unsatisfiable_specs() {
+        let good = sample_spec();
+        // Structural failures.
+        assert!(JobSpec::from_json("{").is_err());
+        assert!(JobSpec::from_json("{\"type\": \"job_result\"}").is_err());
+        let mut no_seed = good.to_value();
+        if let Value::Object(map) = &mut no_seed {
+            map.remove("seed");
+        }
+        assert!(JobSpec::from_value(&no_seed).is_err());
+        // Semantic failures the generators would panic on.
+        let bad = [
+            JobSpec {
+                id: "has space".into(),
+                ..good.clone()
+            },
+            JobSpec {
+                id: "../escape".into(),
+                ..good.clone()
+            },
+            JobSpec {
+                tenant: String::new(),
+                ..good.clone()
+            },
+            JobSpec {
+                iterations: 0,
+                ..good.clone()
+            },
+            JobSpec {
+                threads: 0,
+                ..good.clone()
+            },
+            JobSpec {
+                kind: JobKind::Stereo {
+                    width: 32,
+                    height: 24,
+                    num_disparities: 3,
+                    num_layers: 2,
+                    noise_sigma: 1.0,
+                    scene_seed: 1,
+                },
+                ..good.clone()
+            },
+            JobSpec {
+                kind: JobKind::Motion {
+                    width: 24,
+                    height: 20,
+                    window: 4,
+                    num_patches: 2,
+                    noise_sigma: 0.5,
+                    scene_seed: 1,
+                },
+                ..good.clone()
+            },
+            JobSpec {
+                kind: JobKind::Segmentation {
+                    width: 24,
+                    height: 20,
+                    num_regions: 1,
+                    noise_sigma: 2.0,
+                    contrast: 90.0,
+                    scene_seed: 1,
+                },
+                ..good.clone()
+            },
+        ];
+        for spec in bad {
+            assert!(
+                JobSpec::from_json(&spec.to_json()).is_err(),
+                "accepted {spec:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn result_round_trips_with_full_range_digest() {
+        let result = JobResult {
+            id: "stereo-017".into(),
+            metric: "bp".into(),
+            score: 12.5,
+            field_digest: u64::MAX - 12,
+            iterations: 40,
+            preemptions: 3,
+            wait_ms: 1.25,
+            latency_ms: 97.0,
+        };
+        let back = JobResult::from_json(&result.to_json()).unwrap();
+        assert_eq!(back, result);
+        assert_eq!(back.field_digest, u64::MAX - 12);
+    }
+
+    #[test]
+    fn digest_distinguishes_fields_and_is_stable() {
+        use mrf::{Grid, LabelField};
+        let a = LabelField::from_labels(Grid::new(3, 2), 4, vec![0, 1, 2, 3, 0, 1]);
+        let b = LabelField::from_labels(Grid::new(3, 2), 4, vec![0, 1, 2, 3, 0, 2]);
+        assert_eq!(field_digest(&a), field_digest(&a));
+        assert_ne!(field_digest(&a), field_digest(&b));
+    }
+}

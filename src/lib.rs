@@ -14,6 +14,9 @@
 //! * [`vision`] — stereo/motion/segmentation applications and metrics.
 //! * [`scenes`] — synthetic datasets with exact ground truth.
 //! * [`uarch`] — area/power/performance models.
+//! * [`serve`] — the multi-tenant job server: admission queue,
+//!   fair-share scheduling and checkpoint-based preemption over a
+//!   fleet of simulated RSU arrays.
 //!
 //! # Example
 //!
@@ -42,6 +45,7 @@
 
 pub use mrf;
 pub use ret_device;
+pub use retrsu_serve as serve;
 pub use rsu;
 pub use sampling;
 pub use scenes;

@@ -6,12 +6,21 @@
 //!
 //! `--threshold <pct>` is accepted as an alias of `--tolerance`.
 //!
-//! Entries are keyed on their `"config"` string; every numeric field
-//! whose name contains `ns_per` (lower is better) is compared. The
-//! process exits non-zero when any metric regresses by more than the
-//! tolerance (default 15%), so CI can diff a fresh bench run against
-//! the committed baseline. Configs present on only one side produce a
-//! warning, not a failure — bench matrices are allowed to grow.
+//! Two export shapes are understood:
+//!
+//! * a `"results"` array — entries keyed on their `"config"` string;
+//!   every numeric field whose name contains `ns_per` (lower is
+//!   better) is compared;
+//! * a `"load_sweep"` object (the `BENCH_serve.json` shape) — each
+//!   point of every sweep array is keyed on its `"label"` string and
+//!   every numeric field ending in `_ms` (latency percentiles, lower
+//!   is better) is compared.
+//!
+//! The process exits non-zero when any metric regresses by more than
+//! the tolerance (default 15%), so CI can diff a fresh bench run
+//! against the committed baseline. Configs present on only one side
+//! produce a warning, not a failure — bench matrices are allowed to
+//! grow, and schema drift degrades to comparing the intersection.
 
 use bench::minijson::{self, Value};
 use std::collections::BTreeMap;
@@ -121,28 +130,54 @@ fn main() -> ExitCode {
 }
 
 /// Loads `path` and flattens it to `config → (metric → value)` for
-/// every lower-is-better metric (name contains `ns_per`).
+/// every lower-is-better metric: `"results"` entries keyed by
+/// `"config"` with `ns_per` fields, or `"load_sweep"` points keyed by
+/// `"label"` with `_ms` fields.
 fn load_results(path: &str) -> Result<BTreeMap<String, BTreeMap<String, f64>>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
     let doc = minijson::parse(&text).map_err(|e| e.to_string())?;
-    let results = doc
-        .get("results")
-        .and_then(Value::as_array)
-        .ok_or("document has no \"results\" array")?;
-    let mut out = BTreeMap::new();
-    for entry in results {
-        let object = entry.as_object().ok_or("result entry is not an object")?;
-        let config = object
-            .get("config")
-            .and_then(Value::as_str)
-            .ok_or("result entry has no \"config\" string")?;
-        let mut metrics = BTreeMap::new();
-        for (key, value) in object {
-            if let (true, Some(v)) = (key.contains("ns_per"), value.as_f64()) {
-                metrics.insert(key.clone(), v);
+    if let Some(results) = doc.get("results").and_then(Value::as_array) {
+        let mut out = BTreeMap::new();
+        for entry in results {
+            let object = entry.as_object().ok_or("result entry is not an object")?;
+            let config = object
+                .get("config")
+                .and_then(Value::as_str)
+                .ok_or("result entry has no \"config\" string")?;
+            let mut metrics = BTreeMap::new();
+            for (key, value) in object {
+                if let (true, Some(v)) = (key.contains("ns_per"), value.as_f64()) {
+                    metrics.insert(key.clone(), v);
+                }
+            }
+            out.insert(config.to_string(), metrics);
+        }
+        return Ok(out);
+    }
+    if let Some(sweep) = doc.get("load_sweep").and_then(Value::as_object) {
+        let mut out = BTreeMap::new();
+        for (sweep_name, points) in sweep {
+            let Some(points) = points.as_array() else {
+                continue; // scalar sweep metadata, not a point array
+            };
+            for point in points {
+                let object = point
+                    .as_object()
+                    .ok_or_else(|| format!("{sweep_name} point is not an object"))?;
+                let label = object
+                    .get("label")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("{sweep_name} point has no \"label\" string"))?;
+                let mut metrics = BTreeMap::new();
+                for (key, value) in object {
+                    if let (true, Some(v)) = (key.ends_with("_ms"), value.as_f64()) {
+                        metrics.insert(key.clone(), v);
+                    }
+                }
+                out.insert(label.to_string(), metrics);
             }
         }
-        out.insert(config.to_string(), metrics);
+        return Ok(out);
     }
-    Ok(out)
+    Err("document has neither a \"results\" array nor a \"load_sweep\" object".into())
 }

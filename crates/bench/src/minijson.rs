@@ -91,6 +91,14 @@ impl Value {
         }
     }
 
+    /// The boolean payload, when this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The string payload, when this is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {

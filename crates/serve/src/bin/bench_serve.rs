@@ -1,8 +1,8 @@
-//! Serving benchmark: throughput and latency of the job server under
+//! Serving benchmark: latency-vs-load curves for the job server under
 //! mixed interactive/batch traffic, plus an end-to-end preemption
 //! demonstration. Writes `BENCH_serve.json` at the workspace root.
 //!
-//! Two scenarios:
+//! Three scenarios:
 //!
 //! * **preemption demo** — one worker, one long batch victim, one
 //!   interactive job arriving after the victim saturates the fleet.
@@ -10,22 +10,34 @@
 //!   (digest equals an uninterrupted run) while the interactive job
 //!   completed first, and that every lifecycle transition appears
 //!   exactly once in the JSONL trace.
-//! * **mixed traffic** — a worker fleet absorbing a burst of batch
-//!   jobs followed by interactive arrivals across three tenants and
-//!   all three applications. Reports jobs/s and p50/p99 latency,
-//!   overall and per priority class.
+//! * **open-loop sweep** — a traffic generator submitting jobs at a
+//!   fixed arrival rate regardless of completions (the "many clients"
+//!   regime), swept across offered loads from half the calibrated
+//!   single-stream throughput to 4×. Queueing delay appears in the
+//!   latency percentiles as the offered load crosses capacity.
+//! * **closed-loop sweep** — K client threads each in a
+//!   submit → wait → submit loop (the "think-time-free session"
+//!   regime), swept across client counts.
+//!
+//! Every point reports achieved jobs/s, p50/p99 latency overall and per
+//! priority class, the result-cache hit ratio (the traffic re-submits a
+//! share of duplicate specs, as real inference traffic does) and the
+//! preemption count. Percentiles come from [`retrsu_serve::percentile`]
+//! — NaN-total-ordered, so a degenerate sample can never panic the
+//! reporter.
 //!
 //! Usage: `bench_serve [--workers N] [--jobs N] [--quantum N]`.
 
 use bench::minijson::Value;
 use bench::trace_jsonl::parse_jsonl;
 use retrsu_serve::{
-    serve, validate_lifecycle, JobEvent, JobKind, JobSpec, JobState, JobTask, Priority,
+    percentile, serve, validate_lifecycle, JobEvent, JobKind, JobSpec, JobState, JobTask, Priority,
     ServeOutcome, ServerConfig, SliceStatus,
 };
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::AtomicBool;
+use std::time::{Duration, Instant};
 
 fn parse_flag(args: &[String], flag: &str, default: usize) -> usize {
     let mut iter = args.iter();
@@ -76,17 +88,6 @@ fn kind_for(index: usize, scene_seed: u64) -> JobKind {
     }
 }
 
-/// Nearest-rank percentile of an unsorted sample (q in 0..=1).
-fn percentile(samples: &[f64], q: f64) -> f64 {
-    if samples.is_empty() {
-        return f64::NAN;
-    }
-    let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
-}
-
 struct PreemptionDemo {
     victim_preemptions: u32,
     digest_matches: bool,
@@ -119,6 +120,8 @@ fn preemption_demo(trace_path: PathBuf) -> PreemptionDemo {
         workers: 1,
         array_units: 8,
         quantum: 1_000,
+        cache_capacity: 256,
+        scene_batch: 4,
         spool_dir: None,
         trace_path: Some(trace_path.clone()),
     });
@@ -176,50 +179,176 @@ fn preemption_demo(trace_path: PathBuf) -> PreemptionDemo {
     }
 }
 
-fn mixed_traffic(workers: usize, jobs: usize, quantum: usize) -> (ServeOutcome, usize, usize) {
-    let handle = serve(ServerConfig {
+/// Distinct `(seed, scene, iterations)` tuples the traffic cycles
+/// through; job `i` and job `i + TRAFFIC_UNIQUE` carry the same spec
+/// digest (the class cycle divides it), so roughly a third of a 24-job
+/// point is duplicate traffic the result cache can answer.
+const TRAFFIC_UNIQUE: usize = 16;
+
+/// Job `i` of a load point: 1-in-4 interactive, three tenants, all
+/// three applications, with the digest-bearing fields cycling modulo
+/// [`TRAFFIC_UNIQUE`].
+fn traffic_spec(i: usize) -> JobSpec {
+    let interactive = i % 4 == 3;
+    let key = (i % TRAFFIC_UNIQUE) as u64;
+    JobSpec {
+        id: format!("{}-{i:04}", if interactive { "live" } else { "batch" }),
+        tenant: ["acme", "globex", "initech"][i % 3].into(),
+        priority: if interactive {
+            Priority::Interactive
+        } else {
+            Priority::Batch
+        },
+        seed: 1_000 + key,
+        iterations: if interactive { 8 } else { 24 },
+        threads: 1,
+        kind: kind_for(key as usize, 2_000 + key),
+    }
+}
+
+fn server(workers: usize, quantum: usize) -> ServerConfig {
+    ServerConfig {
         workers,
         array_units: 8,
         quantum,
+        cache_capacity: 256,
+        scene_batch: 4,
         spool_dir: None,
         trace_path: None,
+    }
+}
+
+/// Open loop: submissions arrive at `rate` jobs/s whether or not
+/// anything completed — arrivals and service are decoupled, so latency
+/// blows up once offered load crosses capacity.
+fn open_loop(workers: usize, quantum: usize, jobs: usize, rate: f64) -> ServeOutcome {
+    let handle = serve(server(workers, quantum));
+    let start = Instant::now();
+    for i in 0..jobs {
+        let due = start + Duration::from_secs_f64(i as f64 / rate);
+        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        handle.submit(&traffic_spec(i)).expect("spec admits");
+    }
+    handle.finish()
+}
+
+/// Closed loop: `clients` threads each in a submit → wait → submit
+/// cycle over a cloneable [`retrsu_serve::ServeClient`] — offered load
+/// self-limits to service capacity, so the sweep traces the
+/// throughput/latency trade-off as concurrency grows.
+fn closed_loop(workers: usize, quantum: usize, jobs: usize, clients: usize) -> ServeOutcome {
+    let handle = serve(server(workers, quantum));
+    let per_client = (jobs / clients).max(1);
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let client = handle.client();
+            scope.spawn(move || {
+                for k in 0..per_client {
+                    let spec = traffic_spec(c * per_client + k);
+                    client.submit(&spec).expect("spec admits");
+                    client.wait_for(&spec.id, JobState::Completed);
+                }
+            });
+        }
     });
-    let tenants = ["acme", "globex", "initech"];
-    // Burst of batch jobs first so the fleet saturates…
-    let batch_jobs = (jobs * 3) / 4;
-    for i in 0..batch_jobs {
-        let spec = JobSpec {
-            id: format!("batch-{i:03}"),
-            tenant: tenants[i % tenants.len()].into(),
-            priority: Priority::Batch,
-            seed: 1_000 + i as u64,
-            iterations: 40,
-            threads: 1,
-            kind: kind_for(i, 2_000 + i as u64),
-        };
-        handle.submit(&spec).expect("batch spec admits");
+    handle.finish()
+}
+
+struct LoadPoint {
+    label: String,
+    mode: &'static str,
+    offered_jobs_per_s: Option<f64>,
+    clients: Option<usize>,
+    jobs: usize,
+    jobs_per_s: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    interactive_p50_ms: f64,
+    interactive_p99_ms: f64,
+    batch_p50_ms: f64,
+    batch_p99_ms: f64,
+    cache_hit_ratio: f64,
+    preemptions: u32,
+}
+
+fn summarize(
+    label: String,
+    mode: &'static str,
+    offered_jobs_per_s: Option<f64>,
+    clients: Option<usize>,
+    outcome: &ServeOutcome,
+) -> LoadPoint {
+    validate_lifecycle(&outcome.events).expect("load-point lifecycle validates");
+    let latencies = |prefix: Option<&str>| -> Vec<f64> {
+        outcome
+            .results
+            .iter()
+            .filter(|r| prefix.is_none_or(|p| r.id.starts_with(p)))
+            .map(|r| r.latency_ms)
+            .collect()
+    };
+    let all = latencies(None);
+    let live = latencies(Some("live-"));
+    let batch = latencies(Some("batch-"));
+    let hits = outcome.results.iter().filter(|r| r.cached).count();
+    LoadPoint {
+        label,
+        mode,
+        offered_jobs_per_s,
+        clients,
+        jobs: outcome.results.len(),
+        jobs_per_s: outcome.results.len() as f64 / outcome.wall.as_secs_f64(),
+        p50_ms: percentile(&all, 0.50),
+        p99_ms: percentile(&all, 0.99),
+        interactive_p50_ms: percentile(&live, 0.50),
+        interactive_p99_ms: percentile(&live, 0.99),
+        batch_p50_ms: percentile(&batch, 0.50),
+        batch_p99_ms: percentile(&batch, 0.99),
+        cache_hit_ratio: hits as f64 / outcome.results.len().max(1) as f64,
+        preemptions: outcome.results.iter().map(|r| r.preemptions).sum(),
     }
-    // …then interactive arrivals that must cut the line (and preempt
-    // when every worker is busy).
-    for i in 0..(jobs - batch_jobs) {
-        let spec = JobSpec {
-            id: format!("live-{i:03}"),
-            tenant: tenants[i % tenants.len()].into(),
-            priority: Priority::Interactive,
-            seed: 5_000 + i as u64,
-            iterations: 8,
-            threads: 1,
-            kind: kind_for(i + 1, 6_000 + i as u64),
-        };
-        handle.submit(&spec).expect("interactive spec admits");
+}
+
+/// `null` for NaN/∞ so the artifact stays valid JSON whatever the
+/// sample looked like.
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.2}")
+    } else {
+        "null".into()
     }
-    (handle.finish(), batch_jobs, jobs - batch_jobs)
+}
+
+fn point_json(p: &LoadPoint) -> String {
+    format!(
+        "{{\"label\": \"{}\", \"mode\": \"{}\", \"offered_jobs_per_s\": {}, \"clients\": {}, \
+         \"jobs\": {}, \"jobs_per_s\": {}, \"p50_ms\": {}, \"p99_ms\": {}, \
+         \"interactive_p50_ms\": {}, \"interactive_p99_ms\": {}, \
+         \"batch_p50_ms\": {}, \"batch_p99_ms\": {}, \
+         \"cache_hit_ratio\": {:.3}, \"preemptions\": {}}}",
+        p.label,
+        p.mode,
+        p.offered_jobs_per_s.map_or("null".into(), num),
+        p.clients.map_or("null".into(), |c| c.to_string()),
+        p.jobs,
+        num(p.jobs_per_s),
+        num(p.p50_ms),
+        num(p.p99_ms),
+        num(p.interactive_p50_ms),
+        num(p.interactive_p99_ms),
+        num(p.batch_p50_ms),
+        num(p.batch_p99_ms),
+        p.cache_hit_ratio,
+        p.preemptions,
+    )
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let workers = parse_flag(&args, "--workers", 4);
-    let jobs = parse_flag(&args, "--jobs", 24);
+    let jobs = parse_flag(&args, "--jobs", 24).max(8);
     let quantum = parse_flag(&args, "--quantum", 8);
 
     let trace_dir = bench::artifacts_dir();
@@ -233,41 +362,64 @@ fn main() {
         "every lifecycle transition must appear exactly once"
     );
 
-    eprintln!("bench_serve: mixed traffic ({workers} workers, {jobs} jobs, quantum {quantum})…");
-    let (outcome, batch_jobs, live_jobs) = mixed_traffic(workers, jobs, quantum);
-    validate_lifecycle(&outcome.events).expect("traffic lifecycle validates");
-    assert_eq!(outcome.results.len(), jobs, "every job must complete");
+    // Calibrate the arrival-rate axis in units the current machine
+    // understands: one closed-loop client's throughput ≈ the inverse
+    // mean service time.
+    eprintln!("bench_serve: calibrating single-stream throughput…");
+    let probe = closed_loop(workers, quantum, 8, 1);
+    let single_stream = probe.results.len() as f64 / probe.wall.as_secs_f64();
 
-    let wall_s = outcome.wall.as_secs_f64();
-    let all: Vec<f64> = outcome.results.iter().map(|r| r.latency_ms).collect();
-    let live: Vec<f64> = outcome
-        .results
+    let mut points: Vec<LoadPoint> = Vec::new();
+    for multiplier in [0.5, 1.0, 2.0, 4.0] {
+        let rate = (single_stream * multiplier).max(1.0);
+        eprintln!(
+            "bench_serve: open loop at {multiplier}× single-stream ({rate:.1} jobs/s, {jobs} jobs)…"
+        );
+        let outcome = open_loop(workers, quantum, jobs, rate);
+        points.push(summarize(
+            format!("open@{multiplier}x"),
+            "open_loop",
+            Some(rate),
+            None,
+            &outcome,
+        ));
+    }
+    for clients in [1usize, 2, 4, 8] {
+        eprintln!("bench_serve: closed loop with {clients} client(s) ({jobs} jobs)…");
+        let outcome = closed_loop(workers, quantum, jobs, clients);
+        points.push(summarize(
+            format!("closed@c{clients}"),
+            "closed_loop",
+            None,
+            Some(clients),
+            &outcome,
+        ));
+    }
+    let open_json: Vec<String> = points
         .iter()
-        .filter(|r| r.id.starts_with("live-"))
-        .map(|r| r.latency_ms)
+        .filter(|p| p.mode == "open_loop")
+        .map(point_json)
         .collect();
-    let batch: Vec<f64> = outcome
-        .results
+    let closed_json: Vec<String> = points
         .iter()
-        .filter(|r| r.id.starts_with("batch-"))
-        .map(|r| r.latency_ms)
+        .filter(|p| p.mode == "closed_loop")
+        .map(point_json)
         .collect();
-    let preemptions: u32 = outcome.results.iter().map(|r| r.preemptions).sum();
 
     let json = format!(
-        "{{\n  \"benchmark\": \"serve\",\n  \"workers\": {workers}, \"quantum\": {quantum},\n  {},\n  \
-         \"note\": \"retrsu-serve under mixed traffic: {batch_jobs} batch jobs (40 sweeps) then \
-         {live_jobs} interactive jobs (8 sweeps) across 3 tenants and all 3 applications; \
-         latency = submit-to-complete; demo = 1-worker forced preemption with digest vs an \
-         uninterrupted run\",\n  \
+        "{{\n  \"benchmark\": \"serve\",\n  \"workers\": {workers}, \"quantum\": {quantum}, \
+         \"jobs_per_point\": {jobs},\n  {},\n  \
+         \"note\": \"retrsu-serve latency-vs-load: each point is a fresh server absorbing mixed \
+         traffic (1-in-4 interactive at 8 sweeps, batch at 24 sweeps, 3 tenants, all 3 \
+         applications, ~1/3 duplicate specs for the result cache); open loop submits at a fixed \
+         arrival rate swept around the calibrated single-stream throughput, closed loop runs K \
+         submit-wait clients; latency = submit-to-complete; demo = 1-worker forced preemption \
+         with digest vs an uninterrupted run\",\n  \
          \"preemption_demo\": {{\"victim_preemptions\": {}, \"digest_matches_uninterrupted\": {}, \
          \"interactive_completed_first\": {}, \"lifecycle_valid\": {}, \
          \"transitions_exactly_once\": {}, \"trace_events\": {}}},\n  \
-         \"traffic\": {{\"jobs\": {jobs}, \"batch_jobs\": {batch_jobs}, \"interactive_jobs\": {live_jobs}, \
-         \"completed\": {}, \"preemptions\": {preemptions}, \"wall_s\": {wall_s:.3}, \
-         \"jobs_per_s\": {:.2},\n    \"p50_latency_ms\": {:.2}, \"p99_latency_ms\": {:.2}, \
-         \"interactive_p50_ms\": {:.2}, \"interactive_p99_ms\": {:.2}, \
-         \"batch_p50_ms\": {:.2}, \"batch_p99_ms\": {:.2}}}\n}}\n",
+         \"load_sweep\": {{\n    \"single_stream_jobs_per_s\": {},\n    \"open_loop\": [\n      {}\n    ],\n    \
+         \"closed_loop\": [\n      {}\n    ]\n  }}\n}}\n",
         bench::provenance_json_fields(),
         demo.victim_preemptions,
         demo.digest_matches,
@@ -275,14 +427,9 @@ fn main() {
         demo.lifecycle_valid,
         demo.transitions_exactly_once,
         demo.trace_events,
-        outcome.results.len(),
-        outcome.results.len() as f64 / wall_s,
-        percentile(&all, 0.50),
-        percentile(&all, 0.99),
-        percentile(&live, 0.50),
-        percentile(&live, 0.99),
-        percentile(&batch, 0.50),
-        percentile(&batch, 0.99),
+        num(single_stream),
+        open_json.join(",\n      "),
+        closed_json.join(",\n      "),
     );
     // CARGO_MANIFEST_DIR of this crate is <root>/crates/serve.
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -294,15 +441,15 @@ fn main() {
     file.write_all(json.as_bytes())
         .expect("can write BENCH_serve.json");
     println!("wrote {}", path.display());
-    println!(
-        "bench_serve: {} jobs in {:.2}s ({:.1} jobs/s), p50 {:.1} ms, p99 {:.1} ms, \
-         interactive p99 {:.1} ms, {} preemptions",
-        outcome.results.len(),
-        wall_s,
-        outcome.results.len() as f64 / wall_s,
-        percentile(&all, 0.50),
-        percentile(&all, 0.99),
-        percentile(&live, 0.99),
-        preemptions
-    );
+    for p in &points {
+        println!(
+            "bench_serve: {:<12} {:>6} jobs/s, p50 {:>8} ms, p99 {:>8} ms, hit ratio {:.2}, {} preemptions",
+            p.label,
+            num(p.jobs_per_s),
+            num(p.p50_ms),
+            num(p.p99_ms),
+            p.cache_hit_ratio,
+            p.preemptions
+        );
+    }
 }

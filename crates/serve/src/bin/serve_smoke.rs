@@ -11,13 +11,18 @@
 //!    one-shot lifecycle transition appears exactly once per job
 //!    (preempted/resumed in matched pairs);
 //! 4. the victim's field digest equals an uninterrupted single-task
-//!    run, and a full server rerun reproduces every digest.
+//!    run, and a full server rerun reproduces every digest;
+//! 5. a duplicate spec (different id/tenant/threads) is answered from
+//!    the result cache without touching a worker, and the cached
+//!    result is bit-identical to a cache-disabled recompute;
+//! 6. the shared percentile reporter survives NaN/empty samples
+//!    (regression for the `partial_cmp().expect(...)` panic).
 
 use bench::minijson::Value;
 use bench::trace_jsonl::parse_jsonl;
 use retrsu_serve::{
-    serve, validate_lifecycle, JobEvent, JobKind, JobResult, JobSpec, JobState, JobTask, Priority,
-    ServeOutcome, ServerConfig, SliceStatus,
+    percentile, serve, validate_lifecycle, JobEvent, JobKind, JobResult, JobSpec, JobState,
+    JobTask, Priority, ServeOutcome, ServerConfig, SliceStatus,
 };
 use std::path::PathBuf;
 use std::sync::atomic::AtomicBool;
@@ -83,6 +88,8 @@ fn run_scenario(trace: PathBuf, spool: PathBuf) -> ServeOutcome {
         workers: 1,
         array_units: 8,
         quantum: 1_000, // only preemption may interleave jobs
+        cache_capacity: 256,
+        scene_batch: 4,
         spool_dir: Some(spool),
         trace_path: Some(trace),
     });
@@ -192,8 +199,77 @@ fn main() {
         assert_eq!(wire.field_digest, result.field_digest);
     }
 
+    // 5. Cache-hit gate: a duplicate spec under a different scheduling
+    // identity is answered from the result cache — no worker, no
+    // started event — and the cached result is bit-identical to a
+    // cache-disabled recompute of the same spec.
+    let original = JobSpec {
+        id: "cache-orig".into(),
+        iterations: 8,
+        ..victim_spec()
+    };
+    let duplicate = JobSpec {
+        id: "cache-dup".into(),
+        tenant: "tenant-other".into(),
+        priority: Priority::Interactive,
+        threads: 2,
+        ..original.clone()
+    };
+    let config = |cache_capacity: usize| ServerConfig {
+        workers: 1,
+        array_units: 8,
+        quantum: 1_000,
+        cache_capacity,
+        scene_batch: 4,
+        spool_dir: None,
+        trace_path: None,
+    };
+    let handle = serve(config(256));
+    handle.submit(&original).expect("original admits");
+    handle.wait_for("cache-orig", JobState::Completed);
+    handle.submit(&duplicate).expect("duplicate admits");
+    let cached_run = handle.finish();
+    validate_lifecycle(&cached_run.events).expect("cached lifecycle holds");
+    let hit = cached_run.result("cache-dup").expect("duplicate completes");
+    assert!(hit.cached, "duplicate spec must be a cache hit: {hit:?}");
+    assert_eq!(cached_run.cache_hits, 1, "exactly one cache hit expected");
+    assert!(
+        !cached_run
+            .events
+            .iter()
+            .any(|e| e.job == "cache-dup" && e.state == JobState::Started),
+        "a cache hit must never reach a worker"
+    );
+
+    let uncached = serve(config(0));
+    uncached.submit(&duplicate).expect("duplicate admits");
+    let recompute_run = uncached.finish();
+    assert_eq!(recompute_run.cache_hits, 0);
+    let recomputed = recompute_run.result("cache-dup").expect("recompute done");
+    assert!(!recomputed.cached);
+    assert_eq!(
+        hit.field_digest, recomputed.field_digest,
+        "cache hit must be bit-identical to an uncached recompute"
+    );
+    assert_eq!(
+        hit.score.to_bits(),
+        recomputed.score.to_bits(),
+        "cached score must equal the recomputed score bit-for-bit"
+    );
+    assert_eq!(hit.metric, recomputed.metric);
+    assert_eq!(hit.iterations, recomputed.iterations);
+
+    // 6. Percentile regression: NaN/empty samples must degrade, not
+    // panic the reporter.
+    assert!(percentile(&[], 0.5).is_nan(), "empty sample reports NaN");
+    let poisoned = [1.0, f64::NAN, 0.0, f64::NAN];
+    assert_eq!(percentile(&poisoned, 0.25), 0.0);
+    assert_eq!(percentile(&poisoned, 0.50), 1.0);
+    assert!(percentile(&poisoned, 1.0).is_nan());
+
     println!(
-        "serve_smoke: OK — 3 jobs, victim preempted {}x, {} trace events, digests stable across rerun",
+        "serve_smoke: OK — 3 jobs, victim preempted {}x, {} trace events, digests stable across \
+         rerun, cache hit bit-identical to recompute, percentile NaN-safe",
         victim.preemptions,
         outcome.events.len()
     );

@@ -5,8 +5,12 @@
 //!
 //! ```text
 //! submitted → admitted → started → (preempted → resumed)* → completed
-//!                                                         ↘ failed
+//!                      ↘ completed (cached)               ↘ failed
 //! ```
+//!
+//! The cached edge is the result cache short-circuit: a spec whose
+//! digest is already answered completes at admission without ever
+//! starting on a worker; its completion event carries `cached: true`.
 //!
 //! is emitted as one `{"kind":"job", ...}` line through the same
 //! [`bench::trace_jsonl::JsonlTraceWriter`] the solver traces use, so
@@ -91,6 +95,9 @@ pub struct JobEvent {
     pub sweep: u64,
     /// Free-form context: the failure reason, or the preempting job.
     pub detail: Option<String>,
+    /// True on a `Completed` event answered from the result cache (the
+    /// job never reached a worker); false everywhere else.
+    pub cached: bool,
 }
 
 impl JobEvent {
@@ -109,6 +116,7 @@ impl JobEvent {
             },
         );
         map.insert("sweep".into(), Value::from_u64(self.sweep));
+        map.insert("cached".into(), Value::Bool(self.cached));
         map.insert(
             "detail".into(),
             match &self.detail {
@@ -157,6 +165,13 @@ impl JobEvent {
                         .ok_or_else(|| SpecError::new("field \"detail\" is not a string"))?,
                 ),
             },
+            // Absent in pre-cache traces: default to uncached.
+            cached: match doc.get("cached") {
+                None | Some(Value::Null) => false,
+                Some(v) => v
+                    .as_bool()
+                    .ok_or_else(|| SpecError::new("field \"cached\" is not a bool"))?,
+            },
         })
     }
 }
@@ -182,7 +197,11 @@ impl fmt::Display for LifecycleError {
 ///
 /// * the one-shot transitions `submitted`, `admitted`, `started` each
 ///   appear **exactly once**, in that order (`started` is absent only
-///   if the job failed at admission);
+///   if the job failed at admission or completed from the result
+///   cache);
+/// * a `completed` event with `cached: true` follows `admitted`
+///   directly — a cached job never starts, is never preempted, and is
+///   the only way `completed` may appear without `started`;
 /// * `preempted`/`resumed` strictly alternate, starting with
 ///   `preempted`, each pair between `started` and the terminal event;
 /// * exactly one terminal event (`completed` xor `failed`) appears, and
@@ -215,7 +234,10 @@ pub fn validate_lifecycle(events: &[JobEvent]) -> Result<(), LifecycleError> {
             ));
         }
         let started = count(JobState::Started);
-        if completed == 1 && started != 1 {
+        let cached = seq
+            .iter()
+            .any(|e| e.state == JobState::Completed && e.cached);
+        if completed == 1 && !cached && started != 1 {
             return fail(format!("started appears {started} times, want 1"));
         }
         if started > 1 {
@@ -269,7 +291,13 @@ pub fn validate_lifecycle(events: &[JobEvent]) -> Result<(), LifecycleError> {
                     suspended = false;
                 }
                 JobState::Completed => {
-                    if phase != JobState::Started || suspended {
+                    if event.cached {
+                        // The cache short-circuit: completion at
+                        // admission, never having run.
+                        if phase != JobState::Admitted {
+                            return fail(format!("cached completed after {phase}"));
+                        }
+                    } else if phase != JobState::Started || suspended {
                         return fail("completed while not running".to_string());
                     }
                     terminal = true;
@@ -320,6 +348,7 @@ mod tests {
             },
             sweep,
             detail: None,
+            cached: false,
         }
     }
 
@@ -356,8 +385,47 @@ mod tests {
             event("b", JobState::Completed, 4.0, 40),
         ];
         events.extend(b);
-        events.sort_by(|x, y| x.t_ms.partial_cmp(&y.t_ms).unwrap());
+        // total_cmp: a NaN timestamp (possible in a hand-edited or
+        // corrupted trace) must not panic the sort — the validator's
+        // monotonicity check is what rejects it.
+        events.sort_by(|x, y| x.t_ms.total_cmp(&y.t_ms));
         validate_lifecycle(&events).unwrap();
+    }
+
+    #[test]
+    fn accepts_cached_completion_without_started() {
+        let events = vec![
+            event("hit", JobState::Submitted, 0.0, 0),
+            event("hit", JobState::Admitted, 0.1, 0),
+            JobEvent {
+                cached: true,
+                worker: None,
+                ..event("hit", JobState::Completed, 0.2, 40)
+            },
+        ];
+        validate_lifecycle(&events).unwrap();
+    }
+
+    #[test]
+    fn rejects_misplaced_cached_completions() {
+        // An uncached completion still may not skip started...
+        let skipped = vec![
+            event("j", JobState::Submitted, 0.0, 0),
+            event("j", JobState::Admitted, 0.1, 0),
+            event("j", JobState::Completed, 0.2, 40),
+        ];
+        assert!(validate_lifecycle(&skipped).is_err());
+        // ...and a cached completion may not follow started.
+        let late_hit = vec![
+            event("j", JobState::Submitted, 0.0, 0),
+            event("j", JobState::Admitted, 0.1, 0),
+            event("j", JobState::Started, 0.2, 0),
+            JobEvent {
+                cached: true,
+                ..event("j", JobState::Completed, 0.3, 40)
+            },
+        ];
+        assert!(validate_lifecycle(&late_hit).is_err());
     }
 
     #[test]

@@ -22,6 +22,10 @@
 //!   worker threads in sweep-quantum slices; interactive arrivals
 //!   preempt batch slices via a flag polled at sweep boundaries, with
 //!   checkpoints optionally spooled durably to disk.
+//! * **Caching** ([`cache`]) — determinism turned into capacity: a
+//!   digest-keyed [`ResultCache`] answers duplicate specs at admission
+//!   without touching a worker, and dispatch groups same-scene jobs so
+//!   a worker builds each scene's model once ([`SceneModelCache`]).
 //! * **Observability** ([`events`]) — every lifecycle transition
 //!   (submitted → admitted → started → preempted → resumed →
 //!   completed/failed) is a typed [`JobEvent`] streamed as a `"job"`
@@ -33,14 +37,18 @@
 //! final label field — and [`JobResult::field_digest`] — is invariant
 //! under preemption count, resume placement and host thread count.
 
+pub mod cache;
 pub mod events;
 pub mod runner;
 pub mod sched;
 pub mod server;
 pub mod spec;
+pub mod stats;
 
+pub use cache::{CachedResult, ResultCache};
 pub use events::{validate_lifecycle, JobEvent, JobState, LifecycleError};
-pub use runner::{JobTask, SliceStatus};
+pub use runner::{JobTask, SceneModelCache, SliceStatus};
 pub use sched::{AdmissionQueue, Pending, ResumeFrom};
-pub use server::{serve, ServeHandle, ServeOutcome, ServerConfig};
-pub use spec::{field_digest, JobKind, JobResult, JobSpec, Priority, SpecError};
+pub use server::{serve, ServeClient, ServeHandle, ServeOutcome, ServerConfig};
+pub use spec::{field_digest, fnv1a, JobKind, JobResult, JobSpec, Priority, SpecError};
+pub use stats::percentile;

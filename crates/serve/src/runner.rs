@@ -28,6 +28,8 @@ use rand::SeedableRng;
 use rsu::RsuArray;
 use sampling::Xoshiro256pp;
 use scenes::{FlowSpec, SegmentationSpec, StereoSpec};
+use std::collections::HashMap;
+use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, Ordering};
 use vision::{
     metrics::{bad_pixel_percentage, endpoint_error, variation_of_information},
@@ -211,6 +213,70 @@ impl JobModel {
     }
 }
 
+/// A worker-local cache of built scene models, keyed by
+/// [`JobSpec::scene_digest`].
+///
+/// Jobs sharing a scene digest are the same model and dataset by
+/// construction (both are pure functions of `application` + `scene`),
+/// so a worker that is handed a same-scene co-dispatch group — or the
+/// same job again after a quantum requeue — reuses the built
+/// [`MrfModel`] instead of regenerating the scene and rebuilding the
+/// energy tables per slice. Models are immutable during sweeps, so
+/// sharing one behind an `Rc` cannot change what any chain computes;
+/// eviction is least-recently-used over a small capacity.
+pub struct SceneModelCache {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<u64, (Rc<JobModel>, u64)>,
+    builds: u64,
+}
+
+impl SceneModelCache {
+    /// A cache holding at most `capacity` built models (zero disables
+    /// reuse: every materialization builds).
+    pub fn new(capacity: usize) -> Self {
+        SceneModelCache {
+            capacity,
+            tick: 0,
+            entries: HashMap::new(),
+            builds: 0,
+        }
+    }
+
+    /// Models built since construction — dispatch-group batching exists
+    /// to keep this counter below the job count.
+    pub fn builds(&self) -> u64 {
+        self.builds
+    }
+
+    fn get_or_build(&mut self, spec: &JobSpec) -> Result<Rc<JobModel>, SpecError> {
+        if self.capacity == 0 {
+            self.builds += 1;
+            return Ok(Rc::new(JobModel::build(spec)?));
+        }
+        self.tick += 1;
+        let key = spec.scene_digest();
+        if let Some((model, stamp)) = self.entries.get_mut(&key) {
+            *stamp = self.tick;
+            return Ok(Rc::clone(model));
+        }
+        self.builds += 1;
+        let model = Rc::new(JobModel::build(spec)?);
+        if self.entries.len() >= self.capacity {
+            if let Some(&oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(key, _)| key)
+            {
+                self.entries.remove(&oldest);
+            }
+        }
+        self.entries.insert(key, (Rc::clone(&model), self.tick));
+        Ok(model)
+    }
+}
+
 /// Why a slice of execution ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SliceStatus {
@@ -225,10 +291,12 @@ pub enum SliceStatus {
     Preempted,
 }
 
-/// A job materialized for execution: model + chain state.
+/// A job materialized for execution: model + chain state. The model is
+/// behind an `Rc` so same-scene tasks on one worker can share a single
+/// build (see [`SceneModelCache`]).
 pub struct JobTask {
     spec: JobSpec,
-    model: JobModel,
+    model: Rc<JobModel>,
     schedule: Schedule,
     field: LabelField,
     next_sweep: usize,
@@ -240,8 +308,17 @@ impl JobTask {
     /// the initialization the standalone checkpointed drivers use, so a
     /// served job reproduces a CLI run with the same spec.
     pub fn start(spec: JobSpec) -> Result<Self, SpecError> {
+        let mut fresh = SceneModelCache::new(0);
+        Self::start_cached(spec, &mut fresh)
+    }
+
+    /// [`start`](Self::start), but resolving the model through a
+    /// worker-local [`SceneModelCache`] so a same-scene group builds it
+    /// once. Cached and uncached materialization run the same chain —
+    /// the model is a pure function of the spec either way.
+    pub fn start_cached(spec: JobSpec, models: &mut SceneModelCache) -> Result<Self, SpecError> {
         spec.validate()?;
-        let model = JobModel::build(&spec)?;
+        let model = models.get_or_build(&spec)?;
         let mut rng = Xoshiro256pp::seed_from_u64(spec.seed);
         let field = LabelField::random(model.grid(), model.num_labels(), &mut rng);
         let schedule = model.schedule();
@@ -258,6 +335,17 @@ impl JobTask {
     /// is rebuilt from the spec; only field, progress and seed come
     /// from the checkpoint.
     pub fn resume(spec: JobSpec, checkpoint: &Checkpoint) -> Result<Self, SpecError> {
+        let mut fresh = SceneModelCache::new(0);
+        Self::resume_cached(spec, checkpoint, &mut fresh)
+    }
+
+    /// [`resume`](Self::resume) through a worker-local
+    /// [`SceneModelCache`].
+    pub fn resume_cached(
+        spec: JobSpec,
+        checkpoint: &Checkpoint,
+        models: &mut SceneModelCache,
+    ) -> Result<Self, SpecError> {
         spec.validate()?;
         checkpoint
             .expect_engine(&spec.id)
@@ -274,7 +362,7 @@ impl JobTask {
                 checkpoint.next_iteration, spec.iterations
             )));
         }
-        let model = JobModel::build(&spec)?;
+        let model = models.get_or_build(&spec)?;
         let field = checkpoint.restore_field();
         if field.grid() != model.grid() || field.num_labels() != model.num_labels() {
             return Err(SpecError::new(
@@ -499,6 +587,45 @@ mod tests {
         };
         let foreign = JobTask::start(other).unwrap().checkpoint();
         assert!(JobTask::resume(spec, &foreign).is_err());
+    }
+
+    #[test]
+    fn scene_cache_builds_once_per_scene_and_preserves_the_chain() {
+        let spec = small_spec(stereo_kind());
+        let (score, digest) = run_uninterrupted(&spec);
+
+        let mut models = SceneModelCache::new(4);
+        // Three same-scene jobs differing only in seed: one build.
+        for seed in [11, 12, 13] {
+            let s = JobSpec {
+                seed,
+                ..spec.clone()
+            };
+            let mut task = JobTask::start_cached(s.clone(), &mut models).unwrap();
+            let status = task.run_slice(&mut array(), s.iterations, &AtomicBool::new(false));
+            assert_eq!(status, SliceStatus::Completed);
+            if seed == spec.seed {
+                let (_, cached_score, cached_digest) = task.finish();
+                assert_eq!(cached_digest, digest, "shared model changed the chain");
+                assert_eq!(cached_score, score);
+            }
+        }
+        assert_eq!(models.builds(), 1);
+
+        // A different scene misses and builds.
+        let other = JobSpec {
+            kind: JobKind::Segmentation {
+                width: 10,
+                height: 8,
+                num_regions: 3,
+                noise_sigma: 2.0,
+                contrast: 90.0,
+                scene_seed: 1,
+            },
+            ..spec
+        };
+        JobTask::start_cached(other, &mut models).unwrap();
+        assert_eq!(models.builds(), 2);
     }
 
     #[test]

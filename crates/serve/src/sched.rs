@@ -13,6 +13,19 @@
 //!   by submission order, keeping the schedule deterministic for a
 //!   given arrival order and slice accounting.
 //!
+//! The fair-share ledger is *bounded*: tenants are reference-counted
+//! ([`admit`](AdmissionQueue::admit) / [`finish`](AdmissionQueue::finish))
+//! and a tenant with no live jobs is retired from the ledger entirely,
+//! so a long-running server's memory tracks its live tenant set, not
+//! every tenant it has ever seen. A retired tenant that returns starts
+//! from zero served sweeps — fair share is an *intra-epoch* contract
+//! among tenants competing right now, not a permanent debt.
+//!
+//! Dispatch is one pass: each entry caches its tenant's served count
+//! ([`Pending::served_cache`], refreshed on push and on every credit),
+//! so [`pop_next`](AdmissionQueue::pop_next) scans the entries once
+//! without a ledger lookup per element.
+//!
 //! The queue is pure data — no clocks, no threads — so scheduling
 //! decisions are unit-testable in isolation from the server.
 
@@ -39,6 +52,12 @@ pub enum ResumeFrom {
 pub struct Pending {
     /// The job.
     pub spec: JobSpec,
+    /// [`JobSpec::digest`], computed once at admission (the result
+    /// cache key the completion will be stored under).
+    pub digest: u64,
+    /// [`JobSpec::scene_digest`], computed once at admission (the
+    /// same-scene co-dispatch group key).
+    pub scene_digest: u64,
     /// Chain state to dispatch with.
     pub resume: ResumeFrom,
     /// Whether a `started` event was already emitted (true once the
@@ -57,13 +76,21 @@ pub struct Pending {
     pub submit_t_ms: f64,
     /// Server-clock first-dispatch time, once started.
     pub first_start_t_ms: Option<f64>,
+    /// Cached copy of the tenant's served-sweep count, kept in sync by
+    /// [`AdmissionQueue::push`] and [`AdmissionQueue::credit`] so a
+    /// dispatch decision is a single pass over the entries.
+    pub served_cache: u64,
 }
 
 impl Pending {
     /// A fresh entry for a just-admitted spec.
     pub fn new(spec: JobSpec, submit_index: u64, submit_t_ms: f64) -> Self {
+        let digest = spec.digest();
+        let scene_digest = spec.scene_digest();
         Pending {
             spec,
+            digest,
+            scene_digest,
             resume: ResumeFrom::Fresh,
             started: false,
             resume_event_pending: false,
@@ -72,15 +99,24 @@ impl Pending {
             submit_index,
             submit_t_ms,
             first_start_t_ms: None,
+            served_cache: 0,
         }
     }
+}
+
+/// Per-tenant fair-share state: served sweeps plus a live-job count
+/// that decides when the tenant leaves the ledger.
+#[derive(Debug, Default, Clone, Copy)]
+struct TenantShare {
+    served: u64,
+    live_jobs: usize,
 }
 
 /// The admission queue plus per-tenant served-sweep accounting.
 #[derive(Debug, Default)]
 pub struct AdmissionQueue {
     entries: Vec<Pending>,
-    served_sweeps: BTreeMap<String, u64>,
+    tenants: BTreeMap<String, TenantShare>,
 }
 
 impl AdmissionQueue {
@@ -99,20 +135,61 @@ impl AdmissionQueue {
         self.entries.is_empty()
     }
 
-    /// Admits (or re-admits, after preemption/quantum expiry) an entry.
-    pub fn push(&mut self, pending: Pending) {
+    /// Registers a live job for `tenant`. Call once per admitted job;
+    /// the tenant stays in the fair-share ledger until every registered
+    /// job has [`finish`](Self::finish)ed.
+    pub fn admit(&mut self, tenant: &str) {
+        self.tenants
+            .entry(tenant.to_string())
+            .or_default()
+            .live_jobs += 1;
+    }
+
+    /// Unregisters a live job for `tenant` (terminal event: completed
+    /// or failed). A tenant whose last live job finishes is retired —
+    /// its ledger entry is dropped, bounding the ledger by the live
+    /// tenant set. If it returns later it starts from zero served
+    /// sweeps.
+    pub fn finish(&mut self, tenant: &str) {
+        if let Some(share) = self.tenants.get_mut(tenant) {
+            share.live_jobs = share.live_jobs.saturating_sub(1);
+            if share.live_jobs == 0 {
+                self.tenants.remove(tenant);
+            }
+        }
+    }
+
+    /// Tenants currently tracked by the fair-share ledger.
+    pub fn ledger_len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Admits (or re-admits, after preemption/quantum expiry) an entry,
+    /// refreshing its cached served count.
+    pub fn push(&mut self, mut pending: Pending) {
+        pending.served_cache = self.served(&pending.spec.tenant);
         self.entries.push(pending);
     }
 
     /// Credits `sweeps` executed on behalf of `tenant` to the
-    /// fair-share ledger.
+    /// fair-share ledger and refreshes the cached count on the tenant's
+    /// queued entries.
     pub fn credit(&mut self, tenant: &str, sweeps: u64) {
-        *self.served_sweeps.entry(tenant.to_string()).or_insert(0) += sweeps;
+        let Some(share) = self.tenants.get_mut(tenant) else {
+            return; // retired tenant (e.g. a failed job's final slice)
+        };
+        share.served += sweeps;
+        let served = share.served;
+        for entry in &mut self.entries {
+            if entry.spec.tenant == tenant {
+                entry.served_cache = served;
+            }
+        }
     }
 
-    /// Sweeps served to `tenant` so far.
+    /// Sweeps served to `tenant` so far (zero once retired).
     pub fn served(&self, tenant: &str) -> u64 {
-        self.served_sweeps.get(tenant).copied().unwrap_or(0)
+        self.tenants.get(tenant).map(|s| s.served).unwrap_or(0)
     }
 
     /// The highest priority class currently queued.
@@ -121,7 +198,8 @@ impl AdmissionQueue {
     }
 
     /// Removes and returns the next entry to dispatch: highest priority
-    /// class, then least-served tenant, then FIFO.
+    /// class, then least-served tenant, then FIFO. One pass — the
+    /// served key is read from each entry's cache, not the ledger.
     pub fn pop_next(&mut self) -> Option<Pending> {
         let best = self
             .entries
@@ -130,10 +208,26 @@ impl AdmissionQueue {
             .min_by_key(|(_, e)| {
                 (
                     std::cmp::Reverse(e.spec.priority),
-                    self.served(&e.spec.tenant),
+                    e.served_cache,
                     e.submit_index,
                 )
             })
+            .map(|(i, _)| i)?;
+        Some(self.entries.swap_remove(best))
+    }
+
+    /// Removes and returns the best queued entry whose scene digest and
+    /// priority class match — the co-dispatch companion selector.
+    /// Within the matching set the order is the same fair-share order
+    /// `pop_next` would use, so batching reorders *across* scenes, not
+    /// within the group.
+    pub fn pop_matching(&mut self, scene_digest: u64, priority: Priority) -> Option<Pending> {
+        let best = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.scene_digest == scene_digest && e.spec.priority == priority)
+            .min_by_key(|(_, e)| (e.served_cache, e.submit_index))
             .map(|(i, _)| i)?;
         Some(self.entries.swap_remove(best))
     }
@@ -145,6 +239,10 @@ mod tests {
     use crate::spec::JobKind;
 
     fn spec(id: &str, tenant: &str, priority: Priority) -> JobSpec {
+        spec_with_scene(id, tenant, priority, 1)
+    }
+
+    fn spec_with_scene(id: &str, tenant: &str, priority: Priority, scene_seed: u64) -> JobSpec {
         JobSpec {
             id: id.into(),
             tenant: tenant.into(),
@@ -158,7 +256,7 @@ mod tests {
                 num_regions: 3,
                 noise_sigma: 2.0,
                 contrast: 90.0,
-                scene_seed: 1,
+                scene_seed,
             },
         }
     }
@@ -166,6 +264,7 @@ mod tests {
     fn queue_of(entries: &[(&str, &str, Priority)]) -> AdmissionQueue {
         let mut queue = AdmissionQueue::new();
         for (index, (id, tenant, priority)) in entries.iter().enumerate() {
+            queue.admit(tenant);
             queue.push(Pending::new(
                 spec(id, tenant, *priority),
                 index as u64,
@@ -229,11 +328,88 @@ mod tests {
     }
 
     #[test]
-    fn credit_accumulates_per_tenant() {
-        let mut queue = AdmissionQueue::new();
+    fn credit_accumulates_per_tenant_and_refreshes_entry_caches() {
+        let mut queue = queue_of(&[("a1", "a", Priority::Batch)]);
         queue.credit("a", 30);
         queue.credit("a", 12);
         assert_eq!(queue.served("a"), 42);
         assert_eq!(queue.served("unseen"), 0);
+        // The queued entry's cached key tracks the ledger, so the next
+        // one-pass dispatch sees the up-to-date share.
+        assert_eq!(queue.entries[0].served_cache, 42);
+    }
+
+    #[test]
+    fn drained_tenants_retire_from_the_ledger() {
+        let mut queue = AdmissionQueue::new();
+        // Two live jobs for one tenant, one for another.
+        queue.admit("a");
+        queue.admit("a");
+        queue.admit("b");
+        queue.credit("a", 50);
+        queue.credit("b", 10);
+        assert_eq!(queue.ledger_len(), 2);
+        // One of a's jobs finishes: still live, share preserved.
+        queue.finish("a");
+        assert_eq!(queue.ledger_len(), 2);
+        assert_eq!(queue.served("a"), 50);
+        // The last one finishes: a retires, its share is forgotten.
+        queue.finish("a");
+        assert_eq!(queue.ledger_len(), 1);
+        assert_eq!(queue.served("a"), 0);
+        // b unaffected.
+        assert_eq!(queue.served("b"), 10);
+        queue.finish("b");
+        assert_eq!(queue.ledger_len(), 0);
+        // A returning tenant starts a fresh epoch at zero.
+        queue.admit("a");
+        assert_eq!(queue.served("a"), 0);
+        assert_eq!(queue.ledger_len(), 1);
+    }
+
+    #[test]
+    fn retirement_keeps_fair_share_among_live_tenants() {
+        // A heavy tenant drains and retires; the ordering among the
+        // tenants still competing is unchanged by the retirement.
+        let mut queue = queue_of(&[("x1", "x", Priority::Batch), ("y1", "y", Priority::Batch)]);
+        queue.admit("heavy");
+        queue.credit("heavy", 1_000);
+        queue.finish("heavy"); // drained → retired
+        assert_eq!(queue.ledger_len(), 2, "only live tenants remain");
+        queue.credit("x", 5);
+        assert_eq!(drain_ids(queue), ["y1", "x1"]);
+    }
+
+    #[test]
+    fn pop_matching_takes_same_scene_same_class_in_fair_order() {
+        let mut queue = AdmissionQueue::new();
+        let jobs = [
+            ("s1-a", "a", Priority::Batch, 1),
+            ("s2-b", "b", Priority::Batch, 2),
+            ("s1-b", "b", Priority::Batch, 1),
+            ("s1-i", "c", Priority::Interactive, 1),
+            ("s1-a2", "a", Priority::Batch, 1),
+        ];
+        for (index, (id, tenant, priority, scene)) in jobs.iter().enumerate() {
+            queue.admit(tenant);
+            queue.push(Pending::new(
+                spec_with_scene(id, tenant, *priority, *scene),
+                index as u64,
+                index as f64,
+            ));
+        }
+        let head = queue.pop_next();
+        // Interactive outranks every batch entry.
+        assert_eq!(head.as_ref().unwrap().spec.id, "s1-i");
+        // Batch companions for scene 1 only — never the interactive
+        // class, never scene 2 — in (served, FIFO) order.
+        let scene = spec_with_scene("probe", "p", Priority::Batch, 1).scene_digest();
+        queue.credit("a", 100);
+        let ids: Vec<String> = std::iter::from_fn(|| queue.pop_matching(scene, Priority::Batch))
+            .map(|e| e.spec.id)
+            .collect();
+        assert_eq!(ids, ["s1-b", "s1-a", "s1-a2"]);
+        // Scene 2 remains queued.
+        assert_eq!(drain_ids(queue), ["s2-b"]);
     }
 }

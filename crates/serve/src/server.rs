@@ -7,13 +7,14 @@
 //!                        thread  ◄═══════════════════════  worker 1 (RsuArray)
 //!                           │        shared reply channel        ⋮
 //!                           ├─ admission queue (priority + fair share)
+//!                           ├─ result cache (spec digest → result)
 //!                           ├─ preempt flags (one AtomicBool per slice)
 //!                           └─ JSONL "job" event stream
 //! ```
 //!
 //! Execution is sliced: a dispatch hands a worker at most
-//! [`ServerConfig::quantum`] sweeps. Quantum expiry requeues the job
-//! silently (it is still logically running); raising the slice's
+//! [`ServerConfig::quantum`] sweeps per job. Quantum expiry requeues the
+//! job silently (it is still logically running); raising the slice's
 //! preempt flag makes the worker yield at the next sweep boundary, the
 //! job's state round-trips through the v1 checkpoint format (spooled
 //! durably to disk when [`ServerConfig::spool_dir`] is set) and a
@@ -21,9 +22,25 @@
 //! functions of `(seed, iteration, site)` and models are pure functions
 //! of the spec, results are bit-identical whatever the interleaving —
 //! scheduling affects *when*, never *what*.
+//!
+//! Two capacity levers ride on that determinism contract:
+//!
+//! * **Result cache** — admission consults a digest-keyed
+//!   [`ResultCache`]; a hit completes the job without touching a worker
+//!   (`submitted → admitted → completed`, `cached: true` on the event
+//!   and the [`JobResult`]). Sound because [`JobSpec::digest`] hashes
+//!   exactly the fields the artifact depends on.
+//! * **Same-scene co-dispatch** — a dispatch batches up to
+//!   [`ServerConfig::scene_batch`] queued jobs sharing the head's scene
+//!   digest and priority class, so the worker builds the scene's
+//!   `MrfModel` once for the whole group (and keeps it in a small
+//!   worker-local LRU across slices). A batch still honors preemption:
+//!   the flag is polled at every sweep boundary, and members the flag
+//!   beats to the worker are handed back untouched.
 
+use crate::cache::{CachedResult, ResultCache};
 use crate::events::{JobEvent, JobState};
-use crate::runner::{JobTask, SliceStatus};
+use crate::runner::{JobTask, SceneModelCache, SliceStatus};
 use crate::sched::{AdmissionQueue, Pending, ResumeFrom};
 use crate::spec::{JobResult, JobSpec, Priority, SpecError};
 use bench::trace_jsonl::JsonlTraceWriter;
@@ -33,11 +50,15 @@ use std::collections::BTreeMap;
 use std::fs;
 use std::io::BufWriter;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Built scene models a worker keeps across orders: enough for a batch
+/// plus a couple of alternating scenes under quantum slicing.
+const WORKER_SCENE_CACHE: usize = 4;
 
 /// Server shape and policy.
 #[derive(Debug, Clone)]
@@ -46,8 +67,14 @@ pub struct ServerConfig {
     pub workers: usize,
     /// RSU units per worker array.
     pub array_units: u32,
-    /// Maximum sweeps per scheduling slice.
+    /// Maximum sweeps per job per scheduling slice.
     pub quantum: usize,
+    /// Result-cache capacity in entries; zero disables caching (every
+    /// job recomputes).
+    pub cache_capacity: usize,
+    /// Maximum jobs per same-scene co-dispatch group; one disables
+    /// batching (every dispatch is a single job).
+    pub scene_batch: usize,
     /// When set, preempted jobs spool their checkpoint here durably
     /// (via [`Checkpoint::save`]) and resume by reloading it from disk;
     /// when unset, suspension state stays in memory.
@@ -63,6 +90,8 @@ impl Default for ServerConfig {
             workers: 2,
             array_units: 8,
             quantum: 10,
+            cache_capacity: 256,
+            scene_batch: 4,
             spool_dir: None,
             trace_path: None,
         }
@@ -78,6 +107,16 @@ pub struct ServeOutcome {
     pub events: Vec<JobEvent>,
     /// Scheduler-thread wall time from start to drain.
     pub wall: Duration,
+    /// Result-cache hits (jobs answered without a worker).
+    pub cache_hits: u64,
+    /// Result-cache misses (jobs that recomputed).
+    pub cache_misses: u64,
+    /// `wait_for` round trips the scheduler answered — one per call
+    /// with a blocking wait, unbounded with a poll loop.
+    pub poll_round_trips: u64,
+    /// Scene models built across all workers; co-dispatch batching
+    /// exists to keep this below the dispatched-slice count.
+    pub model_builds: u64,
 }
 
 impl ServeOutcome {
@@ -89,15 +128,18 @@ impl ServeOutcome {
 
 /// Orders the scheduler sends a worker.
 enum Order {
+    /// Run each entry for up to `quantum` sweeps, in order. Entries
+    /// share a scene digest and priority class; `preempt` covers the
+    /// whole group.
     Run {
-        entry: Box<Pending>,
+        entries: Vec<Pending>,
         quantum: usize,
         preempt: Arc<AtomicBool>,
     },
     Exit,
 }
 
-/// What a worker did with a slice.
+/// What a worker did with one batch member.
 enum SliceReport {
     Completed {
         metric: &'static str,
@@ -108,6 +150,9 @@ enum SliceReport {
         status: SliceStatus,
         checkpoint: Box<Checkpoint>,
     },
+    /// The preempt flag beat this member to the worker: handed back
+    /// untouched (no sweeps, no events, resume state unchanged).
+    Requeued,
     Failed {
         message: String,
     },
@@ -122,76 +167,123 @@ enum Msg {
         sweeps_run: u64,
         report: SliceReport,
     },
-    Poll {
+    /// Blocking wait: the scheduler replies once the event exists —
+    /// immediately if it already happened, otherwise when it is
+    /// emitted. One message per `wait_for` call, however long the wait.
+    Wait {
         job: String,
         state: JobState,
-        reply: Sender<bool>,
+        reply: Sender<()>,
     },
     ShutdownWhenIdle,
 }
 
-/// A slice currently executing on a worker.
+/// A batch currently executing on a worker.
 struct RunningSlice {
     priority: Priority,
     preempt: Arc<AtomicBool>,
     preempt_requested: bool,
+    /// Batch members whose `Sliced` report is still outstanding; the
+    /// worker slot frees when this reaches zero.
+    remaining: usize,
 }
 
-fn worker_loop(worker: u32, config: &ServerConfig, orders: Receiver<Order>, replies: Sender<Msg>) {
+fn worker_loop(
+    worker: u32,
+    config: &ServerConfig,
+    orders: Receiver<Order>,
+    replies: Sender<Msg>,
+    builds: Arc<AtomicU64>,
+) {
     let mut array = RsuArray::new(RsuConfig::new_design(), config.array_units);
+    let mut models = SceneModelCache::new(WORKER_SCENE_CACHE);
+    let mut reported_builds = 0u64;
     while let Ok(order) = orders.recv() {
-        let (entry, quantum, preempt) = match order {
+        let (entries, quantum, preempt) = match order {
             Order::Run {
-                entry,
+                entries,
                 quantum,
                 preempt,
-            } => (entry, quantum, preempt),
+            } => (entries, quantum, preempt),
             Order::Exit => break,
         };
-        let materialized = match &entry.resume {
-            ResumeFrom::Fresh => JobTask::start(entry.spec.clone()),
-            ResumeFrom::Memory(checkpoint) => JobTask::resume(entry.spec.clone(), checkpoint),
-            ResumeFrom::Spooled(path) => Checkpoint::load(path)
-                .map_err(|e| SpecError::new(format!("spooled checkpoint unreadable: {e}")))
-                .and_then(|cp| JobTask::resume(entry.spec.clone(), &cp)),
-        };
-        let mut task = match materialized {
-            Ok(task) => task,
-            Err(e) => {
+        let mut preempted = false;
+        for entry in entries {
+            if preempted || preempt.load(Ordering::Acquire) {
+                preempted = true;
                 let _ = replies.send(Msg::Sliced {
                     worker,
-                    entry,
+                    entry: Box::new(entry),
                     sweeps_run: 0,
-                    report: SliceReport::Failed { message: e.message },
+                    report: SliceReport::Requeued,
                 });
                 continue;
             }
-        };
-        let before = task.sweeps_done();
-        let status = task.run_slice(&mut array, quantum, &preempt);
-        let sweeps_run = task.sweeps_done() - before;
-        let report = match status {
-            SliceStatus::Completed => {
-                let (metric, score, field_digest) = task.finish();
-                SliceReport::Completed {
-                    metric,
-                    score,
-                    field_digest,
+            let materialized = match &entry.resume {
+                ResumeFrom::Fresh => JobTask::start_cached(entry.spec.clone(), &mut models),
+                ResumeFrom::Memory(checkpoint) => {
+                    JobTask::resume_cached(entry.spec.clone(), checkpoint, &mut models)
                 }
+                ResumeFrom::Spooled(path) => Checkpoint::load(path)
+                    .map_err(|e| SpecError::new(format!("spooled checkpoint unreadable: {e}")))
+                    .and_then(|cp| JobTask::resume_cached(entry.spec.clone(), &cp, &mut models)),
+            };
+            // Publish build-count growth before the report that caused
+            // it: the channel send orders the counter ahead of the
+            // scheduler's drain.
+            let delta = models.builds() - reported_builds;
+            if delta > 0 {
+                builds.fetch_add(delta, Ordering::Relaxed);
+                reported_builds = models.builds();
             }
-            SliceStatus::Expired | SliceStatus::Preempted => SliceReport::Yielded {
-                status,
-                checkpoint: Box::new(task.checkpoint()),
-            },
-        };
-        let mut entry = entry;
-        entry.sweeps_done = task.sweeps_done();
-        let _ = replies.send(Msg::Sliced {
-            worker,
-            entry,
-            sweeps_run,
-            report,
-        });
+            let mut task = match materialized {
+                Ok(task) => task,
+                Err(e) => {
+                    let _ = replies.send(Msg::Sliced {
+                        worker,
+                        entry: Box::new(entry),
+                        sweeps_run: 0,
+                        report: SliceReport::Failed { message: e.message },
+                    });
+                    continue;
+                }
+            };
+            let before = task.sweeps_done();
+            let mut status = task.run_slice(&mut array, quantum, &preempt);
+            let sweeps_run = task.sweeps_done() - before;
+            // A flag raised after the final boundary check can race
+            // quantum expiry; an expiry observed with the flag up is a
+            // preemption (classified here, where the flag and the slice
+            // end are on the same thread).
+            if status == SliceStatus::Expired && preempt.load(Ordering::Acquire) {
+                status = SliceStatus::Preempted;
+            }
+            if status == SliceStatus::Preempted {
+                preempted = true;
+            }
+            let report = match status {
+                SliceStatus::Completed => {
+                    let (metric, score, field_digest) = task.finish();
+                    SliceReport::Completed {
+                        metric,
+                        score,
+                        field_digest,
+                    }
+                }
+                SliceStatus::Expired | SliceStatus::Preempted => SliceReport::Yielded {
+                    status,
+                    checkpoint: Box::new(task.checkpoint()),
+                },
+            };
+            let mut entry = entry;
+            entry.sweeps_done = task.sweeps_done();
+            let _ = replies.send(Msg::Sliced {
+                worker,
+                entry: Box::new(entry),
+                sweeps_run,
+                report,
+            });
+        }
     }
 }
 
@@ -199,6 +291,7 @@ fn worker_loop(worker: u32, config: &ServerConfig, orders: Receiver<Order>, repl
 struct Scheduler {
     config: ServerConfig,
     queue: AdmissionQueue,
+    cache: ResultCache,
     running: Vec<Option<RunningSlice>>,
     order_txs: Vec<Sender<Order>>,
     epoch: Instant,
@@ -206,6 +299,8 @@ struct Scheduler {
     events: Vec<JobEvent>,
     results: Vec<JobResult>,
     submit_t: BTreeMap<String, f64>,
+    waiters: Vec<(String, JobState, Sender<()>)>,
+    poll_round_trips: u64,
     trace: Option<JsonlTraceWriter<BufWriter<fs::File>>>,
     in_flight: usize,
     draining: bool,
@@ -221,6 +316,14 @@ impl Scheduler {
             writer.write_record(&event.to_value());
             writer.flush();
         }
+        self.waiters.retain(|(job, state, reply)| {
+            if *job == event.job && *state == event.state {
+                let _ = reply.send(());
+                false
+            } else {
+                true
+            }
+        });
         self.events.push(event);
     }
 
@@ -231,6 +334,7 @@ impl Scheduler {
             t_ms: self.now_ms(),
             worker: None,
             sweep: 0,
+            cached: false,
             detail,
         };
         self.emit(event);
@@ -241,56 +345,101 @@ impl Scheduler {
         self.submit_t.insert(spec.id.clone(), now);
         self.emit_queue_side(&spec.id, JobState::Submitted, None);
         self.emit_queue_side(&spec.id, JobState::Admitted, None);
+        if let Some(hit) = self.cache.lookup(&spec) {
+            // Determinism makes the cached result *the* result: same
+            // digest, same artifact. Complete at admission — no queue,
+            // no worker, no fair-share debit.
+            let done = self.now_ms();
+            let event = JobEvent {
+                job: spec.id.clone(),
+                state: JobState::Completed,
+                t_ms: done,
+                worker: None,
+                sweep: hit.iterations as u64,
+                cached: true,
+                detail: None,
+            };
+            self.emit(event);
+            self.results.push(JobResult {
+                id: spec.id,
+                metric: hit.metric.to_string(),
+                score: hit.score,
+                field_digest: hit.field_digest,
+                iterations: hit.iterations,
+                preemptions: 0,
+                wait_ms: done - now,
+                latency_ms: done - now,
+                cached: true,
+            });
+            return;
+        }
         let index = self.submit_counter;
         self.submit_counter += 1;
+        self.queue.admit(&spec.tenant);
         self.queue.push(Pending::new(spec, index, now));
         self.in_flight += 1;
         self.dispatch_and_preempt();
     }
 
-    /// Fills free workers from the queue, then — if the queue still
-    /// holds an entry outranking some running slice — raises that
-    /// slice's preempt flag.
+    /// Fills free workers from the queue — each dispatch takes the best
+    /// entry plus up to `scene_batch - 1` same-scene, same-class
+    /// companions — then, if the queue still holds an entry outranking
+    /// some running slice, raises that slice's preempt flag.
     fn dispatch_and_preempt(&mut self) {
         while let Some(free) = self.running.iter().position(Option::is_none) {
-            let Some(mut entry) = self.queue.pop_next() else {
+            let Some(head) = self.queue.pop_next() else {
                 break;
             };
-            let now = self.now_ms();
-            if !entry.started {
-                entry.started = true;
-                entry.first_start_t_ms = Some(now);
-                let event = JobEvent {
-                    job: entry.spec.id.clone(),
-                    state: JobState::Started,
-                    t_ms: now,
-                    worker: Some(free as u32),
-                    sweep: entry.sweeps_done,
-                    detail: None,
+            let mut entries = vec![head];
+            while entries.len() < self.config.scene_batch.max(1) {
+                let Some(companion) = self
+                    .queue
+                    .pop_matching(entries[0].scene_digest, entries[0].spec.priority)
+                else {
+                    break;
                 };
-                self.emit(event);
-            } else if entry.resume_event_pending {
-                entry.resume_event_pending = false;
-                let event = JobEvent {
-                    job: entry.spec.id.clone(),
-                    state: JobState::Resumed,
-                    t_ms: now,
-                    worker: Some(free as u32),
-                    sweep: entry.sweeps_done,
-                    detail: None,
-                };
-                self.emit(event);
+                entries.push(companion);
             }
+            let now = self.now_ms();
+            for entry in &mut entries {
+                if !entry.started {
+                    entry.started = true;
+                    entry.first_start_t_ms = Some(now);
+                    let event = JobEvent {
+                        job: entry.spec.id.clone(),
+                        state: JobState::Started,
+                        t_ms: now,
+                        worker: Some(free as u32),
+                        sweep: entry.sweeps_done,
+                        cached: false,
+                        detail: None,
+                    };
+                    self.emit(event);
+                } else if entry.resume_event_pending {
+                    entry.resume_event_pending = false;
+                    let event = JobEvent {
+                        job: entry.spec.id.clone(),
+                        state: JobState::Resumed,
+                        t_ms: now,
+                        worker: Some(free as u32),
+                        sweep: entry.sweeps_done,
+                        cached: false,
+                        detail: None,
+                    };
+                    self.emit(event);
+                }
+            }
+            let preempt = Arc::new(AtomicBool::new(false));
             self.running[free] = Some(RunningSlice {
-                priority: entry.spec.priority,
-                preempt: Arc::new(AtomicBool::new(false)),
+                priority: entries[0].spec.priority,
+                preempt: Arc::clone(&preempt),
                 preempt_requested: false,
+                remaining: entries.len(),
             });
-            let slice = self.running[free].as_ref().expect("just placed");
             let order = Order::Run {
-                entry: Box::new(entry),
+                entries,
                 quantum: self.config.quantum,
-                preempt: Arc::clone(&slice.preempt),
+                preempt,
             };
             let _ = self.order_txs[free].send(order);
         }
@@ -312,11 +461,18 @@ impl Scheduler {
     }
 
     fn on_sliced(&mut self, worker: u32, mut entry: Pending, sweeps_run: u64, report: SliceReport) {
-        let preempting_done = self.running[worker as usize]
-            .take()
-            .map(|s| s.preempt_requested)
-            .unwrap_or(false);
-        self.queue.credit(&entry.spec.tenant, sweeps_run);
+        {
+            let slice = self.running[worker as usize]
+                .as_mut()
+                .expect("report from a worker with no running slice");
+            slice.remaining -= 1;
+            if slice.remaining == 0 {
+                self.running[worker as usize] = None;
+            }
+        }
+        if sweeps_run > 0 {
+            self.queue.credit(&entry.spec.tenant, sweeps_run);
+        }
         let now = self.now_ms();
         match report {
             SliceReport::Completed {
@@ -330,9 +486,19 @@ impl Scheduler {
                     t_ms: now,
                     worker: Some(worker),
                     sweep: entry.sweeps_done,
+                    cached: false,
                     detail: None,
                 };
                 self.emit(event);
+                self.cache.insert(
+                    entry.digest,
+                    CachedResult {
+                        metric,
+                        score,
+                        field_digest,
+                        iterations: entry.spec.iterations,
+                    },
+                );
                 let submit_t = self.submit_t.get(&entry.spec.id).copied().unwrap_or(0.0);
                 self.results.push(JobResult {
                     id: entry.spec.id.clone(),
@@ -343,14 +509,13 @@ impl Scheduler {
                     preemptions: entry.preemptions,
                     wait_ms: entry.first_start_t_ms.unwrap_or(now) - submit_t,
                     latency_ms: now - submit_t,
+                    cached: false,
                 });
+                self.queue.finish(&entry.spec.tenant);
                 self.in_flight -= 1;
             }
             SliceReport::Yielded { status, checkpoint } => {
-                // A preempt flag raised after the final sweep can race
-                // slice completion; a yield with the flag set is a real
-                // preemption, quantum expiry is silent.
-                if status == SliceStatus::Preempted || preempting_done {
+                if status == SliceStatus::Preempted {
                     entry.preemptions += 1;
                     entry.resume_event_pending = true;
                     let event = JobEvent {
@@ -359,6 +524,7 @@ impl Scheduler {
                         t_ms: now,
                         worker: Some(worker),
                         sweep: entry.sweeps_done,
+                        cached: false,
                         detail: None,
                     };
                     self.emit(event);
@@ -379,6 +545,10 @@ impl Scheduler {
                 }
                 self.queue.push(entry);
             }
+            SliceReport::Requeued => {
+                // Never ran: resume state and events are untouched.
+                self.queue.push(entry);
+            }
             SliceReport::Failed { message } => {
                 let event = JobEvent {
                     job: entry.spec.id.clone(),
@@ -386,9 +556,11 @@ impl Scheduler {
                     t_ms: now,
                     worker: Some(worker),
                     sweep: entry.sweeps_done,
+                    cached: false,
                     detail: Some(message),
                 };
                 self.emit(event);
+                self.queue.finish(&entry.spec.tenant);
                 self.in_flight -= 1;
             }
         }
@@ -397,6 +569,48 @@ impl Scheduler {
 
     fn idle(&self) -> bool {
         self.in_flight == 0 && self.running.iter().all(Option::is_none)
+    }
+}
+
+fn wait_on(cmd: &Sender<Msg>, job: &str, state: JobState) {
+    let (tx, rx) = mpsc::channel();
+    if cmd
+        .send(Msg::Wait {
+            job: job.to_string(),
+            state,
+            reply: tx,
+        })
+        .is_err()
+    {
+        return;
+    }
+    // Err means the scheduler exited with the wait outstanding; both
+    // outcomes end the wait.
+    let _ = rx.recv();
+}
+
+/// A cloneable submission endpoint for driving one server from many
+/// client threads (the closed-loop load generator). Clients must be
+/// done before [`ServeHandle::finish`] is called — a drained server
+/// rejects further submissions.
+#[derive(Clone)]
+pub struct ServeClient {
+    cmd: Sender<Msg>,
+}
+
+impl ServeClient {
+    /// Validates and submits a job (see [`ServeHandle::submit`]).
+    pub fn submit(&self, spec: &JobSpec) -> Result<(), SpecError> {
+        spec.validate()?;
+        self.cmd
+            .send(Msg::Submit(spec.clone()))
+            .map_err(|_| SpecError::new("server is shut down"))
+    }
+
+    /// Blocks until the given job has emitted the given lifecycle event
+    /// (see [`ServeHandle::wait_for`]).
+    pub fn wait_for(&self, job: &str, state: JobState) {
+        wait_on(&self.cmd, job, state);
     }
 }
 
@@ -418,28 +632,21 @@ impl ServeHandle {
             .map_err(|_| SpecError::new("server is shut down"))
     }
 
+    /// A cloneable endpoint for submitting from other threads.
+    pub fn client(&self) -> ServeClient {
+        ServeClient {
+            cmd: self.cmd.clone(),
+        }
+    }
+
     /// Blocks until the given job has emitted the given lifecycle event
     /// (e.g. wait for `Started` before submitting the preemptor in a
-    /// forced-preemption scenario).
+    /// forced-preemption scenario). One round trip: the scheduler
+    /// answers immediately if the event already happened and otherwise
+    /// parks the reply until it emits the event — the wait never spins
+    /// the command channel.
     pub fn wait_for(&self, job: &str, state: JobState) {
-        loop {
-            let (tx, rx) = mpsc::channel();
-            if self
-                .cmd
-                .send(Msg::Poll {
-                    job: job.to_string(),
-                    state,
-                    reply: tx,
-                })
-                .is_err()
-            {
-                return;
-            }
-            if rx.recv().unwrap_or(true) {
-                return;
-            }
-            std::thread::sleep(Duration::from_millis(1));
-        }
+        wait_on(&self.cmd, job, state);
     }
 
     /// Drains the queue, stops all threads and returns results, the
@@ -481,6 +688,7 @@ pub fn serve(config: ServerConfig) -> ServeHandle {
     });
 
     let (cmd_tx, cmd_rx) = mpsc::channel::<Msg>();
+    let builds = Arc::new(AtomicU64::new(0));
     let mut order_txs = Vec::with_capacity(config.workers);
     let mut workers = Vec::with_capacity(config.workers);
     for index in 0..config.workers {
@@ -488,15 +696,25 @@ pub fn serve(config: ServerConfig) -> ServeHandle {
         order_txs.push(order_tx);
         let replies = cmd_tx.clone();
         let worker_config = config.clone();
+        let worker_builds = Arc::clone(&builds);
         workers.push(
             std::thread::Builder::new()
                 .name(format!("serve-worker-{index}"))
-                .spawn(move || worker_loop(index as u32, &worker_config, order_rx, replies))
+                .spawn(move || {
+                    worker_loop(
+                        index as u32,
+                        &worker_config,
+                        order_rx,
+                        replies,
+                        worker_builds,
+                    )
+                })
                 .expect("worker thread spawns"),
         );
     }
 
     let running = (0..config.workers).map(|_| None).collect();
+    let cache = ResultCache::new(config.cache_capacity);
     let scheduler_config = config;
     let scheduler = std::thread::Builder::new()
         .name("serve-scheduler".into())
@@ -505,12 +723,15 @@ pub fn serve(config: ServerConfig) -> ServeHandle {
                 order_txs,
                 config: scheduler_config,
                 queue: AdmissionQueue::new(),
+                cache,
                 running,
                 epoch: Instant::now(),
                 submit_counter: 0,
                 events: Vec::new(),
                 results: Vec::new(),
                 submit_t: BTreeMap::new(),
+                waiters: Vec::new(),
+                poll_round_trips: 0,
                 trace,
                 in_flight: 0,
                 draining: false,
@@ -524,16 +745,21 @@ pub fn serve(config: ServerConfig) -> ServeHandle {
                         sweeps_run,
                         report,
                     } => state.on_sliced(worker, *entry, sweeps_run, report),
-                    Msg::Poll {
+                    Msg::Wait {
                         job,
                         state: wanted,
                         reply,
                     } => {
+                        state.poll_round_trips += 1;
                         let seen = state
                             .events
                             .iter()
                             .any(|e| e.state == wanted && e.job == job);
-                        let _ = reply.send(seen);
+                        if seen {
+                            let _ = reply.send(());
+                        } else {
+                            state.waiters.push((job, wanted, reply));
+                        }
                     }
                     Msg::ShutdownWhenIdle => state.draining = true,
                 }
@@ -550,10 +776,17 @@ pub fn serve(config: ServerConfig) -> ServeHandle {
                     eprintln!("serve: trace write failed: {e}");
                 }
             }
+            let (cache_hits, cache_misses) = state.cache.stats();
             ServeOutcome {
                 results: state.results,
                 events: state.events,
                 wall: state.epoch.elapsed(),
+                cache_hits,
+                cache_misses,
+                poll_round_trips: state.poll_round_trips,
+                // Workers publish before every report they send, so the
+                // drained scheduler reads a settled count.
+                model_builds: builds.load(Ordering::Relaxed),
             }
         })
         .expect("scheduler thread spawns");
@@ -605,6 +838,7 @@ mod tests {
         let result = outcome.result("solo").unwrap();
         assert_eq!(result.iterations, 10);
         assert_eq!(result.preemptions, 0);
+        assert!(!result.cached);
         validate_lifecycle(&outcome.events).unwrap();
         // Quantum requeues are silent: no preempted/resumed events.
         assert!(outcome
@@ -701,6 +935,132 @@ mod tests {
         assert!(
             light_pos < order.len() - 1,
             "light tenant starved: completion order {order:?}"
+        );
+    }
+
+    #[test]
+    fn duplicate_spec_is_answered_from_the_cache_bit_identically() {
+        let handle = serve(ServerConfig {
+            workers: 1,
+            quantum: 4,
+            ..ServerConfig::default()
+        });
+        let original = spec("orig", "tenant-a", Priority::Batch, 10);
+        handle.submit(&original).unwrap();
+        handle.wait_for("orig", JobState::Completed);
+        // Same chain under a different identity: id, tenant, priority
+        // and thread count are all outside the digest.
+        let duplicate = JobSpec {
+            id: "dup".into(),
+            tenant: "tenant-b".into(),
+            priority: Priority::Interactive,
+            threads: 2,
+            ..original.clone()
+        };
+        handle.submit(&duplicate).unwrap();
+        let outcome = handle.finish();
+        validate_lifecycle(&outcome.events).unwrap();
+
+        let orig = outcome.result("orig").unwrap();
+        let dup = outcome.result("dup").unwrap();
+        assert!(!orig.cached);
+        assert!(dup.cached, "duplicate should be a cache hit: {dup:?}");
+        assert_eq!(dup.field_digest, orig.field_digest);
+        assert_eq!(dup.score.to_bits(), orig.score.to_bits());
+        assert_eq!(dup.metric, orig.metric);
+        assert_eq!(dup.iterations, orig.iterations);
+        assert_eq!(outcome.cache_hits, 1);
+
+        // The hit never touched a worker: completed straight from
+        // admitted, no started event, no worker id.
+        assert!(!outcome
+            .events
+            .iter()
+            .any(|e| e.job == "dup" && e.state == JobState::Started));
+        let done = outcome
+            .events
+            .iter()
+            .find(|e| e.job == "dup" && e.state == JobState::Completed)
+            .unwrap();
+        assert!(done.cached);
+        assert_eq!(done.worker, None);
+        assert_eq!(done.sweep, 10);
+    }
+
+    #[test]
+    fn zero_cache_capacity_recomputes_and_still_agrees() {
+        let handle = serve(ServerConfig {
+            workers: 1,
+            quantum: 4,
+            cache_capacity: 0,
+            ..ServerConfig::default()
+        });
+        let original = spec("orig", "t", Priority::Batch, 10);
+        handle.submit(&original).unwrap();
+        handle.wait_for("orig", JobState::Completed);
+        handle
+            .submit(&JobSpec {
+                id: "dup".into(),
+                ..original
+            })
+            .unwrap();
+        let outcome = handle.finish();
+        assert_eq!(outcome.cache_hits, 0);
+        let (orig, dup) = (
+            outcome.result("orig").unwrap(),
+            outcome.result("dup").unwrap(),
+        );
+        assert!(!dup.cached, "cache disabled: everything recomputes");
+        // Determinism: the recompute agrees with the first run anyway.
+        assert_eq!(dup.field_digest, orig.field_digest);
+    }
+
+    #[test]
+    fn blocking_wait_does_not_spin_the_command_channel() {
+        let handle = serve(ServerConfig {
+            workers: 1,
+            quantum: 2,
+            ..ServerConfig::default()
+        });
+        // 40 sweeps at quantum 2 → the job is in flight long enough
+        // that a 1ms poll loop would take many round trips.
+        handle
+            .submit(&spec("slow", "t", Priority::Batch, 40))
+            .unwrap();
+        handle.wait_for("slow", JobState::Completed);
+        let outcome = handle.finish();
+        assert!(outcome.result("slow").is_some());
+        assert_eq!(
+            outcome.poll_round_trips, 1,
+            "one wait_for call must cost exactly one scheduler round trip"
+        );
+    }
+
+    #[test]
+    fn same_scene_jobs_share_one_model_build_per_worker() {
+        let handle = serve(ServerConfig {
+            workers: 1,
+            quantum: 50, // every job completes in one slice
+            ..ServerConfig::default()
+        });
+        // Same scene, distinct seeds: distinct digests (no cache hits),
+        // one underlying model.
+        for i in 0..4u64 {
+            handle
+                .submit(&JobSpec {
+                    id: format!("j{i}"),
+                    seed: 100 + i,
+                    ..spec("", "t", Priority::Batch, 8)
+                })
+                .unwrap();
+        }
+        let outcome = handle.finish();
+        assert_eq!(outcome.results.len(), 4);
+        assert_eq!(outcome.cache_hits, 0);
+        assert!(outcome.results.iter().all(|r| !r.cached));
+        assert_eq!(
+            outcome.model_builds, 1,
+            "four same-scene jobs on one worker must build one model"
         );
     }
 }

@@ -105,6 +105,59 @@ impl JobKind {
             JobKind::Segmentation { .. } => "segmentation",
         }
     }
+
+    /// The scene parameters as a minijson object (the `"scene"` field
+    /// of the wire document).
+    pub fn scene_value(&self) -> Value {
+        let fields = match self {
+            JobKind::Stereo {
+                width,
+                height,
+                num_disparities,
+                num_layers,
+                noise_sigma,
+                scene_seed,
+            } => vec![
+                ("width", Value::from_u64(*width as u64)),
+                ("height", Value::from_u64(*height as u64)),
+                ("num_disparities", Value::from_u64(*num_disparities as u64)),
+                ("num_layers", Value::from_u64(*num_layers as u64)),
+                ("noise_sigma", Value::Number(*noise_sigma)),
+                ("scene_seed", Value::from_u64(*scene_seed)),
+            ],
+            JobKind::Motion {
+                width,
+                height,
+                window,
+                num_patches,
+                noise_sigma,
+                scene_seed,
+            } => vec![
+                ("width", Value::from_u64(*width as u64)),
+                ("height", Value::from_u64(*height as u64)),
+                ("window", Value::from_u64(*window as u64)),
+                ("num_patches", Value::from_u64(*num_patches as u64)),
+                ("noise_sigma", Value::Number(*noise_sigma)),
+                ("scene_seed", Value::from_u64(*scene_seed)),
+            ],
+            JobKind::Segmentation {
+                width,
+                height,
+                num_regions,
+                noise_sigma,
+                contrast,
+                scene_seed,
+            } => vec![
+                ("width", Value::from_u64(*width as u64)),
+                ("height", Value::from_u64(*height as u64)),
+                ("num_regions", Value::from_u64(*num_regions as u64)),
+                ("noise_sigma", Value::Number(*noise_sigma)),
+                ("contrast", Value::Number(*contrast)),
+                ("scene_seed", Value::from_u64(*scene_seed)),
+            ],
+        };
+        object(fields)
+    }
 }
 
 /// A job request: everything needed to reproduce the artifact.
@@ -254,53 +307,6 @@ impl JobSpec {
 
     /// The spec as a minijson document.
     pub fn to_value(&self) -> Value {
-        let kind_fields = match &self.kind {
-            JobKind::Stereo {
-                width,
-                height,
-                num_disparities,
-                num_layers,
-                noise_sigma,
-                scene_seed,
-            } => vec![
-                ("width", Value::from_u64(*width as u64)),
-                ("height", Value::from_u64(*height as u64)),
-                ("num_disparities", Value::from_u64(*num_disparities as u64)),
-                ("num_layers", Value::from_u64(*num_layers as u64)),
-                ("noise_sigma", Value::Number(*noise_sigma)),
-                ("scene_seed", Value::from_u64(*scene_seed)),
-            ],
-            JobKind::Motion {
-                width,
-                height,
-                window,
-                num_patches,
-                noise_sigma,
-                scene_seed,
-            } => vec![
-                ("width", Value::from_u64(*width as u64)),
-                ("height", Value::from_u64(*height as u64)),
-                ("window", Value::from_u64(*window as u64)),
-                ("num_patches", Value::from_u64(*num_patches as u64)),
-                ("noise_sigma", Value::Number(*noise_sigma)),
-                ("scene_seed", Value::from_u64(*scene_seed)),
-            ],
-            JobKind::Segmentation {
-                width,
-                height,
-                num_regions,
-                noise_sigma,
-                contrast,
-                scene_seed,
-            } => vec![
-                ("width", Value::from_u64(*width as u64)),
-                ("height", Value::from_u64(*height as u64)),
-                ("num_regions", Value::from_u64(*num_regions as u64)),
-                ("noise_sigma", Value::Number(*noise_sigma)),
-                ("contrast", Value::Number(*contrast)),
-                ("scene_seed", Value::from_u64(*scene_seed)),
-            ],
-        };
         object(vec![
             ("type", Value::String("job_spec".into())),
             ("id", Value::String(self.id.clone())),
@@ -310,8 +316,47 @@ impl JobSpec {
             ("iterations", Value::from_u64(self.iterations as u64)),
             ("threads", Value::from_u64(self.threads as u64)),
             ("application", Value::String(self.kind.name().into())),
-            ("scene", object(kind_fields)),
+            ("scene", self.kind.scene_value()),
         ])
+    }
+
+    /// The canonical result-cache key: FNV-1a over the *normalized*
+    /// spec JSON — only the fields the final label field depends on
+    /// (`application`, `scene`, `seed`, `iterations`), serialized
+    /// through `minijson` with sorted keys and integer-exact 64-bit
+    /// seeds.
+    ///
+    /// Scheduling identity (`id`, `tenant`, `priority`) and placement
+    /// (`threads`) are deliberately excluded: the parallel substrate's
+    /// determinism contract makes the chain bit-identical at any thread
+    /// count, so two specs that differ only in those fields compute the
+    /// same artifact and must share a cache entry.
+    pub fn digest(&self) -> u64 {
+        fnv1a(self.normalized_value().to_string().as_bytes())
+    }
+
+    /// The compute-relevant subset of the spec ([`digest`](Self::digest)
+    /// hashes this document's canonical serialization).
+    pub fn normalized_value(&self) -> Value {
+        object(vec![
+            ("application", Value::String(self.kind.name().into())),
+            ("iterations", Value::from_u64(self.iterations as u64)),
+            ("scene", self.kind.scene_value()),
+            ("seed", Value::from_u64(self.seed)),
+        ])
+    }
+
+    /// FNV-1a over the application name plus the scene parameters only
+    /// — the model/dataset identity. Jobs sharing a scene digest run
+    /// different chains (seed, iterations) over the *same*
+    /// [`MrfModel`](mrf::MrfModel), so the scheduler may co-dispatch
+    /// them and a worker builds the model once per group.
+    pub fn scene_digest(&self) -> u64 {
+        let scene = object(vec![
+            ("application", Value::String(self.kind.name().into())),
+            ("scene", self.kind.scene_value()),
+        ]);
+        fnv1a(scene.to_string().as_bytes())
     }
 
     /// Parses and validates a spec document.
@@ -398,6 +443,11 @@ pub struct JobResult {
     pub wait_ms: f64,
     /// Submit-to-completion latency, milliseconds.
     pub latency_ms: f64,
+    /// Whether the result was served from the scheduler's digest-keyed
+    /// result cache (no worker touched the job). A cached result's
+    /// `field_digest`/`score` are bit-identical to a recompute by the
+    /// determinism contract, proven by the `serve_smoke` gate.
+    pub cached: bool,
 }
 
 impl JobResult {
@@ -413,6 +463,7 @@ impl JobResult {
             ("preemptions", Value::from_u64(self.preemptions as u64)),
             ("wait_ms", Value::Number(self.wait_ms)),
             ("latency_ms", Value::Number(self.latency_ms)),
+            ("cached", Value::Bool(self.cached)),
         ])
     }
 
@@ -431,6 +482,13 @@ impl JobResult {
                 .map_err(|_| SpecError::new("field \"preemptions\" out of range"))?,
             wait_ms: get_f64(doc, "wait_ms")?,
             latency_ms: get_f64(doc, "latency_ms")?,
+            // Absent in pre-cache documents: default to uncached.
+            cached: match doc.get("cached") {
+                None | Some(Value::Null) => false,
+                Some(v) => v
+                    .as_bool()
+                    .ok_or_else(|| SpecError::new("field \"cached\" is not a bool"))?,
+            },
         })
     }
 
@@ -444,6 +502,19 @@ impl JobResult {
         let doc = minijson::parse(text).map_err(|e| SpecError::new(e.to_string()))?;
         Self::from_value(&doc)
     }
+}
+
+/// FNV-1a over a byte string — the workspace's standard cheap,
+/// deterministic digest (also used per-`u16` by [`field_digest`]).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
 }
 
 /// FNV-1a over the label field's row-major `u16` labels: a cheap,
@@ -617,10 +688,76 @@ mod tests {
             preemptions: 3,
             wait_ms: 1.25,
             latency_ms: 97.0,
+            cached: true,
         };
         let back = JobResult::from_json(&result.to_json()).unwrap();
         assert_eq!(back, result);
         assert_eq!(back.field_digest, u64::MAX - 12);
+        // Pre-cache documents (no "cached" field) parse as uncached.
+        let mut legacy = result.to_value();
+        if let Value::Object(map) = &mut legacy {
+            map.remove("cached");
+        }
+        assert!(!JobResult::from_value(&legacy).unwrap().cached);
+    }
+
+    #[test]
+    fn digest_ignores_scheduling_identity_but_not_the_chain() {
+        let base = sample_spec();
+        // Same compute, different scheduling identity/placement: the
+        // cache key must collide on purpose.
+        let renamed = JobSpec {
+            id: "другой".into(), // id is not validated by digest()
+            tenant: "globex".into(),
+            priority: Priority::Batch,
+            threads: 7,
+            ..base.clone()
+        };
+        assert_eq!(base.digest(), renamed.digest());
+        assert_eq!(base.scene_digest(), renamed.scene_digest());
+        // Any compute-relevant change must move the digest.
+        let other_seed = JobSpec {
+            seed: base.seed - 1,
+            ..base.clone()
+        };
+        let other_iters = JobSpec {
+            iterations: base.iterations + 1,
+            ..base.clone()
+        };
+        let other_scene = JobSpec {
+            kind: JobKind::Stereo {
+                width: 32,
+                height: 24,
+                num_disparities: 6,
+                num_layers: 2,
+                noise_sigma: 1.0,
+                scene_seed: 12345,
+            },
+            ..base.clone()
+        };
+        for changed in [&other_seed, &other_iters, &other_scene] {
+            assert_ne!(base.digest(), changed.digest());
+        }
+        // The scene digest tracks only the model identity: chain seed
+        // and iterations do not move it, the scene does.
+        assert_eq!(base.scene_digest(), other_seed.scene_digest());
+        assert_eq!(base.scene_digest(), other_iters.scene_digest());
+        assert_ne!(base.scene_digest(), other_scene.scene_digest());
+    }
+
+    #[test]
+    fn digest_is_integer_exact_above_two_to_the_fifty_three() {
+        // Seeds differing only below f64 precision must hash apart —
+        // the reason the normalized JSON rides minijson's Integer.
+        let a = JobSpec {
+            seed: (1 << 53) + 1,
+            ..sample_spec()
+        };
+        let b = JobSpec {
+            seed: (1 << 53) + 2,
+            ..sample_spec()
+        };
+        assert_ne!(a.digest(), b.digest());
     }
 
     #[test]

@@ -12,9 +12,11 @@
 //!   every numeric field whose name contains `ns_per` (lower is
 //!   better) is compared;
 //! * a `"load_sweep"` object (the `BENCH_serve.json` shape) — each
-//!   point of every sweep array is keyed on its `"label"` string and
+//!   point of every sweep array is keyed on its `"label"` string;
 //!   every numeric field ending in `_ms` (latency percentiles, lower
-//!   is better) is compared.
+//!   is better) is compared, plus `goodput_jobs_per_s` (throughput of
+//!   served jobs, *higher* is better — a drop beyond tolerance is the
+//!   regression).
 //!
 //! The process exits non-zero when any metric regresses by more than
 //! the tolerance (default 15%), so CI can diff a fresh bench run
@@ -93,10 +95,17 @@ fn main() -> ExitCode {
             }
             compared += 1;
             let change_pct = (new_value - base_value) / base_value * 100.0;
-            let status = if change_pct > tolerance {
+            // Most metrics are costs (latency, ns/site): up is bad.
+            // Goodput is a rate: down is bad.
+            let bad_change_pct = if higher_is_better(metric) {
+                -change_pct
+            } else {
+                change_pct
+            };
+            let status = if bad_change_pct > tolerance {
                 regressions += 1;
                 "REGRESSION"
-            } else if change_pct < -tolerance {
+            } else if bad_change_pct < -tolerance {
                 "improved"
             } else {
                 "ok"
@@ -129,10 +138,16 @@ fn main() -> ExitCode {
     }
 }
 
+/// The one collected metric where *more* is better; everything else
+/// (latency `_ms`, `ns_per` costs) regresses upward.
+fn higher_is_better(metric: &str) -> bool {
+    metric == "goodput_jobs_per_s"
+}
+
 /// Loads `path` and flattens it to `config → (metric → value)` for
-/// every lower-is-better metric: `"results"` entries keyed by
-/// `"config"` with `ns_per` fields, or `"load_sweep"` points keyed by
-/// `"label"` with `_ms` fields.
+/// every gated metric: `"results"` entries keyed by `"config"` with
+/// `ns_per` fields, or `"load_sweep"` points keyed by `"label"` with
+/// `_ms` fields plus `goodput_jobs_per_s`.
 fn load_results(path: &str) -> Result<BTreeMap<String, BTreeMap<String, f64>>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
     let doc = minijson::parse(&text).map_err(|e| e.to_string())?;
@@ -170,7 +185,8 @@ fn load_results(path: &str) -> Result<BTreeMap<String, BTreeMap<String, f64>>, S
                     .ok_or_else(|| format!("{sweep_name} point has no \"label\" string"))?;
                 let mut metrics = BTreeMap::new();
                 for (key, value) in object {
-                    if let (true, Some(v)) = (key.ends_with("_ms"), value.as_f64()) {
+                    let gated = key.ends_with("_ms") || higher_is_better(key);
+                    if let (true, Some(v)) = (gated, value.as_f64()) {
                         metrics.insert(key.clone(), v);
                     }
                 }

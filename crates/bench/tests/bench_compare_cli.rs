@@ -205,6 +205,66 @@ fn serve_schema_drift_warns_and_compares_the_intersection() {
 }
 
 #[test]
+fn goodput_is_gated_higher_is_better() {
+    let base = temp_json(
+        "serve-goodput-base.json",
+        &serve_doc(
+            &[
+                "{\"label\": \"open@4x\", \"p99_ms\": 20.0, \"goodput_jobs_per_s\": 100.0, \
+               \"shed_ratio\": 0.25, \"achieved_jobs_per_s\": 390.0}",
+            ],
+            &[],
+        ),
+    );
+    // Goodput collapsed while latency held: that IS a regression.
+    let collapsed = temp_json(
+        "serve-goodput-collapsed.json",
+        &serve_doc(
+            &[
+                "{\"label\": \"open@4x\", \"p99_ms\": 20.0, \"goodput_jobs_per_s\": 50.0, \
+               \"shed_ratio\": 0.80, \"achieved_jobs_per_s\": 390.0}",
+            ],
+            &[],
+        ),
+    );
+    let out = run_compare(&[base.to_str().unwrap(), collapsed.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "halved goodput must fail");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("REGRESSION") && stdout.contains("goodput_jobs_per_s"),
+        "stdout: {stdout}"
+    );
+    // Shed ratio and achieved rate are informational, not gated.
+    assert!(stdout.contains("compared 2 metrics"), "stdout: {stdout}");
+
+    // Goodput *rising* is an improvement, never a failure.
+    let improved = temp_json(
+        "serve-goodput-improved.json",
+        &serve_doc(
+            &[
+                "{\"label\": \"open@4x\", \"p99_ms\": 20.0, \"goodput_jobs_per_s\": 200.0, \
+               \"shed_ratio\": 0.05, \"achieved_jobs_per_s\": 390.0}",
+            ],
+            &[],
+        ),
+    );
+    let out = run_compare(&[base.to_str().unwrap(), improved.to_str().unwrap()]);
+    assert!(out.status.success(), "rising goodput must pass");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("improved"));
+
+    // A baseline predating the goodput field compares the intersection
+    // against a new export that has it: warn-free pass on the shared
+    // latency metric.
+    let legacy = temp_json(
+        "serve-goodput-legacy.json",
+        &serve_doc(&["{\"label\": \"open@4x\", \"p99_ms\": 20.0}"], &[]),
+    );
+    let out = run_compare(&[legacy.to_str().unwrap(), base.to_str().unwrap()]);
+    assert!(out.status.success(), "schema growth must not fail the gate");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("compared 1 metrics"));
+}
+
+#[test]
 fn malformed_inputs_exit_with_usage_code() {
     let good = temp_json(
         "ok.json",

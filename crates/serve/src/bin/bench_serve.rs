@@ -13,17 +13,24 @@
 //! * **open-loop sweep** — a traffic generator submitting jobs at a
 //!   fixed arrival rate regardless of completions (the "many clients"
 //!   regime), swept across offered loads from half the calibrated
-//!   single-stream throughput to 4×. Queueing delay appears in the
-//!   latency percentiles as the offered load crosses capacity.
+//!   single-stream throughput to 4×. The server runs with bounded
+//!   admission ([`QueueLimits`]), so past saturation the sweep shows
+//!   load *shedding* (shed ratio up, goodput flat, interactive p99
+//!   bounded) instead of unbounded queue growth. Each point also
+//!   records the *achieved* arrival rate — when `sleep_until(due)`
+//!   falls behind, the generator delivers less than the labeled rate,
+//!   and the point warns on >5% drift instead of silently lying.
 //! * **closed-loop sweep** — K client threads each in a
 //!   submit → wait → submit loop (the "think-time-free session"
 //!   regime), swept across client counts.
 //!
-//! Every point reports achieved jobs/s, p50/p99 latency overall and per
-//! priority class, the result-cache hit ratio (the traffic re-submits a
-//! share of duplicate specs, as real inference traffic does) and the
-//! preemption count. Percentiles come from [`retrsu_serve::percentile`]
-//! — NaN-total-ordered, so a degenerate sample can never panic the
+//! Every point reports achieved jobs/s, goodput (completed jobs only),
+//! shed count/ratio, queue high-water mark, p50/p99 latency overall and
+//! per priority class (rejected jobs excluded from latency samples),
+//! the result-cache hit ratio (the traffic re-submits a share of
+//! duplicate specs, as real inference traffic does) and the preemption
+//! count. Percentiles come from [`retrsu_serve::percentile`] —
+//! NaN-total-ordered, so a degenerate sample can never panic the
 //! reporter.
 //!
 //! Usage: `bench_serve [--workers N] [--jobs N] [--quantum N]`.
@@ -32,7 +39,7 @@ use bench::minijson::Value;
 use bench::trace_jsonl::parse_jsonl;
 use retrsu_serve::{
     percentile, serve, validate_lifecycle, JobEvent, JobKind, JobSpec, JobState, JobTask, Priority,
-    ServeOutcome, ServerConfig, SliceStatus,
+    QueueLimits, ServeOutcome, ServerConfig, SliceStatus,
 };
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -124,6 +131,7 @@ fn preemption_demo(trace_path: PathBuf) -> PreemptionDemo {
         scene_batch: 4,
         spool_dir: None,
         trace_path: Some(trace_path.clone()),
+        limits: QueueLimits::unbounded(),
     });
     handle.submit(&victim).expect("victim admits");
     handle.wait_for("demo-victim", JobState::Started);
@@ -206,7 +214,7 @@ fn traffic_spec(i: usize) -> JobSpec {
     }
 }
 
-fn server(workers: usize, quantum: usize) -> ServerConfig {
+fn server(workers: usize, quantum: usize, limits: QueueLimits) -> ServerConfig {
     ServerConfig {
         workers,
         array_units: 8,
@@ -215,31 +223,49 @@ fn server(workers: usize, quantum: usize) -> ServerConfig {
         scene_batch: 4,
         spool_dir: None,
         trace_path: None,
+        limits,
+    }
+}
+
+/// Admission bounds for the open-loop sweep: room for a healthy queue
+/// (4 waiting jobs per worker per class), small enough that 4× overload
+/// visibly sheds instead of growing the queue without bound.
+fn overload_limits(workers: usize) -> QueueLimits {
+    QueueLimits {
+        max_interactive: 4 * workers.max(1),
+        max_batch: 4 * workers.max(1),
+        max_per_tenant: usize::MAX,
     }
 }
 
 /// Open loop: submissions arrive at `rate` jobs/s whether or not
-/// anything completed — arrivals and service are decoupled, so latency
-/// blows up once offered load crosses capacity.
-fn open_loop(workers: usize, quantum: usize, jobs: usize, rate: f64) -> ServeOutcome {
-    let handle = serve(server(workers, quantum));
+/// anything completed — arrivals and service are decoupled, so once
+/// offered load crosses capacity the bounded queue starts shedding.
+/// Returns the outcome plus the *achieved* submission rate: when
+/// `sleep_until(due)` falls behind, the generator delivers less than
+/// the labeled rate, and pretending otherwise mislabels the point.
+fn open_loop(workers: usize, quantum: usize, jobs: usize, rate: f64) -> (ServeOutcome, f64) {
+    let handle = serve(server(workers, quantum, overload_limits(workers)));
     let start = Instant::now();
     for i in 0..jobs {
         let due = start + Duration::from_secs_f64(i as f64 / rate);
         if let Some(wait) = due.checked_duration_since(Instant::now()) {
             std::thread::sleep(wait);
         }
-        handle.submit(&traffic_spec(i)).expect("spec admits");
+        handle.submit(&traffic_spec(i)).expect("spec is valid");
     }
-    handle.finish()
+    // `jobs` arrivals span `jobs - 1` inter-arrival gaps.
+    let achieved = (jobs.saturating_sub(1)) as f64 / start.elapsed().as_secs_f64().max(1e-9);
+    (handle.finish(), achieved)
 }
 
 /// Closed loop: `clients` threads each in a submit → wait → submit
 /// cycle over a cloneable [`retrsu_serve::ServeClient`] — offered load
 /// self-limits to service capacity, so the sweep traces the
-/// throughput/latency trade-off as concurrency grows.
+/// throughput/latency trade-off as concurrency grows (no bounds
+/// needed: the loop never outruns the fleet).
 fn closed_loop(workers: usize, quantum: usize, jobs: usize, clients: usize) -> ServeOutcome {
-    let handle = serve(server(workers, quantum));
+    let handle = serve(server(workers, quantum, QueueLimits::unbounded()));
     let per_client = (jobs / clients).max(1);
     std::thread::scope(|scope| {
         for c in 0..clients {
@@ -260,9 +286,18 @@ struct LoadPoint {
     label: String,
     mode: &'static str,
     offered_jobs_per_s: Option<f64>,
+    /// Arrival rate the open-loop generator actually delivered; `None`
+    /// for closed-loop points (no target to drift from).
+    achieved_jobs_per_s: Option<f64>,
     clients: Option<usize>,
     jobs: usize,
     jobs_per_s: f64,
+    /// Completed (non-rejected) jobs per second — the rate that counts
+    /// under overload, where `jobs_per_s` includes shed decisions.
+    goodput_jobs_per_s: f64,
+    shed: u64,
+    shed_ratio: f64,
+    peak_queued: usize,
     p50_ms: f64,
     p99_ms: f64,
     interactive_p50_ms: f64,
@@ -277,15 +312,18 @@ fn summarize(
     label: String,
     mode: &'static str,
     offered_jobs_per_s: Option<f64>,
+    achieved_jobs_per_s: Option<f64>,
     clients: Option<usize>,
     outcome: &ServeOutcome,
 ) -> LoadPoint {
     validate_lifecycle(&outcome.events).expect("load-point lifecycle validates");
+    // Latency percentiles describe served jobs; a rejection is an
+    // admission decision, not a service time.
     let latencies = |prefix: Option<&str>| -> Vec<f64> {
         outcome
             .results
             .iter()
-            .filter(|r| prefix.is_none_or(|p| r.id.starts_with(p)))
+            .filter(|r| !r.rejected && prefix.is_none_or(|p| r.id.starts_with(p)))
             .map(|r| r.latency_ms)
             .collect()
     };
@@ -293,13 +331,30 @@ fn summarize(
     let live = latencies(Some("live-"));
     let batch = latencies(Some("batch-"));
     let hits = outcome.results.iter().filter(|r| r.cached).count();
+    let completed = outcome.results.iter().filter(|r| !r.rejected).count();
+    if let (Some(offered), Some(achieved)) = (offered_jobs_per_s, achieved_jobs_per_s) {
+        let drift = (offered - achieved) / offered.max(1e-9);
+        if drift > 0.05 {
+            eprintln!(
+                "bench_serve: WARNING — {label}: generator fell behind, achieved \
+                 {achieved:.1} jobs/s of the {offered:.1} offered ({:.0}% drift); \
+                 the point records both rates",
+                drift * 100.0
+            );
+        }
+    }
     LoadPoint {
         label,
         mode,
         offered_jobs_per_s,
+        achieved_jobs_per_s,
         clients,
         jobs: outcome.results.len(),
         jobs_per_s: outcome.results.len() as f64 / outcome.wall.as_secs_f64(),
+        goodput_jobs_per_s: completed as f64 / outcome.wall.as_secs_f64(),
+        shed: outcome.shed_jobs,
+        shed_ratio: outcome.shed_jobs as f64 / outcome.results.len().max(1) as f64,
+        peak_queued: outcome.peak_queued,
         p50_ms: percentile(&all, 0.50),
         p99_ms: percentile(&all, 0.99),
         interactive_p50_ms: percentile(&live, 0.50),
@@ -323,17 +378,25 @@ fn num(v: f64) -> String {
 
 fn point_json(p: &LoadPoint) -> String {
     format!(
-        "{{\"label\": \"{}\", \"mode\": \"{}\", \"offered_jobs_per_s\": {}, \"clients\": {}, \
-         \"jobs\": {}, \"jobs_per_s\": {}, \"p50_ms\": {}, \"p99_ms\": {}, \
+        "{{\"label\": \"{}\", \"mode\": \"{}\", \"offered_jobs_per_s\": {}, \
+         \"achieved_jobs_per_s\": {}, \"clients\": {}, \
+         \"jobs\": {}, \"jobs_per_s\": {}, \"goodput_jobs_per_s\": {}, \
+         \"shed\": {}, \"shed_ratio\": {:.3}, \"peak_queued\": {}, \
+         \"p50_ms\": {}, \"p99_ms\": {}, \
          \"interactive_p50_ms\": {}, \"interactive_p99_ms\": {}, \
          \"batch_p50_ms\": {}, \"batch_p99_ms\": {}, \
          \"cache_hit_ratio\": {:.3}, \"preemptions\": {}}}",
         p.label,
         p.mode,
         p.offered_jobs_per_s.map_or("null".into(), num),
+        p.achieved_jobs_per_s.map_or("null".into(), num),
         p.clients.map_or("null".into(), |c| c.to_string()),
         p.jobs,
         num(p.jobs_per_s),
+        num(p.goodput_jobs_per_s),
+        p.shed,
+        p.shed_ratio,
+        p.peak_queued,
         num(p.p50_ms),
         num(p.p99_ms),
         num(p.interactive_p50_ms),
@@ -375,11 +438,12 @@ fn main() {
         eprintln!(
             "bench_serve: open loop at {multiplier}× single-stream ({rate:.1} jobs/s, {jobs} jobs)…"
         );
-        let outcome = open_loop(workers, quantum, jobs, rate);
+        let (outcome, achieved) = open_loop(workers, quantum, jobs, rate);
         points.push(summarize(
             format!("open@{multiplier}x"),
             "open_loop",
             Some(rate),
+            Some(achieved),
             None,
             &outcome,
         ));
@@ -390,6 +454,7 @@ fn main() {
         points.push(summarize(
             format!("closed@c{clients}"),
             "closed_loop",
+            None,
             None,
             Some(clients),
             &outcome,
@@ -412,8 +477,11 @@ fn main() {
          \"note\": \"retrsu-serve latency-vs-load: each point is a fresh server absorbing mixed \
          traffic (1-in-4 interactive at 8 sweeps, batch at 24 sweeps, 3 tenants, all 3 \
          applications, ~1/3 duplicate specs for the result cache); open loop submits at a fixed \
-         arrival rate swept around the calibrated single-stream throughput, closed loop runs K \
-         submit-wait clients; latency = submit-to-complete; demo = 1-worker forced preemption \
+         arrival rate swept around the calibrated single-stream throughput against bounded \
+         admission (4 queued jobs per worker per class — overload sheds deterministically, \
+         recorded as shed/shed_ratio/goodput_jobs_per_s, with achieved_jobs_per_s the rate the \
+         generator really delivered), closed loop runs K submit-wait clients unbounded; latency \
+         = submit-to-complete over served jobs only; demo = 1-worker forced preemption \
          with digest vs an uninterrupted run\",\n  \
          \"preemption_demo\": {{\"victim_preemptions\": {}, \"digest_matches_uninterrupted\": {}, \
          \"interactive_completed_first\": {}, \"lifecycle_valid\": {}, \
@@ -443,11 +511,16 @@ fn main() {
     println!("wrote {}", path.display());
     for p in &points {
         println!(
-            "bench_serve: {:<12} {:>6} jobs/s, p50 {:>8} ms, p99 {:>8} ms, hit ratio {:.2}, {} preemptions",
+            "bench_serve: {:<12} {:>6} jobs/s ({:>6} goodput), p50 {:>8} ms, p99 {:>8} ms, \
+             shed {:>2} ({:.0}%), peak queue {:>2}, hit ratio {:.2}, {} preemptions",
             p.label,
             num(p.jobs_per_s),
+            num(p.goodput_jobs_per_s),
             num(p.p50_ms),
             num(p.p99_ms),
+            p.shed,
+            p.shed_ratio * 100.0,
+            p.peak_queued,
             p.cache_hit_ratio,
             p.preemptions
         );

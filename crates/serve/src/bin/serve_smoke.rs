@@ -16,13 +16,20 @@
 //!    the result cache without touching a worker, and the cached
 //!    result is bit-identical to a cache-disabled recompute;
 //! 6. the shared percentile reporter survives NaN/empty samples
-//!    (regression for the `partial_cmp().expect(...)` panic).
+//!    (regression for the `partial_cmp().expect(...)` panic);
+//! 7. forced-shed gate: against a capacity-1 batch queue, an overflow
+//!    submission comes back with a typed rejection, emits exactly one
+//!    `rejected` event in a lifecycle that still validates, its
+//!    `rejected: true` result round-trips the wire format, and
+//!    `wait_for` resolves for unknown and rejected ids instead of
+//!    hanging.
 
 use bench::minijson::Value;
 use bench::trace_jsonl::parse_jsonl;
 use retrsu_serve::{
-    percentile, serve, validate_lifecycle, JobEvent, JobKind, JobResult, JobSpec, JobState,
-    JobTask, Priority, ServeOutcome, ServerConfig, SliceStatus,
+    percentile, serve, validate_lifecycle, Admission, JobEvent, JobKind, JobResult, JobSpec,
+    JobState, JobTask, Priority, QueueLimits, ServeOutcome, ServerConfig, ShedReason, SliceStatus,
+    WaitOutcome,
 };
 use std::path::PathBuf;
 use std::sync::atomic::AtomicBool;
@@ -92,6 +99,7 @@ fn run_scenario(trace: PathBuf, spool: PathBuf) -> ServeOutcome {
         scene_batch: 4,
         spool_dir: Some(spool),
         trace_path: Some(trace),
+        limits: QueueLimits::unbounded(),
     });
     handle.submit(&victim_spec()).expect("victim admits");
     // Guarantee the fleet is saturated by the victim before the
@@ -223,6 +231,7 @@ fn main() {
         scene_batch: 4,
         spool_dir: None,
         trace_path: None,
+        limits: QueueLimits::unbounded(),
     };
     let handle = serve(config(256));
     handle.submit(&original).expect("original admits");
@@ -267,9 +276,91 @@ fn main() {
     assert_eq!(percentile(&poisoned, 0.50), 1.0);
     assert!(percentile(&poisoned, 1.0).is_nan());
 
+    // 7. Forced-shed gate: a capacity-1 batch queue must shed the
+    // overflow submission with a typed rejection and a clean lifecycle,
+    // and waits on unknown/rejected ids must resolve, not hang.
+    let gate = serve(ServerConfig {
+        workers: 1,
+        array_units: 8,
+        quantum: 1_000,
+        cache_capacity: 0, // no cache: the overflow must hit admission
+        scene_batch: 4,
+        spool_dir: None,
+        trace_path: None,
+        limits: QueueLimits {
+            max_interactive: usize::MAX,
+            max_batch: 1,
+            max_per_tenant: usize::MAX,
+        },
+    });
+    assert_eq!(
+        gate.wait_for("never-submitted", JobState::Completed),
+        WaitOutcome::Unknown,
+        "a wait on an unknown id must resolve immediately"
+    );
+    let blocker = victim_spec();
+    assert_eq!(
+        gate.submit(&blocker).expect("blocker is valid"),
+        Admission::Queued
+    );
+    gate.wait_for(&blocker.id, JobState::Started);
+    let overflow = JobSpec {
+        id: "shed-me".into(),
+        tenant: "tenant-over".into(),
+        ..victim_spec()
+    };
+    let admission = gate.submit(&overflow).expect("overflow spec is valid");
+    assert_eq!(
+        admission,
+        Admission::Rejected(ShedReason::ClassFull {
+            class: Priority::Batch,
+            limit: 1
+        }),
+        "the overflow submission must come back with the typed shed reason"
+    );
+    assert_eq!(
+        gate.wait_for("shed-me", JobState::Completed),
+        WaitOutcome::Terminal(JobState::Rejected),
+        "a wait on a rejected job must resolve with its terminal state"
+    );
+    let gate_run = gate.finish();
+    validate_lifecycle(&gate_run.events).expect("shed lifecycle holds");
+    assert_eq!(gate_run.shed_jobs, 1);
+    assert_eq!(
+        gate_run
+            .events
+            .iter()
+            .filter(|e| e.job == "shed-me" && e.state == JobState::Rejected)
+            .count(),
+        1,
+        "a shed job emits exactly one rejected event"
+    );
+    let shed = gate_run.result("shed-me").expect("shed jobs get a result");
+    assert!(shed.rejected, "the shed result must say so: {shed:?}");
+    let shed_wire = JobResult::from_json(&shed.to_json()).expect("rejected result round-trips");
+    assert!(shed_wire.rejected);
+    assert_eq!(shed_wire.reason, shed.reason);
+    assert!(
+        shed_wire
+            .reason
+            .as_deref()
+            .unwrap_or("")
+            .contains("class full"),
+        "the wire reason must name the bound, got {:?}",
+        shed_wire.reason
+    );
+    assert!(
+        !gate_run
+            .result(&blocker.id)
+            .expect("blocker completes")
+            .rejected,
+        "the running blocker must never be displaced"
+    );
+
     println!(
         "serve_smoke: OK — 3 jobs, victim preempted {}x, {} trace events, digests stable across \
-         rerun, cache hit bit-identical to recompute, percentile NaN-safe",
+         rerun, cache hit bit-identical to recompute, percentile NaN-safe, forced shed typed + \
+         lifecycle-clean, waits resolve on unknown/rejected ids",
         victim.preemptions,
         outcome.events.len()
     );

@@ -5,12 +5,17 @@
 //!
 //! ```text
 //! submitted → admitted → started → (preempted → resumed)* → completed
-//!                      ↘ completed (cached)               ↘ failed
+//!          ↘ rejected  ↘ completed (cached)                ↘ failed
+//!                      ↘ rejected
 //! ```
 //!
 //! The cached edge is the result cache short-circuit: a spec whose
 //! digest is already answered completes at admission without ever
 //! starting on a worker; its completion event carries `cached: true`.
+//! The rejected edges are admission control (DESIGN §14): an arrival
+//! shed at submit time never admits; a queued job displaced by a
+//! higher-value same-class arrival is rejected after admission but
+//! always before `started`.
 //!
 //! is emitted as one `{"kind":"job", ...}` line through the same
 //! [`bench::trace_jsonl::JsonlTraceWriter`] the solver traces use, so
@@ -40,8 +45,16 @@ pub enum JobState {
     Resumed,
     /// The job produced its [`crate::JobResult`].
     Completed,
-    /// The job was rejected or aborted; `detail` carries the reason.
+    /// The job was aborted by an execution error; `detail` carries the
+    /// reason.
     Failed,
+    /// Admission control shed the job (queue bounds, tenant limits or
+    /// displacement by a higher-value arrival); `detail` carries the
+    /// typed shed reason. Terminal: a rejected job never runs — it is
+    /// either refused before admission (`submitted → rejected`) or
+    /// evicted from the queue before its first sweep
+    /// (`submitted → admitted → rejected`), never after `started`.
+    Rejected,
 }
 
 impl JobState {
@@ -55,7 +68,19 @@ impl JobState {
             JobState::Resumed => "resumed",
             JobState::Completed => "completed",
             JobState::Failed => "failed",
+            JobState::Rejected => "rejected",
         }
+    }
+
+    /// Whether this state ends a job's lifecycle (`completed`,
+    /// `failed` or `rejected`). Exactly one terminal event appears per
+    /// job, and waiters parked on any other state are woken with the
+    /// terminal outcome instead of parking forever.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            JobState::Completed | JobState::Failed | JobState::Rejected
+        )
     }
 
     fn parse(text: &str) -> Result<Self, SpecError> {
@@ -67,6 +92,7 @@ impl JobState {
             "resumed" => JobState::Resumed,
             "completed" => JobState::Completed,
             "failed" => JobState::Failed,
+            "rejected" => JobState::Rejected,
             other => return Err(SpecError::new(format!("unknown job state {other:?}"))),
         })
     }
@@ -197,15 +223,19 @@ impl fmt::Display for LifecycleError {
 ///
 /// * the one-shot transitions `submitted`, `admitted`, `started` each
 ///   appear **exactly once**, in that order (`started` is absent only
-///   if the job failed at admission or completed from the result
-///   cache);
+///   if the job failed at admission, completed from the result cache
+///   or was rejected; `admitted` is absent only for a job rejected at
+///   submit time);
 /// * a `completed` event with `cached: true` follows `admitted`
 ///   directly — a cached job never starts, is never preempted, and is
 ///   the only way `completed` may appear without `started`;
+/// * a `rejected` event follows `submitted` (arrival shed) or
+///   `admitted` (queued job displaced) — never `started`: work that
+///   has begun executing is preempted, not shed;
 /// * `preempted`/`resumed` strictly alternate, starting with
 ///   `preempted`, each pair between `started` and the terminal event;
-/// * exactly one terminal event (`completed` xor `failed`) appears, and
-///   nothing follows it;
+/// * exactly one terminal event (`completed`, `failed` or `rejected`)
+///   appears, and nothing follows it;
 /// * `t_ms` is non-decreasing along each job's sequence, and `sweep`
 ///   never decreases across execution events.
 pub fn validate_lifecycle(events: &[JobEvent]) -> Result<(), LifecycleError> {
@@ -221,17 +251,26 @@ pub fn validate_lifecycle(events: &[JobEvent]) -> Result<(), LifecycleError> {
             })
         };
         let count = |state: JobState| -> usize { seq.iter().filter(|e| e.state == state).count() };
-        for state in [JobState::Submitted, JobState::Admitted] {
-            if count(state) != 1 {
-                return fail(format!("{state} appears {} times, want 1", count(state)));
-            }
+        if count(JobState::Submitted) != 1 {
+            return fail(format!(
+                "submitted appears {} times, want 1",
+                count(JobState::Submitted)
+            ));
         }
         let failed = count(JobState::Failed);
         let completed = count(JobState::Completed);
-        if failed + completed != 1 {
+        let rejected = count(JobState::Rejected);
+        if failed + completed + rejected != 1 {
             return fail(format!(
-                "want exactly one terminal event, got {completed} completed + {failed} failed"
+                "want exactly one terminal event, got {completed} completed + {failed} failed \
+                 + {rejected} rejected"
             ));
+        }
+        // An arrival shed at submit time is the only lifecycle that
+        // skips admission entirely.
+        let admitted = count(JobState::Admitted);
+        if admitted != 1 && !(admitted == 0 && rejected == 1) {
+            return fail(format!("admitted appears {admitted} times, want 1"));
         }
         let started = count(JobState::Started);
         let cached = seq
@@ -308,6 +347,15 @@ pub fn validate_lifecycle(events: &[JobEvent]) -> Result<(), LifecycleError> {
                     }
                     terminal = true;
                 }
+                JobState::Rejected => {
+                    // Shedding only ever refuses work that has not
+                    // begun executing: before admission (arrival shed)
+                    // or while queued unstarted (displacement).
+                    if phase != JobState::Submitted && phase != JobState::Admitted {
+                        return fail(format!("rejected after {phase}"));
+                    }
+                    terminal = true;
+                }
             }
             let executes = matches!(
                 event.state,
@@ -343,7 +391,10 @@ mod tests {
             state,
             t_ms,
             worker: match state {
-                JobState::Submitted | JobState::Admitted | JobState::Failed => None,
+                JobState::Submitted
+                | JobState::Admitted
+                | JobState::Failed
+                | JobState::Rejected => None,
                 _ => Some(0),
             },
             sweep,
@@ -426,6 +477,74 @@ mod tests {
             },
         ];
         assert!(validate_lifecycle(&late_hit).is_err());
+    }
+
+    #[test]
+    fn accepts_rejection_at_submit_and_after_admission() {
+        // Arrival shed: submitted → rejected, no admitted.
+        let at_submit = vec![
+            event("shed", JobState::Submitted, 0.0, 0),
+            JobEvent {
+                detail: Some("batch class full (limit 1)".into()),
+                ..event("shed", JobState::Rejected, 0.1, 0)
+            },
+        ];
+        validate_lifecycle(&at_submit).unwrap();
+        // Queued job displaced: submitted → admitted → rejected.
+        let displaced = vec![
+            event("bump", JobState::Submitted, 0.0, 0),
+            event("bump", JobState::Admitted, 0.1, 0),
+            JobEvent {
+                detail: Some("displaced".into()),
+                ..event("bump", JobState::Rejected, 0.5, 0)
+            },
+        ];
+        validate_lifecycle(&displaced).unwrap();
+        assert!(JobState::Rejected.is_terminal());
+        assert!(!JobState::Preempted.is_terminal());
+    }
+
+    #[test]
+    fn rejects_misplaced_rejections() {
+        // Rejected after started: running work is preempted, not shed.
+        let after_start = vec![
+            event("j", JobState::Submitted, 0.0, 0),
+            event("j", JobState::Admitted, 0.1, 0),
+            event("j", JobState::Started, 0.2, 0),
+            event("j", JobState::Rejected, 0.3, 0),
+        ];
+        assert!(validate_lifecycle(&after_start).is_err());
+        // Rejected is terminal: nothing may follow it.
+        let then_completed = vec![
+            event("j", JobState::Submitted, 0.0, 0),
+            event("j", JobState::Rejected, 0.1, 0),
+            event("j", JobState::Completed, 0.2, 0),
+        ];
+        assert!(validate_lifecycle(&then_completed).is_err());
+        // A non-rejected job still needs its admitted event.
+        let no_admit = vec![
+            event("j", JobState::Submitted, 0.0, 0),
+            event("j", JobState::Started, 0.2, 0),
+            event("j", JobState::Completed, 0.3, 0),
+        ];
+        assert!(validate_lifecycle(&no_admit).is_err());
+        // Two rejections double the terminal.
+        let twice = vec![
+            event("j", JobState::Submitted, 0.0, 0),
+            event("j", JobState::Rejected, 0.1, 0),
+            event("j", JobState::Rejected, 0.2, 0),
+        ];
+        assert!(validate_lifecycle(&twice).is_err());
+    }
+
+    #[test]
+    fn rejected_event_round_trips_through_minijson() {
+        let original = JobEvent {
+            detail: Some("tenant \"acme\" at live-job limit 2".into()),
+            ..event("shed-3", JobState::Rejected, 4.25, 0)
+        };
+        let doc = bench::minijson::parse(&original.to_value().to_string()).unwrap();
+        assert_eq!(JobEvent::from_value(&doc).unwrap(), original);
     }
 
     #[test]

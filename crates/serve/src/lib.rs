@@ -17,7 +17,10 @@
 //!   preemption state, so a job resumes bit-identically on any worker.
 //! * **Scheduling** ([`sched`]) — strict priority between classes,
 //!   fair share (least-served tenant first) within one, FIFO
-//!   tie-break.
+//!   tie-break; bounded admission ([`QueueLimits`]) sheds work
+//!   deterministically under overload (batch before interactive,
+//!   most-served tenants and costliest jobs first), surfaced as a
+//!   terminal `rejected` lifecycle event.
 //! * **Serving** ([`server`]) — a scheduler thread packs jobs onto
 //!   worker threads in sweep-quantum slices; interactive arrivals
 //!   preempt batch slices via a flag polled at sweep boundaries, with
@@ -48,7 +51,9 @@ pub mod stats;
 pub use cache::{CachedResult, ResultCache};
 pub use events::{validate_lifecycle, JobEvent, JobState, LifecycleError};
 pub use runner::{JobTask, SceneModelCache, SliceStatus};
-pub use sched::{AdmissionQueue, Pending, ResumeFrom};
-pub use server::{serve, ServeClient, ServeHandle, ServeOutcome, ServerConfig};
+pub use sched::{AdmissionOutcome, AdmissionQueue, Pending, QueueLimits, ResumeFrom, ShedReason};
+pub use server::{
+    serve, Admission, ServeClient, ServeHandle, ServeOutcome, ServerConfig, WaitOutcome,
+};
 pub use spec::{field_digest, fnv1a, JobKind, JobResult, JobSpec, Priority, SpecError};
 pub use stats::percentile;

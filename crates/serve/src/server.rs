@@ -41,12 +41,14 @@
 use crate::cache::{CachedResult, ResultCache};
 use crate::events::{JobEvent, JobState};
 use crate::runner::{JobTask, SceneModelCache, SliceStatus};
-use crate::sched::{AdmissionQueue, Pending, ResumeFrom};
+use crate::sched::{
+    AdmissionOutcome, AdmissionQueue, Pending, QueueLimits, ResumeFrom, ShedReason,
+};
 use crate::spec::{JobResult, JobSpec, Priority, SpecError};
 use bench::trace_jsonl::JsonlTraceWriter;
 use mrf::Checkpoint;
 use rsu::{RsuArray, RsuConfig};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::fs;
 use std::io::BufWriter;
 use std::path::PathBuf;
@@ -82,6 +84,9 @@ pub struct ServerConfig {
     /// When set, every lifecycle event is streamed live as a `"job"`
     /// JSONL record to this file.
     pub trace_path: Option<PathBuf>,
+    /// Admission-control bounds on live jobs (DESIGN §14). The default
+    /// is [`QueueLimits::unbounded`]: every validated job admits.
+    pub limits: QueueLimits,
 }
 
 impl Default for ServerConfig {
@@ -94,6 +99,7 @@ impl Default for ServerConfig {
             scene_batch: 4,
             spool_dir: None,
             trace_path: None,
+            limits: QueueLimits::unbounded(),
         }
     }
 }
@@ -117,6 +123,13 @@ pub struct ServeOutcome {
     /// Scene models built across all workers; co-dispatch batching
     /// exists to keep this below the dispatched-slice count.
     pub model_builds: u64,
+    /// Jobs shed by admission control (at submit or by displacement);
+    /// each appears in `results` with `rejected: true`.
+    pub shed_jobs: u64,
+    /// High-water mark of the admission queue's length — bounded by the
+    /// configured [`QueueLimits`], the overload gauge the load sweep
+    /// plots.
+    pub peak_queued: usize,
 }
 
 impl ServeOutcome {
@@ -158,9 +171,53 @@ enum SliceReport {
     },
 }
 
+/// The admission decision a submit call comes back with.
+///
+/// `Queued` means the job entered the admission queue — under
+/// overload a later, higher-value arrival may still displace it
+/// (surfaced as a `rejected` lifecycle event and a `rejected: true`
+/// [`JobResult`]); it is an admission receipt, not a completion
+/// guarantee.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Admitted into the queue.
+    Queued,
+    /// Answered from the result cache — already complete, never queued
+    /// (cache hits bypass admission control: they consume no worker).
+    Cached,
+    /// Shed at submit time by admission control; no work was queued.
+    /// The job's lifecycle is `submitted → rejected` and its
+    /// [`JobResult`] carries `rejected: true` plus this reason.
+    Rejected(ShedReason),
+}
+
+/// How a [`wait_for`](ServeHandle::wait_for) call resolved. Every
+/// variant returns — a wait can no longer hang on an id the scheduler
+/// has never seen or a job that already reached a terminal state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitOutcome {
+    /// The awaited event was emitted (or had already been emitted).
+    Reached,
+    /// The job reached the given terminal state without ever emitting
+    /// the awaited event — it never will, so the wait resolves now.
+    Terminal(JobState),
+    /// The scheduler has never seen this job id.
+    Unknown,
+    /// The server shut down with the wait outstanding.
+    Disconnected,
+}
+
 /// The unified message stream the scheduler drains.
 enum Msg {
-    Submit(JobSpec),
+    /// A validated spec plus the submitter's reply slot. With
+    /// `backpressure` the submission parks (FIFO) when admission
+    /// control would shed it, and the reply — the blocking part of
+    /// `submit_blocking` — arrives once the job really admits.
+    Submit {
+        spec: JobSpec,
+        backpressure: bool,
+        reply: Sender<Result<Admission, SpecError>>,
+    },
     Sliced {
         worker: u32,
         entry: Box<Pending>,
@@ -169,11 +226,12 @@ enum Msg {
     },
     /// Blocking wait: the scheduler replies once the event exists —
     /// immediately if it already happened, otherwise when it is
-    /// emitted. One message per `wait_for` call, however long the wait.
+    /// emitted, the job terminates some other way, or the id turns out
+    /// to be unknown. One message per `wait_for` call.
     Wait {
         job: String,
         state: JobState,
-        reply: Sender<()>,
+        reply: Sender<WaitOutcome>,
     },
     ShutdownWhenIdle,
 }
@@ -299,10 +357,17 @@ struct Scheduler {
     events: Vec<JobEvent>,
     results: Vec<JobResult>,
     submit_t: BTreeMap<String, f64>,
-    waiters: Vec<(String, JobState, Sender<()>)>,
+    /// Terminal state per job id, for replaying to late waiters.
+    terminal: BTreeMap<String, JobState>,
+    waiters: Vec<(String, JobState, Sender<WaitOutcome>)>,
+    /// Backpressured submissions waiting for admission capacity, FIFO.
+    /// Counted in `in_flight` so a drain waits for them.
+    parked: VecDeque<(JobSpec, Sender<Result<Admission, SpecError>>)>,
     poll_round_trips: u64,
     trace: Option<JsonlTraceWriter<BufWriter<fs::File>>>,
     in_flight: usize,
+    shed_jobs: u64,
+    peak_queued: usize,
     draining: bool,
 }
 
@@ -316,9 +381,20 @@ impl Scheduler {
             writer.write_record(&event.to_value());
             writer.flush();
         }
+        if event.state.is_terminal() {
+            self.terminal.insert(event.job.clone(), event.state);
+        }
         self.waiters.retain(|(job, state, reply)| {
-            if *job == event.job && *state == event.state {
-                let _ = reply.send(());
+            if *job != event.job {
+                return true;
+            }
+            if *state == event.state {
+                let _ = reply.send(WaitOutcome::Reached);
+                false
+            } else if event.state.is_terminal() {
+                // The job is over and never emitted the awaited event;
+                // holding the waiter any longer would hang it forever.
+                let _ = reply.send(WaitOutcome::Terminal(event.state));
                 false
             } else {
                 true
@@ -340,15 +416,33 @@ impl Scheduler {
         self.emit(event);
     }
 
-    fn on_submit(&mut self, spec: JobSpec) {
+    fn on_submit(
+        &mut self,
+        spec: JobSpec,
+        backpressure: bool,
+        reply: Sender<Result<Admission, SpecError>>,
+    ) {
+        if self.submit_t.contains_key(&spec.id) {
+            // Two jobs sharing an id would corrupt waiter wakeup and
+            // lifecycle validation (both keyed by the id string):
+            // refuse before any event exists, like a validation error.
+            let _ = reply.send(Err(SpecError::new(format!(
+                "duplicate job id {:?}: ids name lifecycles and results for the server's \
+                 whole lifetime",
+                spec.id
+            ))));
+            return;
+        }
         let now = self.now_ms();
         self.submit_t.insert(spec.id.clone(), now);
         self.emit_queue_side(&spec.id, JobState::Submitted, None);
-        self.emit_queue_side(&spec.id, JobState::Admitted, None);
         if let Some(hit) = self.cache.lookup(&spec) {
             // Determinism makes the cached result *the* result: same
             // digest, same artifact. Complete at admission — no queue,
-            // no worker, no fair-share debit.
+            // no worker, no fair-share debit. Cache hits bypass
+            // admission control entirely: they consume no capacity, so
+            // bounding them would shed free work.
+            self.emit_queue_side(&spec.id, JobState::Admitted, None);
             let done = self.now_ms();
             let event = JobEvent {
                 job: spec.id.clone(),
@@ -370,15 +464,93 @@ impl Scheduler {
                 wait_ms: done - now,
                 latency_ms: done - now,
                 cached: true,
+                rejected: false,
+                reason: None,
             });
+            let _ = reply.send(Ok(Admission::Cached));
             return;
         }
+        if let Some(reason) = self.queue.would_shed(&spec, &self.config.limits) {
+            if backpressure {
+                // Accept-with-backpressure: park FIFO; the submitter
+                // stays blocked until capacity admits the job.
+                self.in_flight += 1;
+                self.parked.push_back((spec, reply));
+                return;
+            }
+            self.shed_jobs += 1;
+            self.finish_rejected(&spec.id, reason);
+            let _ = reply.send(Ok(Admission::Rejected(reason)));
+            return;
+        }
+        self.in_flight += 1;
+        self.admit_now(spec, reply);
+        // A displacement may have freed a tenant slot a parked
+        // submission fits into.
+        self.try_unpark();
+        self.dispatch_and_preempt();
+    }
+
+    /// Queues a spec the admission probe cleared, emitting `admitted`
+    /// and answering the submitter. The caller has already counted the
+    /// job in `in_flight`.
+    fn admit_now(&mut self, spec: JobSpec, reply: Sender<Result<Admission, SpecError>>) {
+        let now = self.now_ms();
         let index = self.submit_counter;
         self.submit_counter += 1;
-        self.queue.admit(&spec.tenant);
-        self.queue.push(Pending::new(spec, index, now));
-        self.in_flight += 1;
-        self.dispatch_and_preempt();
+        self.emit_queue_side(&spec.id, JobState::Admitted, None);
+        let pending = Pending::new(spec, index, now);
+        match self.queue.admit_bounded(pending, &self.config.limits) {
+            AdmissionOutcome::Admitted => {}
+            AdmissionOutcome::AdmittedDisplacing(victim) => {
+                self.shed_jobs += 1;
+                self.finish_rejected(&victim.spec.id, ShedReason::Displaced);
+                self.in_flight -= 1;
+            }
+            AdmissionOutcome::Shed(pending, reason) => {
+                unreachable!(
+                    "probe admitted {:?} but the queue shed it: {reason}",
+                    pending.spec.id
+                )
+            }
+        }
+        self.peak_queued = self.peak_queued.max(self.queue.len());
+        let _ = reply.send(Ok(Admission::Queued));
+    }
+
+    /// Emits the terminal `rejected` event and the `rejected: true`
+    /// result for a job shed by admission control.
+    fn finish_rejected(&mut self, id: &str, reason: ShedReason) {
+        let now = self.now_ms();
+        self.emit_queue_side(id, JobState::Rejected, Some(reason.to_string()));
+        let submit_t = self.submit_t.get(id).copied().unwrap_or(now);
+        self.results.push(JobResult {
+            id: id.to_string(),
+            metric: "rejected".to_string(),
+            score: 0.0,
+            field_digest: 0,
+            iterations: 0,
+            preemptions: 0,
+            wait_ms: 0.0,
+            latency_ms: now - submit_t,
+            cached: false,
+            rejected: true,
+            reason: Some(reason.to_string()),
+        });
+    }
+
+    /// Admits parked (backpressured) submissions while the front of the
+    /// backlog fits. Strictly FIFO — a smaller job never jumps a parked
+    /// earlier one — keeping backpressure deterministic and
+    /// starvation-free.
+    fn try_unpark(&mut self) {
+        while let Some((spec, _)) = self.parked.front() {
+            if self.queue.would_shed(spec, &self.config.limits).is_some() {
+                return;
+            }
+            let (spec, reply) = self.parked.pop_front().expect("front exists");
+            self.admit_now(spec, reply);
+        }
     }
 
     /// Fills free workers from the queue — each dispatch takes the best
@@ -510,8 +682,10 @@ impl Scheduler {
                     wait_ms: entry.first_start_t_ms.unwrap_or(now) - submit_t,
                     latency_ms: now - submit_t,
                     cached: false,
+                    rejected: false,
+                    reason: None,
                 });
-                self.queue.finish(&entry.spec.tenant);
+                self.queue.finish(&entry.spec.tenant, entry.spec.priority);
                 self.in_flight -= 1;
             }
             SliceReport::Yielded { status, checkpoint } => {
@@ -560,10 +734,12 @@ impl Scheduler {
                     detail: Some(message),
                 };
                 self.emit(event);
-                self.queue.finish(&entry.spec.tenant);
+                self.queue.finish(&entry.spec.tenant, entry.spec.priority);
                 self.in_flight -= 1;
             }
         }
+        // Freed capacity admits parked submissions before dispatch.
+        self.try_unpark();
         self.dispatch_and_preempt();
     }
 
@@ -572,7 +748,7 @@ impl Scheduler {
     }
 }
 
-fn wait_on(cmd: &Sender<Msg>, job: &str, state: JobState) {
+fn wait_on(cmd: &Sender<Msg>, job: &str, state: JobState) -> WaitOutcome {
     let (tx, rx) = mpsc::channel();
     if cmd
         .send(Msg::Wait {
@@ -582,11 +758,28 @@ fn wait_on(cmd: &Sender<Msg>, job: &str, state: JobState) {
         })
         .is_err()
     {
-        return;
+        return WaitOutcome::Disconnected;
     }
     // Err means the scheduler exited with the wait outstanding; both
     // outcomes end the wait.
-    let _ = rx.recv();
+    rx.recv().unwrap_or(WaitOutcome::Disconnected)
+}
+
+fn submit_on(
+    cmd: &Sender<Msg>,
+    spec: &JobSpec,
+    backpressure: bool,
+) -> Result<Admission, SpecError> {
+    spec.validate()?;
+    let (tx, rx) = mpsc::channel();
+    cmd.send(Msg::Submit {
+        spec: spec.clone(),
+        backpressure,
+        reply: tx,
+    })
+    .map_err(|_| SpecError::new("server is shut down"))?;
+    rx.recv()
+        .map_err(|_| SpecError::new("server is shut down"))?
 }
 
 /// A cloneable submission endpoint for driving one server from many
@@ -600,17 +793,19 @@ pub struct ServeClient {
 
 impl ServeClient {
     /// Validates and submits a job (see [`ServeHandle::submit`]).
-    pub fn submit(&self, spec: &JobSpec) -> Result<(), SpecError> {
-        spec.validate()?;
-        self.cmd
-            .send(Msg::Submit(spec.clone()))
-            .map_err(|_| SpecError::new("server is shut down"))
+    pub fn submit(&self, spec: &JobSpec) -> Result<Admission, SpecError> {
+        submit_on(&self.cmd, spec, false)
+    }
+
+    /// Submits with backpressure (see [`ServeHandle::submit_blocking`]).
+    pub fn submit_blocking(&self, spec: &JobSpec) -> Result<Admission, SpecError> {
+        submit_on(&self.cmd, spec, true)
     }
 
     /// Blocks until the given job has emitted the given lifecycle event
     /// (see [`ServeHandle::wait_for`]).
-    pub fn wait_for(&self, job: &str, state: JobState) {
-        wait_on(&self.cmd, job, state);
+    pub fn wait_for(&self, job: &str, state: JobState) -> WaitOutcome {
+        wait_on(&self.cmd, job, state)
     }
 }
 
@@ -623,13 +818,22 @@ pub struct ServeHandle {
 }
 
 impl ServeHandle {
-    /// Validates and submits a job. Validation failures are synchronous
-    /// — an invalid spec never enters the system and emits no events.
-    pub fn submit(&self, spec: &JobSpec) -> Result<(), SpecError> {
-        spec.validate()?;
-        self.cmd
-            .send(Msg::Submit(spec.clone()))
-            .map_err(|_| SpecError::new("server is shut down"))
+    /// Validates and submits a job, returning the admission decision:
+    /// queued, answered from the cache, or shed by admission control
+    /// (with its [`ShedReason`]). Validation failures and duplicate job
+    /// ids are synchronous typed errors — an invalid spec never enters
+    /// the system and emits no events.
+    pub fn submit(&self, spec: &JobSpec) -> Result<Admission, SpecError> {
+        submit_on(&self.cmd, spec, false)
+    }
+
+    /// Like [`submit`](ServeHandle::submit), but when admission control
+    /// would shed the job the call *blocks* — the job parks in a FIFO
+    /// backlog and admits as capacity frees — so it never returns
+    /// [`Admission::Rejected`]. The backpressure variant for clients
+    /// that prefer waiting over losing work.
+    pub fn submit_blocking(&self, spec: &JobSpec) -> Result<Admission, SpecError> {
+        submit_on(&self.cmd, spec, true)
     }
 
     /// A cloneable endpoint for submitting from other threads.
@@ -643,10 +847,13 @@ impl ServeHandle {
     /// (e.g. wait for `Started` before submitting the preemptor in a
     /// forced-preemption scenario). One round trip: the scheduler
     /// answers immediately if the event already happened and otherwise
-    /// parks the reply until it emits the event — the wait never spins
-    /// the command channel.
-    pub fn wait_for(&self, job: &str, state: JobState) {
-        wait_on(&self.cmd, job, state);
+    /// parks the reply until the event fires, the job reaches a
+    /// different terminal state ([`WaitOutcome::Terminal`]), or — for
+    /// an id the scheduler has never seen — immediately with
+    /// [`WaitOutcome::Unknown`]. A wait always resolves; it cannot
+    /// hang on an unknown or already-finished job.
+    pub fn wait_for(&self, job: &str, state: JobState) -> WaitOutcome {
+        wait_on(&self.cmd, job, state)
     }
 
     /// Drains the queue, stops all threads and returns results, the
@@ -730,15 +937,23 @@ pub fn serve(config: ServerConfig) -> ServeHandle {
                 events: Vec::new(),
                 results: Vec::new(),
                 submit_t: BTreeMap::new(),
+                terminal: BTreeMap::new(),
                 waiters: Vec::new(),
+                parked: VecDeque::new(),
                 poll_round_trips: 0,
                 trace,
                 in_flight: 0,
+                shed_jobs: 0,
+                peak_queued: 0,
                 draining: false,
             };
             while let Ok(msg) = cmd_rx.recv() {
                 match msg {
-                    Msg::Submit(spec) => state.on_submit(spec),
+                    Msg::Submit {
+                        spec,
+                        backpressure,
+                        reply,
+                    } => state.on_submit(spec, backpressure, reply),
                     Msg::Sliced {
                         worker,
                         entry,
@@ -756,7 +971,16 @@ pub fn serve(config: ServerConfig) -> ServeHandle {
                             .iter()
                             .any(|e| e.state == wanted && e.job == job);
                         if seen {
-                            let _ = reply.send(());
+                            let _ = reply.send(WaitOutcome::Reached);
+                        } else if let Some(&terminal) = state.terminal.get(&job) {
+                            // The job is over; the awaited event can
+                            // never fire. Resolve instead of parking
+                            // the waiter until shutdown.
+                            let _ = reply.send(WaitOutcome::Terminal(terminal));
+                        } else if !state.submit_t.contains_key(&job) {
+                            // Unknown id: nothing will ever wake this
+                            // waiter — the forever-hang bug. Say so.
+                            let _ = reply.send(WaitOutcome::Unknown);
                         } else {
                             state.waiters.push((job, wanted, reply));
                         }
@@ -787,6 +1011,8 @@ pub fn serve(config: ServerConfig) -> ServeHandle {
                 // Workers publish before every report they send, so the
                 // drained scheduler reads a settled count.
                 model_builds: builds.load(Ordering::Relaxed),
+                shed_jobs: state.shed_jobs,
+                peak_queued: state.peak_queued,
             }
         })
         .expect("scheduler thread spawns");
@@ -1062,5 +1288,172 @@ mod tests {
             outcome.model_builds, 1,
             "four same-scene jobs on one worker must build one model"
         );
+    }
+
+    #[test]
+    fn duplicate_job_id_is_rejected_with_a_typed_error_and_no_events() {
+        let handle = serve(ServerConfig {
+            workers: 1,
+            quantum: 4,
+            ..ServerConfig::default()
+        });
+        handle
+            .submit(&spec("same", "t", Priority::Batch, 6))
+            .unwrap();
+        // Different tenant/priority/shape — the id alone is the clash.
+        let err = handle
+            .submit(&spec("same", "u", Priority::Interactive, 4))
+            .unwrap_err();
+        assert!(
+            err.message.contains("duplicate job id"),
+            "want a typed duplicate-id error, got {err:?}"
+        );
+        // Even after the first lifecycle is over, its id stays taken:
+        // results and waiter wakeup are keyed by id for the server's
+        // whole lifetime.
+        handle.wait_for("same", JobState::Completed);
+        let err = handle
+            .submit(&spec("same", "t", Priority::Batch, 6))
+            .unwrap_err();
+        assert!(err.message.contains("duplicate job id"));
+        let outcome = handle.finish();
+        validate_lifecycle(&outcome.events).unwrap();
+        assert_eq!(outcome.results.len(), 1, "the duplicates never entered");
+        assert_eq!(
+            outcome
+                .events
+                .iter()
+                .filter(|e| e.job == "same" && e.state == JobState::Submitted)
+                .count(),
+            1,
+            "a refused duplicate must emit no events"
+        );
+    }
+
+    #[test]
+    fn wait_for_unknown_or_finished_jobs_resolves_instead_of_hanging() {
+        let handle = serve(ServerConfig {
+            workers: 1,
+            quantum: 4,
+            ..ServerConfig::default()
+        });
+        // Regression: this call parked forever before the terminal-
+        // replay fix.
+        assert_eq!(
+            handle.wait_for("ghost", JobState::Completed),
+            WaitOutcome::Unknown
+        );
+        handle
+            .submit(&spec("real", "t", Priority::Batch, 6))
+            .unwrap();
+        assert_eq!(
+            handle.wait_for("real", JobState::Completed),
+            WaitOutcome::Reached
+        );
+        // The job is terminal and was never preempted: that event can
+        // never fire now, so the wait resolves with the terminal state.
+        assert_eq!(
+            handle.wait_for("real", JobState::Preempted),
+            WaitOutcome::Terminal(JobState::Completed)
+        );
+        let outcome = handle.finish();
+        validate_lifecycle(&outcome.events).unwrap();
+        assert_eq!(outcome.results.len(), 1);
+    }
+
+    #[test]
+    fn overflow_batch_submission_is_shed_with_a_rejected_result() {
+        let handle = serve(ServerConfig {
+            workers: 1,
+            quantum: 1_000,
+            limits: QueueLimits {
+                max_batch: 1,
+                ..QueueLimits::unbounded()
+            },
+            ..ServerConfig::default()
+        });
+        handle
+            .submit(&spec("b1", "t", Priority::Batch, 30))
+            .unwrap();
+        handle.wait_for("b1", JobState::Started);
+        // The only batch slot is running (started jobs are never
+        // displaced): the second batch arrival sheds.
+        let admission = handle.submit(&spec("b2", "u", Priority::Batch, 5)).unwrap();
+        assert_eq!(
+            admission,
+            Admission::Rejected(ShedReason::ClassFull {
+                class: Priority::Batch,
+                limit: 1
+            })
+        );
+        // Interactive capacity is untouched by batch overload.
+        assert_eq!(
+            handle
+                .submit(&spec("i1", "u", Priority::Interactive, 5))
+                .unwrap(),
+            Admission::Queued
+        );
+        // The rejected job is terminal: waiting on it resolves.
+        assert_eq!(
+            handle.wait_for("b2", JobState::Completed),
+            WaitOutcome::Terminal(JobState::Rejected)
+        );
+        let outcome = handle.finish();
+        validate_lifecycle(&outcome.events).unwrap();
+        assert_eq!(outcome.shed_jobs, 1);
+        let shed = outcome.result("b2").expect("shed jobs get a result");
+        assert!(shed.rejected);
+        assert_eq!(shed.metric, "rejected");
+        assert!(
+            shed.reason.as_deref().unwrap_or("").contains("class full"),
+            "reason should name the bound, got {:?}",
+            shed.reason
+        );
+        assert_eq!(
+            outcome
+                .events
+                .iter()
+                .filter(|e| e.job == "b2" && e.state == JobState::Rejected)
+                .count(),
+            1,
+            "exactly one rejected event"
+        );
+        // The others completed normally.
+        assert!(!outcome.result("b1").unwrap().rejected);
+        assert!(!outcome.result("i1").unwrap().rejected);
+    }
+
+    #[test]
+    fn blocking_submit_parks_until_capacity_frees_and_never_sheds() {
+        let handle = serve(ServerConfig {
+            workers: 1,
+            quantum: 4,
+            limits: QueueLimits {
+                max_batch: 1,
+                ..QueueLimits::unbounded()
+            },
+            ..ServerConfig::default()
+        });
+        handle
+            .submit(&spec("b1", "t", Priority::Batch, 12))
+            .unwrap();
+        let client = handle.client();
+        let parked = std::thread::spawn(move || {
+            client.submit_blocking(&spec("b2", "u", Priority::Batch, 6))
+        });
+        // The parked submission admits once b1 finishes; the blocked
+        // submitter gets Queued, never Rejected, and the job then
+        // completes like any other.
+        assert_eq!(parked.join().unwrap().unwrap(), Admission::Queued);
+        assert_eq!(
+            handle.wait_for("b2", JobState::Completed),
+            WaitOutcome::Reached
+        );
+        let outcome = handle.finish();
+        validate_lifecycle(&outcome.events).unwrap();
+        assert_eq!(outcome.shed_jobs, 0);
+        assert_eq!(outcome.results.len(), 2);
+        assert!(outcome.results.iter().all(|r| !r.rejected));
+        assert!(outcome.peak_queued <= 1, "the bound held: {outcome:?}");
     }
 }

@@ -96,6 +96,16 @@ pub enum JobKind {
 }
 
 impl JobKind {
+    /// Lattice sites the workload sweeps (`width × height` for every
+    /// application — each pixel is one MRF site).
+    pub fn sites(&self) -> usize {
+        match self {
+            JobKind::Stereo { width, height, .. }
+            | JobKind::Motion { width, height, .. }
+            | JobKind::Segmentation { width, height, .. } => width * height,
+        }
+    }
+
     /// Wire name of the application (`"stereo"` / `"motion"` /
     /// `"segmentation"`).
     pub fn name(&self) -> &'static str {
@@ -346,6 +356,15 @@ impl JobSpec {
         ])
     }
 
+    /// Site-updates the job will execute: `iterations × sites`. The
+    /// admission controller's load-shedding policy uses this to shed
+    /// expensive batch work first — the estimate is exact for sweep
+    /// count (every sweep visits every site) and deliberately ignores
+    /// per-site constants, which cancel when comparing jobs.
+    pub fn cost_estimate(&self) -> u64 {
+        self.iterations as u64 * self.kind.sites() as u64
+    }
+
     /// FNV-1a over the application name plus the scene parameters only
     /// — the model/dataset identity. Jobs sharing a scene digest run
     /// different chains (seed, iterations) over the *same*
@@ -448,6 +467,14 @@ pub struct JobResult {
     /// `field_digest`/`score` are bit-identical to a recompute by the
     /// determinism contract, proven by the `serve_smoke` gate.
     pub cached: bool,
+    /// Whether admission control shed the job instead of running it.
+    /// A rejected result carries no artifact: `metric` is
+    /// `"rejected"`, `score` 0, `field_digest` 0, `iterations` 0, and
+    /// [`reason`](Self::reason) says why (DESIGN §14).
+    pub rejected: bool,
+    /// The shed reason for a rejected job (matches the `detail` of its
+    /// `rejected` lifecycle event); `None` on every other result.
+    pub reason: Option<String>,
 }
 
 impl JobResult {
@@ -464,6 +491,14 @@ impl JobResult {
             ("wait_ms", Value::Number(self.wait_ms)),
             ("latency_ms", Value::Number(self.latency_ms)),
             ("cached", Value::Bool(self.cached)),
+            ("rejected", Value::Bool(self.rejected)),
+            (
+                "reason",
+                match &self.reason {
+                    Some(reason) => Value::String(reason.clone()),
+                    None => Value::Null,
+                },
+            ),
         ])
     }
 
@@ -488,6 +523,22 @@ impl JobResult {
                 Some(v) => v
                     .as_bool()
                     .ok_or_else(|| SpecError::new("field \"cached\" is not a bool"))?,
+            },
+            // Absent in pre-admission-control documents: default to a
+            // served (non-shed) result.
+            rejected: match doc.get("rejected") {
+                None | Some(Value::Null) => false,
+                Some(v) => v
+                    .as_bool()
+                    .ok_or_else(|| SpecError::new("field \"rejected\" is not a bool"))?,
+            },
+            reason: match doc.get("reason") {
+                None | Some(Value::Null) => None,
+                Some(v) => Some(
+                    v.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| SpecError::new("field \"reason\" is not a string"))?,
+                ),
             },
         })
     }
@@ -689,16 +740,71 @@ mod tests {
             wait_ms: 1.25,
             latency_ms: 97.0,
             cached: true,
+            rejected: false,
+            reason: None,
         };
         let back = JobResult::from_json(&result.to_json()).unwrap();
         assert_eq!(back, result);
         assert_eq!(back.field_digest, u64::MAX - 12);
-        // Pre-cache documents (no "cached" field) parse as uncached.
+        // Pre-cache documents (no "cached"/"rejected"/"reason" fields)
+        // parse as uncached, served results.
         let mut legacy = result.to_value();
         if let Value::Object(map) = &mut legacy {
             map.remove("cached");
+            map.remove("rejected");
+            map.remove("reason");
         }
-        assert!(!JobResult::from_value(&legacy).unwrap().cached);
+        let parsed = JobResult::from_value(&legacy).unwrap();
+        assert!(!parsed.cached);
+        assert!(!parsed.rejected);
+        assert_eq!(parsed.reason, None);
+    }
+
+    #[test]
+    fn rejected_result_round_trips_with_its_reason() {
+        let shed = JobResult {
+            id: "shed-1".into(),
+            metric: "rejected".into(),
+            score: 0.0,
+            field_digest: 0,
+            iterations: 0,
+            preemptions: 0,
+            wait_ms: 0.0,
+            latency_ms: 0.4,
+            cached: false,
+            rejected: true,
+            reason: Some("batch class full (limit 1)".into()),
+        };
+        let back = JobResult::from_json(&shed.to_json()).unwrap();
+        assert_eq!(back, shed);
+        assert!(back.rejected);
+        assert_eq!(back.reason.as_deref(), Some("batch class full (limit 1)"));
+    }
+
+    #[test]
+    fn cost_estimate_is_iterations_times_sites() {
+        let spec = sample_spec();
+        // Stereo 32×24 at 40 iterations.
+        assert_eq!(spec.kind.sites(), 32 * 24);
+        assert_eq!(spec.cost_estimate(), 40 * 32 * 24);
+        // Cost tracks both knobs the scheduler sheds on.
+        let longer = JobSpec {
+            iterations: 80,
+            ..sample_spec()
+        };
+        assert_eq!(longer.cost_estimate(), 2 * spec.cost_estimate());
+        let bigger = JobSpec {
+            kind: JobKind::Segmentation {
+                width: 64,
+                height: 48,
+                num_regions: 3,
+                noise_sigma: 2.0,
+                contrast: 90.0,
+                scene_seed: 1,
+            },
+            ..sample_spec()
+        };
+        assert_eq!(bigger.cost_estimate(), 40 * 64 * 48);
     }
 
     #[test]
